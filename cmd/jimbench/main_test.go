@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, "", false, experiments.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	opt := experiments.Options{Seed: 1, Trials: 2, Quick: true}
+	if err := run(&buf, false, "fig1", false, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "To=City") {
+		t.Errorf("fig1 output missing inferred atoms:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false, "nope", false, experiments.Options{Quick: true}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(&buf, false, "", false, experiments.Options{}); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Command jimgen generates JIM workload datasets as CSV on stdout and
+// prints the planted goal predicate on stderr.
+//
+// Usage:
+//
+//	jimgen -kind travel
+//	jimgen -kind synthetic -attrs 6 -tuples 500 -goal-atoms 2 -seed 3
+//	jimgen -kind star -dims 2 -rows 200
+//	jimgen -kind setgame -cards 9 -features color,shading
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/setgame"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "travel", "dataset kind: travel | synthetic | star | setgame")
+		attrs     = flag.Int("attrs", 6, "synthetic: number of attributes")
+		tuples    = flag.Int("tuples", 200, "synthetic: number of tuples")
+		goalAtoms = flag.Int("goal-atoms", 2, "synthetic: equality atoms in the planted goal")
+		dims      = flag.Int("dims", 2, "star: dimension tables")
+		rows      = flag.Int("rows", 200, "star: denormalized rows")
+		cards     = flag.Int("cards", 9, "setgame: cards per side")
+		features  = flag.String("features", "color,shading", "setgame: goal features (comma separated)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, os.Stderr, *kind, *attrs, *tuples, *goalAtoms, *dims, *rows, *cards, *features, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "jimgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, errOut io.Writer, kind string, attrs, tuples, goalAtoms, dims, rows, cards int, features string, seed int64) error {
+	var (
+		rel  *relation.Relation
+		goal partition.P
+		err  error
+	)
+	switch kind {
+	case "travel":
+		rel, goal = workload.Travel(), workload.TravelQ2()
+	case "synthetic":
+		rel, goal, err = workload.Synthetic(workload.SynthConfig{
+			Attrs: attrs, Tuples: tuples, GoalAtoms: goalAtoms, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	case "star":
+		star, err := workload.NewStar(workload.StarConfig{
+			Dims: dims, DimRows: 8, DimAttrs: 1, FactAttrs: 1, Rows: rows, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		rel, goal = star.Instance, star.Goal
+	case "setgame":
+		rng := rand.New(rand.NewSource(seed))
+		left, err := setgame.Sample(rng, cards)
+		if err != nil {
+			return err
+		}
+		right, err := setgame.Sample(rng, cards)
+		if err != nil {
+			return err
+		}
+		rel, err = setgame.PairInstance(left, right)
+		if err != nil {
+			return err
+		}
+		goal, err = setgame.SameFeatureGoal(splitFeatures(features)...)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want travel, synthetic, star, or setgame)", kind)
+	}
+	if err := relation.WriteCSV(out, rel); err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "goal: %s\n", goal.FormatAtoms(rel.Schema().Names()))
+	return nil
+}
+
+func splitFeatures(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

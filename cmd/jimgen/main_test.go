@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func generate(t *testing.T, kind string, args ...any) (*relation.Relation, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	attrs, tuples, goalAtoms, dims, rows, cards := 5, 30, 2, 2, 40, 6
+	features := "color,shading"
+	if err := run(&out, &errOut, kind, attrs, tuples, goalAtoms, dims, rows, cards, features, 3); err != nil {
+		t.Fatalf("run(%s): %v", kind, err)
+	}
+	rel, err := relation.ReadCSV(&out, relation.CSVOptions{})
+	if err != nil {
+		t.Fatalf("generated CSV unreadable: %v", err)
+	}
+	return rel, errOut.String()
+}
+
+func TestGenerateTravel(t *testing.T) {
+	rel, goal := generate(t, "travel")
+	if rel.Len() != 12 || rel.Schema().Len() != 5 {
+		t.Errorf("travel shape %d×%d", rel.Len(), rel.Schema().Len())
+	}
+	if !strings.Contains(goal, "To=City") {
+		t.Errorf("goal line = %q", goal)
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	rel, goal := generate(t, "synthetic")
+	if rel.Len() != 30 || rel.Schema().Len() != 5 {
+		t.Errorf("synthetic shape %d×%d", rel.Len(), rel.Schema().Len())
+	}
+	if !strings.Contains(goal, "goal:") {
+		t.Errorf("goal line = %q", goal)
+	}
+}
+
+func TestGenerateStar(t *testing.T) {
+	rel, goal := generate(t, "star")
+	if rel.Len() != 40 {
+		t.Errorf("star rows = %d", rel.Len())
+	}
+	if !strings.Contains(goal, "fact.fk0=dim0.id") {
+		t.Errorf("goal line = %q", goal)
+	}
+}
+
+func TestGenerateSetgame(t *testing.T) {
+	rel, goal := generate(t, "setgame")
+	if rel.Len() != 36 || rel.Schema().Len() != 8 {
+		t.Errorf("setgame shape %d×%d", rel.Len(), rel.Schema().Len())
+	}
+	if !strings.Contains(goal, "left.color=right.color") {
+		t.Errorf("goal line = %q", goal)
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(&out, &errOut, "nope", 4, 10, 1, 1, 10, 4, "color", 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSplitFeatures(t *testing.T) {
+	got := splitFeatures(" color , shading ,,")
+	if len(got) != 2 || got[0] != "color" || got[1] != "shading" {
+		t.Errorf("splitFeatures = %v", got)
+	}
+	if got := splitFeatures(""); len(got) != 0 {
+		t.Errorf("empty spec = %v", got)
+	}
+}

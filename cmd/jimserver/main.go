@@ -1,0 +1,39 @@
+// Command jimserver serves the JIM inference API over HTTP — the
+// demonstration's interactive tool as a JSON service.
+//
+//	jimserver -addr :8080
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	POST   /sessions              {"csv": "...", "strategy": "lookahead-maxmin"}
+//	GET    /sessions/{id}/next    next proposed tuple
+//	POST   /sessions/{id}/label   {"index": 3, "label": "+"}
+//	GET    /sessions/{id}/result  inferred predicate + SQL
+//	GET    /sessions/{id}/export  persistable session file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("jimserver listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "jimserver:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Httpapi: JIM as a service. Starts the HTTP server on a loopback
+// port, creates a session over the paper's Figure 1 table, answers the
+// proposed membership queries like a user wanting Q2, and reads back
+// the inferred predicate — the demonstration's web tool end to end.
+//
+//	go run ./examples/httpapi
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	jim "repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+	fmt.Printf("jimserver running at %s\n\n", ts.URL)
+
+	// 1. Create a session from CSV.
+	var csv bytes.Buffer
+	if err := jim.WriteCSV(&csv, workload.Travel()); err != nil {
+		log.Fatal(err)
+	}
+	var created struct {
+		ID     string `json:"id"`
+		Tuples int    `json:"tuples"`
+	}
+	post(ts.URL+"/sessions", map[string]any{
+		"csv":      csv.String(),
+		"strategy": "lookahead-maxmin",
+	}, &created)
+	fmt.Printf("created session %s over %d tuples\n\n", created.ID, created.Tuples)
+
+	// 2. Drive the loop: GET next, POST label.
+	goal := workload.TravelQ2()
+	rel := workload.Travel()
+	for round := 1; ; round++ {
+		var next struct {
+			Done  bool `json:"done"`
+			Tuple *struct {
+				Index  int               `json:"index"`
+				Values map[string]string `json:"values"`
+			} `json:"tuple"`
+		}
+		get(ts.URL+"/sessions/"+created.ID+"/next", &next)
+		if next.Done {
+			break
+		}
+		label := "-"
+		if jim.Selects(goal, rel.Tuple(next.Tuple.Index)) {
+			label = "+"
+		}
+		var lr struct {
+			NewlyImplied []int  `json:"newly_implied"`
+			Progress     string `json:"progress"`
+		}
+		post(ts.URL+"/sessions/"+created.ID+"/label",
+			map[string]any{"index": next.Tuple.Index, "label": label}, &lr)
+		fmt.Printf("%d. tuple %2d -> %s   grayed out %d   (%s)\n",
+			round, next.Tuple.Index+1, label, len(lr.NewlyImplied), lr.Progress)
+	}
+
+	// 3. Read the result.
+	var res struct {
+		Atoms string `json:"atoms"`
+		SQL   string `json:"sql"`
+	}
+	get(ts.URL+"/sessions/"+created.ID+"/result", &res)
+	fmt.Printf("\ninferred: %s\n\n%s\n", res.Atoms, res.SQL)
+
+	// 4. Export the session for later resumption.
+	resp, err := http.Get(ts.URL + "/sessions/" + created.ID + "/export")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exported, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexported session file: %d bytes, %d lines of JSON\n",
+		len(exported), strings.Count(string(exported), "\n"))
+}
+
+func post(url string, body any, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("decoding %s: %v", data, err)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: infer a join predicate over a small denormalized table
+// with a simulated user, then print it as SQL.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	jim "repro"
+)
+
+const csv = `From,To,Airline,City,Discount
+Paris,Lille,AF,NYC,AA
+Paris,Lille,AF,Paris,None
+Paris,Lille,AF,Lille,AF
+Lille,NYC,AA,NYC,AA
+Lille,NYC,AA,Paris,None
+Lille,NYC,AA,Lille,AF
+NYC,Paris,AA,NYC,AA
+NYC,Paris,AA,Paris,None
+NYC,Paris,AA,Lille,AF
+Paris,NYC,AF,NYC,AA
+Paris,NYC,AF,Paris,None
+Paris,NYC,AF,Lille,AF
+`
+
+func main() {
+	// 1. Load the denormalized instance (the paper's Figure 1).
+	rel, err := jim.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The query the user has in mind: flight destination matches
+	//    the hotel city, and the package qualifies for a discount.
+	goal, err := jim.PredicateFromAtoms(rel.Schema(), [][2]string{
+		{"To", "City"},
+		{"Airline", "Discount"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the interactive loop with a goal oracle standing in for
+	//    the user (swap in jim.InteractiveUser(os.Stdin, os.Stdout) for
+	//    a real session).
+	res, err := jim.Infer(rel, goal, "lookahead-maxmin", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged after %d membership queries (%d tuples grayed out automatically)\n",
+		res.UserLabels, res.ImpliedLabels)
+	fmt.Printf("inferred predicate: %s\n\n", res.Query.FormatAtoms(rel.Schema().Names()))
+
+	sql, err := jim.SelectSQL("packages", rel.Schema(), res.Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sql)
+}

@@ -1,0 +1,68 @@
+// Travel: the paper's Section 2 walkthrough on the Figure 1
+// flight&hotel table, interaction by interaction, ending with the
+// Figure 4-style strategy comparison.
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	jim "repro"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func main() {
+	rel := workload.Travel()
+	names := rel.Schema().Names()
+	fmt.Println("The travel agency table (paper Figure 1):")
+	fmt.Println(rel)
+
+	goal := workload.TravelQ2()
+	fmt.Printf("goal the user has in mind (Q2): %s\n\n", goal.FormatAtoms(names))
+
+	st, err := jim.NewState(rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := jim.NewEngine(st, jim.MustStrategy("lookahead-maxmin", 1), jim.GoalOracle(goal))
+	eng.Trace = os.Stdout
+	res, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ninferred: %s (instance-equivalent to Q2: %v)\n",
+		res.Query.FormatAtoms(names), jim.InstanceEquivalent(rel, res.Query, goal))
+
+	// Figure 4: how many interactions would the other strategies (and
+	// a user labeling everything in row order) have needed?
+	order := make([]int, rel.Len())
+	for i := range order {
+		order[i] = i
+	}
+	items := []stats.BarItem{}
+	st1, _ := jim.NewState(rel)
+	mode1, err := core.NewEngine(st1, strategy.Random(1), oracle.Goal(goal)).RunUserOrder(order, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items = append(items, stats.BarItem{Label: "labeling all tuples", Value: float64(mode1.UserLabels)})
+	for _, name := range jim.Strategies() {
+		s, _ := strategy.ByName(name, 1)
+		sti, _ := jim.NewState(rel)
+		r, err := core.NewEngine(sti, s, oracle.Goal(goal)).Run()
+		if err != nil || !r.Converged {
+			continue
+		}
+		items = append(items, stats.BarItem{Label: name, Value: float64(r.UserLabels)})
+	}
+	fmt.Println()
+	fmt.Print(stats.Bar("Figure 4 — interactions to infer Q2", items, 40))
+}

@@ -1,0 +1,239 @@
+// Integration matrix: every practical strategy against every workload
+// family and interaction mode, asserting convergence, instance
+// equivalence with the goal, and engine invariants — the end-to-end
+// safety net over the whole stack.
+package jim_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	jim "repro"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/setgame"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+type scenario struct {
+	name string
+	rel  *jim.Relation
+	goal jim.Predicate
+}
+
+func integrationScenarios(t *testing.T) []scenario {
+	t.Helper()
+	var out []scenario
+	out = append(out,
+		scenario{"travel/Q1", workload.Travel(), workload.TravelQ1()},
+		scenario{"travel/Q2", workload.Travel(), workload.TravelQ2()},
+	)
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 6, Tuples: 150, Seed: 42, ExtraMerges: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, scenario{"synthetic/6x150", rel, goal})
+
+	star, err := workload.NewStar(workload.StarConfig{
+		Dims: 2, DimRows: 5, DimAttrs: 1, FactAttrs: 1, Rows: 80, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, scenario{"star/2dims", star.Instance, star.Goal})
+
+	rng := rand.New(rand.NewSource(11))
+	left, err := setgame.Sample(rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := setgame.Sample(rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := setgame.PairInstance(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGoal, err := setgame.SameFeatureGoal("color", "shading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, scenario{"setgame/8x8", pairs, sGoal})
+
+	zipf, err := workload.Zipf(workload.ZipfConfig{Attrs: 5, Tuples: 120, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, scenario{"zipf/5x120", zipf, partition.MustFromBlocks(5, [][]int{{1, 3}})})
+
+	dup, err := workload.WithDuplicates(rel, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, scenario{"duplicates/400", dup, goal})
+	return out
+}
+
+func TestIntegrationMatrixMode4(t *testing.T) {
+	for _, sc := range integrationScenarios(t) {
+		for _, s := range strategy.Heuristics(99) {
+			t.Run(sc.name+"/"+s.Name(), func(t *testing.T) {
+				st, err := jim.NewState(sc.rel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Tuples whose signature is ⊤ (all attributes equal)
+				// are selected by every query and grayed out before
+				// any label is given.
+				initiallyImplied := sc.rel.Len() - st.InformativeCount()
+				eng := jim.NewEngine(st, s, jim.GoalOracle(sc.goal))
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatal("did not converge")
+				}
+				if !jim.InstanceEquivalent(sc.rel, res.Query, sc.goal) {
+					t.Fatalf("inferred %v not equivalent to goal %v", res.Query, sc.goal)
+				}
+				if err := st.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if res.UserLabels+res.ImpliedLabels+initiallyImplied != sc.rel.Len() {
+					t.Fatalf("labels %d + implied %d + initial %d != %d tuples",
+						res.UserLabels, res.ImpliedLabels, initiallyImplied, sc.rel.Len())
+				}
+			})
+		}
+	}
+}
+
+func TestIntegrationMatrixModes123(t *testing.T) {
+	// One representative strategy per mode across all scenarios.
+	for _, sc := range integrationScenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			order := make([]int, sc.rel.Len())
+			for i := range order {
+				order[i] = i
+			}
+			for mode := 1; mode <= 3; mode++ {
+				st, err := jim.NewState(sc.rel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng := jim.NewEngine(st, strategy.LookaheadMaxMin(), jim.GoalOracle(sc.goal))
+				var res jim.RunResult
+				switch mode {
+				case 1:
+					res, err = eng.RunUserOrder(order, false)
+				case 2:
+					res, err = eng.RunUserOrder(order, true)
+				case 3:
+					res, err = eng.RunTopK(3)
+				}
+				if err != nil {
+					t.Fatalf("mode %d: %v", mode, err)
+				}
+				if !res.Converged {
+					t.Fatalf("mode %d did not converge", mode)
+				}
+				if !jim.InstanceEquivalent(sc.rel, res.Query, sc.goal) {
+					t.Fatalf("mode %d inferred %v", mode, res.Query)
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationSessionContinuity saves a half-finished run, reloads
+// it, finishes with a different strategy, and still recovers the goal.
+func TestIntegrationSessionContinuity(t *testing.T) {
+	for _, sc := range integrationScenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			st, err := jim.NewState(sc.rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := jim.NewEngine(st, strategy.LookaheadMaxMin(), jim.GoalOracle(sc.goal))
+			eng.MaxSteps = 2
+			if _, err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := jim.SaveSession(&buf, st, jim.SessionMeta{}); err != nil {
+				t.Fatal(err)
+			}
+			st2, _, err := jim.LoadSession(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng2 := jim.NewEngine(st2, strategy.LocalLeastSpecific(), jim.GoalOracle(sc.goal))
+			res, err := eng2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged || !jim.InstanceEquivalent(sc.rel, res.Query, sc.goal) {
+				t.Fatalf("resumed run inferred %v", res.Query)
+			}
+		})
+	}
+}
+
+// TestIntegrationExplainability: at convergence every tuple of every
+// scenario has a non-trivial explanation consistent with its label.
+func TestIntegrationExplainability(t *testing.T) {
+	for _, sc := range integrationScenarios(t) {
+		st, err := jim.NewState(sc.rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := jim.NewEngine(st, strategy.LookaheadMaxMin(), jim.GoalOracle(sc.goal))
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < sc.rel.Len(); i++ {
+			e, err := st.Explain(i)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.name, err)
+			}
+			switch {
+			case st.Label(i).IsExplicit() && e.Kind != core.ExplainExplicit:
+				t.Fatalf("%s tuple %d: explicit label explained as %v", sc.name, i, e.Kind)
+			case st.Label(i) == core.ImpliedNegative && e.Kind != core.ExplainImpliedNegative:
+				t.Fatalf("%s tuple %d: implied negative explained as %v", sc.name, i, e.Kind)
+			}
+		}
+	}
+}
+
+// TestIntegrationOracleAgreement: the oracle's labels agree with
+// Selects for every scenario tuple — the glue between the labeling
+// and evaluation halves of the system.
+func TestIntegrationOracleAgreement(t *testing.T) {
+	for _, sc := range integrationScenarios(t) {
+		st, err := jim.NewState(sc.rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab := oracle.Goal(sc.goal)
+		for i := 0; i < sc.rel.Len() && i < 50; i++ {
+			got, err := lab.Label(st, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := jim.Selects(sc.goal, sc.rel.Tuple(i))
+			if got.IsPositive() != want {
+				t.Fatalf("%s tuple %d: oracle %v, Selects %v", sc.name, i, got, want)
+			}
+		}
+	}
+}

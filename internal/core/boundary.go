@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// VersionSpace is the two-boundary representation of the consistent
+// hypotheses: a predicate Q is consistent with the labels iff
+// g ≤ Q ≤ Specific for some g in General. Specific is M_P (the meet of
+// the positive signatures); General is the antichain of most general
+// consistent predicates. Mitchell-style version spaces specialize
+// naturally to JIM's partition lattice and power the demo statistics
+// ("which equality atoms are already certain?").
+type VersionSpace struct {
+	Specific partition.P
+	General  []partition.P
+}
+
+// ErrSpaceTooLarge reports that boundary computation would enumerate
+// more candidate predicates than the given limit.
+var ErrSpaceTooLarge = fmt.Errorf("core: version space exceeds enumeration limit")
+
+// VersionSpace computes both boundaries. The search enumerates the
+// refinement cone below M_P, whose size is the product of Bell numbers
+// of M_P's block sizes; limit caps that size (0 means 1e6). Use on
+// demo-scale attribute counts, like the paper's statistics panes.
+func (st *State) VersionSpace(limit int) (VersionSpace, error) {
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	if cone := partition.CountRefinementsOf(st.mp); cone > limit {
+		return VersionSpace{}, fmt.Errorf("%w: %d candidates > limit %d", ErrSpaceTooLarge, cone, limit)
+	}
+	consistent := st.ConsistentQueries(0)
+	// Minimal elements: no other consistent query strictly below.
+	// Sorting by pair count makes the scan O(k²) worst case but exits
+	// early in practice.
+	sort.SliceStable(consistent, func(a, b int) bool {
+		return consistent[a].PairCount() < consistent[b].PairCount()
+	})
+	var general []partition.P
+	for _, q := range consistent {
+		minimal := true
+		for _, g := range general {
+			if g.LessEq(q) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			general = append(general, q)
+		}
+	}
+	return VersionSpace{Specific: st.mp, General: general}, nil
+}
+
+// Contains reports whether q is consistent with the labels summarized
+// by the version space.
+func (vs VersionSpace) Contains(q partition.P) bool {
+	if !q.LessEq(vs.Specific) {
+		return false
+	}
+	for _, g := range vs.General {
+		if g.LessEq(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// CertainPairs returns the equality atoms present in every consistent
+// predicate: the pairs shared by all members of the general boundary.
+// At convergence these are exactly the atoms of the answer.
+func (vs VersionSpace) CertainPairs() [][2]int {
+	if len(vs.General) == 0 {
+		return nil
+	}
+	var out [][2]int
+	for _, p := range vs.General[0].Pairs() {
+		inAll := true
+		for _, g := range vs.General[1:] {
+			if !g.SameBlock(p[0], p[1]) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// UndecidedPairs returns the equality atoms that some consistent
+// predicate contains and another rejects — the remaining uncertainty
+// shown to the user.
+func (vs VersionSpace) UndecidedPairs() [][2]int {
+	certain := map[[2]int]bool{}
+	for _, p := range vs.CertainPairs() {
+		certain[p] = true
+	}
+	var out [][2]int
+	for _, p := range vs.Specific.Pairs() {
+		if !certain[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Decided reports whether the version space has collapsed to a single
+// predicate (its two boundaries coincide).
+func (vs VersionSpace) Decided() bool {
+	return len(vs.General) == 1 && vs.General[0].Equal(vs.Specific)
+}
+
+// FormatPairs renders attribute-position pairs with names, e.g.
+// "To=City, Airline=Discount".
+func FormatPairs(pairs [][2]int, names []string) string {
+	s := ""
+	for i, p := range pairs {
+		if i > 0 {
+			s += ", "
+		}
+		s += names[p[0]] + "=" + names[p[1]]
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+func TestVersionSpaceInitial(t *testing.T) {
+	st := newTravelState(t)
+	vs, err := st.VersionSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no labels, every predicate is consistent: the general
+	// boundary is {⊥} and the specific boundary is ⊤.
+	if len(vs.General) != 1 || !vs.General[0].IsBottom() {
+		t.Errorf("initial general boundary = %v", vs.General)
+	}
+	if !vs.Specific.IsTop() {
+		t.Errorf("initial specific boundary = %v", vs.Specific)
+	}
+	if vs.Decided() {
+		t.Error("fresh space reports decided")
+	}
+	if got := vs.CertainPairs(); len(got) != 0 {
+		t.Errorf("certain pairs before any label: %v", got)
+	}
+}
+
+func TestVersionSpaceAfterWorkedExample(t *testing.T) {
+	st := newTravelState(t)
+	mustApply(t, st, 3, core.Positive)
+	mustApply(t, st, 7, core.Negative)
+	mustApply(t, st, 8, core.Negative)
+	vs, err := st.VersionSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs.Decided() {
+		t.Fatalf("space not decided: general=%v specific=%v", vs.General, vs.Specific)
+	}
+	if !vs.General[0].Equal(workload.TravelQ2()) {
+		t.Errorf("decided on %v, want Q2", vs.General[0])
+	}
+	// All of Q2's pairs are certain, none undecided.
+	if got := len(vs.CertainPairs()); got != 2 {
+		t.Errorf("certain pairs = %d, want 2", got)
+	}
+	if got := vs.UndecidedPairs(); len(got) != 0 {
+		t.Errorf("undecided pairs = %v", got)
+	}
+}
+
+func TestVersionSpacePartialKnowledge(t *testing.T) {
+	st := newTravelState(t)
+	mustApply(t, st, 3, core.Positive)
+	mustApply(t, st, 1, core.Negative) // Eq(1)=⊥: rules out ⊥ only
+	vs, err := st.VersionSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistent: {Q1, {A=D}, Q2} — minimal are Q1 and {A=D}.
+	if len(vs.General) != 2 {
+		t.Fatalf("general boundary = %v", vs.General)
+	}
+	// Nothing certain yet (Q1 and {A=D} share no pair); both atoms of
+	// Q2 undecided.
+	if got := vs.CertainPairs(); len(got) != 0 {
+		t.Errorf("certain = %v", got)
+	}
+	if got := vs.UndecidedPairs(); len(got) != 2 {
+		t.Errorf("undecided = %v", got)
+	}
+	names := workload.TravelAttrs
+	if s := core.FormatPairs(vs.UndecidedPairs(), names); s != "To=City, Airline=Discount" {
+		t.Errorf("FormatPairs = %q", s)
+	}
+}
+
+func TestVersionSpaceContainsMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel, goal, err := workload.Synthetic(workload.SynthConfig{
+			Attrs: 4, Tuples: 15, Seed: seed, ExtraMerges: 1.2,
+		})
+		if err != nil {
+			return false
+		}
+		st, err := core.NewState(rel)
+		if err != nil {
+			return false
+		}
+		for steps := 0; steps < 3 && !st.Done(); steps++ {
+			inf := st.InformativeIndices()
+			i := inf[rng.Intn(len(inf))]
+			l := core.Positive
+			if !goal.LessEq(st.Sig(i)) {
+				l = core.Negative
+			}
+			if _, err := st.Apply(i, l); err != nil {
+				return false
+			}
+		}
+		vs, err := st.VersionSpace(0)
+		if err != nil {
+			return false
+		}
+		// Contains must agree with brute-force consistency for every
+		// predicate over 4 attributes.
+		consistent := map[string]bool{}
+		for _, q := range st.ConsistentQueries(0) {
+			consistent[q.Key()] = true
+		}
+		ok := true
+		partition.Enumerate(4, func(q partition.P) bool {
+			if vs.Contains(q) != consistent[q.Key()] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		// General boundary members must be consistent and pairwise
+		// incomparable.
+		for i, g := range vs.General {
+			if !consistent[g.Key()] {
+				return false
+			}
+			for j, g2 := range vs.General {
+				if i != j && g.LessEq(g2) {
+					return false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionSpaceLimit(t *testing.T) {
+	st := newTravelState(t)
+	_, err := st.VersionSpace(10) // cone below ⊤ is Bell(5)=52 > 10
+	if !errors.Is(err, core.ErrSpaceTooLarge) {
+		t.Errorf("limit error = %v", err)
+	}
+}

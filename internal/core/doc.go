@@ -1,0 +1,50 @@
+// Package core implements JIM's interactive join-query inference engine
+// (Bonifati, Ciucanu, Staworko — "Interactive Join Query Inference with
+// JIM", PVLDB 7(13), 2014).
+//
+// # Model
+//
+// The instance is a denormalized relation over attributes a_1..a_n.
+// Hypotheses are equi-join predicates, canonically partitions of the
+// attribute set (package partition). A predicate Q selects tuple t iff
+// Q ≤ Eq(t), where Eq(t) is the partition induced on attribute
+// positions by value equality inside t.
+//
+// Given positive examples P and negative examples N, the consistent
+// hypotheses are
+//
+//	C(P,N) = { Q : Q ≤ M_P and Q ≰ Eq(s) for every s ∈ N },
+//
+// where M_P = ⋀_{t∈P} Eq(t) is the partition-lattice meet of the
+// positive signatures (Top when P is empty) — the most specific
+// hypothesis consistent with the positives and the canonical answer
+// returned at convergence.
+//
+// # Informativeness
+//
+// An unlabeled tuple t is uninformative iff all consistent hypotheses
+// agree on it:
+//
+//   - implied positive ⇔ M_P ≤ Eq(t);
+//   - implied negative ⇔ M_P ⋀ Eq(t) ≤ Eq(s) for some s ∈ N.
+//
+// After each user label the engine propagates: newly uninformative
+// tuples are grayed out with their implied labels. The run converges
+// when no informative tuple remains; then every consistent hypothesis
+// selects the same tuples of the instance (instance-equivalence) and
+// M_P is returned.
+//
+// # Interaction modes (paper Figure 3)
+//
+//  1. Engine.RunUserOrder(order, false) — the user labels tuples in
+//     her own order with no feedback.
+//  2. Engine.RunUserOrder(order, true)  — same, but uninformative
+//     tuples are grayed out after each label and skipped.
+//  3. Engine.RunTopK(k)                 — the engine proposes the k
+//     most informative tuples per round.
+//  4. Engine.Run()                      — the engine proposes the
+//     single most informative tuple until convergence (Figure 2).
+//
+// Strategies (package strategy) choose the next tuple; labelers
+// (package oracle, package crowd) supply the user's answers.
+package core

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// Picker chooses the next informative tuple to present to the user —
+// the paper's strategy Υ. Implementations live in package strategy.
+type Picker interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Pick returns the index of an informative tuple, or ok=false when
+	// none remains (convergence).
+	Pick(st *State) (i int, ok bool)
+}
+
+// KPicker ranks the k most informative tuples for interaction mode 3.
+type KPicker interface {
+	Picker
+	// PickK returns up to k informative tuple indices, best first.
+	PickK(st *State, k int) []int
+}
+
+// Labeler answers membership queries — the user, an oracle standing in
+// for the user, or a simulated crowd. Implementations live in packages
+// oracle and crowd.
+type Labeler interface {
+	// Name identifies the labeler in reports.
+	Name() string
+	// Label returns Positive or Negative for tuple i, ErrStopped if
+	// the user quits, or Unlabeled with a nil error to abstain ("I
+	// don't know") — the engine then defers the tuple's signature
+	// class and proposes something else until new labels arrive.
+	Label(st *State, i int) (Label, error)
+}
+
+// ErrStopped is returned by a Labeler when the user ends the session
+// before convergence; Run returns the partial result without error.
+var ErrStopped = errors.New("core: labeling stopped by user")
+
+// ConflictPolicy decides what the engine does when a label contradicts
+// earlier labels (possible only with noisy labelers).
+type ConflictPolicy int8
+
+const (
+	// FailOnConflict aborts the run with the inconsistency error.
+	FailOnConflict ConflictPolicy = iota
+	// SkipOnConflict keeps the implied label, counts the conflict, and
+	// continues — the crowd-simulation setting.
+	SkipOnConflict
+)
+
+// Engine drives the interactive scenario of the paper's Figure 2: pick
+// an informative tuple, ask for its label, propagate, repeat.
+type Engine struct {
+	st      *State
+	picker  Picker
+	labeler Labeler
+
+	// OnConflict selects the conflict policy (default FailOnConflict).
+	OnConflict ConflictPolicy
+	// MaxSteps bounds the number of questions (0 = unbounded). Runs
+	// that hit the bound report Converged=false.
+	MaxSteps int
+	// Trace, when non-nil, receives a human-readable line per
+	// interaction (the demo's progress panel).
+	Trace io.Writer
+
+	// RedeferLimit bounds how many times the engine re-offers tuples
+	// the user abstained on when nothing else is left to ask (0 means
+	// the default of 3). An answered question resets the budget; once
+	// exhausted the run stops unconverged.
+	RedeferLimit int
+
+	// deferred holds signature classes the user abstained on; cleared
+	// whenever a new label arrives (fresh context may help the user
+	// decide) or when a re-offer round starts.
+	deferred    map[*SigGroup]bool
+	redeferrals int
+}
+
+// NewEngine builds an engine over an existing state, so callers may
+// pre-seed labels before handing over control.
+func NewEngine(st *State, picker Picker, labeler Labeler) *Engine {
+	return &Engine{st: st, picker: picker, labeler: labeler}
+}
+
+// State exposes the engine's inference state.
+func (e *Engine) State() *State { return e.st }
+
+// StepStat records one user interaction.
+type StepStat struct {
+	TupleIndex        int
+	Label             Label
+	NewlyImplied      int
+	InformativeBefore int
+	InformativeAfter  int
+	Conflict          bool
+	Elapsed           time.Duration
+}
+
+// RunResult summarizes a full interactive session.
+type RunResult struct {
+	// Query is the inferred predicate M_P (the best hypothesis so far
+	// if the run did not converge).
+	Query partition.P
+	// Steps holds one entry per question asked.
+	Steps []StepStat
+	// UserLabels counts explicit labels given (= questions answered).
+	UserLabels int
+	// ImpliedLabels counts tuples grayed out by propagation.
+	ImpliedLabels int
+	// WastedLabels counts explicit labels that were uninformative when
+	// given (possible in user-order modes).
+	WastedLabels int
+	// Conflicts counts contradictory labels skipped under
+	// SkipOnConflict.
+	Conflicts int
+	// Abstentions counts "I don't know" answers; the affected classes
+	// were deferred.
+	Abstentions int
+	// Converged reports that no informative tuple remained.
+	Converged bool
+	// Stopped reports the user quit early via ErrStopped.
+	Stopped bool
+	// Duration is total wall time.
+	Duration time.Duration
+}
+
+// Strategy returns the picker's name.
+func (e *Engine) Strategy() string { return e.picker.Name() }
+
+// Run executes interaction mode 4 — the core loop of the paper's
+// Figure 2: repeatedly present the most informative tuple according to
+// the strategy until convergence.
+func (e *Engine) Run() (RunResult, error) {
+	var res RunResult
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+	for {
+		if e.st.Done() {
+			res.Converged = true
+			break
+		}
+		if e.MaxSteps > 0 && res.UserLabels >= e.MaxSteps {
+			break
+		}
+		i, ok := e.pick()
+		if !ok {
+			// Either converged, or every remaining class was deferred
+			// by abstentions and no new label can unblock them.
+			res.Converged = e.st.Done()
+			break
+		}
+		stop, err := e.ask(i, &res)
+		if err != nil {
+			return res, err
+		}
+		if stop {
+			break
+		}
+	}
+	res.Query = e.st.Result()
+	return res, nil
+}
+
+// pick chooses the next tuple, routing around deferred classes: the
+// strategy's choice is honored unless the user abstained on its class,
+// in which case the ranked alternatives (KPicker) or the remaining
+// informative tuples are scanned for an un-deferred one. When every
+// informative class is deferred, the defer set is cleared and the
+// tuples re-offered, up to RedeferLimit rounds between answers.
+func (e *Engine) pick() (int, bool) {
+	i, ok := e.picker.Pick(e.st)
+	if !ok {
+		return 0, false
+	}
+	if len(e.deferred) == 0 || !e.deferred[e.st.GroupOf(i)] {
+		return i, true
+	}
+	if kp, isKP := e.picker.(KPicker); isKP {
+		for _, j := range kp.PickK(e.st, len(e.st.Groups())) {
+			if !e.deferred[e.st.GroupOf(j)] {
+				return j, true
+			}
+		}
+	}
+	for _, j := range e.st.InformativeIndices() {
+		if !e.deferred[e.st.GroupOf(j)] {
+			return j, true
+		}
+	}
+	// Everything informative is deferred: re-offer, within budget.
+	limit := e.RedeferLimit
+	if limit == 0 {
+		limit = 3
+	}
+	if e.redeferrals >= limit {
+		return 0, false
+	}
+	e.redeferrals++
+	e.deferred = nil
+	return i, true
+}
+
+// RunTopK executes interaction mode 3: per round, propose the k most
+// informative tuples and ask for labels on each that is still
+// informative when its turn comes.
+func (e *Engine) RunTopK(k int) (RunResult, error) {
+	kp, ok := e.picker.(KPicker)
+	if !ok {
+		return RunResult{}, fmt.Errorf("core: strategy %q cannot rank top-k tuples", e.picker.Name())
+	}
+	if k < 1 {
+		return RunResult{}, fmt.Errorf("core: RunTopK requires k >= 1, got %d", k)
+	}
+	var res RunResult
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+	for !e.st.Done() {
+		if e.MaxSteps > 0 && res.UserLabels >= e.MaxSteps {
+			res.Query = e.st.Result()
+			return res, nil
+		}
+		batch := kp.PickK(e.st, k)
+		if len(batch) == 0 {
+			break
+		}
+		for _, i := range batch {
+			if e.st.Label(i) != Unlabeled {
+				continue // grayed out mid-round
+			}
+			stop, err := e.ask(i, &res)
+			if err != nil {
+				return res, err
+			}
+			if stop {
+				res.Query = e.st.Result()
+				return res, nil
+			}
+		}
+	}
+	res.Converged = e.st.Done()
+	res.Query = e.st.Result()
+	return res, nil
+}
+
+// RunUserOrder executes interaction modes 1 and 2: the user labels
+// tuples in her own order. With grayOut=false (mode 1) every tuple in
+// the order is asked, even uninformative ones — the engine records the
+// wasted questions. With grayOut=true (mode 2) tuples already labeled
+// or grayed out are skipped. Both stop at convergence.
+func (e *Engine) RunUserOrder(order []int, grayOut bool) (RunResult, error) {
+	var res RunResult
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+	for _, i := range order {
+		if e.st.Done() {
+			break
+		}
+		if e.MaxSteps > 0 && res.UserLabels >= e.MaxSteps {
+			break
+		}
+		if e.st.Label(i).IsExplicit() {
+			continue
+		}
+		if grayOut && e.st.Label(i) != Unlabeled {
+			continue
+		}
+		stop, err := e.ask(i, &res)
+		if err != nil {
+			return res, err
+		}
+		if stop {
+			break
+		}
+	}
+	res.Converged = e.st.Done()
+	res.Query = e.st.Result()
+	return res, nil
+}
+
+// ask poses one membership query and applies the answer. It returns
+// stop=true when the labeler ended the session.
+func (e *Engine) ask(i int, res *RunResult) (stop bool, err error) {
+	before := e.st.InformativeCount()
+	wasInformative := e.st.Label(i) == Unlabeled
+	stepStart := time.Now()
+
+	l, err := e.labeler.Label(e.st, i)
+	if errors.Is(err, ErrStopped) {
+		res.Stopped = true
+		return true, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("core: labeling tuple %d: %w", i, err)
+	}
+	if l == Unlabeled {
+		// Abstention: defer this signature class and move on.
+		if e.deferred == nil {
+			e.deferred = make(map[*SigGroup]bool)
+		}
+		e.deferred[e.st.GroupOf(i)] = true
+		res.Abstentions++
+		res.Steps = append(res.Steps, StepStat{
+			TupleIndex:        i,
+			Label:             Unlabeled,
+			InformativeBefore: before,
+			InformativeAfter:  e.st.InformativeCount(),
+			Elapsed:           time.Since(stepStart),
+		})
+		if e.Trace != nil {
+			fmt.Fprintf(e.Trace, "ask t%-4d abstained        %s\n", i, e.st.Progress())
+		}
+		return false, nil
+	}
+
+	newly, err := e.st.Apply(i, l)
+	step := StepStat{
+		TupleIndex:        i,
+		Label:             l,
+		InformativeBefore: before,
+		Elapsed:           time.Since(stepStart),
+	}
+	switch {
+	case errors.Is(err, ErrInconsistent) && e.OnConflict == SkipOnConflict:
+		step.Conflict = true
+		res.Conflicts++
+	case err != nil:
+		return false, err
+	default:
+		res.UserLabels++
+		if !wasInformative {
+			res.WastedLabels++
+		}
+		res.ImpliedLabels += len(newly)
+		step.NewlyImplied = len(newly)
+		// New information arrived: give deferred classes another
+		// chance (some may now be implied anyway) and reset the
+		// re-offer budget.
+		e.deferred = nil
+		e.redeferrals = 0
+	}
+	step.InformativeAfter = e.st.InformativeCount()
+	res.Steps = append(res.Steps, step)
+
+	if e.Trace != nil {
+		fmt.Fprintf(e.Trace, "ask t%-4d %-3v pruned %3d  %s\n",
+			i, l, step.NewlyImplied, e.st.Progress())
+	}
+	return false, nil
+}

@@ -1,0 +1,248 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func newTravelEngine(t *testing.T, picker core.Picker, goal partition.P) *core.Engine {
+	t.Helper()
+	st := newTravelState(t)
+	return core.NewEngine(st, picker, oracle.Goal(goal))
+}
+
+func TestEngineRunConvergesToGoal(t *testing.T) {
+	for _, goal := range []partition.P{workload.TravelQ1(), workload.TravelQ2()} {
+		for _, picker := range strategy.Heuristics(42) {
+			eng := newTravelEngine(t, picker, goal)
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatalf("%s on %v: %v", picker.Name(), goal, err)
+			}
+			if !res.Converged {
+				t.Errorf("%s on %v did not converge", picker.Name(), goal)
+			}
+			if !core.InstanceEquivalent(eng.State().Relation(), res.Query, goal) {
+				t.Errorf("%s inferred %v, not instance-equivalent to %v",
+					picker.Name(), res.Query, goal)
+			}
+			if res.UserLabels == 0 || res.UserLabels > 12 {
+				t.Errorf("%s used %d labels", picker.Name(), res.UserLabels)
+			}
+			if res.UserLabels != len(res.Steps) {
+				t.Errorf("%s: steps %d != labels %d", picker.Name(), len(res.Steps), res.UserLabels)
+			}
+			if err := eng.State().CheckInvariants(); err != nil {
+				t.Errorf("%s: %v", picker.Name(), err)
+			}
+		}
+	}
+}
+
+func TestEngineStepAccounting(t *testing.T) {
+	eng := newTravelEngine(t, strategy.LookaheadMaxMin(), workload.TravelQ2())
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit + implied must cover the whole instance at convergence.
+	total := res.UserLabels + res.ImpliedLabels
+	if total != 12 {
+		t.Errorf("labels %d + implied %d != 12", res.UserLabels, res.ImpliedLabels)
+	}
+	for _, s := range res.Steps {
+		if s.InformativeAfter >= s.InformativeBefore {
+			t.Errorf("step on %d did not shrink informative set: %d -> %d",
+				s.TupleIndex, s.InformativeBefore, s.InformativeAfter)
+		}
+	}
+	if res.WastedLabels != 0 {
+		t.Errorf("mode-4 run wasted %d labels", res.WastedLabels)
+	}
+}
+
+func TestEngineTrace(t *testing.T) {
+	var buf bytes.Buffer
+	eng := newTravelEngine(t, strategy.LookaheadMaxMin(), workload.TravelQ2())
+	eng.Trace = &buf
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ask t") {
+		t.Errorf("trace missing interactions:\n%s", buf.String())
+	}
+}
+
+func TestEngineMaxSteps(t *testing.T) {
+	eng := newTravelEngine(t, strategy.Random(1), workload.TravelQ2())
+	eng.MaxSteps = 1
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UserLabels != 1 {
+		t.Errorf("MaxSteps=1 but %d labels", res.UserLabels)
+	}
+	if res.Converged {
+		t.Error("one label cannot converge on travel instance")
+	}
+}
+
+func TestEngineRunTopK(t *testing.T) {
+	st := newTravelState(t)
+	eng := core.NewEngine(st, strategy.LookaheadMaxMin(), oracle.Goal(workload.TravelQ2()))
+	res, err := eng.RunTopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("top-k run did not converge")
+	}
+	if !core.InstanceEquivalent(st.Relation(), res.Query, workload.TravelQ2()) {
+		t.Errorf("top-k inferred %v", res.Query)
+	}
+	if _, err := eng.RunTopK(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEngineRunUserOrderModes(t *testing.T) {
+	order := make([]int, 12)
+	for i := range order {
+		order[i] = i
+	}
+	// Mode 1: no graying; user labels tuples sequentially, wasting
+	// answers on uninformative tuples.
+	st1 := newTravelState(t)
+	eng1 := core.NewEngine(st1, strategy.Random(1), oracle.Goal(workload.TravelQ2()))
+	res1, err := eng1.RunUserOrder(order, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mode 2: graying on; wasted labels are impossible.
+	st2 := newTravelState(t)
+	eng2 := core.NewEngine(st2, strategy.Random(1), oracle.Goal(workload.TravelQ2()))
+	res2, err := eng2.RunUserOrder(order, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Converged || !res2.Converged {
+		t.Fatalf("user-order runs did not converge: %v %v", res1.Converged, res2.Converged)
+	}
+	if res2.WastedLabels != 0 {
+		t.Errorf("mode 2 wasted %d labels", res2.WastedLabels)
+	}
+	if res1.UserLabels < res2.UserLabels {
+		t.Errorf("mode 1 (%d labels) beat mode 2 (%d labels)", res1.UserLabels, res2.UserLabels)
+	}
+	if !core.InstanceEquivalent(st1.Relation(), res1.Query, workload.TravelQ2()) ||
+		!core.InstanceEquivalent(st2.Relation(), res2.Query, workload.TravelQ2()) {
+		t.Error("user-order runs inferred wrong query")
+	}
+}
+
+func TestEngineStoppedByUser(t *testing.T) {
+	st := newTravelState(t)
+	eng := core.NewEngine(st, strategy.LookaheadMaxMin(), &stopAfter{n: 2, inner: oracle.Goal(workload.TravelQ2())})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("Stopped flag not set")
+	}
+	if res.Converged {
+		t.Error("stopped run reported converged")
+	}
+	if res.UserLabels != 2 {
+		t.Errorf("labels before stop = %d, want 2", res.UserLabels)
+	}
+}
+
+// stopAfter answers n labels then quits.
+type stopAfter struct {
+	n     int
+	inner core.Labeler
+}
+
+func (s *stopAfter) Name() string { return "stop-after" }
+
+func (s *stopAfter) Label(st *core.State, i int) (core.Label, error) {
+	if s.n <= 0 {
+		return core.Unlabeled, core.ErrStopped
+	}
+	s.n--
+	return s.inner.Label(st, i)
+}
+
+func TestEngineConflictPolicies(t *testing.T) {
+	// An adversarial labeler that always answers Negative creates a
+	// conflict in mode 1 when it reaches an implied-positive tuple.
+	order := []int{11, 2} // (12) negative implies (1),(5),(9) negative... then (3)
+	st := newTravelState(t)
+	eng := core.NewEngine(st, strategy.Random(1), allNegative{})
+	// First: labeling (12)- is fine; (3) stays informative, labeling it
+	// Negative is fine too. Need a genuine conflict: label (12)+ then
+	// all-negative hits implied-positive (3).
+	if _, err := st.Apply(11, core.Positive); err != nil {
+		t.Fatal(err)
+	}
+	// (3),(4),(7) now implied positive. Mode 1 walks into (3).
+	res, err := eng.RunUserOrder(order, false)
+	if err == nil || res.Conflicts != 0 {
+		// Default policy fails on conflict.
+		if err == nil {
+			t.Fatal("conflict did not error under FailOnConflict")
+		}
+	}
+
+	st2 := newTravelState(t)
+	if _, err := st2.Apply(11, core.Positive); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := core.NewEngine(st2, strategy.Random(1), allNegative{})
+	eng2.OnConflict = core.SkipOnConflict
+	res2, err := eng2.RunUserOrder(order, false)
+	if err != nil {
+		t.Fatalf("SkipOnConflict still errored: %v", err)
+	}
+	if res2.Conflicts == 0 {
+		t.Error("conflict not counted")
+	}
+	if err := st2.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+type allNegative struct{}
+
+func (allNegative) Name() string { return "all-negative" }
+func (allNegative) Label(*core.State, int) (core.Label, error) {
+	return core.Negative, nil
+}
+
+func TestEngineRunTopKRequiresKPicker(t *testing.T) {
+	st := newTravelState(t)
+	eng := core.NewEngine(st, plainPicker{}, oracle.Goal(workload.TravelQ2()))
+	if _, err := eng.RunTopK(2); err == nil {
+		t.Error("RunTopK accepted a non-KPicker strategy")
+	}
+}
+
+type plainPicker struct{}
+
+func (plainPicker) Name() string { return "plain" }
+func (plainPicker) Pick(st *core.State) (int, bool) {
+	inf := st.InformativeIndices()
+	if len(inf) == 0 {
+		return 0, false
+	}
+	return inf[0], true
+}

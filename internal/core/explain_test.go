@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestExplainKinds(t *testing.T) {
+	st := newTravelState(t)
+	mustApply(t, st, 3, core.Positive)  // M_P = Q2; (4) implied positive
+	mustApply(t, st, 12, core.Negative) // Eq(12) = {A=D}; (1),(5),(9) implied negative
+
+	// Informative tuple.
+	e, err := st.Explain(paperIdx(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != core.ExplainUnlabeled {
+		t.Errorf("tuple (8) explanation kind = %v", e.Kind)
+	}
+	if !strings.Contains(e.Format(st), "informative") {
+		t.Errorf("format = %q", e.Format(st))
+	}
+
+	// Explicit label.
+	e, err = st.Explain(paperIdx(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != core.ExplainExplicit {
+		t.Errorf("tuple (3) explanation kind = %v", e.Kind)
+	}
+	if !strings.Contains(e.Format(st), "labeled") {
+		t.Errorf("format = %q", e.Format(st))
+	}
+
+	// Implied positive.
+	e, err = st.Explain(paperIdx(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != core.ExplainImpliedPositive {
+		t.Fatalf("tuple (4) explanation kind = %v", e.Kind)
+	}
+	msg := e.Format(st)
+	if !strings.Contains(msg, "implied positive") || !strings.Contains(msg, "To=City") {
+		t.Errorf("format = %q", msg)
+	}
+
+	// Implied negative with an explicit witness.
+	e, err = st.Explain(paperIdx(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != core.ExplainImpliedNegative {
+		t.Fatalf("tuple (1) explanation kind = %v", e.Kind)
+	}
+	if e.WitnessIndex != paperIdx(12) {
+		t.Errorf("witness index = %d, want tuple (12)", e.WitnessIndex)
+	}
+	if !e.Witness.Equal(st.Sig(paperIdx(12))) {
+		t.Errorf("witness = %v", e.Witness)
+	}
+	msg = e.Format(st)
+	if !strings.Contains(msg, "implied negative") || !strings.Contains(msg, "Airline=Discount") {
+		t.Errorf("format = %q", msg)
+	}
+
+	// Range check.
+	if _, err := st.Explain(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := st.Explain(99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestExplainWitnessWithoutExplicitTuple(t *testing.T) {
+	// An implied negative whose witness came from a signature whose
+	// explicit carrier was labeled before domination pruning... here:
+	// witness is always in negs; craft a case where the blocked
+	// tuple's witness has an explicit carrier anyway, then check the
+	// fallback path via a synthetic lookup miss.
+	st := newTravelState(t)
+	mustApply(t, st, 12, core.Negative)
+	e, err := st.Explain(paperIdx(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != core.ExplainImpliedNegative {
+		t.Fatalf("kind = %v", e.Kind)
+	}
+	// Witness carrier is the explicitly labeled (12).
+	if e.WitnessIndex != paperIdx(12) {
+		t.Errorf("witness = %d", e.WitnessIndex)
+	}
+}
+
+func TestEveryTupleExplainableAtConvergence(t *testing.T) {
+	st := newTravelState(t)
+	mustApply(t, st, 3, core.Positive)
+	mustApply(t, st, 7, core.Negative)
+	mustApply(t, st, 8, core.Negative)
+	if !st.Done() {
+		t.Fatal("not converged")
+	}
+	for i := 0; i < st.Relation().Len(); i++ {
+		e, err := st.Explain(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind == core.ExplainUnlabeled {
+			t.Errorf("tuple %d unexplained at convergence", i)
+		}
+		if e.Format(st) == "" {
+			t.Errorf("tuple %d has empty explanation", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// Label classifies a tuple's standing in the inference state.
+type Label int8
+
+// Tuple labels. Explicit labels come from the user; implied labels are
+// derived by propagation and correspond to the paper's grayed-out
+// uninformative tuples.
+const (
+	Unlabeled       Label = iota
+	Positive              // explicitly labeled + by the user
+	Negative              // explicitly labeled − by the user
+	ImpliedPositive       // every consistent query selects the tuple
+	ImpliedNegative       // no consistent query selects the tuple
+)
+
+// String returns a short human-readable label name.
+func (l Label) String() string {
+	switch l {
+	case Unlabeled:
+		return "unlabeled"
+	case Positive:
+		return "+"
+	case Negative:
+		return "-"
+	case ImpliedPositive:
+		return "(+)"
+	case ImpliedNegative:
+		return "(-)"
+	}
+	return fmt.Sprintf("Label(%d)", int8(l))
+}
+
+// IsPositive reports whether the label asserts membership in the join
+// result, explicitly or by implication.
+func (l Label) IsPositive() bool { return l == Positive || l == ImpliedPositive }
+
+// IsNegative reports whether the label denies membership in the join
+// result, explicitly or by implication.
+func (l Label) IsNegative() bool { return l == Negative || l == ImpliedNegative }
+
+// IsExplicit reports whether the label was given by the user.
+func (l Label) IsExplicit() bool { return l == Positive || l == Negative }
+
+// IsImplied reports whether the label was derived by propagation.
+func (l Label) IsImplied() bool { return l == ImpliedPositive || l == ImpliedNegative }
+
+// Explicit converts an implied label to its explicit form; explicit
+// labels are returned unchanged. Unlabeled stays Unlabeled.
+func (l Label) Explicit() Label {
+	switch l {
+	case ImpliedPositive:
+		return Positive
+	case ImpliedNegative:
+		return Negative
+	}
+	return l
+}
+
+// Opposite returns the explicit label of opposite polarity, or
+// Unlabeled for Unlabeled.
+func (l Label) Opposite() Label {
+	switch {
+	case l.IsPositive():
+		return Negative
+	case l.IsNegative():
+		return Positive
+	}
+	return Unlabeled
+}

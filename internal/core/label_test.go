@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+func TestLabelPredicates(t *testing.T) {
+	for _, tc := range []struct {
+		l                           Label
+		pos, neg, explicit, implied bool
+	}{
+		{Unlabeled, false, false, false, false},
+		{Positive, true, false, true, false},
+		{Negative, false, true, true, false},
+		{ImpliedPositive, true, false, false, true},
+		{ImpliedNegative, false, true, false, true},
+	} {
+		if tc.l.IsPositive() != tc.pos {
+			t.Errorf("%v.IsPositive() = %v", tc.l, tc.l.IsPositive())
+		}
+		if tc.l.IsNegative() != tc.neg {
+			t.Errorf("%v.IsNegative() = %v", tc.l, tc.l.IsNegative())
+		}
+		if tc.l.IsExplicit() != tc.explicit {
+			t.Errorf("%v.IsExplicit() = %v", tc.l, tc.l.IsExplicit())
+		}
+		if tc.l.IsImplied() != tc.implied {
+			t.Errorf("%v.IsImplied() = %v", tc.l, tc.l.IsImplied())
+		}
+	}
+}
+
+func TestLabelExplicit(t *testing.T) {
+	if ImpliedPositive.Explicit() != Positive || ImpliedNegative.Explicit() != Negative {
+		t.Error("Explicit conversion wrong")
+	}
+	if Positive.Explicit() != Positive || Unlabeled.Explicit() != Unlabeled {
+		t.Error("Explicit identity wrong")
+	}
+}
+
+func TestLabelOpposite(t *testing.T) {
+	if Positive.Opposite() != Negative || Negative.Opposite() != Positive {
+		t.Error("explicit opposite wrong")
+	}
+	if ImpliedPositive.Opposite() != Negative || ImpliedNegative.Opposite() != Positive {
+		t.Error("implied opposite wrong")
+	}
+	if Unlabeled.Opposite() != Unlabeled {
+		t.Error("unlabeled opposite wrong")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	for l, want := range map[Label]string{
+		Unlabeled:       "unlabeled",
+		Positive:        "+",
+		Negative:        "-",
+		ImpliedPositive: "(+)",
+		ImpliedNegative: "(-)",
+		Label(42):       "Label(42)",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int8(l), got, want)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// ErrInconsistent reports a label that contradicts the labels given so
+// far: no join predicate is consistent with the combined set. With a
+// truthful user this cannot happen; it surfaces noisy (crowd) labels.
+var ErrInconsistent = errors.New("core: label is inconsistent with previous labels")
+
+// ErrAlreadyLabeled reports an explicit label for a tuple the user
+// already labeled explicitly.
+var ErrAlreadyLabeled = errors.New("core: tuple already labeled explicitly")
+
+// SigGroup is a signature class: the tuples of the instance sharing one
+// Eq signature. Every hypothesis treats such tuples identically, so
+// informativeness, implied labels, and strategy scores are computed per
+// group, not per tuple (the signature-grouping optimization benched in
+// E7).
+type SigGroup struct {
+	Sig     partition.P
+	Indices []int // tuple indices in first-occurrence order
+}
+
+// State holds the instance and everything the engine knows: explicit
+// and implied labels, the most specific consistent hypothesis M_P, and
+// the maximal antichain of negative signatures.
+type State struct {
+	rel    *relation.Relation
+	n      int           // number of attributes
+	sigs   []partition.P // Eq signature per tuple
+	labels []Label
+
+	mp   partition.P   // meet of positive signatures; Top initially
+	negs []partition.P // ≤-maximal negative signatures (antichain)
+
+	groups  []*SigGroup
+	groupOf []int // tuple index -> group position
+	counts  [5]int
+	version int // bumped on every successful Apply; see Version
+}
+
+// NewState indexes a denormalized instance for inference. The relation
+// must have at least one attribute; an empty relation converges
+// immediately.
+func NewState(rel *relation.Relation) (*State, error) {
+	n := rel.Schema().Len()
+	if n < 1 {
+		return nil, fmt.Errorf("core: instance needs at least one attribute")
+	}
+	st := &State{
+		rel:     rel,
+		n:       n,
+		sigs:    make([]partition.P, rel.Len()),
+		labels:  make([]Label, rel.Len()),
+		mp:      partition.Top(n),
+		groupOf: make([]int, rel.Len()),
+	}
+	byKey := make(map[string]int)
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		sig := partition.FromEqual(n, func(a, b int) bool { return t[a].Equal(t[b]) })
+		st.sigs[i] = sig
+		key := sig.Key()
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(st.groups)
+			byKey[key] = gi
+			st.groups = append(st.groups, &SigGroup{Sig: sig})
+		}
+		st.groups[gi].Indices = append(st.groups[gi].Indices, i)
+		st.groupOf[i] = gi
+	}
+	st.counts[Unlabeled] = rel.Len()
+	st.propagate()
+	return st, nil
+}
+
+// Relation returns the instance being labeled.
+func (st *State) Relation() *relation.Relation { return st.rel }
+
+// AttrCount returns the number of attributes.
+func (st *State) AttrCount() int { return st.n }
+
+// Sig returns the Eq signature of tuple i.
+func (st *State) Sig(i int) partition.P { return st.sigs[i] }
+
+// Label returns the current label of tuple i.
+func (st *State) Label(i int) Label { return st.labels[i] }
+
+// MP returns M_P, the meet of the positive signatures: the most
+// specific hypothesis consistent with the positive examples, and the
+// canonical inferred query at convergence.
+func (st *State) MP() partition.P { return st.mp }
+
+// Negatives returns the ≤-maximal negative signatures (the sufficient
+// statistic for the negative examples). The caller must not mutate it.
+func (st *State) Negatives() []partition.P { return st.negs }
+
+// Groups returns the signature classes of the instance. The caller
+// must not mutate them.
+func (st *State) Groups() []*SigGroup { return st.groups }
+
+// GroupOf returns the signature class containing tuple i.
+func (st *State) GroupOf(i int) *SigGroup { return st.groups[st.groupOf[i]] }
+
+// impliedPositive reports whether every consistent hypothesis selects
+// tuples with the given signature.
+func (st *State) impliedPositive(sig partition.P) bool {
+	return st.mp.LessEq(sig)
+}
+
+// impliedNegative reports whether no consistent hypothesis selects
+// tuples with the given signature.
+func (st *State) impliedNegative(sig partition.P) bool {
+	m := st.mp.Meet(sig)
+	for _, neg := range st.negs {
+		if m.LessEq(neg) {
+			return true
+		}
+	}
+	return false
+}
+
+// ImpliedLabel returns the label forced on the given signature by the
+// current examples, or Unlabeled if the signature is informative.
+func (st *State) ImpliedLabel(sig partition.P) Label {
+	if st.impliedPositive(sig) {
+		return ImpliedPositive
+	}
+	if st.impliedNegative(sig) {
+		return ImpliedNegative
+	}
+	return Unlabeled
+}
+
+// Informative reports whether tuple i is informative: unlabeled and
+// with consistent hypotheses disagreeing about it.
+func (st *State) Informative(i int) bool {
+	return st.labels[i] == Unlabeled
+}
+
+// InformativeGroups returns the signature classes that still contain
+// informative tuples, in stable order.
+func (st *State) InformativeGroups() []*SigGroup {
+	var out []*SigGroup
+	for _, g := range st.groups {
+		if st.labels[g.Indices[0]] == Unlabeled {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// InformativeIndices returns the informative tuple indices in order.
+func (st *State) InformativeIndices() []int {
+	var out []int
+	for i, l := range st.labels {
+		if l == Unlabeled {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InformativeCount returns the number of informative tuples.
+func (st *State) InformativeCount() int { return st.counts[Unlabeled] }
+
+// Done reports convergence: no informative tuple remains, so all
+// consistent hypotheses are instance-equivalent.
+func (st *State) Done() bool { return st.counts[Unlabeled] == 0 }
+
+// Result returns the canonical inferred query M_P. It is meaningful at
+// any point as the current best hypothesis and is the paper's output
+// at convergence.
+func (st *State) Result() partition.P { return st.mp }
+
+// IsConsistent reports whether at least one hypothesis is consistent
+// with all labels. The engine maintains this invariant by rejecting
+// contradicting labels, so it returns true unless internal state was
+// corrupted.
+func (st *State) IsConsistent() bool {
+	for _, neg := range st.negs {
+		if st.mp.LessEq(neg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply records an explicit user label (Positive or Negative) for
+// tuple i, updates the sufficient statistics, and propagates implied
+// labels. It returns the tuples newly marked as implied. Labels that
+// contradict previous ones are rejected with ErrInconsistent and leave
+// the state unchanged; re-labeling an explicitly labeled tuple returns
+// ErrAlreadyLabeled. Labeling an uninformative tuple consistently is
+// allowed (the user may do so in interaction modes 1–2) and simply
+// converts its implied label to an explicit one.
+func (st *State) Apply(i int, l Label) (newlyImplied []int, err error) {
+	if i < 0 || i >= len(st.labels) {
+		return nil, fmt.Errorf("core: tuple index %d out of range [0,%d)", i, len(st.labels))
+	}
+	if !l.IsExplicit() {
+		return nil, fmt.Errorf("core: Apply requires an explicit label, got %v", l)
+	}
+	if st.labels[i].IsExplicit() {
+		return nil, fmt.Errorf("%w: tuple %d is %v", ErrAlreadyLabeled, i, st.labels[i])
+	}
+	sig := st.sigs[i]
+	// Contradiction checks (state not yet mutated).
+	if l == Positive && st.impliedNegative(sig) {
+		return nil, fmt.Errorf("%w: tuple %d labeled +, but no consistent query selects it", ErrInconsistent, i)
+	}
+	if l == Negative && st.impliedPositive(sig) {
+		return nil, fmt.Errorf("%w: tuple %d labeled -, but every consistent query selects it", ErrInconsistent, i)
+	}
+
+	st.setLabel(i, l)
+	switch l {
+	case Positive:
+		st.mp = st.mp.Meet(sig)
+	case Negative:
+		st.addNegative(sig)
+	}
+	st.version++
+	return st.propagate(), nil
+}
+
+// Version returns a counter bumped by every successful Apply.
+// Strategies use it to cache per-state computations safely.
+func (st *State) Version() int { return st.version }
+
+// addNegative inserts sig into the maximal antichain of negative
+// signatures: a signature refined by an existing one is redundant
+// (Q ≰ coarser implies Q ≰ finer), so only ≤-maximal elements are kept.
+func (st *State) addNegative(sig partition.P) {
+	for _, neg := range st.negs {
+		if sig.LessEq(neg) {
+			return // dominated: the new constraint is already implied
+		}
+	}
+	kept := st.negs[:0]
+	for _, neg := range st.negs {
+		if !neg.LessEq(sig) {
+			kept = append(kept, neg)
+		}
+	}
+	st.negs = append(kept, sig)
+}
+
+// propagate recomputes implied labels for all unlabeled tuples and
+// returns the indices newly marked implied.
+func (st *State) propagate() []int {
+	var newly []int
+	for _, g := range st.groups {
+		if !st.groupHasUnlabeled(g) {
+			continue
+		}
+		implied := st.ImpliedLabel(g.Sig)
+		if implied == Unlabeled {
+			continue
+		}
+		for _, i := range g.Indices {
+			if st.labels[i] == Unlabeled {
+				st.setLabel(i, implied)
+				newly = append(newly, i)
+			}
+		}
+	}
+	return newly
+}
+
+func (st *State) setLabel(i int, l Label) {
+	st.counts[st.labels[i]]--
+	st.labels[i] = l
+	st.counts[l]++
+}
+
+// SimulatePrune returns how many currently-unlabeled tuples would stop
+// being informative if a tuple with the given signature received the
+// given explicit label — including the labeled tuple itself and its
+// signature class. This is the quantity-of-information measure behind
+// the lookahead strategies. The state is not modified.
+func (st *State) SimulatePrune(sig partition.P, l Label) int {
+	if !l.IsExplicit() {
+		panic(fmt.Sprintf("core: SimulatePrune with non-explicit label %v", l))
+	}
+	next := st.Hypo().Apply(sig, l)
+	count := 0
+	for _, g := range st.groups {
+		c := st.unlabeledIn(g)
+		if c == 0 {
+			continue
+		}
+		if next.ImpliedLabel(g.Sig) != Unlabeled {
+			count += c
+		}
+	}
+	return count
+}
+
+func (st *State) groupHasUnlabeled(g *SigGroup) bool {
+	for _, i := range g.Indices {
+		if st.labels[i] == Unlabeled {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *State) unlabeledIn(g *SigGroup) int {
+	n := 0
+	for _, i := range g.Indices {
+		if st.labels[i] == Unlabeled {
+			n++
+		}
+	}
+	return n
+}
+
+// ConsistentQueries enumerates every hypothesis consistent with the
+// current labels, up to the given limit (0 = no limit). The search
+// space is the refinement cone below M_P, so the cost is the product
+// of Bell numbers of M_P's block sizes — use only on small instances
+// (tests, the optimal strategy, and demo statistics).
+func (st *State) ConsistentQueries(limit int) []partition.P {
+	var out []partition.P
+	partition.EnumerateRefinementsOf(st.mp, func(q partition.P) bool {
+		for _, neg := range st.negs {
+			if q.LessEq(neg) {
+				return true // inconsistent with neg; keep enumerating
+			}
+		}
+		out = append(out, q)
+		return limit == 0 || len(out) < limit
+	})
+	return out
+}
+
+// CountConsistent returns the number of consistent hypotheses, with
+// the same cost caveat as ConsistentQueries.
+func (st *State) CountConsistent() int {
+	n := 0
+	partition.EnumerateRefinementsOf(st.mp, func(q partition.P) bool {
+		consistent := true
+		for _, neg := range st.negs {
+			if q.LessEq(neg) {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Progress summarizes labeling progress for the demo UI statistics
+// ("total number and relative percentage of tuples explicitly labeled
+// or deemed uninformative").
+type Progress struct {
+	Total       int
+	Explicit    int
+	Implied     int
+	Informative int
+}
+
+// Progress returns the current labeling progress.
+func (st *State) Progress() Progress {
+	return Progress{
+		Total:       len(st.labels),
+		Explicit:    st.counts[Positive] + st.counts[Negative],
+		Implied:     st.counts[ImpliedPositive] + st.counts[ImpliedNegative],
+		Informative: st.counts[Unlabeled],
+	}
+}
+
+// String renders progress as a one-line summary.
+func (p Progress) String() string {
+	pct := func(k int) float64 {
+		if p.Total == 0 {
+			return 0
+		}
+		return 100 * float64(k) / float64(p.Total)
+	}
+	return fmt.Sprintf("%d/%d labeled (%.1f%%), %d implied (%.1f%%), %d informative remain",
+		p.Explicit, p.Total, pct(p.Explicit), p.Implied, pct(p.Implied), p.Informative)
+}
+
+// CheckInvariants verifies internal consistency; used by tests and
+// failure-injection harnesses.
+func (st *State) CheckInvariants() error {
+	if !st.IsConsistent() {
+		return fmt.Errorf("core: M_P %v refines a negative signature", st.mp)
+	}
+	// Antichain property of negatives.
+	for i := range st.negs {
+		for j := range st.negs {
+			if i != j && st.negs[i].LessEq(st.negs[j]) {
+				return fmt.Errorf("core: negative %v dominated by %v", st.negs[i], st.negs[j])
+			}
+		}
+	}
+	var counts [5]int
+	for i, l := range st.labels {
+		counts[l]++
+		sig := st.sigs[i]
+		switch l {
+		case Unlabeled:
+			if implied := st.ImpliedLabel(sig); implied != Unlabeled {
+				return fmt.Errorf("core: tuple %d unlabeled but implied %v", i, implied)
+			}
+		case Positive, ImpliedPositive:
+			// Every positive must be selected by M_P.
+			if !st.mp.LessEq(sig) {
+				return fmt.Errorf("core: tuple %d labeled %v but M_P does not select it", i, l)
+			}
+		case Negative, ImpliedNegative:
+			if !st.impliedNegative(sig) {
+				return fmt.Errorf("core: tuple %d labeled %v but some consistent query selects it", i, l)
+			}
+		}
+	}
+	if counts != st.counts {
+		return fmt.Errorf("core: label counts %v drifted from cache %v", counts, st.counts)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Package crowd simulates crowdsourced join specification, the
+// application the paper motivates: "joining datasets using
+// crowdsourcing, where minimizing the number of interactions entails
+// lower financial costs". Workers answer membership queries with
+// bounded accuracy; a panel aggregates them by majority vote and
+// accounts for the per-answer price, so experiments can compare JIM's
+// question count and cost against the label-everything baseline of
+// entity-resolution-style crowd joins.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Worker is a crowd worker answering membership queries with the given
+// accuracy (probability of reporting the true label).
+type Worker struct {
+	accuracy float64
+	rng      *rand.Rand
+}
+
+// NewWorker builds a worker; accuracy must lie in [0,1].
+func NewWorker(accuracy float64, seed int64) (*Worker, error) {
+	if accuracy < 0 || accuracy > 1 {
+		return nil, fmt.Errorf("crowd: accuracy %v outside [0,1]", accuracy)
+	}
+	return &Worker{accuracy: accuracy, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Answer reports the worker's answer given the true label.
+func (w *Worker) Answer(truth core.Label) core.Label {
+	if w.rng.Float64() < w.accuracy {
+		return truth.Explicit()
+	}
+	return truth.Opposite()
+}
+
+// CostSheet accounts for a crowd campaign.
+type CostSheet struct {
+	// Questions is the number of distinct membership queries posed.
+	Questions int
+	// Answers is the number of worker answers bought (Questions ×
+	// votes).
+	Answers int
+	// Cost is Answers × price-per-answer.
+	Cost float64
+}
+
+// Add merges another sheet into s.
+func (s *CostSheet) Add(other CostSheet) {
+	s.Questions += other.Questions
+	s.Answers += other.Answers
+	s.Cost += other.Cost
+}
+
+// String renders the sheet compactly.
+func (s CostSheet) String() string {
+	return fmt.Sprintf("%d questions, %d answers, $%.2f", s.Questions, s.Answers, s.Cost)
+}
+
+// Panel is a crowd of workers answering each membership query with an
+// odd number of votes aggregated by majority. It implements
+// core.Labeler, so an Engine can drive a crowd exactly like a single
+// user.
+type Panel struct {
+	truth          core.Labeler
+	workers        []*Worker
+	votes          int
+	pricePerAnswer float64
+	rng            *rand.Rand
+	sheet          CostSheet
+}
+
+// NewPanel builds a panel over a ground-truth labeler. votes must be
+// odd and positive; workers must be non-empty.
+func NewPanel(truth core.Labeler, workers []*Worker, votes int, pricePerAnswer float64, seed int64) (*Panel, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("crowd: panel needs at least one worker")
+	}
+	if votes < 1 || votes%2 == 0 {
+		return nil, fmt.Errorf("crowd: votes must be odd and positive, got %d", votes)
+	}
+	if pricePerAnswer < 0 {
+		return nil, fmt.Errorf("crowd: negative price %v", pricePerAnswer)
+	}
+	return &Panel{
+		truth:          truth,
+		workers:        workers,
+		votes:          votes,
+		pricePerAnswer: pricePerAnswer,
+		rng:            rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Name implements core.Labeler.
+func (p *Panel) Name() string {
+	return fmt.Sprintf("crowd(%d workers, %d votes)", len(p.workers), p.votes)
+}
+
+// Label implements core.Labeler: it buys `votes` answers from random
+// workers and returns the majority label.
+func (p *Panel) Label(st *core.State, i int) (core.Label, error) {
+	truth, err := p.truth.Label(st, i)
+	if err != nil {
+		return truth, err
+	}
+	pos := 0
+	for v := 0; v < p.votes; v++ {
+		w := p.workers[p.rng.Intn(len(p.workers))]
+		if w.Answer(truth) == core.Positive {
+			pos++
+		}
+	}
+	p.sheet.Questions++
+	p.sheet.Answers += p.votes
+	p.sheet.Cost += float64(p.votes) * p.pricePerAnswer
+	if pos*2 > p.votes {
+		return core.Positive, nil
+	}
+	return core.Negative, nil
+}
+
+// Sheet returns the cost accounting so far.
+func (p *Panel) Sheet() CostSheet { return p.sheet }
+
+// AllPairsBaseline is the cost of the entity-resolution-style crowd
+// join the paper contrasts with: every tuple of the instance is sent
+// to the crowd for labeling ("the user has to look at all the tuples"),
+// with the same vote count and price per answer.
+func AllPairsBaseline(tuples, votes int, pricePerAnswer float64) CostSheet {
+	return CostSheet{
+		Questions: tuples,
+		Answers:   tuples * votes,
+		Cost:      float64(tuples*votes) * pricePerAnswer,
+	}
+}
+
+// UniformWorkers builds n workers with one shared accuracy and
+// deterministic per-worker seeds derived from seed.
+func UniformWorkers(n int, accuracy float64, seed int64) ([]*Worker, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("crowd: need at least one worker, got %d", n)
+	}
+	out := make([]*Worker, n)
+	for i := range out {
+		w, err := NewWorker(accuracy, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// MajorityErrorRate returns the probability that a majority of `votes`
+// independent workers with the given accuracy is wrong — the
+// analytical check for the vote-count experiments.
+func MajorityErrorRate(accuracy float64, votes int) float64 {
+	// Sum over k wrong answers with k > votes/2 of C(votes,k) e^k a^(votes-k).
+	e := 1 - accuracy
+	total := 0.0
+	for k := votes/2 + 1; k <= votes; k++ {
+		total += binom(votes, k) * pow(e, k) * pow(accuracy, votes-k)
+	}
+	return total
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+	}
+	return res
+}
+
+func pow(x float64, n int) float64 {
+	res := 1.0
+	for i := 0; i < n; i++ {
+		res *= x
+	}
+	return res
+}

@@ -1,0 +1,203 @@
+package crowd_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/oracle"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func TestWorkerAccuracyBounds(t *testing.T) {
+	if _, err := crowd.NewWorker(-0.1, 1); err == nil {
+		t.Error("negative accuracy accepted")
+	}
+	if _, err := crowd.NewWorker(1.1, 1); err == nil {
+		t.Error("accuracy > 1 accepted")
+	}
+}
+
+func TestWorkerAnswerDistribution(t *testing.T) {
+	w, err := crowd.NewWorker(0.8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if w.Answer(core.Positive) == core.Positive {
+			correct++
+		}
+	}
+	rate := float64(correct) / trials
+	if math.Abs(rate-0.8) > 0.02 {
+		t.Errorf("accuracy 0.8 worker answered correctly %.3f of the time", rate)
+	}
+	// A perfect worker never errs; a hopeless one always errs.
+	perfect, _ := crowd.NewWorker(1, 1)
+	if perfect.Answer(core.Negative) != core.Negative {
+		t.Error("perfect worker flipped")
+	}
+	hopeless, _ := crowd.NewWorker(0, 1)
+	if hopeless.Answer(core.Negative) != core.Positive {
+		t.Error("accuracy-0 worker told the truth")
+	}
+}
+
+func TestUniformWorkers(t *testing.T) {
+	ws, err := crowd.UniformWorkers(5, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 5 {
+		t.Fatalf("got %d workers", len(ws))
+	}
+	if _, err := crowd.UniformWorkers(0, 0.9, 3); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := crowd.UniformWorkers(2, 7, 3); err == nil {
+		t.Error("bad accuracy accepted")
+	}
+}
+
+func TestPanelValidation(t *testing.T) {
+	ws, _ := crowd.UniformWorkers(3, 0.9, 1)
+	truth := oracle.Goal(workload.TravelQ2())
+	if _, err := crowd.NewPanel(truth, nil, 3, 0.01, 1); err == nil {
+		t.Error("empty panel accepted")
+	}
+	if _, err := crowd.NewPanel(truth, ws, 2, 0.01, 1); err == nil {
+		t.Error("even votes accepted")
+	}
+	if _, err := crowd.NewPanel(truth, ws, 0, 0.01, 1); err == nil {
+		t.Error("zero votes accepted")
+	}
+	if _, err := crowd.NewPanel(truth, ws, 3, -1, 1); err == nil {
+		t.Error("negative price accepted")
+	}
+}
+
+func TestPanelAccounting(t *testing.T) {
+	ws, _ := crowd.UniformWorkers(5, 1, 1) // perfect workers
+	truth := oracle.Goal(workload.TravelQ2())
+	panel, err := crowd.NewPanel(truth, ws, 3, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewState(workload.Travel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(st, strategy.LookaheadMaxMin(), panel)
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("crowd run did not converge")
+	}
+	sheet := panel.Sheet()
+	if sheet.Questions != res.UserLabels {
+		t.Errorf("sheet questions %d != labels %d", sheet.Questions, res.UserLabels)
+	}
+	if sheet.Answers != 3*sheet.Questions {
+		t.Errorf("answers %d != 3×questions", sheet.Answers)
+	}
+	wantCost := float64(sheet.Answers) * 0.05
+	if math.Abs(sheet.Cost-wantCost) > 1e-9 {
+		t.Errorf("cost %.4f, want %.4f", sheet.Cost, wantCost)
+	}
+	if !core.InstanceEquivalent(st.Relation(), res.Query, workload.TravelQ2()) {
+		t.Errorf("perfect crowd inferred %v", res.Query)
+	}
+}
+
+func TestPanelBeatsAllPairsBaseline(t *testing.T) {
+	ws, _ := crowd.UniformWorkers(5, 1, 1)
+	truth := oracle.Goal(workload.TravelQ2())
+	panel, err := crowd.NewPanel(truth, ws, 3, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := core.NewState(workload.Travel())
+	eng := core.NewEngine(st, strategy.LookaheadMaxMin(), panel)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	baseline := crowd.AllPairsBaseline(12, 3, 0.05)
+	if panel.Sheet().Cost >= baseline.Cost {
+		t.Errorf("JIM crowd cost %v not below all-pairs baseline %v",
+			panel.Sheet(), baseline)
+	}
+}
+
+func TestMajorityVoteReducesNoise(t *testing.T) {
+	// With accuracy 0.8, 5 votes should infer the goal query more
+	// reliably than 1 vote across repeated runs.
+	correct := func(votes int) int {
+		wins := 0
+		for trial := 0; trial < 40; trial++ {
+			ws, _ := crowd.UniformWorkers(7, 0.8, int64(trial)*131)
+			truth := oracle.Goal(workload.TravelQ2())
+			panel, err := crowd.NewPanel(truth, ws, votes, 0.01, int64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, _ := core.NewState(workload.Travel())
+			eng := core.NewEngine(st, strategy.LookaheadMaxMin(), panel)
+			eng.OnConflict = core.SkipOnConflict
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if core.InstanceEquivalent(st.Relation(), res.Query, workload.TravelQ2()) {
+				wins++
+			}
+		}
+		return wins
+	}
+	one := correct(1)
+	five := correct(5)
+	if five < one {
+		t.Errorf("5 votes (%d/40 correct) worse than 1 vote (%d/40)", five, one)
+	}
+	if five < 25 {
+		t.Errorf("5-vote majority correct only %d/40", five)
+	}
+}
+
+func TestMajorityErrorRate(t *testing.T) {
+	// Known closed forms: 1 vote errs at 1-a; 3 votes at e³+3e²a.
+	a := 0.8
+	e := 0.2
+	if got := crowd.MajorityErrorRate(a, 1); math.Abs(got-e) > 1e-12 {
+		t.Errorf("1-vote error = %v", got)
+	}
+	want3 := e*e*e + 3*e*e*a
+	if got := crowd.MajorityErrorRate(a, 3); math.Abs(got-want3) > 1e-12 {
+		t.Errorf("3-vote error = %v, want %v", got, want3)
+	}
+	// More votes, less error.
+	if crowd.MajorityErrorRate(a, 5) >= crowd.MajorityErrorRate(a, 3) {
+		t.Error("5 votes not better than 3")
+	}
+	// Perfect workers never err.
+	if crowd.MajorityErrorRate(1, 3) != 0 {
+		t.Error("perfect workers err")
+	}
+}
+
+func TestCostSheetAddString(t *testing.T) {
+	var s crowd.CostSheet
+	s.Add(crowd.CostSheet{Questions: 2, Answers: 6, Cost: 0.3})
+	s.Add(crowd.CostSheet{Questions: 1, Answers: 3, Cost: 0.15})
+	if s.Questions != 3 || s.Answers != 9 || math.Abs(s.Cost-0.45) > 1e-12 {
+		t.Errorf("sheet = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}

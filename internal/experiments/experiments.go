@@ -1,0 +1,148 @@
+// Package experiments implements the reproduction harness: one driver
+// per figure of the paper (Figures 1–5) and per experiment of the
+// companion paper's evaluation that the demo narrates (strategy
+// comparison, scalability, crowdsourcing cost, optimal-strategy
+// blow-up, GAV rendering). Each driver returns text tables and charts;
+// cmd/jimbench renders them and EXPERIMENTS.md records them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 1 when zero).
+	Seed int64
+	// Trials is the number of repetitions for randomized measurements
+	// (default 20 when zero; benches may lower it).
+	Trials int
+	// Quick shrinks sweeps for tests and smoke runs.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials == 0 {
+		o.Trials = 20
+		if o.Quick {
+			o.Trials = 5
+		}
+	}
+	return o
+}
+
+// Result is an experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Charts []string
+	Notes  []string
+}
+
+// Render writes the result as text.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Charts {
+		if _, err := fmt.Fprintln(w, c); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// runner is an experiment driver.
+type runner struct {
+	title string
+	run   func(Options) (*Result, error)
+}
+
+var registry = map[string]runner{
+	"fig1":        {"Figure 1 — motivating example walkthrough", runFig1},
+	"fig2":        {"Figure 2 — interactive inference loop", runFig2},
+	"fig3":        {"Figure 3 — four interaction modes", runFig3},
+	"fig4":        {"Figure 4 — benefit of using a strategy", runFig4},
+	"fig5":        {"Figure 5 — joining sets of pictures", runFig5},
+	"strategies":  {"E6 — strategy comparison across instance complexity", runStrategies},
+	"scalability": {"E7 — scalability and signature-grouping ablation", runScalability},
+	"crowd":       {"E8 — crowdsourcing cost vs all-pairs baseline", runCrowd},
+	"optimal":     {"E9 — optimal strategy blow-up", runOptimal},
+	"gav":         {"E10 — SQL and GAV mapping rendering", runGAV},
+}
+
+// IDs lists the experiment identifiers in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(id string) (string, error) {
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+	}
+	return r.title, nil
+}
+
+// Run executes one experiment.
+func Run(id string, opt Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+	}
+	res, err := r.run(opt.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: running %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}
+
+// RunAll executes every experiment in order, rendering each to w.
+func RunAll(w io.Writer, opt Options) error {
+	for _, id := range IDs() {
+		res, err := Run(id, opt)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// msPer returns milliseconds per op as a float for table cells.
+func msPer(d time.Duration, ops int) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(d.Microseconds()) / 1000 / float64(ops)
+}

@@ -1,0 +1,136 @@
+package experiments_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}
+
+func quickOpt() experiments.Options {
+	return experiments.Options{Seed: 1, Trials: 3, Quick: true}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := experiments.IDs()
+	if len(ids) != 11 {
+		t.Fatalf("have %d experiments, want 11: %v", len(ids), ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs not sorted: %v", ids)
+		}
+	}
+	for _, id := range ids {
+		if _, err := experiments.Title(id); err != nil {
+			t.Errorf("Title(%q): %v", id, err)
+		}
+	}
+	if _, err := experiments.Title("nope"); err == nil {
+		t.Error("unknown title accepted")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := experiments.Run("nope", quickOpt()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, id := range experiments.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := experiments.Run(id, quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Error("experiment produced no tables")
+			}
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), res.Title) {
+				t.Error("render missing title")
+			}
+		})
+	}
+}
+
+func TestFig1ReproducesPaperNumbers(t *testing.T) {
+	res, err := experiments.Run("fig1", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The walkthrough must end with exactly one consistent query (Q2)
+	// and the (12)± propagation sets from the paper.
+	for _, frag := range []string{
+		"To=City ∧ Airline=Discount", // Q2
+		"(3), (4), (7)",              // grayed by (12)+
+		"(1), (5), (9)",              // grayed by (12)-
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig4StrategySavesInteractions(t *testing.T) {
+	res, err := experiments.Run("fig4", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables[0]
+	for _, row := range table.Rows {
+		// columns: scenario, mode1, mode2, random, lookahead, saved
+		mode1 := row[1]
+		lookahead := row[4]
+		if mode1 == "" || lookahead == "" {
+			t.Fatalf("malformed row %v", row)
+		}
+		var m1, la float64
+		if _, err := fmtSscan(mode1, &m1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(lookahead, &la); err != nil {
+			t.Fatal(err)
+		}
+		if la > m1 {
+			t.Errorf("scenario %s: lookahead (%v) worse than label-everything (%v)", row[0], la, m1)
+		}
+	}
+	if len(res.Charts) == 0 {
+		t.Error("fig4 produced no bar charts")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs all experiments")
+	}
+	var buf bytes.Buffer
+	if err := experiments.RunAll(&buf, quickOpt()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(buf.String(), "== "+id+":") {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/setgame"
+	"repro/internal/sqlgen"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// runFig1 replays the paper's Section 2 walkthrough on the Figure 1
+// instance: signatures, the (3)+/(7)−/(8)− labeling that pins down Q2,
+// and the (12)± propagation examples.
+func runFig1(opt Options) (*Result, error) {
+	rel := workload.Travel()
+	names := rel.Schema().Names()
+
+	sigTable := &stats.Table{
+		Title:  "Eq signatures of the Figure 1 tuples",
+		Header: []string{"tuple", "values", "Eq(t)"},
+	}
+	st, err := core.NewState(rel)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rel.Len(); i++ {
+		sigTable.AddRow(fmt.Sprintf("(%d)", i+1), rel.Tuple(i).String(), st.Sig(i).FormatAtoms(names))
+	}
+
+	walk := &stats.Table{
+		Title:  "Worked example: labels (3)+, (7)-, (8)- identify Q2",
+		Header: []string{"action", "M_P", "consistent queries", "informative left"},
+	}
+	walk.AddRow("start", st.MP().FormatAtoms(names), st.CountConsistent(), st.InformativeCount())
+	for _, step := range []struct {
+		tuple int
+		label core.Label
+	}{
+		{3, core.Positive}, {7, core.Negative}, {8, core.Negative},
+	} {
+		if _, err := st.Apply(step.tuple-1, step.label); err != nil {
+			return nil, err
+		}
+		walk.AddRow(
+			fmt.Sprintf("label (%d) %v", step.tuple, step.label),
+			st.MP().FormatAtoms(names),
+			st.CountConsistent(),
+			st.InformativeCount(),
+		)
+	}
+	sql, err := sqlgen.SelectSQL("packages", rel.Schema(), st.Result())
+	if err != nil {
+		return nil, err
+	}
+
+	prop := &stats.Table{
+		Title:  "Propagation from scratch when labeling tuple (12)",
+		Header: []string{"label", "tuples grayed out"},
+	}
+	for _, l := range []core.Label{core.Positive, core.Negative} {
+		fresh, err := core.NewState(workload.Travel())
+		if err != nil {
+			return nil, err
+		}
+		newly, err := fresh.Apply(11, l)
+		if err != nil {
+			return nil, err
+		}
+		pruned := ""
+		for k, i := range newly {
+			if k > 0 {
+				pruned += ", "
+			}
+			pruned += fmt.Sprintf("(%d)", i+1)
+		}
+		prop.AddRow(fmt.Sprintf("(12) %v", l), pruned)
+	}
+
+	return &Result{
+		Tables: []*stats.Table{sigTable, walk, prop},
+		Notes: []string{
+			"inferred query: " + st.Result().FormatAtoms(names),
+			"as SQL: " + sql,
+			"paper: '(3) positive and (7),(8) negative leave exactly one consistent join predicate (Q2)'",
+		},
+	}, nil
+}
+
+// runFig2 runs the core interactive loop (mode 4) on the travel
+// instance and renders each interaction — the paper's Figure 2 cycle.
+func runFig2(opt Options) (*Result, error) {
+	rel := workload.Travel()
+	names := rel.Schema().Names()
+	st, err := core.NewState(rel)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(st, strategy.LookaheadMaxMin(), oracle.Goal(workload.TravelQ2()))
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	steps := &stats.Table{
+		Title:  "Interactive scenario (strategy lookahead-maxmin, goal Q2)",
+		Header: []string{"step", "asked", "answer", "grayed out", "informative left"},
+	}
+	for k, s := range res.Steps {
+		steps.AddRow(k+1, fmt.Sprintf("(%d)", s.TupleIndex+1), s.Label.String(), s.NewlyImplied, s.InformativeAfter)
+	}
+	return &Result{
+		Tables: []*stats.Table{steps},
+		Notes: []string{
+			fmt.Sprintf("converged in %d membership queries; %d of 12 labels implied automatically",
+				res.UserLabels, res.ImpliedLabels),
+			"inferred query: " + res.Query.FormatAtoms(names),
+		},
+	}, nil
+}
+
+// modeRuns measures the four interaction modes of Figure 3 on one
+// instance/goal pair.
+func modeRuns(rel *relation.Relation, goal partition.P, seed int64) (*stats.Table, error) {
+	order := make([]int, rel.Len())
+	for i := range order {
+		order[i] = i
+	}
+	table := &stats.Table{
+		Header: []string{"mode", "questions answered", "wasted answers", "grayed out"},
+	}
+	type mode struct {
+		name string
+		run  func() (core.RunResult, error)
+	}
+	newEngine := func() (*core.Engine, error) {
+		st, err := core.NewState(rel)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(st, strategy.LookaheadMaxMin(), oracle.Goal(goal)), nil
+	}
+	modes := []mode{
+		{"1: label all, no feedback", func() (core.RunResult, error) {
+			eng, err := newEngine()
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			return eng.RunUserOrder(order, false)
+		}},
+		{"2: label all, gray out", func() (core.RunResult, error) {
+			eng, err := newEngine()
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			return eng.RunUserOrder(order, true)
+		}},
+		{"3: top-3 informative", func() (core.RunResult, error) {
+			eng, err := newEngine()
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			return eng.RunTopK(3)
+		}},
+		{"4: most informative", func() (core.RunResult, error) {
+			eng, err := newEngine()
+			if err != nil {
+				return core.RunResult{}, err
+			}
+			return eng.Run()
+		}},
+	}
+	for _, m := range modes {
+		res, err := m.run()
+		if err != nil {
+			return nil, err
+		}
+		if !res.Converged {
+			return nil, fmt.Errorf("mode %q did not converge", m.name)
+		}
+		table.AddRow(m.name, res.UserLabels, res.WastedLabels, res.ImpliedLabels)
+	}
+	return table, nil
+}
+
+// runFig3 measures the four interaction types on the travel instance
+// and on a larger synthetic instance.
+func runFig3(opt Options) (*Result, error) {
+	travelTable, err := modeRuns(workload.Travel(), workload.TravelQ2(), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	travelTable.Title = "Travel instance (12 tuples, goal Q2)"
+
+	tuples := 300
+	if opt.Quick {
+		tuples = 80
+	}
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 6, Tuples: tuples, Seed: opt.Seed, ExtraMerges: 1.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	synthTable, err := modeRuns(rel, goal, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	synthTable.Title = fmt.Sprintf("Synthetic instance (%d tuples, 6 attributes)", tuples)
+
+	return &Result{
+		Tables: []*stats.Table{travelTable, synthTable},
+		Notes: []string{
+			"mode 1 wastes answers on uninformative tuples; modes 2-4 never do",
+			"mode 4 needs the fewest explicit answers (the paper's core loop)",
+		},
+	}, nil
+}
+
+// runFig4 reproduces "showing the benefit of using a strategy": how
+// many interactions a user labeling in her own (arbitrary) order needs
+// versus the strategy-driven loop, across three scenarios.
+func runFig4(opt Options) (*Result, error) {
+	type scenario struct {
+		name string
+		rel  *relation.Relation
+		goal partition.P
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	scenarios := []scenario{
+		{"travel/Q1", workload.Travel(), workload.TravelQ1()},
+		{"travel/Q2", workload.Travel(), workload.TravelQ2()},
+	}
+	tuples := 200
+	if opt.Quick {
+		tuples = 60
+	}
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 6, Tuples: tuples, Seed: opt.Seed + 7, ExtraMerges: 1.2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenarios = append(scenarios, scenario{fmt.Sprintf("synthetic/%d tuples", tuples), rel, goal})
+
+	table := &stats.Table{
+		Title:  "Interactions to identify the goal query (mean over trials)",
+		Header: []string{"scenario", "user order (mode 1)", "user order + graying (mode 2)", "random strategy", "lookahead strategy", "saved vs mode 1"},
+	}
+	var charts []string
+	for _, sc := range scenarios {
+		var mode1, mode2, randomS, lookahead stats.Sample
+		for trial := 0; trial < opt.Trials; trial++ {
+			order := rng.Perm(sc.rel.Len())
+			st, err := core.NewState(sc.rel)
+			if err != nil {
+				return nil, err
+			}
+			eng := core.NewEngine(st, strategy.Random(opt.Seed), oracle.Goal(sc.goal))
+			res, err := eng.RunUserOrder(order, false)
+			if err != nil {
+				return nil, err
+			}
+			mode1.Add(float64(res.UserLabels))
+
+			st, _ = core.NewState(sc.rel)
+			eng = core.NewEngine(st, strategy.Random(opt.Seed), oracle.Goal(sc.goal))
+			res, err = eng.RunUserOrder(order, true)
+			if err != nil {
+				return nil, err
+			}
+			mode2.Add(float64(res.UserLabels))
+
+			st, _ = core.NewState(sc.rel)
+			eng = core.NewEngine(st, strategy.Random(opt.Seed+int64(trial)), oracle.Goal(sc.goal))
+			res, err = eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			randomS.Add(float64(res.UserLabels))
+
+			st, _ = core.NewState(sc.rel)
+			eng = core.NewEngine(st, strategy.LookaheadMaxMin(), oracle.Goal(sc.goal))
+			res, err = eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			lookahead.Add(float64(res.UserLabels))
+		}
+		saved := mode1.Mean() - lookahead.Mean()
+		table.AddRow(sc.name, mode1.Mean(), mode2.Mean(), randomS.Mean(), lookahead.Mean(),
+			fmt.Sprintf("%.1f (%.0f%%)", saved, 100*saved/mode1.Mean()))
+		charts = append(charts, stats.Bar(
+			fmt.Sprintf("Figure 4 — interactions on %s", sc.name),
+			[]stats.BarItem{
+				{Label: "user order (mode 1)", Value: mode1.Mean()},
+				{Label: "user order + graying", Value: mode2.Mean()},
+				{Label: "random strategy", Value: randomS.Mean()},
+				{Label: "lookahead strategy", Value: lookahead.Mean()},
+			}, 40))
+	}
+	return &Result{
+		Tables: []*stats.Table{table},
+		Charts: charts,
+		Notes:  []string{"expected shape: strategy-driven interactions ≪ label-everything user order"},
+	}, nil
+}
+
+// runFig5 infers picture joins over Set-card pairs, per strategy.
+func runFig5(opt Options) (*Result, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cards := 9
+	if opt.Quick {
+		cards = 6
+	}
+	goals := []struct {
+		name     string
+		features []string
+	}{
+		{"same color", []string{"color"}},
+		{"same color & shading (paper)", []string{"color", "shading"}},
+		{"same number, symbol & color", []string{"number", "symbol", "color"}},
+	}
+	table := &stats.Table{
+		Title:  fmt.Sprintf("Membership queries to infer picture joins (%d×%d card pairs, mean of %d trials)", cards, cards, opt.Trials),
+		Header: []string{"goal", "random", "local-most-specific", "lookahead-maxmin", "instance size"},
+	}
+	for _, g := range goals {
+		goal, err := setgame.SameFeatureGoal(g.features...)
+		if err != nil {
+			return nil, err
+		}
+		var randomS, local, lookahead stats.Sample
+		size := 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			left, err := setgame.Sample(rng, cards)
+			if err != nil {
+				return nil, err
+			}
+			right, err := setgame.Sample(rng, cards)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := setgame.PairInstance(left, right)
+			if err != nil {
+				return nil, err
+			}
+			size = inst.Len()
+			for _, run := range []struct {
+				s      core.Picker
+				sample *stats.Sample
+			}{
+				{strategy.Random(opt.Seed + int64(trial)), &randomS},
+				{strategy.LocalMostSpecific(), &local},
+				{strategy.LookaheadMaxMin(), &lookahead},
+			} {
+				st, err := core.NewState(inst)
+				if err != nil {
+					return nil, err
+				}
+				eng := core.NewEngine(st, run.s, oracle.Goal(goal))
+				res, err := eng.Run()
+				if err != nil {
+					return nil, err
+				}
+				if !res.Converged || !core.InstanceEquivalent(inst, res.Query, goal) {
+					return nil, fmt.Errorf("fig5: %s failed to infer %q", run.s.Name(), g.name)
+				}
+				run.sample.Add(float64(res.UserLabels))
+			}
+		}
+		table.AddRow(g.name, randomS.Mean(), local.Mean(), lookahead.Mean(), size)
+	}
+	return &Result{
+		Tables: []*stats.Table{table},
+		Notes: []string{
+			"every inference returns a predicate instance-equivalent to the goal",
+			"a handful of yes/no answers settles an instance of dozens of pairs — the crowdsourcing pitch of §1",
+		},
+	}, nil
+}

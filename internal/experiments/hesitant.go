@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func init() {
+	registry["hesitant"] = runner{
+		title: "E11 — hesitant users: abstentions and deferral",
+		run:   runHesitant,
+	}
+}
+
+// runHesitant is E11, an extension experiment: real demo attendees are
+// not perfect oracles and sometimes cannot answer a membership query.
+// The engine defers abstained tuples and proposes alternatives; this
+// experiment measures how abstention probability inflates the session
+// (extra proposals) without derailing the inference.
+func runHesitant(opt Options) (*Result, error) {
+	tuples := 200
+	if opt.Quick {
+		tuples = 60
+	}
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 6, Tuples: tuples, Seed: opt.Seed, ExtraMerges: 1.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := &stats.Table{
+		Title:  fmt.Sprintf("Hesitant users on a %d-tuple instance (%d trials each)", tuples, opt.Trials),
+		Header: []string{"abstain probability", "questions answered", "abstentions", "converged", "goal recovered"},
+	}
+	for _, p := range []float64{0, 0.2, 0.4} {
+		var questions, abstentions stats.Sample
+		converged, recovered := 0, 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			st, err := core.NewState(rel)
+			if err != nil {
+				return nil, err
+			}
+			lab := oracle.Hesitant(oracle.Goal(goal), p, opt.Seed+int64(trial)*53)
+			eng := core.NewEngine(st, strategy.LookaheadMaxMin(), lab)
+			eng.RedeferLimit = 16
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			questions.Add(float64(res.UserLabels))
+			abstentions.Add(float64(res.Abstentions))
+			if res.Converged {
+				converged++
+			}
+			if core.InstanceEquivalent(rel, res.Query, goal) {
+				recovered++
+			}
+		}
+		table.AddRow(p, questions.Mean(), abstentions.Mean(),
+			fmt.Sprintf("%d/%d", converged, opt.Trials),
+			fmt.Sprintf("%d/%d", recovered, opt.Trials))
+	}
+	return &Result{
+		Tables: []*stats.Table{table},
+		Notes: []string{
+			"abstentions cost extra proposals, not extra answers: question counts stay near the p=0 baseline",
+			"deferral + bounded re-offers keep hesitant sessions convergent",
+		},
+	}, nil
+}

@@ -1,0 +1,214 @@
+// Package oracle implements labelers: the components answering JIM's
+// membership queries. The paper's experiments note that "the user
+// providing the examples ... is in fact a program that labels tuples
+// w.r.t. a goal join query" — Goal is exactly that program. Noisy and
+// Scripted support crowd simulation and replayable sessions, and
+// Interactive puts a real human on stdin as in the demonstration.
+package oracle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Goal returns a labeler that answers according to a goal join
+// predicate: a tuple is positive iff the goal selects it, i.e. iff
+// goal ≤ Eq(t).
+func Goal(goal partition.P) core.Labeler {
+	return goalLabeler{goal: goal}
+}
+
+type goalLabeler struct {
+	goal partition.P
+}
+
+func (g goalLabeler) Name() string { return "goal-oracle" }
+
+func (g goalLabeler) Label(st *core.State, i int) (core.Label, error) {
+	if g.goal.N() != st.AttrCount() {
+		return core.Unlabeled, fmt.Errorf("oracle: goal over %d attributes, instance has %d", g.goal.N(), st.AttrCount())
+	}
+	if g.goal.LessEq(st.Sig(i)) {
+		return core.Positive, nil
+	}
+	return core.Negative, nil
+}
+
+// Truth exposes the goal decision without a state, for tests and crowd
+// workers: positive iff goal ≤ sig.
+func Truth(goal, sig partition.P) core.Label {
+	if goal.LessEq(sig) {
+		return core.Positive
+	}
+	return core.Negative
+}
+
+// Noisy wraps a labeler and flips each answer independently with the
+// given probability — an unreliable crowd worker.
+func Noisy(inner core.Labeler, flipProb float64, seed int64) core.Labeler {
+	return &noisy{inner: inner, flip: flipProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+type noisy struct {
+	inner core.Labeler
+	flip  float64
+	rng   *rand.Rand
+}
+
+func (n *noisy) Name() string { return fmt.Sprintf("noisy(%s,p=%.2f)", n.inner.Name(), n.flip) }
+
+func (n *noisy) Label(st *core.State, i int) (core.Label, error) {
+	l, err := n.inner.Label(st, i)
+	if err != nil {
+		return l, err
+	}
+	if n.rng.Float64() < n.flip {
+		return l.Opposite(), nil
+	}
+	return l, nil
+}
+
+// Scripted returns a labeler answering from a fixed index→label map;
+// asking about an unscripted tuple is an error. Useful for replaying
+// the paper's worked examples exactly.
+func Scripted(answers map[int]core.Label) core.Labeler {
+	return scripted{answers: answers}
+}
+
+type scripted struct {
+	answers map[int]core.Label
+}
+
+func (s scripted) Name() string { return "scripted" }
+
+func (s scripted) Label(_ *core.State, i int) (core.Label, error) {
+	l, ok := s.answers[i]
+	if !ok {
+		return core.Unlabeled, fmt.Errorf("oracle: no scripted answer for tuple %d", i)
+	}
+	return l, nil
+}
+
+// Interactive returns a labeler that shows each proposed tuple on w and
+// reads y/n/q answers from r — the demonstration's human attendee.
+func Interactive(r io.Reader, w io.Writer) core.Labeler {
+	return &interactive{in: bufio.NewScanner(r), out: w}
+}
+
+type interactive struct {
+	in  *bufio.Scanner
+	out io.Writer
+}
+
+func (h *interactive) Name() string { return "interactive" }
+
+func (h *interactive) Label(st *core.State, i int) (core.Label, error) {
+	rel := st.Relation()
+	names := rel.Schema().Names()
+	t := rel.Tuple(i)
+	fmt.Fprintf(h.out, "\nShould this tuple be part of the join result?\n")
+	for c, name := range names {
+		fmt.Fprintf(h.out, "  %-12s = %s\n", name, t[c])
+	}
+	for {
+		fmt.Fprintf(h.out, "[y]es / [n]o / [s]kip / [q]uit > ")
+		if !h.in.Scan() {
+			if err := h.in.Err(); err != nil {
+				return core.Unlabeled, fmt.Errorf("oracle: reading answer: %w", err)
+			}
+			return core.Unlabeled, core.ErrStopped
+		}
+		switch strings.ToLower(strings.TrimSpace(h.in.Text())) {
+		case "y", "yes", "+":
+			return core.Positive, nil
+		case "n", "no", "-":
+			return core.Negative, nil
+		case "s", "skip", "?":
+			return core.Unlabeled, nil // abstain; the engine defers the tuple
+		case "q", "quit", "exit":
+			return core.Unlabeled, core.ErrStopped
+		default:
+			fmt.Fprintf(h.out, "please answer y, n, s, or q\n")
+		}
+	}
+}
+
+// Hesitant wraps a labeler and abstains ("I don't know") with the
+// given probability instead of answering — a user unsure about some
+// tuples. The engine defers abstained tuples and proposes others.
+func Hesitant(inner core.Labeler, abstainProb float64, seed int64) core.Labeler {
+	return &hesitant{inner: inner, p: abstainProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+type hesitant struct {
+	inner core.Labeler
+	p     float64
+	rng   *rand.Rand
+}
+
+func (h *hesitant) Name() string { return fmt.Sprintf("hesitant(%s,p=%.2f)", h.inner.Name(), h.p) }
+
+func (h *hesitant) Label(st *core.State, i int) (core.Label, error) {
+	if h.rng.Float64() < h.p {
+		return core.Unlabeled, nil
+	}
+	return h.inner.Label(st, i)
+}
+
+// Adversarial returns a labeler with no goal at all: it answers every
+// informative tuple with a random label. Any answer to an informative
+// tuple is consistent with some predicate, so the engine must converge
+// for every possible answer sequence — the stress harness for engine
+// invariants.
+func Adversarial(seed int64) core.Labeler {
+	return &adversarial{rng: rand.New(rand.NewSource(seed))}
+}
+
+type adversarial struct {
+	rng *rand.Rand
+}
+
+func (a *adversarial) Name() string { return "adversarial" }
+
+func (a *adversarial) Label(st *core.State, i int) (core.Label, error) {
+	// On uninformative tuples only the implied answer is consistent.
+	if implied := st.ImpliedLabel(st.Sig(i)); implied != core.Unlabeled {
+		return implied.Explicit(), nil
+	}
+	if a.rng.Intn(2) == 0 {
+		return core.Positive, nil
+	}
+	return core.Negative, nil
+}
+
+// Recording wraps a labeler and records every (tuple, label) pair, so
+// a session can be rendered or replayed through Scripted.
+func Recording(inner core.Labeler) *Recorder {
+	return &Recorder{inner: inner, Answers: map[int]core.Label{}}
+}
+
+// Recorder is the labeler produced by Recording.
+type Recorder struct {
+	inner   core.Labeler
+	Answers map[int]core.Label
+	Order   []int
+}
+
+// Name implements core.Labeler.
+func (r *Recorder) Name() string { return "recording(" + r.inner.Name() + ")" }
+
+// Label implements core.Labeler.
+func (r *Recorder) Label(st *core.State, i int) (core.Label, error) {
+	l, err := r.inner.Label(st, i)
+	if err == nil {
+		r.Answers[i] = l
+		r.Order = append(r.Order, i)
+	}
+	return l, err
+}

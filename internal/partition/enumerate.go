@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MaxEnumerate bounds the element count accepted by Enumerate, All, and
+// Count; Bell(15) ≈ 1.38e9 already makes exhaustive enumeration — used
+// by the optimal strategy and by consistent-query counting — hopeless.
+const MaxEnumerate = 14
+
+// Bell returns the Bell number B(n): the number of partitions of an
+// n-element set, i.e. the size of JIM's hypothesis space for n
+// attributes. It panics for n < 0 or n > MaxEnumerate+6 (overflow guard).
+func Bell(n int) int {
+	if n < 0 || n > MaxEnumerate+6 {
+		panic(fmt.Sprintf("partition: Bell(%d) out of supported range", n))
+	}
+	if n == 0 {
+		return 1
+	}
+	// Bell triangle.
+	prev := []int{1}
+	for row := 1; row <= n; row++ {
+		cur := make([]int, row+1)
+		cur[0] = prev[row-1]
+		for i := 1; i <= row; i++ {
+			cur[i] = cur[i-1] + prev[i-1]
+		}
+		prev = cur
+	}
+	return prev[0]
+}
+
+// Enumerate visits every partition of n elements in restricted-growth-
+// string order, calling yield for each; enumeration stops early if
+// yield returns false. It panics if n exceeds MaxEnumerate.
+func Enumerate(n int, yield func(P) bool) {
+	if n < 0 || n > MaxEnumerate {
+		panic(fmt.Sprintf("partition: Enumerate(%d) out of supported range [0,%d]", n, MaxEnumerate))
+	}
+	if n == 0 {
+		yield(P{})
+		return
+	}
+	labels := make([]int, n)
+	var rec func(i, used int) bool
+	rec = func(i, used int) bool {
+		if i == n {
+			cp := make([]int, n)
+			copy(cp, labels)
+			return yield(P{labels: cp, blocks: used})
+		}
+		for v := 0; v <= used; v++ {
+			labels[i] = v
+			next := used
+			if v == used {
+				next = used + 1
+			}
+			if !rec(i+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}
+
+// All returns every partition of n elements. It allocates Bell(n)
+// partitions; see MaxEnumerate.
+func All(n int) []P {
+	out := make([]P, 0, Bell(n))
+	Enumerate(n, func(p P) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// EnumerateRefinementsOf visits every partition q with q ≤ p (every
+// sub-predicate of p), by enumerating partitions of each block of p and
+// combining them. The number visited is the product of Bell(|block|),
+// typically far smaller than Bell(n).
+func EnumerateRefinementsOf(p P, yield func(P) bool) {
+	blocks := p.Blocks()
+	// Per-block partition choices.
+	perBlock := make([][]P, len(blocks))
+	for i, b := range blocks {
+		perBlock[i] = All(len(b))
+	}
+	labels := make([]int, p.N())
+	var rec func(bi, nextLabel int) bool
+	rec = func(bi, nextLabel int) bool {
+		if bi == len(blocks) {
+			return yield(New(labels))
+		}
+		b := blocks[bi]
+		for _, sub := range perBlock[bi] {
+			for k, e := range b {
+				labels[e] = nextLabel + sub.BlockOf(k)
+			}
+			if !rec(bi+1, nextLabel+sub.BlockCount()) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}
+
+// CountRefinementsOf returns the number of partitions q ≤ p.
+func CountRefinementsOf(p P) int {
+	total := 1
+	for _, b := range p.Blocks() {
+		total *= Bell(len(b))
+	}
+	return total
+}
+
+// stirlingTable[m][k] counts the restricted-growth completions of a
+// prefix with k blocks and m elements remaining:
+// T(0,k)=1, T(m,k) = k·T(m-1,k) + T(m-1,k+1).
+func stirlingTable(n int) [][]float64 {
+	t := make([][]float64, n+1)
+	for m := 0; m <= n; m++ {
+		t[m] = make([]float64, n+2)
+	}
+	for k := 0; k <= n+1; k++ {
+		t[0][k] = 1
+	}
+	for m := 1; m <= n; m++ {
+		for k := 0; k <= n; k++ {
+			t[m][k] = float64(k)*t[m-1][k] + t[m-1][k+1]
+		}
+	}
+	return t
+}
+
+// Uniform returns a partition of n elements drawn uniformly at random
+// among all Bell(n) partitions, using the restricted-growth completion
+// counts to weight each label choice exactly.
+func Uniform(r *rand.Rand, n int) P {
+	if n == 0 {
+		return P{}
+	}
+	t := stirlingTable(n)
+	labels := make([]int, n)
+	used := 0
+	for i := 0; i < n; i++ {
+		remaining := n - i - 1
+		// Choosing an existing label keeps `used` blocks; a new label
+		// moves to used+1 blocks.
+		wExisting := float64(used) * t[remaining][used]
+		wNew := t[remaining][used+1]
+		if r.Float64()*(wExisting+wNew) < wExisting {
+			labels[i] = r.Intn(used)
+		} else {
+			labels[i] = used
+			used++
+		}
+	}
+	return P{labels: labels, blocks: used}
+}
+
+// RandomWithBlocks returns a random partition of n elements with exactly
+// k blocks (uniform over surjective label assignments, then
+// canonicalized; not uniform over set partitions with k blocks, which
+// is irrelevant for workload generation). It panics unless 1 ≤ k ≤ n.
+func RandomWithBlocks(r *rand.Rand, n, k int) P {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("partition: RandomWithBlocks(n=%d, k=%d) infeasible", n, k))
+	}
+	for {
+		labels := make([]int, n)
+		// Guarantee surjectivity: first k elements of a random
+		// permutation get distinct labels.
+		perm := r.Perm(n)
+		for j := 0; j < k; j++ {
+			labels[perm[j]] = j
+		}
+		for j := k; j < n; j++ {
+			labels[perm[j]] = r.Intn(k)
+		}
+		return New(labels)
+	}
+}
+
+// RandomGoal returns a random join predicate suitable as an inference
+// goal: a partition of n elements with `atoms` equality atoms (pairs),
+// built by repeatedly merging random blocks. If atoms is larger than
+// achievable, the result saturates at Top.
+func RandomGoal(r *rand.Rand, n, atoms int) P {
+	p := Bottom(n)
+	for p.PairCount() < atoms && !p.IsTop() {
+		i := r.Intn(n)
+		j := r.Intn(n)
+		if p.SameBlock(i, j) {
+			continue
+		}
+		merged, err := FromPairs(n, append(p.Atoms(), [2]int{i, j}))
+		if err != nil {
+			panic(err) // unreachable: indices are in range
+		}
+		p = merged
+	}
+	return p
+}

@@ -1,0 +1,63 @@
+package partition
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	f.Add("{0}{1,3}{2,4}")
+	f.Add("{}")
+	f.Add("{0,1,2}")
+	f.Add("{0}{2}")
+	f.Add("{{}}")
+	f.Add("{-1}")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Parsed partitions are canonical and round-trip.
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal after parse: %v", err)
+		}
+		back, err := Parse(string(text))
+		if err != nil {
+			t.Fatalf("re-parsing own output %q: %v", text, err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed %v -> %v", p, back)
+		}
+		// Lattice sanity on whatever was parsed.
+		if p.N() > 0 {
+			if !Bottom(p.N()).LessEq(p) || !p.LessEq(Top(p.N())) {
+				t.Fatalf("parsed partition escapes the lattice: %v", p)
+			}
+		}
+	})
+}
+
+func FuzzFromPairsClosure(f *testing.F) {
+	f.Add(5, 0, 1, 1, 2)
+	f.Add(3, 0, 0, 2, 2)
+	f.Fuzz(func(t *testing.T, n, a, b, c, d int) {
+		if n < 1 || n > 12 {
+			return
+		}
+		norm := func(x int) int {
+			x %= n
+			if x < 0 {
+				x += n
+			}
+			return x
+		}
+		pairs := [][2]int{{norm(a), norm(b)}, {norm(c), norm(d)}}
+		p, err := FromPairs(n, pairs)
+		if err != nil {
+			t.Fatalf("normalized pairs rejected: %v", err)
+		}
+		for _, pr := range pairs {
+			if !p.SameBlock(pr[0], pr[1]) {
+				t.Fatalf("pair %v not joined in %v", pr, p)
+			}
+		}
+	})
+}

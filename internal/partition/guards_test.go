@@ -1,0 +1,46 @@
+package partition
+
+import "testing"
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestGuards(t *testing.T) {
+	expectPanic(t, "Bell(-1)", func() { Bell(-1) })
+	expectPanic(t, "Bell(big)", func() { Bell(MaxEnumerate + 7) })
+	expectPanic(t, "Enumerate(-1)", func() { Enumerate(-1, func(P) bool { return true }) })
+	expectPanic(t, "Enumerate(big)", func() { Enumerate(MaxEnumerate+1, func(P) bool { return true }) })
+	expectPanic(t, "RandomWithBlocks k>n", func() { RandomWithBlocks(nil, 3, 4) })
+	expectPanic(t, "RandomWithBlocks k<1", func() { RandomWithBlocks(nil, 3, 0) })
+	expectPanic(t, "Format mismatch", func() { Bottom(3).Format([]string{"a"}) })
+	expectPanic(t, "FormatAtoms mismatch", func() { Bottom(3).FormatAtoms([]string{"a"}) })
+	expectPanic(t, "Join mismatch", func() { Bottom(3).Join(Bottom(4)) })
+	expectPanic(t, "MustFromBlocks bad", func() { MustFromBlocks(2, [][]int{{0, 5}}) })
+}
+
+func TestEnumerateZero(t *testing.T) {
+	count := 0
+	Enumerate(0, func(p P) bool {
+		if p.N() != 0 {
+			t.Errorf("zero-element enumeration yielded %v", p)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("Enumerate(0) yielded %d, want 1 (the empty partition)", count)
+	}
+}
+
+func TestUniformZero(t *testing.T) {
+	if p := Uniform(nil, 0); p.N() != 0 {
+		t.Errorf("Uniform(0) = %v", p)
+	}
+}

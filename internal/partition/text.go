@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalText encodes the partition in its block notation, e.g.
+// "{0}{1,3}{2,4}". The empty partition encodes as "{}". Implements
+// encoding.TextMarshaler, so partitions embed naturally in JSON
+// session files.
+func (p P) MarshalText() ([]byte, error) {
+	if p.N() == 0 {
+		return []byte("{}"), nil
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText decodes the block notation produced by MarshalText.
+// Every element 0..n-1 must appear exactly once, where n is one more
+// than the largest element mentioned. Implements
+// encoding.TextUnmarshaler.
+func (p *P) UnmarshalText(text []byte) error {
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// Parse reads a partition from block notation, e.g. "{0}{1,3}{2,4}".
+// "{}" is the empty partition.
+func Parse(s string) (P, error) {
+	s = strings.TrimSpace(s)
+	if s == "{}" || s == "" {
+		return P{}, nil
+	}
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return P{}, fmt.Errorf("partition: malformed %q: want {..}{..} block notation", s)
+	}
+	inner := s[1 : len(s)-1]
+	var blocks [][]int
+	maxElem := -1
+	for _, blockText := range strings.Split(inner, "}{") {
+		var block []int
+		for _, field := range strings.Split(blockText, ",") {
+			field = strings.TrimSpace(field)
+			e, err := strconv.Atoi(field)
+			if err != nil {
+				return P{}, fmt.Errorf("partition: malformed element %q in %q", field, s)
+			}
+			if e < 0 {
+				return P{}, fmt.Errorf("partition: negative element %d in %q", e, s)
+			}
+			if e > maxElem {
+				maxElem = e
+			}
+			block = append(block, e)
+		}
+		blocks = append(blocks, block)
+	}
+	n := maxElem + 1
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for bi, block := range blocks {
+		for _, e := range block {
+			if labels[e] != -1 {
+				return P{}, fmt.Errorf("partition: element %d appears twice in %q", e, s)
+			}
+			labels[e] = bi
+		}
+	}
+	for i, l := range labels {
+		if l == -1 {
+			return P{}, fmt.Errorf("partition: element %d missing from %q", i, s)
+		}
+	}
+	return New(labels), nil
+}

@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBlocks(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want P
+	}{
+		{"{0}{1,3}{2,4}", MustFromBlocks(5, [][]int{{1, 3}, {2, 4}})},
+		{"{0,1,2}", Top(3)},
+		{"{0}", Top(1)},
+		{"{}", P{}},
+		{"", P{}},
+		{" {0}{1} ", Bottom(2)},
+		{"{1, 0}", Top(2)}, // spaces and order inside blocks tolerated
+	} {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"0}{1",     // missing braces
+		"{0}{0}",   // duplicate element
+		"{0}{2}",   // gap: element 1 missing
+		"{a}",      // non-numeric
+		"{-1}",     // negative
+		"{0}{1,1}", // duplicate within block
+		"[0][1]",   // wrong brackets
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Uniform(r, 1+r.Intn(10))
+		text, err := p.MarshalText()
+		if err != nil {
+			return false
+		}
+		var back P
+		if err := back.UnmarshalText(text); err != nil {
+			return false
+		}
+		return back.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONEmbedding(t *testing.T) {
+	type doc struct {
+		Goal P `json:"goal"`
+	}
+	in := doc{Goal: MustFromBlocks(5, [][]int{{1, 3}, {2, 4}})}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"goal":"{0}{1,3}{2,4}"}` {
+		t.Errorf("JSON = %s", data)
+	}
+	var out doc
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Goal.Equal(in.Goal) {
+		t.Errorf("round trip = %v", out.Goal)
+	}
+	var bad doc
+	if err := json.Unmarshal([]byte(`{"goal":"{0}{0}"}`), &bad); err == nil {
+		t.Error("malformed embedded partition accepted")
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	text, err := (P{}).MarshalText()
+	if err != nil || string(text) != "{}" {
+		t.Errorf("empty marshal = %q, %v", text, err)
+	}
+}

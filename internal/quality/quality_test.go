@@ -1,0 +1,132 @@
+package quality_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/quality"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func TestEvaluateExactMatch(t *testing.T) {
+	rel := workload.Travel()
+	rep := quality.Evaluate(rel, workload.TravelQ2(), workload.TravelQ2())
+	if !rep.Exact() {
+		t.Errorf("self comparison not exact: %+v", rep)
+	}
+	if rep.Precision() != 1 || rep.Recall() != 1 || rep.F1() != 1 || rep.Accuracy() != 1 {
+		t.Errorf("self metrics: %s", rep)
+	}
+	// Q2 selects 2 of 12 travel tuples.
+	if rep.TruePositives != 2 || rep.TrueNegatives != 10 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+func TestEvaluateContainment(t *testing.T) {
+	rel := workload.Travel()
+	// Inferred Q1 ⊋ goal Q2: perfect recall, imperfect precision.
+	rep := quality.Evaluate(rel, workload.TravelQ1(), workload.TravelQ2())
+	if rep.Recall() != 1 {
+		t.Errorf("recall = %v", rep.Recall())
+	}
+	if rep.Precision() >= 1 {
+		t.Errorf("precision = %v", rep.Precision())
+	}
+	// Q1 selects 4, of which Q2 selects 2.
+	if rep.TruePositives != 2 || rep.FalsePositives != 2 {
+		t.Errorf("counts: %+v", rep)
+	}
+	// The reverse: inferred Q2 against goal Q1.
+	rev := quality.Evaluate(rel, workload.TravelQ2(), workload.TravelQ1())
+	if rev.Precision() != 1 {
+		t.Errorf("reverse precision = %v", rev.Precision())
+	}
+	if rev.Recall() != 0.5 {
+		t.Errorf("reverse recall = %v", rev.Recall())
+	}
+	if math.Abs(rev.F1()-2.0/3.0) > 1e-12 {
+		t.Errorf("reverse F1 = %v", rev.F1())
+	}
+}
+
+func TestEvaluateEmptyCases(t *testing.T) {
+	empty := relation.New(relation.MustSchema("a", "b"))
+	rep := quality.Evaluate(empty, partition.Top(2), partition.Bottom(2))
+	if rep.Precision() != 1 || rep.Recall() != 1 || rep.Accuracy() != 1 {
+		t.Errorf("empty-instance metrics: %s", rep)
+	}
+	// Goal selects nothing, inferred selects nothing: F1 well-defined.
+	one := relation.MustBuild(relation.MustSchema("a", "b"), []any{1, 2})
+	rep = quality.Evaluate(one, partition.Top(2), partition.Top(2))
+	if !rep.Exact() || rep.TrueNegatives != 1 {
+		t.Errorf("all-negative agreement: %+v", rep)
+	}
+}
+
+func TestNoisyRunsGradedNotBinary(t *testing.T) {
+	// A noisy session may converge to a near-miss; quality grades it.
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 6, Tuples: 120, Seed: 5, ExtraMerges: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 1.0
+	for seed := int64(0); seed < 10; seed++ {
+		st, err := core.NewState(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab := oracle.Noisy(oracle.Goal(goal), 0.25, seed)
+		eng := core.NewEngine(st, strategy.LookaheadMaxMin(), lab)
+		eng.OnConflict = core.SkipOnConflict
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := quality.Evaluate(rel, res.Query, goal)
+		f1 := rep.F1()
+		if f1 < 0 || f1 > 1 {
+			t.Fatalf("F1 out of range: %v", f1)
+		}
+		if f1 < worst {
+			worst = f1
+		}
+	}
+	// With 25% flips some run should be imperfect — if every run were
+	// exact the graded metric would be pointless. (Statistically near
+	// certain across 10 seeds.)
+	if worst == 1.0 {
+		t.Log("all noisy runs exact; acceptable but unusual")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	rep := quality.Report{TruePositives: 1, FalsePositives: 1, FalseNegatives: 0, TrueNegatives: 2}
+	s := rep.String()
+	if s == "" || !containsAll(s, "precision", "recall", "F1", "accuracy") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package relalg
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sqlgen"
+)
+
+// Source names one input relation of a join plan. The denormalized
+// schema's attributes must be the sources' attributes prefixed with
+// "<name>." in source order — the convention produced by Prefix +
+// CrossAll and consumed by sqlgen.
+type Source struct {
+	Name string
+	Rel  *relation.Relation
+}
+
+// EvaluateJoin computes the join result of an inferred predicate
+// directly over the source relations, without materializing the cross
+// product the predicate was inferred on: cross-relation equality atoms
+// become hash-join keys, intra-relation atoms become filters. The
+// output schema equals the denormalized schema (prefixed attributes in
+// source order), and the result is set-semantically identical to
+// filtering the full cross product with the predicate — the downstream
+// "now run the query the user taught us" path.
+func EvaluateJoin(sources []Source, denormalized *relation.Schema, q partition.P) (*relation.Relation, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("relalg: join of zero sources")
+	}
+	if q.N() != denormalized.Len() {
+		return nil, fmt.Errorf("relalg: predicate over %d attributes, schema has %d", q.N(), denormalized.Len())
+	}
+	// Validate the prefix convention and locate each source's columns
+	// in the denormalized schema.
+	offset := 0
+	offsets := make(map[string]int, len(sources))
+	for _, src := range sources {
+		offsets[src.Name] = offset
+		for i, attr := range src.Rel.Schema().Names() {
+			want := src.Name + "." + attr
+			if offset+i >= denormalized.Len() || denormalized.Name(offset+i) != want {
+				return nil, fmt.Errorf("relalg: denormalized schema does not match source %q at column %d (want %q)",
+					src.Name, offset+i, want)
+			}
+		}
+		offset += src.Rel.Schema().Len()
+	}
+	if offset != denormalized.Len() {
+		return nil, fmt.Errorf("relalg: sources cover %d columns, schema has %d", offset, denormalized.Len())
+	}
+
+	// Split the predicate's atoms by provenance.
+	type xAtom struct{ left, right int } // denormalized positions
+	intra := make(map[string][][2]int)   // source name -> local column pairs
+	var cross []xAtom
+	for _, a := range q.Atoms() {
+		r0, _ := sqlgen.Provenance(denormalized.Name(a[0]))
+		r1, _ := sqlgen.Provenance(denormalized.Name(a[1]))
+		if r0 == r1 {
+			intra[r0] = append(intra[r0], [2]int{a[0] - offsets[r0], a[1] - offsets[r0]})
+		} else {
+			cross = append(cross, xAtom{left: a[0], right: a[1]})
+		}
+	}
+
+	// Filter each source by its intra-relation atoms first.
+	filtered := make([]*relation.Relation, len(sources))
+	for si, src := range sources {
+		pairs := intra[src.Name]
+		filtered[si] = Select(src.Rel, func(t relation.Tuple) bool {
+			for _, p := range pairs {
+				if !t[p[0]].Equal(t[p[1]]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Left-deep pipeline in source order: accumulate sources, joining
+	// on every cross atom whose two sides are both available; atoms
+	// bridging to later sources wait their turn.
+	acc := prefixTuples(filtered[0])
+	accCols := sources[0].Rel.Schema().Len()
+	for si := 1; si < len(sources); si++ {
+		nextCols := sources[si].Rel.Schema().Len()
+		lo, hi := offsets[sources[si].Name], offsets[sources[si].Name]+nextCols
+		// Join keys: cross atoms with one side in acc and one in next.
+		var accKey, nextKey []int
+		for _, a := range cross {
+			l, r := a.left, a.right
+			if l > r {
+				l, r = r, l
+			}
+			if l < accCols && r >= lo && r < hi {
+				accKey = append(accKey, l)
+				nextKey = append(nextKey, r-lo)
+			}
+		}
+		joined, err := hashJoin(acc, filtered[si], accKey, nextKey)
+		if err != nil {
+			return nil, err
+		}
+		acc = joined
+		accCols += nextCols
+	}
+
+	// Residual check: transitive atoms can span sources joined in
+	// different steps (e.g. a=b with a in source 1 and b in source 3
+	// when the predicate block also holds c in source 2); enforce the
+	// whole predicate on the assembled rows.
+	out := relation.New(denormalized)
+	for _, t := range acc {
+		if q.LessEq(partition.FromEqual(len(t), func(i, j int) bool { return t[i].Equal(t[j]) })) {
+			out.MustAppend(t)
+		}
+	}
+	return out, nil
+}
+
+// prefixTuples copies a relation's tuples into a mutable slice.
+func prefixTuples(r *relation.Relation) []relation.Tuple {
+	out := make([]relation.Tuple, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		out[i] = r.Tuple(i)
+	}
+	return out
+}
+
+// hashJoin joins accumulated rows with a source on positional keys
+// (SQL equality; NULL keys never match). Empty keys degrade to a cross
+// product.
+func hashJoin(acc []relation.Tuple, next *relation.Relation, accKey, nextKey []int) ([]relation.Tuple, error) {
+	var out []relation.Tuple
+	if len(accKey) == 0 {
+		for _, a := range acc {
+			next.Each(func(_ int, b relation.Tuple) {
+				out = append(out, concatTuples(a, b))
+			})
+		}
+		return out, nil
+	}
+	build := make(map[string][]int, next.Len())
+	for j := 0; j < next.Len(); j++ {
+		key, ok := keyOf(next.Tuple(j), nextKey)
+		if !ok {
+			continue // NULL key never joins
+		}
+		build[key] = append(build[key], j)
+	}
+	for _, a := range acc {
+		key, ok := keyOf(a, accKey)
+		if !ok {
+			continue
+		}
+		for _, j := range build[key] {
+			b := next.Tuple(j)
+			// Hash equality is canonicalized (ints and integral floats
+			// share keys); confirm with Equal for exactness.
+			match := true
+			for k := range accKey {
+				if !a[accKey[k]].Equal(b[nextKey[k]]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, concatTuples(a, b))
+			}
+		}
+	}
+	return out, nil
+}
+
+// keyOf builds a canonical hash key for the given columns; ok=false if
+// any key column is NULL (SQL: never equal).
+func keyOf(t relation.Tuple, cols []int) (string, bool) {
+	key := ""
+	for _, c := range cols {
+		v := t[c]
+		if v.IsNull() {
+			return "", false
+		}
+		// Canonicalize numerics so Int(1) and Float(1) share a bucket,
+		// matching values.Equal.
+		if f, ok := v.AsFloat(); ok {
+			key += fmt.Sprintf("\x1fn%v", f)
+			continue
+		}
+		key += "\x1f" + v.GoString()
+	}
+	return key, true
+}
+
+func concatTuples(a, b relation.Tuple) relation.Tuple {
+	t := make(relation.Tuple, 0, len(a)+len(b))
+	t = append(t, a...)
+	return append(t, b...)
+}

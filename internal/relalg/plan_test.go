@@ -1,0 +1,224 @@
+package relalg_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relalg"
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+// bruteForceJoin filters the materialized cross product — the
+// reference semantics EvaluateJoin must match.
+func bruteForceJoin(t *testing.T, sources []relalg.Source, q partition.P) *relation.Relation {
+	t.Helper()
+	prefixed := make([]*relation.Relation, len(sources))
+	for i, s := range sources {
+		prefixed[i] = relalg.Prefix(s.Rel, s.Name+".")
+	}
+	cross, err := relalg.CrossAll(prefixed...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return relalg.Select(cross, func(tu relation.Tuple) bool {
+		return core.Selects(q, tu)
+	})
+}
+
+func sameBag(t *testing.T, a, b *relation.Relation) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	counts := map[string]int{}
+	a.Each(func(_ int, tu relation.Tuple) { counts[tu.Key()]++ })
+	b.Each(func(_ int, tu relation.Tuple) { counts[tu.Key()]-- })
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("bag mismatch at %q: %+d", k, c)
+		}
+	}
+}
+
+func planSources() []relalg.Source {
+	return []relalg.Source{
+		{Name: "flights", Rel: flights()},
+		{Name: "hotels", Rel: hotels()},
+	}
+}
+
+func planSchema(t *testing.T, sources []relalg.Source) *relation.Schema {
+	t.Helper()
+	var names []string
+	for _, s := range sources {
+		names = append(names, s.Rel.Schema().Prefixed(s.Name+".").Names()...)
+	}
+	schema, err := relation.NewSchema(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func TestEvaluateJoinMatchesBruteForce(t *testing.T) {
+	sources := planSources()
+	schema := planSchema(t, sources)
+	for _, tc := range []struct {
+		name string
+		goal [][]int
+	}{
+		{"cross-relation equi-join", [][]int{{1, 3}}}, // To=City
+		{"two-atom join", [][]int{{1, 3}, {2, 4}}},    // To=City ∧ Airline=Discount
+		{"intra-relation filter", [][]int{{0, 1}}},    // From=To
+		{"mixed", [][]int{{0, 3}, {2, 4}}},            // From=City ∧ Airline=Discount
+		{"bottom (full cross)", nil},                  // no constraints
+		{"three-way block", [][]int{{0, 1, 3}}},       // From=To=City
+	} {
+		q, err := partition.FromBlocks(schema.Len(), tc.goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := relalg.EvaluateJoin(sources, schema, q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := bruteForceJoin(t, sources, q)
+		sameBag(t, got, want)
+		if !got.Schema().Equal(schema) {
+			t.Errorf("%s: schema drifted: %v", tc.name, got.Schema())
+		}
+	}
+}
+
+func TestEvaluateJoinThreeSources(t *testing.T) {
+	cities := relation.MustBuild(relation.MustSchema("City", "Country"),
+		[]any{"Paris", "FR"}, []any{"NYC", "US"}, []any{"Lille", "FR"})
+	sources := append(planSources(), relalg.Source{Name: "cities", Rel: cities})
+	schema := planSchema(t, sources)
+	// flights.To = hotels.City = cities.City — a block spanning all
+	// three sources exercises the residual transitive check.
+	q, err := partition.FromBlocks(schema.Len(), [][]int{{1, 3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := relalg.EvaluateJoin(sources, schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBag(t, got, bruteForceJoin(t, sources, q))
+}
+
+func TestEvaluateJoinNullsNeverJoin(t *testing.T) {
+	a := relation.New(relation.MustSchema("k"))
+	a.MustAppend(relation.Tuple{values.Null()})
+	a.MustAppend(relation.Tuple{values.Int(1)})
+	b := a.Clone()
+	sources := []relalg.Source{{Name: "a", Rel: a}, {Name: "b", Rel: b}}
+	schema := relation.MustSchema("a.k", "b.k")
+	q := partition.MustFromBlocks(2, [][]int{{0, 1}})
+	got, err := relalg.EvaluateJoin(sources, schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("NULL keys joined: %d rows", got.Len())
+	}
+	sameBag(t, got, bruteForceJoin(t, sources, q))
+}
+
+func TestEvaluateJoinNumericCrossKind(t *testing.T) {
+	a := relation.MustBuild(relation.MustSchema("k"), []any{1})
+	b := relation.MustBuild(relation.MustSchema("k"), []any{1.0}, []any{2.0})
+	sources := []relalg.Source{{Name: "a", Rel: a}, {Name: "b", Rel: b}}
+	schema := relation.MustSchema("a.k", "b.k")
+	q := partition.MustFromBlocks(2, [][]int{{0, 1}})
+	got, err := relalg.EvaluateJoin(sources, schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("Int(1) did not join Float(1.0): %d rows", got.Len())
+	}
+}
+
+func TestEvaluateJoinValidation(t *testing.T) {
+	sources := planSources()
+	schema := planSchema(t, sources)
+	if _, err := relalg.EvaluateJoin(nil, schema, partition.Bottom(schema.Len())); err == nil {
+		t.Error("zero sources accepted")
+	}
+	if _, err := relalg.EvaluateJoin(sources, schema, partition.Bottom(2)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Schema not matching the prefix convention.
+	bad := relation.MustSchema("x", "y", "z", "w", "v")
+	if _, err := relalg.EvaluateJoin(sources, bad, partition.Bottom(5)); err == nil {
+		t.Error("unprefixed schema accepted")
+	}
+	// Schema with extra columns.
+	extra, _ := schema.Concat(relation.MustSchema("more"))
+	if _, err := relalg.EvaluateJoin(sources, extra, partition.Bottom(extra.Len())); err == nil {
+		t.Error("oversized schema accepted")
+	}
+}
+
+// Property: for random small sources and random predicates, the plan
+// matches the brute-force cross-product filter.
+func TestPropertyEvaluateJoinEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mkRel := func(name string, cols, rows int) relalg.Source {
+			names := make([]string, cols)
+			for i := range names {
+				names[i] = string(rune('a'+i)) + name
+			}
+			rel := relation.New(relation.MustSchema(names...))
+			for r := 0; r < rows; r++ {
+				tu := make(relation.Tuple, cols)
+				for c := range tu {
+					tu[c] = values.Int(int64(rng.Intn(3)))
+				}
+				rel.MustAppend(tu)
+			}
+			return relalg.Source{Name: name, Rel: rel}
+		}
+		sources := []relalg.Source{
+			mkRel("r", 1+rng.Intn(2), 1+rng.Intn(4)),
+			mkRel("s", 1+rng.Intn(2), 1+rng.Intn(4)),
+			mkRel("u", 1+rng.Intn(2), 1+rng.Intn(4)),
+		}
+		var names []string
+		for _, s := range sources {
+			names = append(names, s.Rel.Schema().Prefixed(s.Name+".").Names()...)
+		}
+		schema, err := relation.NewSchema(names...)
+		if err != nil {
+			return false
+		}
+		q := partition.Uniform(rng, schema.Len())
+		got, err := relalg.EvaluateJoin(sources, schema, q)
+		if err != nil {
+			return false
+		}
+		want := bruteForceJoin(t, sources, q)
+		if got.Len() != want.Len() {
+			return false
+		}
+		counts := map[string]int{}
+		got.Each(func(_ int, tu relation.Tuple) { counts[tu.Key()]++ })
+		want.Each(func(_ int, tu relation.Tuple) { counts[tu.Key()]-- })
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,285 @@
+package relalg_test
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+func flights() *relation.Relation {
+	return relation.MustBuild(relation.MustSchema("From", "To", "Airline"),
+		[]any{"Paris", "Lille", "AF"},
+		[]any{"Lille", "NYC", "AA"},
+		[]any{"NYC", "Paris", "AA"},
+		[]any{"Paris", "NYC", "AF"},
+	)
+}
+
+func hotels() *relation.Relation {
+	return relation.MustBuild(relation.MustSchema("City", "Discount"),
+		[]any{"NYC", "AA"},
+		[]any{"Paris", "None"},
+		[]any{"Lille", "AF"},
+	)
+}
+
+func TestSelect(t *testing.T) {
+	out := relalg.Select(flights(), func(tu relation.Tuple) bool {
+		s, _ := tu[2].AsString()
+		return s == "AF"
+	})
+	if out.Len() != 2 {
+		t.Errorf("Select kept %d tuples, want 2", out.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	out, err := relalg.Project(flights(), "To", "From")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Name(0) != "To" || out.Schema().Name(1) != "From" {
+		t.Errorf("projected schema = %v", out.Schema())
+	}
+	if s, _ := out.Tuple(0)[0].AsString(); s != "Lille" {
+		t.Errorf("projection reordered wrong: %v", out.Tuple(0))
+	}
+	if _, err := relalg.Project(flights(), "Nope"); err == nil {
+		t.Error("missing attribute accepted")
+	}
+}
+
+func TestRename(t *testing.T) {
+	out, err := relalg.Rename(flights(), "To", "Dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Schema().Index("Dest"); !ok {
+		t.Error("rename lost attribute")
+	}
+	if _, ok := out.Schema().Index("To"); ok {
+		t.Error("old name still present")
+	}
+	if _, err := relalg.Rename(flights(), "Nope", "X"); err == nil {
+		t.Error("renaming missing attribute accepted")
+	}
+	if _, err := relalg.Rename(flights(), "To", "From"); err == nil {
+		t.Error("rename onto existing name accepted")
+	}
+}
+
+func TestPrefixAndCross(t *testing.T) {
+	f := relalg.Prefix(flights(), "flights.")
+	h := relalg.Prefix(hotels(), "hotels.")
+	x, err := relalg.Cross(f, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 12 {
+		t.Errorf("cross product has %d tuples, want 12", x.Len())
+	}
+	if x.Schema().Len() != 5 {
+		t.Errorf("cross schema arity = %d", x.Schema().Len())
+	}
+	// Cross with clashing names fails.
+	if _, err := relalg.Cross(flights(), flights()); err == nil {
+		t.Error("clashing cross accepted")
+	}
+}
+
+func TestCrossAll(t *testing.T) {
+	a := relalg.Prefix(hotels(), "a.")
+	b := relalg.Prefix(hotels(), "b.")
+	c := relalg.Prefix(hotels(), "c.")
+	x, err := relalg.CrossAll(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 27 {
+		t.Errorf("three-way cross has %d tuples, want 27", x.Len())
+	}
+	if _, err := relalg.CrossAll(); err == nil {
+		t.Error("zero-relation cross accepted")
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	f := relalg.Prefix(flights(), "f.")
+	h := relalg.Prefix(hotels(), "h.")
+	j, err := relalg.EquiJoin(f, h, []relalg.JoinOn{{Left: "f.To", Right: "h.City"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every flight's destination has a hotel: 4 matches.
+	if j.Len() != 4 {
+		t.Errorf("join has %d tuples, want 4", j.Len())
+	}
+	toIdx := j.Schema().MustIndex("f.To")
+	cityIdx := j.Schema().MustIndex("h.City")
+	j.Each(func(_ int, tu relation.Tuple) {
+		if !tu[toIdx].Equal(tu[cityIdx]) {
+			t.Errorf("join produced mismatch: %v", tu)
+		}
+	})
+	if _, err := relalg.EquiJoin(f, h, []relalg.JoinOn{{Left: "nope", Right: "h.City"}}); err == nil {
+		t.Error("bad left attribute accepted")
+	}
+	if _, err := relalg.EquiJoin(f, h, []relalg.JoinOn{{Left: "f.To", Right: "nope"}}); err == nil {
+		t.Error("bad right attribute accepted")
+	}
+}
+
+func TestEquiJoinMultiCondition(t *testing.T) {
+	a := relation.MustBuild(relation.MustSchema("a.x", "a.y"),
+		[]any{1, 1}, []any{1, 2}, []any{2, 2})
+	b := relation.MustBuild(relation.MustSchema("b.x", "b.y"),
+		[]any{1, 1}, []any{2, 2})
+	j, err := relalg.EquiJoin(a, b, []relalg.JoinOn{
+		{Left: "a.x", Right: "b.x"},
+		{Left: "a.y", Right: "b.y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Errorf("multi-condition join = %d tuples, want 2", j.Len())
+	}
+}
+
+func TestEquiJoinNullNeverMatches(t *testing.T) {
+	a := relation.MustBuild(relation.MustSchema("a.k"), []any{nil}, []any{1})
+	b := relation.MustBuild(relation.MustSchema("b.k"), []any{nil}, []any{1})
+	j, err := relalg.EquiJoin(a, b, []relalg.JoinOn{{Left: "a.k", Right: "b.k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Errorf("NULL join matched %d, want only 1=1", j.Len())
+	}
+}
+
+func TestEquiJoinEmptyConditionsIsCross(t *testing.T) {
+	f := relalg.Prefix(flights(), "f.")
+	h := relalg.Prefix(hotels(), "h.")
+	j, err := relalg.EquiJoin(f, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 12 {
+		t.Errorf("empty-condition join = %d tuples, want cross 12", j.Len())
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	cities := relation.MustBuild(relation.MustSchema("City", "Country"),
+		[]any{"Paris", "FR"},
+		[]any{"NYC", "US"},
+		[]any{"Lille", "FR"},
+	)
+	j, err := relalg.NaturalJoin(hotels(), cities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Errorf("natural join = %d tuples, want 3", j.Len())
+	}
+	if j.Schema().Len() != 3 {
+		t.Errorf("natural join schema = %v, want 3 attrs", j.Schema())
+	}
+	if _, ok := j.Schema().Index("Country"); !ok {
+		t.Error("natural join lost Country")
+	}
+	// No shared attributes falls back to cross.
+	ab := relation.MustBuild(relation.MustSchema("p"), []any{1})
+	cd := relation.MustBuild(relation.MustSchema("q"), []any{2}, []any{3})
+	x, err := relalg.NaturalJoin(ab, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 2 {
+		t.Errorf("no-shared natural join = %d, want cross 2", x.Len())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u, err := relalg.Union(hotels(), hotels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 6 {
+		t.Errorf("union len = %d", u.Len())
+	}
+	if _, err := relalg.Union(hotels(), flights()); err == nil {
+		t.Error("schema-mismatched union accepted")
+	}
+}
+
+func TestDistinctOrderByLimitSample(t *testing.T) {
+	r := relation.MustBuild(relation.MustSchema("n"),
+		[]any{3}, []any{1}, []any{3}, []any{2})
+	d := relalg.Distinct(r)
+	if d.Len() != 3 {
+		t.Errorf("distinct = %d", d.Len())
+	}
+	o, err := relalg.OrderBy(d, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Tuple(0)[0].AsInt(); v != 1 {
+		t.Errorf("order by head = %v", o.Tuple(0))
+	}
+	if _, err := relalg.OrderBy(d, "zz"); err == nil {
+		t.Error("order by missing attribute accepted")
+	}
+	l, err := relalg.Limit(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Errorf("limit = %d", l.Len())
+	}
+	if big, err := relalg.Limit(o, 99); err != nil || big.Len() != 3 {
+		t.Errorf("limit beyond size = %d, %v", big.Len(), err)
+	}
+	if _, err := relalg.Limit(o, -1); err == nil {
+		t.Error("negative limit accepted")
+	}
+	s, err := relalg.Sample(r, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("sample = %d", s.Len())
+	}
+	if _, err := relalg.Sample(r, 0, 0); err == nil {
+		t.Error("step 0 accepted")
+	}
+	if _, err := relalg.Sample(r, 1, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestCrossMatchesPaperInstanceShape(t *testing.T) {
+	// The paper's Figure 1 is conceptually flights × hotels; the cross
+	// product of the 4-flight and 3-hotel tables above reproduces its
+	// 12 tuples (in flight-major order).
+	f := flights()
+	h := hotels()
+	x, err := relalg.Cross(f, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 12 || x.Schema().Len() != 5 {
+		t.Fatalf("shape = %d×%d", x.Len(), x.Schema().Len())
+	}
+	// Tuple (3) of the paper: third tuple = flight 1 × hotel 3.
+	want := relation.Tuple{
+		values.Str("Paris"), values.Str("Lille"), values.Str("AF"),
+		values.Str("Lille"), values.Str("AF"),
+	}
+	if !x.Tuple(2).Identical(want) {
+		t.Errorf("tuple (3) = %v, want %v", x.Tuple(2), want)
+	}
+}

@@ -1,0 +1,133 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/values"
+)
+
+// CSVOptions controls CSV import.
+type CSVOptions struct {
+	// NoHeader generates attribute names c0, c1, ... instead of reading
+	// the first record as a header.
+	NoHeader bool
+	// Comma overrides the field separator (default ',').
+	Comma rune
+}
+
+// ReadCSV reads a relation from CSV. A header cell may be annotated
+// with a kind, e.g. "price:float" — annotated columns are parsed
+// strictly with values.ParseAs, other columns use values.Parse type
+// inference per cell. Empty cells become NULL.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1 // validated manually for better errors
+
+	var (
+		schema *Schema
+		kinds  []values.Kind
+		typed  []bool
+		rel    *Relation
+		row    = 0
+	)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV record %d: %w", row, err)
+		}
+		row++
+		if schema == nil {
+			if opts.NoHeader {
+				names := make([]string, len(rec))
+				for i := range names {
+					names[i] = fmt.Sprintf("c%d", i)
+				}
+				schema, err = NewSchema(names...)
+				if err != nil {
+					return nil, err
+				}
+				kinds = make([]values.Kind, len(rec))
+				typed = make([]bool, len(rec))
+				rel = New(schema)
+				// fall through: rec is data
+			} else {
+				names := make([]string, len(rec))
+				kinds = make([]values.Kind, len(rec))
+				typed = make([]bool, len(rec))
+				for i, h := range rec {
+					name, kindStr, found := strings.Cut(h, ":")
+					names[i] = strings.TrimSpace(name)
+					if found {
+						k, err := values.KindFromString(kindStr)
+						if err != nil {
+							return nil, fmt.Errorf("relation: header %q: %w", h, err)
+						}
+						kinds[i] = k
+						typed[i] = true
+					}
+				}
+				schema, err = NewSchema(names...)
+				if err != nil {
+					return nil, err
+				}
+				rel = New(schema)
+				continue
+			}
+		}
+		if len(rec) != schema.Len() {
+			return nil, fmt.Errorf("relation: CSV record %d has %d fields, want %d", row, len(rec), schema.Len())
+		}
+		t := make(Tuple, len(rec))
+		for i, cell := range rec {
+			if typed[i] {
+				v, err := values.ParseAs(cell, kinds[i])
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV record %d column %q: %w", row, schema.Name(i), err)
+				}
+				t[i] = v
+			} else {
+				t[i] = values.Parse(cell)
+			}
+		}
+		rel.tuples = append(rel.tuples, t)
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("relation: empty CSV input")
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a plain header. NULLs are
+// written as the literal "NULL" rather than the empty string: a
+// single-column NULL row would otherwise serialize as a blank line,
+// which encoding/csv silently skips on re-read (found by FuzzReadCSV).
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.Names()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, r.schema.Len())
+	for _, t := range r.tuples {
+		for i, v := range t {
+			if v.IsNull() {
+				rec[i] = "NULL"
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing CSV record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

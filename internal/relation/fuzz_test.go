@@ -1,0 +1,35 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("a:int,b:string\n1,x\n")
+	f.Add("a\n\n")
+	f.Add("x,y,z\nParis,2.5,true\nNYC,,false\n")
+	f.Add("h1,h2\n\"quo\"\"ted\",2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := ReadCSV(strings.NewReader(input), CSVOptions{})
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		// A successfully parsed relation must re-serialize and re-parse
+		// to the same shape.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("WriteCSV after successful read: %v", err)
+		}
+		back, err := ReadCSV(&buf, CSVOptions{})
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		if back.Len() != rel.Len() || back.Schema().Len() != rel.Schema().Len() {
+			t.Fatalf("shape changed: %dx%d -> %dx%d",
+				rel.Len(), rel.Schema().Len(), back.Len(), back.Schema().Len())
+		}
+	})
+}

@@ -1,0 +1,412 @@
+// Package server exposes JIM over HTTP: sessions are created from a
+// CSV instance, the client fetches the next proposed tuple, posts
+// yes/no/skip answers, and reads the inferred predicate — the
+// demonstration's web tool as a JSON API. State lives in memory; the
+// export/import endpoints round-trip the session-file format of
+// package session for persistence.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/session"
+	"repro/internal/sqlgen"
+	"repro/internal/strategy"
+)
+
+// Server is an in-memory multi-session JIM service. The zero value is
+// not usable; call New.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*liveSession
+	nextID   int
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+type liveSession struct {
+	st           *core.State
+	picker       core.KPicker
+	strategyName string
+	createdAt    time.Time
+	deferred     map[int]bool // group head index -> deferred (skip answers)
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{
+		sessions: make(map[string]*liveSession),
+		now:      time.Now,
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /sessions              create from {"csv": ..., "strategy": ...}
+//	GET    /sessions              list session summaries
+//	POST   /sessions/import       create from an exported session file
+//	GET    /sessions/{id}         session summary
+//	DELETE /sessions/{id}         drop the session
+//	GET    /sessions/{id}/next    next proposed tuple (or done)
+//	GET    /sessions/{id}/topk    k most informative tuples (?k=3)
+//	POST   /sessions/{id}/label   {"index": i, "label": "+"|"-"|"skip"}
+//	GET    /sessions/{id}/result  inferred predicate, SQL, certainty
+//	GET    /sessions/{id}/export  persistable session file
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions", s.handleList)
+	mux.HandleFunc("POST /sessions/import", s.handleImport)
+	mux.HandleFunc("GET /sessions/{id}", s.withSession(s.handleSummary))
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /sessions/{id}/next", s.withSession(s.handleNext))
+	mux.HandleFunc("GET /sessions/{id}/topk", s.withSession(s.handleTopK))
+	mux.HandleFunc("POST /sessions/{id}/label", s.withSession(s.handleLabel))
+	mux.HandleFunc("GET /sessions/{id}/result", s.withSession(s.handleResult))
+	mux.HandleFunc("GET /sessions/{id}/export", s.withSession(s.handleExport))
+	return mux
+}
+
+type createRequest struct {
+	CSV      string `json:"csv"`
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+}
+
+type sessionSummary struct {
+	ID          string    `json:"id"`
+	Strategy    string    `json:"strategy"`
+	CreatedAt   time.Time `json:"created_at"`
+	Tuples      int       `json:"tuples"`
+	Attributes  []string  `json:"attributes"`
+	Labels      int       `json:"labels"`
+	Implied     int       `json:"implied"`
+	Informative int       `json:"informative"`
+	Done        bool      `json:"done"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Strategy == "" {
+		req.Strategy = "lookahead-maxmin"
+	}
+	picker, err := strategy.ByName(req.Strategy, req.Seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rel, err := readCSVString(req.CSV)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := core.NewState(rel)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	id := s.register(&liveSession{
+		st: st, picker: picker, strategyName: req.Strategy,
+		createdAt: s.now(), deferred: map[int]bool{},
+	})
+	summary := s.summaryLocked(id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, summary)
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	st, meta, err := session.Load(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := meta.Strategy
+	if name == "" {
+		name = "lookahead-maxmin"
+	}
+	picker, err := strategy.ByName(name, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	id := s.register(&liveSession{
+		st: st, picker: picker, strategyName: name,
+		createdAt: s.now(), deferred: map[int]bool{},
+	})
+	summary := s.summaryLocked(id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, summary)
+}
+
+// register stores a new session and returns its id. Caller holds mu.
+func (s *Server) register(ls *liveSession) string {
+	s.nextID++
+	id := fmt.Sprintf("s%04d", s.nextID)
+	s.sessions[id] = ls
+	return id
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]sessionSummary, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, s.summaryLocked(id))
+	}
+	s.mu.Unlock()
+	// Stable order for clients.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// withSession resolves the {id} path parameter under the server lock.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, string, *liveSession)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ls, ok := s.sessions[id]
+		if !ok {
+			httpError(w, http.StatusNotFound, "no session %q", id)
+			return
+		}
+		h(w, r, id, ls)
+	}
+}
+
+// summaryLocked builds a summary; caller holds mu.
+func (s *Server) summaryLocked(id string) sessionSummary {
+	ls := s.sessions[id]
+	p := ls.st.Progress()
+	return sessionSummary{
+		ID:          id,
+		Strategy:    ls.strategyName,
+		CreatedAt:   ls.createdAt,
+		Tuples:      p.Total,
+		Attributes:  ls.st.Relation().Schema().Names(),
+		Labels:      p.Explicit,
+		Implied:     p.Implied,
+		Informative: p.Informative,
+		Done:        ls.st.Done(),
+	}
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	writeJSON(w, http.StatusOK, s.summaryLocked(id))
+}
+
+type tupleView struct {
+	Index  int               `json:"index"`
+	Values map[string]string `json:"values"`
+}
+
+func viewTuple(ls *liveSession, i int) tupleView {
+	rel := ls.st.Relation()
+	vals := make(map[string]string, rel.Schema().Len())
+	for c, name := range rel.Schema().Names() {
+		vals[name] = rel.Tuple(i)[c].String()
+	}
+	return tupleView{Index: i, Values: vals}
+}
+
+type nextResponse struct {
+	Done  bool       `json:"done"`
+	Tuple *tupleView `json:"tuple,omitempty"`
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	i, ok := ls.next()
+	if !ok {
+		writeJSON(w, http.StatusOK, nextResponse{Done: ls.st.Done()})
+		return
+	}
+	tv := viewTuple(ls, i)
+	writeJSON(w, http.StatusOK, nextResponse{Done: false, Tuple: &tv})
+}
+
+// next picks the next informative non-deferred tuple.
+func (ls *liveSession) next() (int, bool) {
+	i, ok := ls.picker.Pick(ls.st)
+	if !ok {
+		return 0, false
+	}
+	if !ls.deferred[ls.st.GroupOf(i).Indices[0]] {
+		return i, true
+	}
+	for _, j := range ls.picker.PickK(ls.st, len(ls.st.Groups())) {
+		if !ls.deferred[ls.st.GroupOf(j).Indices[0]] {
+			return j, true
+		}
+	}
+	// Everything deferred: re-offer (the client explicitly skipped, so
+	// looping back is the only option left).
+	ls.deferred = map[int]bool{}
+	return i, true
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	k := 3
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		parsed, err := strconv.Atoi(kq)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "bad k %q", kq)
+			return
+		}
+		k = parsed
+	}
+	indices := ls.picker.PickK(ls.st, k)
+	out := make([]tupleView, 0, len(indices))
+	for _, i := range indices {
+		out = append(out, viewTuple(ls, i))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tuples": out, "done": ls.st.Done()})
+}
+
+type labelRequest struct {
+	Index int    `json:"index"`
+	Label string `json:"label"` // "+", "-", or "skip"
+}
+
+type labelResponse struct {
+	NewlyImplied []int  `json:"newly_implied"`
+	Informative  int    `json:"informative"`
+	Done         bool   `json:"done"`
+	Progress     string `json:"progress"`
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	var req labelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Index < 0 || req.Index >= ls.st.Relation().Len() {
+		httpError(w, http.StatusBadRequest, "index %d out of range", req.Index)
+		return
+	}
+	var l core.Label
+	switch req.Label {
+	case "+", "yes", "y":
+		l = core.Positive
+	case "-", "no", "n":
+		l = core.Negative
+	case "skip", "s", "?":
+		ls.deferred[ls.st.GroupOf(req.Index).Indices[0]] = true
+		writeJSON(w, http.StatusOK, labelResponse{
+			Informative: ls.st.InformativeCount(),
+			Done:        ls.st.Done(),
+			Progress:    ls.st.Progress().String(),
+		})
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "unknown label %q (want +, -, or skip)", req.Label)
+		return
+	}
+	newly, err := ls.st.Apply(req.Index, l)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	// A new label may unblock deferred classes.
+	ls.deferred = map[int]bool{}
+	if newly == nil {
+		newly = []int{}
+	}
+	writeJSON(w, http.StatusOK, labelResponse{
+		NewlyImplied: newly,
+		Informative:  ls.st.InformativeCount(),
+		Done:         ls.st.Done(),
+		Progress:     ls.st.Progress().String(),
+	})
+}
+
+type resultResponse struct {
+	Done       bool   `json:"done"`
+	Predicate  string `json:"predicate"`
+	Atoms      string `json:"atoms"`
+	SQL        string `json:"sql"`
+	Certain    string `json:"certain,omitempty"`
+	Undecided  string `json:"undecided,omitempty"`
+	Consistent int    `json:"consistent_queries,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	names := ls.st.Relation().Schema().Names()
+	q := ls.st.Result()
+	sql, err := sqlgen.SelectSQL("instance", ls.st.Relation().Schema(), q)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := resultResponse{
+		Done:      ls.st.Done(),
+		Predicate: q.String(),
+		Atoms:     q.FormatAtoms(names),
+		SQL:       sql,
+	}
+	// Certainty panel for demo-scale instances only.
+	if vs, err := ls.st.VersionSpace(100_000); err == nil {
+		resp.Certain = core.FormatPairs(vs.CertainPairs(), names)
+		resp.Undecided = core.FormatPairs(vs.UndecidedPairs(), names)
+		resp.Consistent = ls.st.CountConsistent()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	w.Header().Set("Content-Type", "application/json")
+	meta := session.Meta{Strategy: ls.strategyName, CreatedAt: ls.createdAt}
+	if err := session.Save(w, ls.st, meta); err != nil {
+		// Headers already sent; best effort.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+func readCSVString(csv string) (*relation.Relation, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("server: empty csv")
+	}
+	return relation.ReadCSV(strings.NewReader(csv), relation.CSVOptions{})
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,466 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+const travelCSV = `From,To,Airline,City,Discount
+Paris,Lille,AF,NYC,AA
+Paris,Lille,AF,Paris,None
+Paris,Lille,AF,Lille,AF
+Lille,NYC,AA,NYC,AA
+Lille,NYC,AA,Paris,None
+Lille,NYC,AA,Lille,AF
+NYC,Paris,AA,NYC,AA
+NYC,Paris,AA,Paris,None
+NYC,Paris,AA,Lille,AF
+Paris,NYC,AF,NYC,AA
+Paris,NYC,AF,Paris,None
+Paris,NYC,AF,Lille,AF
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d; body: %s", method, url, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %s: %v", method, url, data, err)
+		}
+	}
+}
+
+type summary struct {
+	ID          string   `json:"id"`
+	Strategy    string   `json:"strategy"`
+	Tuples      int      `json:"tuples"`
+	Attributes  []string `json:"attributes"`
+	Labels      int      `json:"labels"`
+	Implied     int      `json:"implied"`
+	Informative int      `json:"informative"`
+	Done        bool     `json:"done"`
+}
+
+type next struct {
+	Done  bool `json:"done"`
+	Tuple *struct {
+		Index  int               `json:"index"`
+		Values map[string]string `json:"values"`
+	} `json:"tuple"`
+}
+
+type labelResp struct {
+	NewlyImplied []int  `json:"newly_implied"`
+	Informative  int    `json:"informative"`
+	Done         bool   `json:"done"`
+	Progress     string `json:"progress"`
+}
+
+type result struct {
+	Done       bool   `json:"done"`
+	Atoms      string `json:"atoms"`
+	SQL        string `json:"sql"`
+	Certain    string `json:"certain"`
+	Undecided  string `json:"undecided"`
+	Consistent int    `json:"consistent_queries"`
+}
+
+func createSession(t *testing.T, ts *httptest.Server, strategy string) summary {
+	t.Helper()
+	var s summary
+	doJSON(t, "POST", ts.URL+"/sessions",
+		map[string]any{"csv": travelCSV, "strategy": strategy},
+		http.StatusCreated, &s)
+	return s
+}
+
+func TestCreateSession(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "")
+	if s.ID == "" || s.Tuples != 12 || len(s.Attributes) != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Strategy != "lookahead-maxmin" {
+		t.Errorf("default strategy = %q", s.Strategy)
+	}
+	if s.Done || s.Informative != 12 {
+		t.Errorf("fresh session state = %+v", s)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	ts := newTestServer(t)
+	var e map[string]string
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]any{"csv": ""}, http.StatusBadRequest, &e)
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]any{"csv": travelCSV, "strategy": "bogus"},
+		http.StatusBadRequest, &e)
+	if e["error"] == "" {
+		t.Error("error body missing")
+	}
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", resp.StatusCode)
+	}
+}
+
+func TestUnknownSession(t *testing.T) {
+	ts := newTestServer(t)
+	var e map[string]string
+	doJSON(t, "GET", ts.URL+"/sessions/zzz", nil, http.StatusNotFound, &e)
+	doJSON(t, "GET", ts.URL+"/sessions/zzz/next", nil, http.StatusNotFound, &e)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/zzz", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown status = %d", resp.StatusCode)
+	}
+}
+
+// TestDriveToConvergence runs a whole inference over HTTP: fetch next,
+// answer per the Q2 goal oracle, until done; then check the result.
+func TestDriveToConvergence(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "lookahead-maxmin")
+	rel := workload.Travel()
+	goal := workload.TravelQ2()
+
+	questions := 0
+	for {
+		var n next
+		doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
+		if n.Done {
+			break
+		}
+		if n.Tuple == nil {
+			t.Fatal("next returned neither done nor tuple")
+		}
+		questions++
+		if questions > 12 {
+			t.Fatal("server asked more questions than tuples")
+		}
+		label := "-"
+		if core.Selects(goal, rel.Tuple(n.Tuple.Index)) {
+			label = "+"
+		}
+		var lr labelResp
+		doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+			map[string]any{"index": n.Tuple.Index, "label": label},
+			http.StatusOK, &lr)
+	}
+	var res result
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+	if !res.Done {
+		t.Error("result not done")
+	}
+	if res.Atoms != "To=City ∧ Airline=Discount" {
+		t.Errorf("atoms = %q", res.Atoms)
+	}
+	if !strings.Contains(res.SQL, `"To" = "City"`) {
+		t.Errorf("sql = %q", res.SQL)
+	}
+	if res.Consistent != 1 {
+		t.Errorf("consistent queries = %d, want 1", res.Consistent)
+	}
+	if res.Undecided != "" {
+		t.Errorf("undecided = %q", res.Undecided)
+	}
+	if questions > 6 {
+		t.Errorf("took %d questions; strategy should need few", questions)
+	}
+}
+
+func TestLabelValidation(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "")
+	var e map[string]string
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": 99, "label": "+"}, http.StatusBadRequest, &e)
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": 0, "label": "maybe"}, http.StatusBadRequest, &e)
+	// Conflicting label: (12)+ implies (3)+; labeling (3)- conflicts.
+	var lr labelResp
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": 11, "label": "+"}, http.StatusOK, &lr)
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": 2, "label": "-"}, http.StatusConflict, &e)
+	if !strings.Contains(e["error"], "inconsistent") {
+		t.Errorf("conflict error = %q", e["error"])
+	}
+}
+
+func TestSkipDefersTuple(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "lookahead-maxmin")
+	var n1 next
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n1)
+	var lr labelResp
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": n1.Tuple.Index, "label": "skip"}, http.StatusOK, &lr)
+	var n2 next
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n2)
+	if n2.Tuple == nil {
+		t.Fatal("no alternative proposed after skip")
+	}
+	if n2.Tuple.Index == n1.Tuple.Index {
+		t.Error("skip did not defer the tuple")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "lookahead-maxmin")
+	var out struct {
+		Tuples []struct {
+			Index int `json:"index"`
+		} `json:"tuples"`
+	}
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/topk?k=4", nil, http.StatusOK, &out)
+	if len(out.Tuples) != 4 {
+		t.Errorf("topk returned %d", len(out.Tuples))
+	}
+	seen := map[int]bool{}
+	for _, tv := range out.Tuples {
+		if seen[tv.Index] {
+			t.Error("duplicate tuple in topk")
+		}
+		seen[tv.Index] = true
+	}
+	var e map[string]string
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/topk?k=0", nil, http.StatusBadRequest, &e)
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/topk?k=x", nil, http.StatusBadRequest, &e)
+}
+
+func TestListAndDelete(t *testing.T) {
+	ts := newTestServer(t)
+	a := createSession(t, ts, "")
+	b := createSession(t, ts, "random")
+	var list []summary
+	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
+	if len(list) != 2 || list[0].ID > list[1].ID {
+		t.Errorf("list = %+v", list)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/"+a.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("delete status = %d", resp.StatusCode)
+	}
+	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != b.ID {
+		t.Errorf("after delete list = %+v", list)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "lookahead-maxmin")
+	var lr labelResp
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": 2, "label": "+"}, http.StatusOK, &lr)
+
+	resp, err := http.Get(ts.URL + "/sessions/" + s.ID + "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Post(ts.URL+"/sessions/import", "application/json", bytes.NewReader(exported))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imported summary
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import status = %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &imported); err != nil {
+		t.Fatal(err)
+	}
+	if imported.Labels != 1 || imported.Tuples != 12 {
+		t.Errorf("imported = %+v", imported)
+	}
+	if imported.Strategy != "lookahead-maxmin" {
+		t.Errorf("imported strategy = %q", imported.Strategy)
+	}
+	// Corrupt import rejected.
+	resp, err = http.Post(ts.URL+"/sessions/import", "application/json", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt import status = %d", resp.StatusCode)
+	}
+}
+
+func TestResultMidSession(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "")
+	var lr labelResp
+	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		map[string]any{"index": 2, "label": "+"}, http.StatusOK, &lr)
+	var res result
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+	if res.Done {
+		t.Error("one label should not converge")
+	}
+	// After (3)+: M_P = Q2, 4 consistent queries, nothing certain yet.
+	if res.Consistent != 4 {
+		t.Errorf("consistent = %d, want 4", res.Consistent)
+	}
+	if res.Certain != "" {
+		t.Errorf("certain = %q, want empty", res.Certain)
+	}
+	if res.Undecided == "" {
+		t.Error("undecided should list Q2's atoms")
+	}
+}
+
+func TestConcurrentRequestsOneSession(t *testing.T) {
+	// Many goroutines label the same session concurrently; the server
+	// must serialize them. Every tuple gets one goroutine posting a
+	// Q2-consistent label; duplicates and implied conflicts surface as
+	// 409s, which is acceptable — what matters is that nothing races
+	// and the final state is consistent and converged.
+	ts := newTestServer(t)
+	s := createSession(t, ts, "lookahead-maxmin")
+	rel := workload.Travel()
+	goal := workload.TravelQ2()
+	errs := make(chan error, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		go func(i int) {
+			errs <- func() error {
+				label := "-"
+				if core.Selects(goal, rel.Tuple(i)) {
+					label = "+"
+				}
+				data, _ := json.Marshal(map[string]any{"index": i, "label": label})
+				resp, err := http.Post(ts.URL+"/sessions/"+s.ID+"/label", "application/json", bytes.NewReader(data))
+				if err != nil {
+					return err
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+					return fmt.Errorf("tuple %d: status %d", i, resp.StatusCode)
+				}
+				return nil
+			}()
+		}(i)
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	var res result
+	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+	if !res.Done {
+		t.Error("session not converged after labeling every tuple")
+	}
+	if res.Atoms != "To=City ∧ Airline=Discount" {
+		t.Errorf("atoms = %q", res.Atoms)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	ts := newTestServer(t)
+	const n = 8
+	errs := make(chan error, n)
+	for g := 0; g < n; g++ {
+		go func(g int) {
+			errs <- func() error {
+				var s summary
+				data, _ := json.Marshal(map[string]any{"csv": travelCSV})
+				resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(data))
+				if err != nil {
+					return err
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					return fmt.Errorf("create status %d", resp.StatusCode)
+				}
+				if err := json.Unmarshal(body, &s); err != nil {
+					return err
+				}
+				// Label tuple (3) in each session concurrently.
+				data, _ = json.Marshal(map[string]any{"index": 2, "label": "+"})
+				resp, err = http.Post(ts.URL+"/sessions/"+s.ID+"/label", "application/json", bytes.NewReader(data))
+				if err != nil {
+					return err
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("label status %d", resp.StatusCode)
+				}
+				return nil
+			}()
+		}(g)
+	}
+	for g := 0; g < n; g++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	var list []summary
+	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
+	if len(list) != n {
+		t.Errorf("sessions after concurrent creates = %d, want %d", len(list), n)
+	}
+}

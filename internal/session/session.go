@@ -1,0 +1,141 @@
+// Package session persists JIM inference sessions: the instance, the
+// explicit labels given so far, and run metadata, as a versioned JSON
+// document. A session can be saved mid-run and resumed later — implied
+// labels and the hypothesis summary are re-derived by replaying the
+// explicit labels, so files stay small and cannot desynchronize from
+// the inference logic.
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+// FormatVersion identifies the session file layout.
+const FormatVersion = 1
+
+// Meta carries run metadata that is not part of the inference state.
+type Meta struct {
+	// Strategy is the strategy name the session was driven with.
+	Strategy string `json:"strategy,omitempty"`
+	// CreatedAt is the session creation time.
+	CreatedAt time.Time `json:"created_at,omitempty"`
+	// Note is a free-form user note.
+	Note string `json:"note,omitempty"`
+}
+
+// LabelEntry is one explicit label, in the order it was given.
+type LabelEntry struct {
+	Index int    `json:"index"`
+	Label string `json:"label"` // "+" or "-"
+}
+
+// File is the on-disk session layout. Tuples are stored with tagged
+// value encoding (values.Tag) so reloading never re-infers cell kinds
+// and Eq signatures survive the round trip exactly.
+type File struct {
+	Version int        `json:"version"`
+	Meta    Meta       `json:"meta"`
+	Schema  []string   `json:"schema"`
+	Rows    [][]string `json:"rows"`
+	// Labels holds explicit labels (implied labels are recomputed on
+	// load).
+	Labels []LabelEntry `json:"labels"`
+}
+
+// Save writes the state and metadata as a session file. Only explicit
+// labels are stored; replay order is by tuple index, which yields an
+// identical state because explicit-label application commutes for
+// consistent label sets.
+func Save(w io.Writer, st *core.State, meta Meta) error {
+	rel := st.Relation()
+	f := File{
+		Version: FormatVersion,
+		Meta:    meta,
+		Schema:  rel.Schema().Names(),
+	}
+	f.Rows = make([][]string, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		row := make([]string, len(t))
+		for c, v := range t {
+			row[c] = v.Tag()
+		}
+		f.Rows[i] = row
+		switch st.Label(i) {
+		case core.Positive:
+			f.Labels = append(f.Labels, LabelEntry{Index: i, Label: "+"})
+		case core.Negative:
+			f.Labels = append(f.Labels, LabelEntry{Index: i, Label: "-"})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("session: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads a session file and reconstructs the inference state by
+// replaying the explicit labels.
+func Load(r io.Reader) (*core.State, Meta, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, Meta{}, fmt.Errorf("session: decoding: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, Meta{}, fmt.Errorf("session: unsupported format version %d (want %d)", f.Version, FormatVersion)
+	}
+	schema, err := relation.NewSchema(f.Schema...)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("session: decoding schema: %w", err)
+	}
+	rel := relation.New(schema)
+	for ri, row := range f.Rows {
+		if len(row) != schema.Len() {
+			return nil, Meta{}, fmt.Errorf("session: row %d has %d cells, schema has %d", ri, len(row), schema.Len())
+		}
+		t := make(relation.Tuple, len(row))
+		for c, tag := range row {
+			v, err := values.FromTag(tag)
+			if err != nil {
+				return nil, Meta{}, fmt.Errorf("session: row %d column %d: %w", ri, c, err)
+			}
+			t[c] = v
+		}
+		rel.MustAppend(t)
+	}
+	st, err := core.NewState(rel)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	for _, e := range f.Labels {
+		var l core.Label
+		switch e.Label {
+		case "+":
+			l = core.Positive
+		case "-":
+			l = core.Negative
+		default:
+			return nil, Meta{}, fmt.Errorf("session: unknown label %q for tuple %d", e.Label, e.Index)
+		}
+		if e.Index < 0 || e.Index >= rel.Len() {
+			return nil, Meta{}, fmt.Errorf("session: label index %d out of range [0,%d)", e.Index, rel.Len())
+		}
+		if st.Label(e.Index).IsExplicit() {
+			return nil, Meta{}, fmt.Errorf("session: duplicate label for tuple %d", e.Index)
+		}
+		if _, err := st.Apply(e.Index, l); err != nil {
+			return nil, Meta{}, fmt.Errorf("session: replaying label %d: %w", e.Index, err)
+		}
+	}
+	return st, f.Meta, nil
+}

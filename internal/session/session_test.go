@@ -1,0 +1,173 @@
+package session_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/relation"
+	"repro/internal/session"
+	"repro/internal/strategy"
+	"repro/internal/values"
+	"repro/internal/workload"
+)
+
+func travelStateWithLabels(t *testing.T) *core.State {
+	t.Helper()
+	st, err := core.NewState(workload.Travel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(2, core.Positive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(7, core.Negative); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := travelStateWithLabels(t)
+	meta := session.Meta{
+		Strategy:  "lookahead-maxmin",
+		CreatedAt: time.Date(2014, 9, 1, 10, 0, 0, 0, time.UTC),
+		Note:      "demo session",
+	}
+	var buf bytes.Buffer
+	if err := session.Save(&buf, st, meta); err != nil {
+		t.Fatal(err)
+	}
+	st2, meta2, err := session.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != meta {
+		t.Errorf("meta = %+v, want %+v", meta2, meta)
+	}
+	if st2.Relation().Len() != st.Relation().Len() {
+		t.Fatalf("tuple count changed: %d vs %d", st2.Relation().Len(), st.Relation().Len())
+	}
+	// Full state equivalence: same labels, same hypothesis.
+	for i := 0; i < st.Relation().Len(); i++ {
+		if st2.Label(i) != st.Label(i) {
+			t.Errorf("tuple %d label %v, want %v", i, st2.Label(i), st.Label(i))
+		}
+		if !st2.Sig(i).Equal(st.Sig(i)) {
+			t.Errorf("tuple %d signature changed", i)
+		}
+	}
+	if !st2.MP().Equal(st.MP()) {
+		t.Errorf("M_P = %v, want %v", st2.MP(), st.MP())
+	}
+	if len(st2.Negatives()) != len(st.Negatives()) {
+		t.Errorf("negatives = %v, want %v", st2.Negatives(), st.Negatives())
+	}
+	if err := st2.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResumeSessionContinuesToGoal(t *testing.T) {
+	st := travelStateWithLabels(t)
+	var buf bytes.Buffer
+	if err := session.Save(&buf, st, session.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := session.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(st2, strategy.LookaheadMaxMin(), oracle.Goal(workload.TravelQ2()))
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("resumed session did not converge")
+	}
+	if !core.InstanceEquivalent(st2.Relation(), res.Query, workload.TravelQ2()) {
+		t.Errorf("resumed session inferred %v", res.Query)
+	}
+}
+
+func TestTypePreservation(t *testing.T) {
+	// A string "1" and an int 1 must stay distinct across the round
+	// trip (they are unequal under SQL semantics, so the signature
+	// depends on it).
+	rel := relation.MustBuild(relation.MustSchema("a", "b"),
+		[]any{"x", 1},
+	)
+	// Force a string cell that looks numeric.
+	rel2 := relation.New(rel.Schema())
+	rel2.MustAppend(relation.Tuple{values.Str("1"), values.Int(1)})
+	st, err := core.NewState(rel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sig(0).IsBottom() {
+		t.Fatalf("precondition: string 1 != int 1, sig = %v", st.Sig(0))
+	}
+	var buf bytes.Buffer
+	if err := session.Save(&buf, st, session.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := session.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Sig(0).IsBottom() {
+		t.Errorf("round trip merged string \"1\" and int 1: sig = %v", st2.Sig(0))
+	}
+}
+
+func TestLoadRejectsCorruptFiles(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "not json at all",
+		"bad version":     `{"version": 99, "schema":["a"], "rows":[], "labels":[]}`,
+		"bad schema":      `{"version": 1, "schema":["a","a"], "rows":[], "labels":[]}`,
+		"ragged row":      `{"version": 1, "schema":["a","b"], "rows":[["i:1"]], "labels":[]}`,
+		"bad tag":         `{"version": 1, "schema":["a"], "rows":[["zz"]], "labels":[]}`,
+		"bad label":       `{"version": 1, "schema":["a"], "rows":[["i:1"]], "labels":[{"index":0,"label":"?"}]}`,
+		"label range":     `{"version": 1, "schema":["a"], "rows":[["i:1"]], "labels":[{"index":5,"label":"+"}]}`,
+		"duplicate label": `{"version": 1, "schema":["a"], "rows":[["i:1"]], "labels":[{"index":0,"label":"+"},{"index":0,"label":"+"}]}`,
+	}
+	for name, body := range cases {
+		if _, _, err := session.Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: corrupt session accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsInconsistentLabels(t *testing.T) {
+	// Two contradictory labels on identical-signature tuples.
+	st, err := core.NewState(workload.Travel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := session.Save(&buf, st, session.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	var f session.File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	// Tuples (3) and (4) share a signature: labeling them oppositely
+	// is inconsistent and must be rejected on load.
+	f.Labels = []session.LabelEntry{
+		{Index: 2, Label: "+"},
+		{Index: 3, Label: "-"},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := session.Load(bytes.NewReader(data)); err == nil {
+		t.Error("inconsistent session accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package setgame implements the tagged-picture domain of the paper's
+// Figure 5: the 81 cards of the game Set, which "vary in four features:
+// number (one, two, or three), symbol (diamond, squiggle, oval),
+// shading (solid, striped, or open), and color (red, green, or
+// purple)". JIM joins sets of pictures by inferring predicates such as
+// "select the pairs of pictures having the same color and the same
+// shading" over the cross product of two card sets.
+package setgame
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+// Feature values of a Set card.
+const (
+	SymbolDiamond  = "diamond"
+	SymbolSquiggle = "squiggle"
+	SymbolOval     = "oval"
+
+	ShadingSolid   = "solid"
+	ShadingStriped = "striped"
+	ShadingOpen    = "open"
+
+	ColorRed    = "red"
+	ColorGreen  = "green"
+	ColorPurple = "purple"
+)
+
+// Symbols, Shadings, and Colors list the legal feature values.
+var (
+	Symbols  = []string{SymbolDiamond, SymbolSquiggle, SymbolOval}
+	Shadings = []string{ShadingSolid, ShadingStriped, ShadingOpen}
+	Colors   = []string{ColorRed, ColorGreen, ColorPurple}
+)
+
+// Features are the card feature names, in schema order.
+var Features = []string{"number", "symbol", "shading", "color"}
+
+// Card is one tagged picture.
+type Card struct {
+	Number  int // 1..3
+	Symbol  string
+	Shading string
+	Color   string
+}
+
+// Validate checks the card's features.
+func (c Card) Validate() error {
+	if c.Number < 1 || c.Number > 3 {
+		return fmt.Errorf("setgame: number %d out of range 1..3", c.Number)
+	}
+	if !contains(Symbols, c.Symbol) {
+		return fmt.Errorf("setgame: unknown symbol %q", c.Symbol)
+	}
+	if !contains(Shadings, c.Shading) {
+		return fmt.Errorf("setgame: unknown shading %q", c.Shading)
+	}
+	if !contains(Colors, c.Color) {
+		return fmt.Errorf("setgame: unknown color %q", c.Color)
+	}
+	return nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the card, e.g. "2 striped red squiggle".
+func (c Card) String() string {
+	return fmt.Sprintf("%d %s %s %s", c.Number, c.Shading, c.Color, c.Symbol)
+}
+
+// Deck returns the full 81-card Set deck in a deterministic order.
+func Deck() []Card {
+	var deck []Card
+	for n := 1; n <= 3; n++ {
+		for _, sym := range Symbols {
+			for _, sh := range Shadings {
+				for _, col := range Colors {
+					deck = append(deck, Card{Number: n, Symbol: sym, Shading: sh, Color: col})
+				}
+			}
+		}
+	}
+	return deck
+}
+
+// Sample draws k distinct cards from the deck.
+func Sample(r *rand.Rand, k int) ([]Card, error) {
+	deck := Deck()
+	if k < 0 || k > len(deck) {
+		return nil, fmt.Errorf("setgame: cannot sample %d of %d cards", k, len(deck))
+	}
+	r.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	return deck[:k], nil
+}
+
+// PairSchema is the schema of a pair instance: the left card's features
+// prefixed "left.", then the right card's prefixed "right.".
+func PairSchema() *relation.Schema {
+	names := make([]string, 0, 2*len(Features))
+	for _, f := range Features {
+		names = append(names, "left."+f)
+	}
+	for _, f := range Features {
+		names = append(names, "right."+f)
+	}
+	return relation.MustSchema(names...)
+}
+
+// PairInstance builds the denormalized instance whose tuples are all
+// pairs (l, r) for l in left and r in right — the "joining sets of
+// pictures" input of Figure 5.
+func PairInstance(left, right []Card) (*relation.Relation, error) {
+	rel := relation.New(PairSchema())
+	for _, l := range left {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		for _, r := range right {
+			if err := r.Validate(); err != nil {
+				return nil, err
+			}
+			rel.MustAppend(pairTuple(l, r))
+		}
+	}
+	return rel, nil
+}
+
+func pairTuple(l, r Card) relation.Tuple {
+	return relation.Tuple{
+		// Number values live in their own space (ints); the three
+		// string features use disjoint value vocabularies, so the only
+		// possible equalities are feature-to-same-feature.
+		values.Int(int64(l.Number)), values.Str(l.Symbol), values.Str(l.Shading), values.Str(l.Color),
+		values.Int(int64(r.Number)), values.Str(r.Symbol), values.Str(r.Shading), values.Str(r.Color),
+	}
+}
+
+// SameFeatureGoal returns the join predicate "same f for every listed
+// feature f", e.g. SameFeatureGoal("color", "shading") is the paper's
+// example goal.
+func SameFeatureGoal(features ...string) (partition.P, error) {
+	schema := PairSchema()
+	var blocks [][]int
+	for _, f := range features {
+		if !contains(Features, f) {
+			return partition.P{}, fmt.Errorf("setgame: unknown feature %q", f)
+		}
+		blocks = append(blocks, []int{
+			schema.MustIndex("left." + f),
+			schema.MustIndex("right." + f),
+		})
+	}
+	return partition.FromBlocks(schema.Len(), blocks)
+}

@@ -1,0 +1,167 @@
+package setgame_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/setgame"
+	"repro/internal/strategy"
+)
+
+func TestDeck(t *testing.T) {
+	deck := setgame.Deck()
+	if len(deck) != 81 {
+		t.Fatalf("deck has %d cards, want 81", len(deck))
+	}
+	seen := map[setgame.Card]bool{}
+	for _, c := range deck {
+		if err := c.Validate(); err != nil {
+			t.Errorf("invalid card %v: %v", c, err)
+		}
+		if seen[c] {
+			t.Errorf("duplicate card %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestCardValidate(t *testing.T) {
+	bad := []setgame.Card{
+		{Number: 0, Symbol: setgame.SymbolOval, Shading: setgame.ShadingOpen, Color: setgame.ColorRed},
+		{Number: 4, Symbol: setgame.SymbolOval, Shading: setgame.ShadingOpen, Color: setgame.ColorRed},
+		{Number: 1, Symbol: "star", Shading: setgame.ShadingOpen, Color: setgame.ColorRed},
+		{Number: 1, Symbol: setgame.SymbolOval, Shading: "dotted", Color: setgame.ColorRed},
+		{Number: 1, Symbol: setgame.SymbolOval, Shading: setgame.ShadingOpen, Color: "blue"},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("card %+v validated", c)
+		}
+	}
+	if got := (setgame.Card{Number: 2, Symbol: setgame.SymbolSquiggle, Shading: setgame.ShadingStriped, Color: setgame.ColorRed}).String(); !strings.Contains(got, "striped") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cards, err := setgame.Sample(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cards) != 10 {
+		t.Fatalf("sampled %d", len(cards))
+	}
+	seen := map[setgame.Card]bool{}
+	for _, c := range cards {
+		if seen[c] {
+			t.Errorf("duplicate sample %v", c)
+		}
+		seen[c] = true
+	}
+	if _, err := setgame.Sample(r, 100); err == nil {
+		t.Error("oversample accepted")
+	}
+	if _, err := setgame.Sample(r, -1); err == nil {
+		t.Error("negative sample accepted")
+	}
+}
+
+func TestPairInstanceShape(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	left, _ := setgame.Sample(r, 5)
+	right, _ := setgame.Sample(r, 4)
+	inst, err := setgame.PairInstance(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() != 20 {
+		t.Errorf("pair instance = %d tuples, want 20", inst.Len())
+	}
+	if inst.Schema().Len() != 8 {
+		t.Errorf("pair schema arity = %d, want 8", inst.Schema().Len())
+	}
+	bad := []setgame.Card{{Number: 9}}
+	if _, err := setgame.PairInstance(bad, right); err == nil {
+		t.Error("invalid left card accepted")
+	}
+	if _, err := setgame.PairInstance(left, bad); err == nil {
+		t.Error("invalid right card accepted")
+	}
+}
+
+func TestSameFeatureGoal(t *testing.T) {
+	goal, err := setgame.SameFeatureGoal("color", "shading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := setgame.PairSchema()
+	lc, rc := schema.MustIndex("left.color"), schema.MustIndex("right.color")
+	ls, rs := schema.MustIndex("left.shading"), schema.MustIndex("right.shading")
+	if !goal.SameBlock(lc, rc) || !goal.SameBlock(ls, rs) {
+		t.Errorf("goal misses feature pairs: %v", goal)
+	}
+	if goal.PairCount() != 2 {
+		t.Errorf("goal pairs = %d, want 2", goal.PairCount())
+	}
+	if _, err := setgame.SameFeatureGoal("weight"); err == nil {
+		t.Error("unknown feature accepted")
+	}
+}
+
+// The paper's Figure 5 scenario end-to-end: infer "same color and same
+// shading" over card pairs with few interactions.
+func TestInferSameColorSameShading(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	left, _ := setgame.Sample(r, 9)
+	right, _ := setgame.Sample(r, 9)
+	inst, err := setgame.PairInstance(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := setgame.SameFeatureGoal("color", "shading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewState(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(st, strategy.LookaheadMaxMin(), oracle.Goal(goal))
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("set-game inference did not converge")
+	}
+	if !core.InstanceEquivalent(inst, res.Query, goal) {
+		t.Errorf("inferred %v not equivalent to goal %v", res.Query, goal)
+	}
+	if res.UserLabels > 15 {
+		t.Errorf("needed %d labels on an 81-tuple pair instance; expected few", res.UserLabels)
+	}
+}
+
+func TestCrossFeatureEqualitiesImpossible(t *testing.T) {
+	// String features use disjoint vocabularies: a card's color can
+	// never equal its shading, so Eq signatures only relate same
+	// features (plus numbers among themselves).
+	inst, err := setgame.PairInstance(setgame.Deck()[:9], setgame.Deck()[:9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := setgame.PairSchema()
+	lc := schema.MustIndex("left.color")
+	ls := schema.MustIndex("left.shading")
+	lsym := schema.MustIndex("left.symbol")
+	for i := 0; i < inst.Len(); i++ {
+		sig := core.SigOf(inst.Tuple(i))
+		if sig.SameBlock(lc, ls) || sig.SameBlock(lc, lsym) || sig.SameBlock(ls, lsym) {
+			t.Fatalf("tuple %d equates distinct features: %v", i, sig)
+		}
+	}
+}

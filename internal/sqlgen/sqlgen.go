@@ -1,0 +1,171 @@
+// Package sqlgen renders inferred join predicates as SQL and as GAV
+// schema mappings. The paper positions JIM as a schema-mapping
+// assistant: "our join queries can be eventually seen as simple GAV
+// mappings", inferred from membership queries by users who are not
+// familiar with schema mappings.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Where renders the predicate's equality atoms over a single
+// denormalized table, e.g. `"To" = "City" AND "Airline" = "Discount"`.
+// Bottom renders as "TRUE".
+func Where(schema *relation.Schema, q partition.P) (string, error) {
+	if q.N() != schema.Len() {
+		return "", fmt.Errorf("sqlgen: predicate over %d attributes, schema has %d", q.N(), schema.Len())
+	}
+	atoms := q.Atoms()
+	if len(atoms) == 0 {
+		return "TRUE", nil
+	}
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = fmt.Sprintf("%s = %s", quoteIdent(schema.Name(a[0])), quoteIdent(schema.Name(a[1])))
+	}
+	return strings.Join(parts, " AND "), nil
+}
+
+// SelectSQL renders the full query over a denormalized table.
+func SelectSQL(table string, schema *relation.Schema, q partition.P) (string, error) {
+	where, err := Where(schema, q)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("SELECT *\nFROM %s\nWHERE %s;", quoteIdent(table), where), nil
+}
+
+// Provenance splits a prefixed attribute name "rel.attr" into its
+// source relation and attribute; names without a dot belong to the
+// anonymous source "".
+func Provenance(name string) (rel, attr string) {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// JoinSQL renders the predicate as a multi-relation SQL join, using
+// the "rel.attr" provenance encoded in the denormalized schema's
+// attribute names. Relations are emitted in first-appearance order;
+// cross-relation atoms become JOIN ... ON conditions and
+// intra-relation atoms become WHERE conditions.
+func JoinSQL(schema *relation.Schema, q partition.P) (string, error) {
+	if q.N() != schema.Len() {
+		return "", fmt.Errorf("sqlgen: predicate over %d attributes, schema has %d", q.N(), schema.Len())
+	}
+	// Source relations in first-appearance order.
+	var rels []string
+	seen := map[string]bool{}
+	for _, n := range schema.Names() {
+		r, _ := Provenance(n)
+		if r == "" {
+			return "", fmt.Errorf("sqlgen: attribute %q has no relation prefix", n)
+		}
+		if !seen[r] {
+			seen[r] = true
+			rels = append(rels, r)
+		}
+	}
+	order := map[string]int{}
+	for i, r := range rels {
+		order[r] = i
+	}
+
+	qual := func(i int) (rel string, sql string) {
+		r, a := Provenance(schema.Name(i))
+		return r, quoteIdent(r) + "." + quoteIdent(a)
+	}
+	// Atoms: normalize each so the later-ordered relation is on the
+	// left; attach it to that relation's JOIN clause. Same-relation
+	// atoms go to WHERE.
+	joinConds := make(map[string][]string)
+	var whereConds []string
+	for _, a := range q.Atoms() {
+		r0, s0 := qual(a[0])
+		r1, s1 := qual(a[1])
+		switch {
+		case r0 == r1:
+			whereConds = append(whereConds, s0+" = "+s1)
+		case order[r0] < order[r1]:
+			joinConds[r1] = append(joinConds[r1], s1+" = "+s0)
+		default:
+			joinConds[r0] = append(joinConds[r0], s0+" = "+s1)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("SELECT *\nFROM " + quoteIdent(rels[0]))
+	for _, r := range rels[1:] {
+		conds := joinConds[r]
+		if len(conds) == 0 {
+			b.WriteString("\nCROSS JOIN " + quoteIdent(r))
+			continue
+		}
+		sort.Strings(conds)
+		b.WriteString("\nJOIN " + quoteIdent(r) + " ON " + strings.Join(conds, " AND "))
+	}
+	if len(whereConds) > 0 {
+		sort.Strings(whereConds)
+		b.WriteString("\nWHERE " + strings.Join(whereConds, " AND "))
+	}
+	b.WriteString(";")
+	return b.String(), nil
+}
+
+// GAVMapping renders the predicate as a GAV schema mapping: the target
+// relation is defined by a conjunctive query over the sources, e.g.
+//
+//	target(x0, x1, ...) :- flights(x0, x1, x2), hotels(x1, x3).
+//
+// Variables are shared exactly between attributes the predicate
+// equates.
+func GAVMapping(target string, schema *relation.Schema, q partition.P) (string, error) {
+	if q.N() != schema.Len() {
+		return "", fmt.Errorf("sqlgen: predicate over %d attributes, schema has %d", q.N(), schema.Len())
+	}
+	// One variable per predicate block: attributes equated by q share
+	// the variable.
+	varOf := make([]string, schema.Len())
+	for i := range varOf {
+		varOf[i] = fmt.Sprintf("x%d", q.BlockOf(i))
+	}
+	// Group attribute positions by source relation, preserving order.
+	var rels []string
+	attrs := map[string][]int{}
+	for i, n := range schema.Names() {
+		r, _ := Provenance(n)
+		if r == "" {
+			return "", fmt.Errorf("sqlgen: attribute %q has no relation prefix", n)
+		}
+		if _, ok := attrs[r]; !ok {
+			rels = append(rels, r)
+		}
+		attrs[r] = append(attrs[r], i)
+	}
+	// Head lists each block's variable once, in block order.
+	headVars := make([]string, q.BlockCount())
+	for b := 0; b < q.BlockCount(); b++ {
+		headVars[b] = fmt.Sprintf("x%d", b)
+	}
+	var body []string
+	for _, r := range rels {
+		vars := make([]string, len(attrs[r]))
+		for k, i := range attrs[r] {
+			vars[k] = varOf[i]
+		}
+		body = append(body, fmt.Sprintf("%s(%s)", r, strings.Join(vars, ", ")))
+	}
+	return fmt.Sprintf("%s(%s) :- %s.", target, strings.Join(headVars, ", "), strings.Join(body, ", ")), nil
+}
+
+// quoteIdent quotes an SQL identifier with double quotes, doubling any
+// embedded quotes.
+func quoteIdent(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,160 @@
+package sqlgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sqlgen"
+	"repro/internal/workload"
+)
+
+func TestWhere(t *testing.T) {
+	schema := relation.MustSchema(workload.TravelAttrs...)
+	got, err := sqlgen.Where(schema, workload.TravelQ2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"To" = "City" AND "Airline" = "Discount"`
+	if got != want {
+		t.Errorf("Where = %q, want %q", got, want)
+	}
+	bottom, err := sqlgen.Where(schema, partition.Bottom(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bottom != "TRUE" {
+		t.Errorf("Where(bottom) = %q", bottom)
+	}
+	if _, err := sqlgen.Where(schema, partition.Bottom(3)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestSelectSQL(t *testing.T) {
+	schema := relation.MustSchema(workload.TravelAttrs...)
+	got, err := sqlgen.SelectSQL("packages", schema, workload.TravelQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT *\nFROM \"packages\"\nWHERE \"To\" = \"City\";"
+	if got != want {
+		t.Errorf("SelectSQL = %q, want %q", got, want)
+	}
+	if _, err := sqlgen.SelectSQL("t", schema, partition.Top(3)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestProvenance(t *testing.T) {
+	r, a := sqlgen.Provenance("flights.To")
+	if r != "flights" || a != "To" {
+		t.Errorf("Provenance = %q, %q", r, a)
+	}
+	r, a = sqlgen.Provenance("dim0.sub.x")
+	if r != "dim0.sub" || a != "x" {
+		t.Errorf("nested Provenance = %q, %q", r, a)
+	}
+	r, a = sqlgen.Provenance("plain")
+	if r != "" || a != "plain" {
+		t.Errorf("unprefixed Provenance = %q, %q", r, a)
+	}
+}
+
+func TestJoinSQL(t *testing.T) {
+	schema := relation.MustSchema(
+		"flights.From", "flights.To", "flights.Airline",
+		"hotels.City", "hotels.Discount",
+	)
+	q := partition.MustFromBlocks(5, [][]int{{1, 3}, {2, 4}})
+	got, err := sqlgen.JoinSQL(schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`FROM "flights"`,
+		`JOIN "hotels" ON`,
+		`"hotels"."City" = "flights"."To"`,
+		`"hotels"."Discount" = "flights"."Airline"`,
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("JoinSQL missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "WHERE") {
+		t.Errorf("no intra-relation atoms expected:\n%s", got)
+	}
+}
+
+func TestJoinSQLIntraRelationAtomsAndCross(t *testing.T) {
+	schema := relation.MustSchema("r.a", "r.b", "s.c")
+	q := partition.MustFromBlocks(3, [][]int{{0, 1}})
+	got, err := sqlgen.JoinSQL(schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, `WHERE "r"."a" = "r"."b"`) {
+		t.Errorf("intra-relation atom missing:\n%s", got)
+	}
+	if !strings.Contains(got, `CROSS JOIN "s"`) {
+		t.Errorf("unconstrained relation should CROSS JOIN:\n%s", got)
+	}
+}
+
+func TestJoinSQLRequiresProvenance(t *testing.T) {
+	schema := relation.MustSchema("a", "b")
+	if _, err := sqlgen.JoinSQL(schema, partition.Bottom(2)); err == nil {
+		t.Error("unprefixed schema accepted")
+	}
+	if _, err := sqlgen.JoinSQL(relation.MustSchema("r.a"), partition.Bottom(2)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestGAVMapping(t *testing.T) {
+	schema := relation.MustSchema(
+		"flights.From", "flights.To", "flights.Airline",
+		"hotels.City", "hotels.Discount",
+	)
+	q := partition.MustFromBlocks(5, [][]int{{1, 3}, {2, 4}})
+	got, err := sqlgen.GAVMapping("packages", schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks in canonical order: {From}=x0, {To,City}=x1,
+	// {Airline,Discount}=x2.
+	want := "packages(x0, x1, x2) :- flights(x0, x1, x2), hotels(x1, x2)."
+	if got != want {
+		t.Errorf("GAVMapping = %q, want %q", got, want)
+	}
+	if _, err := sqlgen.GAVMapping("t", relation.MustSchema("plain"), partition.Bottom(1)); err == nil {
+		t.Error("unprefixed schema accepted")
+	}
+	if _, err := sqlgen.GAVMapping("t", schema, partition.Bottom(2)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestGAVMappingBottomHasDistinctVariables(t *testing.T) {
+	schema := relation.MustSchema("r.a", "s.b")
+	got, err := sqlgen.GAVMapping("t", schema, partition.Bottom(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t(x0, x1) :- r(x0), s(x1)."
+	if got != want {
+		t.Errorf("GAVMapping(bottom) = %q, want %q", got, want)
+	}
+}
+
+func TestIdentQuoting(t *testing.T) {
+	schema := relation.MustSchema(`we"ird`, "ok")
+	got, err := sqlgen.Where(schema, partition.Top(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, `"we""ird"`) {
+		t.Errorf("quote doubling missing: %q", got)
+	}
+}

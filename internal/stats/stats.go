@@ -1,0 +1,216 @@
+// Package stats provides the measurement plumbing for the experiment
+// harness: numeric sample summaries, aligned text tables, and the
+// ASCII bar charts standing in for the paper's Figure 4 ("showing the
+// benefit of using a strategy").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a collection of measurements.
+type Sample []float64
+
+// Add appends a measurement.
+func (s *Sample) Add(v float64) { *s = append(*s, v) }
+
+// Len returns the number of measurements.
+func (s Sample) Len() int { return len(s) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Min returns the smallest measurement (0 for an empty sample).
+func (s Sample) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement (0 for an empty sample).
+func (s Sample) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// measurements).
+func (s Sample) Stddev() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s {
+		acc += (v - m) * (v - m)
+	}
+	return math.Sqrt(acc / float64(len(s)-1))
+}
+
+// Median returns the median (0 for an empty sample).
+func (s Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Quantile returns the q-quantile (linear interpolation, q clamped to
+// [0,1]; 0 for an empty sample).
+func (s Sample) Quantile(q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	sorted := append(Sample(nil), s...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary renders "mean ± stddev [min..max]".
+func (s Sample) Summary() string {
+	return fmt.Sprintf("%.2f ± %.2f [%.0f..%.0f]", s.Mean(), s.Stddev(), s.Min(), s.Max())
+}
+
+// Table is an aligned text table with a title — the unit of output for
+// every experiment in EXPERIMENTS.md.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		var rule []string
+		for i := 0; i < cols; i++ {
+			rule = append(rule, strings.Repeat("-", widths[i]))
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BarItem is one bar of a Bar chart.
+type BarItem struct {
+	Label string
+	Value float64
+}
+
+// Bar renders a horizontal ASCII bar chart scaled to width — the
+// repo's stand-in for the demo GUI's interaction-count comparison
+// (paper Figure 4).
+func Bar(title string, items []BarItem, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, it := range items {
+		if it.Value > maxVal {
+			maxVal = it.Value
+		}
+		if len(it.Label) > labelW {
+			labelW = len(it.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, it := range items {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(it.Value / maxVal * float64(width)))
+		}
+		if it.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s  %s %.1f\n", labelW, it.Label, strings.Repeat("█", n), it.Value)
+	}
+	return b.String()
+}

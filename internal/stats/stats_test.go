@@ -1,0 +1,140 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s stats.Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 || s.Median() != 0 {
+		t.Error("empty sample should summarize to zeros")
+	}
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 5 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	want := math.Sqrt((1 + 9 + 9 + 1) / 3.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev(), want)
+	}
+	if s.Summary() == "" {
+		t.Error("Summary empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := stats.Sample{1, 2, 3, 4, 5}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Errorf("extreme quantiles = %v, %v", s.Quantile(0), s.Quantile(1))
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Errorf("median quantile = %v", s.Quantile(0.5))
+	}
+	if got := s.Quantile(0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	// Clamping.
+	if s.Quantile(-1) != 1 || s.Quantile(2) != 5 {
+		t.Error("quantile not clamped")
+	}
+}
+
+func TestPropertySampleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s stats.Sample
+		n := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			s.Add(r.NormFloat64() * 10)
+		}
+		mean := s.Mean()
+		return s.Min() <= mean && mean <= s.Max() &&
+			s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Stddev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &stats.Table{
+		Title:  "E6: strategies",
+		Header: []string{"strategy", "labels"},
+	}
+	tb.AddRow("random", 9.75)
+	tb.AddRow("lookahead-maxmin", 4)
+	out := tb.String()
+	if !strings.Contains(out, "E6: strategies") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "9.75") {
+		t.Error("float cell missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the separator column.
+	if !strings.Contains(lines[1], "strategy") || !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("header/rule malformed:\n%s", out)
+	}
+}
+
+func TestTableWithoutHeader(t *testing.T) {
+	tb := &stats.Table{}
+	tb.AddRow("a", 1)
+	out := tb.String()
+	if strings.Contains(out, "--") {
+		t.Errorf("headerless table has a rule:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := stats.Bar("Fig 4", []stats.BarItem{
+		{Label: "no strategy", Value: 12},
+		{Label: "lookahead", Value: 3},
+		{Label: "zero", Value: 0},
+	}, 24)
+	if !strings.Contains(out, "Fig 4") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("bar lines = %d:\n%s", len(lines), out)
+	}
+	long := strings.Count(lines[1], "█")
+	short := strings.Count(lines[2], "█")
+	zero := strings.Count(lines[3], "█")
+	if long != 24 {
+		t.Errorf("max bar = %d blocks, want 24", long)
+	}
+	if short == 0 || short >= long {
+		t.Errorf("short bar = %d blocks", short)
+	}
+	if zero != 0 {
+		t.Errorf("zero bar = %d blocks", zero)
+	}
+	// Non-positive width falls back to default.
+	if stats.Bar("", []stats.BarItem{{Label: "x", Value: 1}}, 0) == "" {
+		t.Error("default width render empty")
+	}
+}

@@ -1,0 +1,294 @@
+// Package strategy implements JIM's tuple-presentation strategies Υ: a
+// strategy maps the current inference state to the next informative
+// tuple to show the user. The paper classifies strategies as local
+// (simple fixed orders), lookahead (score by the quantity of
+// information a label would contribute, via a generalized notion of
+// entropy), and random for comparison; an exponential optimal strategy
+// exists but is impractical (implemented in this package for tiny
+// instances as an ablation).
+//
+// All strategies operate on signature classes (core.SigGroup): tuples
+// with the same Eq signature are interchangeable for every hypothesis,
+// so scoring classes instead of tuples is an exact optimization.
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// parallelThreshold is the informative-class count above which a
+// parallel-safe strategy fans its scoring out across CPUs. Variable so
+// tests can force both paths.
+var parallelThreshold = 64
+
+// ranked is the common scaffolding: a strategy that totally orders the
+// informative signature classes by a score (higher = asked first).
+// It implements both core.Picker and core.KPicker.
+type ranked struct {
+	name string
+	// score returns the priority of asking about group g now.
+	score func(st *core.State, g *core.SigGroup) float64
+	// parallel marks score as safe to call concurrently (pure reads of
+	// the state, no shared mutable captures such as RNGs or caches).
+	parallel bool
+}
+
+func (s *ranked) Name() string { return s.name }
+
+// scores evaluates every group, fanning out across CPUs when the
+// strategy is parallel-safe and the class count makes it worthwhile.
+// Lookahead scoring is O(classes) partition work per class, so the
+// fan-out turns the dominant O(classes²) selection cost into
+// O(classes²/P).
+func (s *ranked) scores(st *core.State, groups []*core.SigGroup) []float64 {
+	out := make([]float64, len(groups))
+	if !s.parallel || len(groups) < parallelThreshold {
+		for gi, g := range groups {
+			out[gi] = s.score(st, g)
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range next {
+				out[gi] = s.score(st, groups[gi])
+			}
+		}()
+	}
+	for gi := range groups {
+		next <- gi
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Pick returns the first tuple of the best-scoring informative class.
+func (s *ranked) Pick(st *core.State) (int, bool) {
+	groups := st.InformativeGroups()
+	if len(groups) == 0 {
+		return 0, false
+	}
+	scores := s.scores(st, groups)
+	best := -1
+	bestScore := math.Inf(-1)
+	for gi := range groups {
+		if scores[gi] > bestScore {
+			best, bestScore = gi, scores[gi]
+		}
+	}
+	return firstUnlabeled(st, groups[best]), true
+}
+
+// PickK returns up to k informative tuples, best class first, at most
+// one tuple per class (labeling one member of a class settles the
+// whole class, so proposing two is never useful).
+func (s *ranked) PickK(st *core.State, k int) []int {
+	groups := st.InformativeGroups()
+	if len(groups) == 0 {
+		return nil
+	}
+	scores := s.scores(st, groups)
+	// Stable selection sort by descending score (k is small).
+	out := make([]int, 0, k)
+	used := make([]bool, len(groups))
+	for len(out) < k {
+		best := -1
+		for i := range groups {
+			if used[i] {
+				continue
+			}
+			if best == -1 || scores[i] > scores[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		out = append(out, firstUnlabeled(st, groups[best]))
+	}
+	return out
+}
+
+func firstUnlabeled(st *core.State, g *core.SigGroup) int {
+	for _, i := range g.Indices {
+		if st.Label(i) == core.Unlabeled {
+			return i
+		}
+	}
+	// Unreachable for informative groups; fail loudly if violated.
+	panic(fmt.Sprintf("strategy: informative group %v has no unlabeled tuple", g.Sig))
+}
+
+// Random returns the paper's baseline strategy: a uniformly random
+// informative tuple. Classes are drawn with probability proportional
+// to their size (the weighted-sampling key u^(1/w)), which is exactly
+// a uniform draw over informative tuples. Seeded for reproducible
+// experiments.
+func Random(seed int64) core.KPicker {
+	r := rand.New(rand.NewSource(seed))
+	return &ranked{
+		name: "random",
+		score: func(st *core.State, g *core.SigGroup) float64 {
+			return math.Pow(r.Float64(), 1/float64(len(g.Indices)))
+		},
+	}
+}
+
+// LocalMostSpecific returns the local strategy preferring tuples whose
+// signature overlaps the current hypothesis M_P the most (largest
+// |Pairs(Eq(t) ⋀ M_P)|): likely positives that refine M_P quickly.
+// Ties break toward larger signature classes, then stable order.
+func LocalMostSpecific() core.KPicker {
+	return &ranked{
+		name:     "local-most-specific",
+		parallel: true,
+		score: func(st *core.State, g *core.SigGroup) float64 {
+			overlap := st.MP().Meet(g.Sig).PairCount()
+			return float64(overlap) + float64(len(g.Indices))*1e-6
+		},
+	}
+}
+
+// LocalLeastSpecific returns the local strategy preferring tuples whose
+// signature overlaps M_P the least: likely negatives that cut away
+// large portions of the hypothesis cone. Ties break toward larger
+// signature classes.
+func LocalLeastSpecific() core.KPicker {
+	return &ranked{
+		name:     "local-least-specific",
+		parallel: true,
+		score: func(st *core.State, g *core.SigGroup) float64 {
+			overlap := st.MP().Meet(g.Sig).PairCount()
+			return -float64(overlap) + float64(len(g.Indices))*1e-6
+		},
+	}
+}
+
+// lookaheadCounts returns how many unlabeled tuples stop being
+// informative if this class is labeled +, respectively −.
+func lookaheadCounts(st *core.State, g *core.SigGroup) (pos, neg int) {
+	return st.SimulatePrune(g.Sig, core.Positive), st.SimulatePrune(g.Sig, core.Negative)
+}
+
+// LookaheadMaxMin returns the lookahead strategy maximizing the
+// guaranteed pruning min(p, n) — the adversarial one-step bound —
+// breaking ties by total pruning p+n.
+func LookaheadMaxMin() core.KPicker {
+	return &ranked{
+		name:     "lookahead-maxmin",
+		parallel: true,
+		score: func(st *core.State, g *core.SigGroup) float64 {
+			p, n := lookaheadCounts(st, g)
+			lo := min(p, n)
+			return float64(lo)*1e6 + float64(p+n)
+		},
+	}
+}
+
+// LookaheadExpected returns the lookahead strategy maximizing the
+// expected pruning (p+n)/2 under a uniform answer model.
+func LookaheadExpected() core.KPicker {
+	return &ranked{
+		name:     "lookahead-expected",
+		parallel: true,
+		score: func(st *core.State, g *core.SigGroup) float64 {
+			p, n := lookaheadCounts(st, g)
+			return float64(p+n) / 2
+		},
+	}
+}
+
+// LookaheadEntropy returns the lookahead strategy scoring each class by
+// a generalized entropy over its prune split: H(p/(p+n)) · (p+n). The
+// entropy factor favors balanced questions (both answers informative),
+// the magnitude factor favors questions that settle many tuples.
+func LookaheadEntropy() core.KPicker {
+	return &ranked{
+		name:     "lookahead-entropy",
+		parallel: true,
+		score: func(st *core.State, g *core.SigGroup) float64 {
+			p, n := lookaheadCounts(st, g)
+			total := p + n
+			if total == 0 {
+				return 0
+			}
+			q := float64(p) / float64(total)
+			return entropy(q) * float64(total)
+		},
+	}
+}
+
+func entropy(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		return 0
+	}
+	return -(q*math.Log2(q) + (1-q)*math.Log2(1-q))
+}
+
+// ByName builds a strategy from its report name. Seed feeds the random
+// strategy and is ignored by the deterministic ones.
+func ByName(name string, seed int64) (core.KPicker, error) {
+	switch name {
+	case "random":
+		return Random(seed), nil
+	case "local-most-specific":
+		return LocalMostSpecific(), nil
+	case "local-least-specific":
+		return LocalLeastSpecific(), nil
+	case "lookahead-maxmin":
+		return LookaheadMaxMin(), nil
+	case "lookahead-expected":
+		return LookaheadExpected(), nil
+	case "lookahead-entropy":
+		return LookaheadEntropy(), nil
+	case "lookahead-2":
+		return Lookahead2(), nil
+	case "optimal":
+		return Optimal(DefaultOptimalBudget), nil
+	}
+	return nil, fmt.Errorf("strategy: unknown strategy %q (want one of %v)", name, Names())
+}
+
+// Names lists the report names accepted by ByName, heuristics first.
+func Names() []string {
+	return []string{
+		"random",
+		"local-most-specific",
+		"local-least-specific",
+		"lookahead-maxmin",
+		"lookahead-expected",
+		"lookahead-entropy",
+		"lookahead-2",
+		"optimal",
+	}
+}
+
+// Heuristics returns fresh instances of every practical (polynomial-
+// time) strategy, for comparison experiments.
+func Heuristics(seed int64) []core.KPicker {
+	return []core.KPicker{
+		Random(seed),
+		LocalMostSpecific(),
+		LocalLeastSpecific(),
+		LookaheadMaxMin(),
+		LookaheadExpected(),
+		LookaheadEntropy(),
+		Lookahead2(),
+	}
+}

@@ -1,0 +1,61 @@
+package values
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzParseNeverPanics(f *testing.F) {
+	f.Add("42")
+	f.Add("2.5")
+	f.Add("true")
+	f.Add("NULL")
+	f.Add("Paris")
+	f.Add("-1e308")
+	f.Fuzz(func(t *testing.T, input string) {
+		v := Parse(input)
+		// Rendering must never panic, and a re-parse of the rendering
+		// must be Equal or both NULL (parsing is idempotent after one
+		// round).
+		s := v.String()
+		again := Parse(s)
+		if !v.IsNull() && !again.IsNull() {
+			if again.Kind() != v.Kind() && !(isNumeric(again.Kind()) && isNumeric(v.Kind())) && v.Kind() != KindString {
+				t.Fatalf("kind drifted: %v -> %v (input %q)", v.Kind(), again.Kind(), input)
+			}
+		}
+	})
+}
+
+func FuzzFromTag(f *testing.F) {
+	f.Add("i:42")
+	f.Add("s:hello")
+	f.Add("n:")
+	f.Add("f:2.5")
+	f.Add("b:true")
+	f.Add("x:?")
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := FromTag(input)
+		if err != nil {
+			return
+		}
+		// A decodable tag must re-encode to something that decodes to
+		// an identical value. NaN floats are the one exception to
+		// structural identity: NaN != NaN, but a NaN-for-NaN round
+		// trip is correct.
+		back, err := FromTag(v.Tag())
+		if err != nil {
+			t.Fatalf("re-decoding own tag %q: %v", v.Tag(), err)
+		}
+		if vf, ok := v.AsFloat(); ok && math.IsNaN(vf) {
+			bf, ok := back.AsFloat()
+			if !ok || !math.IsNaN(bf) {
+				t.Fatalf("NaN round trip changed %#v -> %#v", v, back)
+			}
+			return
+		}
+		if !back.Identical(v) {
+			t.Fatalf("tag round trip changed %#v -> %#v", v, back)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package values
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagFormats(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "n:"},
+		{Bool(true), "b:true"},
+		{Bool(false), "b:false"},
+		{Int(-42), "i:-42"},
+		{Float(2.5), "f:2.5"},
+		{Str("hello"), "s:hello"},
+		{Str(""), "s:"},
+		{Str("42"), "s:42"},     // strings never collide with ints
+		{Str("i:42"), "s:i:42"}, // embedded colons survive
+	} {
+		if got := tc.v.Tag(); got != tc.want {
+			t.Errorf("%#v.Tag() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestFromTagErrors(t *testing.T) {
+	for _, in := range []string{
+		"",        // no separator
+		"x:1",     // unknown kind
+		"i:abc",   // bad int
+		"f:abc",   // bad float
+		"b:maybe", // bad bool
+		"n:x",     // null with payload
+		"42",      // untagged
+	} {
+		if _, err := FromTag(in); err == nil {
+			t.Errorf("FromTag(%q) succeeded", in)
+		}
+	}
+}
+
+func TestPropertyTagRoundTripExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		back, err := FromTag(v.Tag())
+		if err != nil {
+			return false
+		}
+		// Identical, not just Equal: the kind survives too.
+		return back.Identical(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagDisambiguatesKinds(t *testing.T) {
+	// The classic CSV-round-trip hazard: string "1" vs int 1.
+	a := Str("1")
+	b := Int(1)
+	ra, err := FromTag(a.Tag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := FromTag(b.Tag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Equal(rb) {
+		t.Error("tagged round trip merged string \"1\" with int 1")
+	}
+}

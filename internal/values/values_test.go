@@ -1,0 +1,309 @@
+package values
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindBool:   "bool",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind rendered %q", got)
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{
+		{"int", KindInt}, {"INTEGER", KindInt}, {"int64", KindInt},
+		{"float", KindFloat}, {"double", KindFloat}, {"real", KindFloat},
+		{"bool", KindBool}, {"Boolean", KindBool},
+		{"string", KindString}, {"text", KindString}, {" varchar ", KindString},
+		{"null", KindNull},
+	} {
+		got, err := KindFromString(tc.in)
+		if err != nil {
+			t.Fatalf("KindFromString(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("KindFromString(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := KindFromString("blob"); err == nil {
+		t.Error("KindFromString(blob) succeeded, want error")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() is not null")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("Bool(true).AsBool() = %v, %v", b, ok)
+	}
+	if i, ok := Int(-7).AsInt(); !ok || i != -7 {
+		t.Errorf("Int(-7).AsInt() = %v, %v", i, ok)
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %v, %v", f, ok)
+	}
+	if f, ok := Int(4).AsFloat(); !ok || f != 4 {
+		t.Errorf("Int(4).AsFloat() = %v, %v", f, ok)
+	}
+	if s, ok := Str("x").AsString(); !ok || s != "x" {
+		t.Errorf("Str(x).AsString() = %v, %v", s, ok)
+	}
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("string value answered AsInt")
+	}
+	if _, ok := Null().AsFloat(); ok {
+		t.Error("null value answered AsFloat")
+	}
+}
+
+func TestEqualSQLSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Value
+		want bool
+	}{
+		{Null(), Null(), false}, // NULL != NULL
+		{Null(), Int(0), false},
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1.0), true}, // numeric cross-kind
+		{Float(1.5), Float(1.5), true},
+		{Int(1), Str("1"), false}, // no string coercion
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Bool(true), Int(1), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+	} {
+		if got := tc.a.Equal(tc.b); got != tc.want {
+			t.Errorf("%#v.Equal(%#v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Equal(tc.a); got != tc.want {
+			t.Errorf("Equal not symmetric for %#v, %#v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Null().Identical(Null()) {
+		t.Error("NULL not identical to NULL")
+	}
+	if Int(1).Identical(Float(1)) {
+		t.Error("int 1 identical to float 1")
+	}
+	if !Int(1).Identical(Int(1)) {
+		t.Error("int 1 not identical to itself")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		Bool(false), Bool(true),
+		Int(-3), Float(-2.5), Int(0), Float(0.5), Int(1), Int(7),
+		Str(""), Str("a"), Str("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%#v, %#v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Int(1).Compare(Float(1.0)) != 0 {
+		t.Error("Int(1) vs Float(1.0) not equal in order")
+	}
+	if Float(1.0).Compare(Int(1)) != 0 {
+		t.Error("Float(1.0) vs Int(1) not equal in order")
+	}
+	if Int(2).Compare(Float(1.5)) != 1 {
+		t.Error("Int(2) should sort after Float(1.5)")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""},
+		{Bool(true), "true"},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Str("hello"), "hello"},
+	} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := Str("x").GoString(); got != `"x"` {
+		t.Errorf("GoString of string = %q", got)
+	}
+	if got := Null().GoString(); got != "NULL" {
+		t.Errorf("GoString of null = %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Value
+	}{
+		{"", Null()},
+		{"NULL", Null()},
+		{"null", Null()},
+		{"true", Bool(true)},
+		{"False", Bool(false)},
+		{"42", Int(42)},
+		{"-17", Int(-17)},
+		{"2.5", Float(2.5)},
+		{"1e3", Float(1000)},
+		{"Paris", Str("Paris")},
+		{"42abc", Str("42abc")},
+	} {
+		if got := Parse(tc.in); !got.Identical(tc.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseAs(t *testing.T) {
+	v, err := ParseAs("42", KindString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v.AsString(); s != "42" {
+		t.Errorf("ParseAs(42, string) = %#v", v)
+	}
+	if _, err := ParseAs("abc", KindInt); err == nil {
+		t.Error("ParseAs(abc, int) succeeded")
+	}
+	if _, err := ParseAs("abc", KindFloat); err == nil {
+		t.Error("ParseAs(abc, float) succeeded")
+	}
+	if _, err := ParseAs("maybe", KindBool); err == nil {
+		t.Error("ParseAs(maybe, bool) succeeded")
+	}
+	v, err = ParseAs("", KindInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseAs(empty, int) = %#v, %v; want NULL", v, err)
+	}
+	v, err = ParseAs("2.5", KindFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsFloat(); f != 2.5 {
+		t.Errorf("ParseAs(2.5, float) = %#v", v)
+	}
+	v, err = ParseAs("true", KindBool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := v.AsBool(); !b {
+		t.Errorf("ParseAs(true, bool) = %#v", v)
+	}
+}
+
+// randomValue draws a value across all kinds for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(7) - 3))
+	case 3:
+		return Float(float64(r.Intn(7)-3) / 2)
+	default:
+		return Str(string(rune('a' + r.Intn(4))))
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		// If a <= b and b <= c then a <= c.
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEqualImpliesCompareZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		if a.Equal(b) {
+			return a.Compare(b) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParseRoundTripNonString(t *testing.T) {
+	// For null/bool/int/float values, Parse(v.String()) == v.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		if v.Kind() == KindString {
+			return true // strings may collide with literals; typed headers handle them
+		}
+		got := Parse(v.String())
+		if v.Kind() == KindFloat {
+			// Integral floats re-parse as ints; numeric equality is what matters.
+			return got.Equal(v) || (v.IsNull() && got.IsNull())
+		}
+		return got.Identical(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

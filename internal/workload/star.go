@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+// StarConfig parameterizes the star-schema generator that stands in
+// for the benchmark datasets (TPC-H style) of the companion paper's
+// experiments. A fact table references several dimension tables by
+// foreign key; the denormalized instance pairs fact rows with dimension
+// rows, and the goal join predicate is exactly the foreign-key
+// equalities. The substitution preserves what join inference sees —
+// which attribute pairs agree on which tuples — without the
+// proprietary data generator.
+type StarConfig struct {
+	// Dims is the number of dimension tables (join arity − 1).
+	Dims int
+	// DimRows is the number of rows per dimension table.
+	DimRows int
+	// DimAttrs is the number of non-key attributes per dimension.
+	DimAttrs int
+	// FactAttrs is the number of non-key attributes on the fact table.
+	FactAttrs int
+	// Rows is the number of tuples in the denormalized instance.
+	Rows int
+	// MatchRate is the probability that a generated tuple pairs a fact
+	// row with its matching dimension row in each dimension (default
+	// 0.4 when zero).
+	MatchRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Star is a generated star-schema workload.
+type Star struct {
+	// Fact and Dims are the source relations (for provenance-aware
+	// rendering, e.g. GAV mappings).
+	Fact *relation.Relation
+	Dims []*relation.Relation
+	// Instance is the denormalized table presented to JIM.
+	Instance *relation.Relation
+	// Goal is the foreign-key join predicate over Instance's columns.
+	Goal partition.P
+}
+
+// NewStar generates a star-schema workload.
+func NewStar(cfg StarConfig) (*Star, error) {
+	if cfg.Dims < 1 {
+		return nil, fmt.Errorf("workload: star schema needs >= 1 dimension, got %d", cfg.Dims)
+	}
+	if cfg.DimRows < 1 || cfg.Rows < 1 {
+		return nil, fmt.Errorf("workload: star schema needs positive DimRows and Rows")
+	}
+	if cfg.MatchRate == 0 {
+		cfg.MatchRate = 0.4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Fact table: fact.id, fact.fk<d>..., fact.m<j>...
+	factNames := []string{"fact.id"}
+	for d := 0; d < cfg.Dims; d++ {
+		factNames = append(factNames, fmt.Sprintf("fact.fk%d", d))
+	}
+	for j := 0; j < cfg.FactAttrs; j++ {
+		factNames = append(factNames, fmt.Sprintf("fact.m%d", j))
+	}
+	fact := relation.New(relation.MustSchema(factNames...))
+	factRows := max(1, cfg.Rows/2)
+	for i := 0; i < factRows; i++ {
+		t := relation.Tuple{values.Str(fmt.Sprintf("f#%d", i))}
+		for d := 0; d < cfg.Dims; d++ {
+			t = append(t, dimKey(d, rng.Intn(cfg.DimRows)))
+		}
+		for j := 0; j < cfg.FactAttrs; j++ {
+			t = append(t, values.Str(fmt.Sprintf("m%d:%d", j, rng.Intn(5))))
+		}
+		fact.MustAppend(t)
+	}
+
+	// Dimension tables: dim<d>.id, dim<d>.x<j>...
+	dims := make([]*relation.Relation, cfg.Dims)
+	for d := 0; d < cfg.Dims; d++ {
+		names := []string{fmt.Sprintf("dim%d.id", d)}
+		for j := 0; j < cfg.DimAttrs; j++ {
+			names = append(names, fmt.Sprintf("dim%d.x%d", d, j))
+		}
+		dim := relation.New(relation.MustSchema(names...))
+		for i := 0; i < cfg.DimRows; i++ {
+			t := relation.Tuple{dimKey(d, i)}
+			for j := 0; j < cfg.DimAttrs; j++ {
+				t = append(t, values.Str(fmt.Sprintf("d%d.x%d:%d", d, j, rng.Intn(7))))
+			}
+			dim.MustAppend(t)
+		}
+		dims[d] = dim
+	}
+
+	// Denormalized instance: fact columns followed by each dimension's
+	// columns; each output row pairs a random fact row with one row per
+	// dimension, matching the foreign key with probability MatchRate.
+	instNames := append([]string{}, factNames...)
+	for d := 0; d < cfg.Dims; d++ {
+		instNames = append(instNames, dims[d].Schema().Names()...)
+	}
+	inst := relation.New(relation.MustSchema(instNames...))
+	for r := 0; r < cfg.Rows; r++ {
+		f := fact.Tuple(rng.Intn(fact.Len()))
+		t := f.Clone()
+		for d := 0; d < cfg.Dims; d++ {
+			var row relation.Tuple
+			if rng.Float64() < cfg.MatchRate {
+				// Pick the dimension row matching fact.fk<d>; dim rows
+				// are in key order, and keys encode their index.
+				fk := f[1+d]
+				row = matchingDimRow(dims[d], fk)
+			} else {
+				row = dims[d].Tuple(rng.Intn(dims[d].Len()))
+			}
+			t = append(t, row...)
+		}
+		inst.MustAppend(t)
+	}
+
+	// Goal: fact.fk<d> = dim<d>.id for every d.
+	schema := inst.Schema()
+	var blocks [][]int
+	for d := 0; d < cfg.Dims; d++ {
+		fk := schema.MustIndex(fmt.Sprintf("fact.fk%d", d))
+		id := schema.MustIndex(fmt.Sprintf("dim%d.id", d))
+		blocks = append(blocks, []int{fk, id})
+	}
+	goal, err := partition.FromBlocks(schema.Len(), blocks)
+	if err != nil {
+		return nil, fmt.Errorf("workload: building star goal: %w", err)
+	}
+	return &Star{Fact: fact, Dims: dims, Instance: inst, Goal: goal}, nil
+}
+
+// dimKey renders dimension d's key i. Keys live in a per-dimension
+// value space so only the intended fk=id pairs can be equal.
+func dimKey(d, i int) values.Value {
+	return values.Str(fmt.Sprintf("d%d#%d", d, i))
+}
+
+func matchingDimRow(dim *relation.Relation, key values.Value) relation.Tuple {
+	for i := 0; i < dim.Len(); i++ {
+		if dim.Tuple(i)[0].Equal(key) {
+			return dim.Tuple(i)
+		}
+	}
+	panic(fmt.Sprintf("workload: no dimension row with key %v", key))
+}

@@ -1,0 +1,57 @@
+// Package workload builds the instances JIM is evaluated on: the
+// paper's flight&hotel motivating example (Figure 1), synthetic
+// instances with planted goal queries, and a star-schema generator
+// standing in for the benchmark datasets of the companion paper.
+package workload
+
+import (
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// TravelAttrs are the attribute names of the paper's Figure 1 table.
+var TravelAttrs = []string{"From", "To", "Airline", "City", "Discount"}
+
+// Attribute positions in the travel instance.
+const (
+	TravelFrom = iota
+	TravelTo
+	TravelAirline
+	TravelCity
+	TravelDiscount
+)
+
+// Travel returns the exact 12-tuple denormalized flight&hotel instance
+// of the paper's Figure 1. Tuple indices 0..11 correspond to the
+// paper's tuple numbers (1)..(12).
+func Travel() *relation.Relation {
+	return relation.MustBuild(relation.MustSchema(TravelAttrs...),
+		[]any{"Paris", "Lille", "AF", "NYC", "AA"},     // (1)
+		[]any{"Paris", "Lille", "AF", "Paris", "None"}, // (2)
+		[]any{"Paris", "Lille", "AF", "Lille", "AF"},   // (3)
+		[]any{"Lille", "NYC", "AA", "NYC", "AA"},       // (4)
+		[]any{"Lille", "NYC", "AA", "Paris", "None"},   // (5)
+		[]any{"Lille", "NYC", "AA", "Lille", "AF"},     // (6)
+		[]any{"NYC", "Paris", "AA", "NYC", "AA"},       // (7)
+		[]any{"NYC", "Paris", "AA", "Paris", "None"},   // (8)
+		[]any{"NYC", "Paris", "AA", "Lille", "AF"},     // (9)
+		[]any{"Paris", "NYC", "AF", "NYC", "AA"},       // (10)
+		[]any{"Paris", "NYC", "AF", "Paris", "None"},   // (11)
+		[]any{"Paris", "NYC", "AF", "Lille", "AF"},     // (12)
+	)
+}
+
+// TravelQ1 is the paper's query Q1: To = City (a flight plus a hotel
+// stay in the destination city).
+func TravelQ1() partition.P {
+	return partition.MustFromBlocks(len(TravelAttrs), [][]int{{TravelTo, TravelCity}})
+}
+
+// TravelQ2 is the paper's query Q2: To = City ∧ Airline = Discount
+// (the package additionally qualifies for the airline's discount).
+func TravelQ2() partition.P {
+	return partition.MustFromBlocks(len(TravelAttrs), [][]int{
+		{TravelTo, TravelCity},
+		{TravelAirline, TravelDiscount},
+	})
+}

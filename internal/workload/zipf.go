@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+// ZipfConfig parameterizes the skewed-value generator. Unlike
+// Synthetic, which plants exact signatures, Zipf draws every cell from
+// one shared vocabulary with Zipf-distributed frequencies, so equalities
+// (within and across columns) arise organically from value skew — the
+// profile of dirty, denormalized real-world exports. There is no
+// planted goal; pick any predicate as the inference target.
+type ZipfConfig struct {
+	// Attrs is the number of attributes.
+	Attrs int
+	// Tuples is the number of tuples.
+	Tuples int
+	// Vocab is the vocabulary size (distinct values; default 16).
+	Vocab int
+	// S is the Zipf exponent (> 1; default 1.5). Larger = more skew =
+	// more accidental equalities.
+	S float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Zipf generates a skewed-value instance.
+func Zipf(cfg ZipfConfig) (*relation.Relation, error) {
+	if cfg.Attrs < 2 {
+		return nil, fmt.Errorf("workload: zipf instance needs >= 2 attributes, got %d", cfg.Attrs)
+	}
+	if cfg.Tuples < 1 {
+		return nil, fmt.Errorf("workload: zipf instance needs >= 1 tuple, got %d", cfg.Tuples)
+	}
+	if cfg.Vocab == 0 {
+		cfg.Vocab = 16
+	}
+	if cfg.Vocab < 2 {
+		return nil, fmt.Errorf("workload: zipf vocabulary needs >= 2 values, got %d", cfg.Vocab)
+	}
+	if cfg.S == 0 {
+		cfg.S = 1.5
+	}
+	if cfg.S <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must exceed 1, got %v", cfg.S)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := rand.NewZipf(rng, cfg.S, 1, uint64(cfg.Vocab-1))
+
+	rel := relation.New(relation.MustSchema(AttrNames(cfg.Attrs)...))
+	for t := 0; t < cfg.Tuples; t++ {
+		tu := make(relation.Tuple, cfg.Attrs)
+		for c := range tu {
+			tu[c] = values.Str(fmt.Sprintf("v%d", z.Uint64()))
+		}
+		rel.MustAppend(tu)
+	}
+	return rel, nil
+}
+
+// WithDuplicates returns a copy of rel in which each tuple is followed
+// by extra duplicates with the given probability per slot, up to the
+// requested total size — instances where signature multiplicities
+// matter (the signature-grouping optimization's best case).
+func WithDuplicates(rel *relation.Relation, total int, seed int64) (*relation.Relation, error) {
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("workload: cannot duplicate an empty relation")
+	}
+	if total < rel.Len() {
+		return nil, fmt.Errorf("workload: total %d below source size %d", total, rel.Len())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := rel.Clone()
+	for out.Len() < total {
+		out.MustAppend(rel.Tuple(rng.Intn(rel.Len())).Clone())
+	}
+	return out, nil
+}

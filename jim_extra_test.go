@@ -1,0 +1,133 @@
+package jim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	jim "repro"
+	"repro/internal/workload"
+)
+
+func TestParseGoal(t *testing.T) {
+	rel := workload.Travel()
+	goal, err := jim.ParseGoal(rel.Schema(), "To=City, Airline=Discount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goal.Equal(workload.TravelQ2()) {
+		t.Errorf("parsed %v, want Q2", goal)
+	}
+	// Transitive closure through shared attributes.
+	goal, err = jim.ParseGoal(rel.Schema(), "From=To,To=City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goal.SameBlock(0, 3) {
+		t.Error("transitivity missing")
+	}
+	// Empty spec is the bottom predicate.
+	goal, err = jim.ParseGoal(rel.Schema(), "")
+	if err != nil || !goal.IsBottom() {
+		t.Errorf("empty spec = %v, %v", goal, err)
+	}
+	if _, err := jim.ParseGoal(rel.Schema(), "To<City"); err == nil {
+		t.Error("malformed atom accepted")
+	}
+	if _, err := jim.ParseGoal(rel.Schema(), "To=Nowhere"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	p, err := jim.ParsePredicate("{0}{1,3}{2,4}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(workload.TravelQ2()) {
+		t.Errorf("parsed %v", p)
+	}
+	if _, err := jim.ParsePredicate("{0}{0}"); err == nil {
+		t.Error("malformed predicate accepted")
+	}
+}
+
+func TestSessionRoundTripThroughFacade(t *testing.T) {
+	rel := workload.Travel()
+	st, err := jim.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(2, jim.Positive); err != nil {
+		t.Fatal(err)
+	}
+	meta := jim.SessionMeta{Strategy: "random", CreatedAt: time.Unix(0, 0).UTC(), Note: "x"}
+	var buf bytes.Buffer
+	if err := jim.SaveSession(&buf, st, meta); err != nil {
+		t.Fatal(err)
+	}
+	st2, meta2, err := jim.LoadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != meta {
+		t.Errorf("meta = %+v", meta2)
+	}
+	if st2.Label(2) != jim.Positive {
+		t.Errorf("label lost: %v", st2.Label(2))
+	}
+}
+
+func TestHesitantOracleThroughFacade(t *testing.T) {
+	rel := workload.Travel()
+	st, err := jim.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := jim.HesitantOracle(jim.GoalOracle(workload.TravelQ2()), 0.3, 3)
+	eng := jim.NewEngine(st, jim.MustStrategy("lookahead-maxmin", 0), lab)
+	eng.RedeferLimit = 64
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("hesitant run did not converge (abstentions=%d)", res.Abstentions)
+	}
+}
+
+func TestScriptedOracleThroughFacade(t *testing.T) {
+	rel := workload.Travel()
+	st, err := jim.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := jim.ScriptedOracle(map[int]jim.Label{2: jim.Positive})
+	eng := jim.NewEngine(st, jim.MustStrategy("local-most-specific", 0), lab)
+	eng.MaxSteps = 1
+	res, err := eng.Run()
+	if err != nil && !strings.Contains(err.Error(), "no scripted answer") {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestVersionSpaceThroughFacade(t *testing.T) {
+	rel := workload.Travel()
+	st, err := jim.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(2, jim.Positive); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := st.VersionSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ jim.VersionSpace = vs
+	if vs.Decided() {
+		t.Error("one label decided the space")
+	}
+}

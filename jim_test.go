@@ -1,0 +1,195 @@
+package jim_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	jim "repro"
+	"repro/internal/workload"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quick start, end to end, against the paper's Figure 1
+	// instance with a goal oracle standing in for the human.
+	rel := workload.Travel()
+	goal, err := jim.PredicateFromAtoms(rel.Schema(), [][2]string{
+		{"To", "City"}, {"Airline", "Discount"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := jim.Infer(rel, goal, "lookahead-maxmin", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if !jim.InstanceEquivalent(rel, res.Query, goal) {
+		t.Fatalf("inferred %v", res.Query)
+	}
+	sql, err := jim.SelectSQL("packages", rel.Schema(), res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, `"To" = "City"`) {
+		t.Errorf("SQL = %q", sql)
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	in := "a,b\n1,1\n1,2\n"
+	rel, err := jim.ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jim.WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := jim.ReadCSVWith(&buf, jim.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 2 {
+		t.Errorf("round trip len = %d", rel2.Len())
+	}
+}
+
+func TestStrategiesListAndBuild(t *testing.T) {
+	names := jim.Strategies()
+	if len(names) < 6 {
+		t.Fatalf("strategies = %v", names)
+	}
+	for _, n := range names {
+		if _, err := jim.Strategy(n, 1); err != nil {
+			t.Errorf("Strategy(%q): %v", n, err)
+		}
+	}
+	if _, err := jim.Strategy("bogus", 1); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustStrategy(bogus) did not panic")
+		}
+	}()
+	jim.MustStrategy("bogus", 1)
+}
+
+func TestInteractiveUserThroughFacade(t *testing.T) {
+	rel := workload.Travel()
+	st, err := jim.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// Quit immediately: partial result, no error.
+	eng := jim.NewEngine(st, jim.MustStrategy("lookahead-maxmin", 0),
+		jim.InteractiveUser(strings.NewReader("q\n"), &out))
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Converged {
+		t.Errorf("quit run: stopped=%v converged=%v", res.Stopped, res.Converged)
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	if !jim.Bottom(4).IsBottom() || !jim.Top(4).IsTop() {
+		t.Error("Bottom/Top misbehave")
+	}
+	p, err := jim.PredicateFromPairs(4, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SameBlock(0, 2) {
+		t.Error("transitive closure missing")
+	}
+	r := rand.New(rand.NewSource(1))
+	q := jim.RandomPredicate(r, 5)
+	if q.N() != 5 {
+		t.Errorf("random predicate size = %d", q.N())
+	}
+	rel := workload.Travel()
+	sig := jim.SigOf(rel.Tuple(2))
+	if !jim.Selects(workload.TravelQ2(), rel.Tuple(2)) {
+		t.Error("Q2 should select tuple (3)")
+	}
+	if sig.PairCount() != 2 {
+		t.Errorf("Eq(tuple 3) pairs = %d", sig.PairCount())
+	}
+	if got := jim.SelectTuples(rel, workload.TravelQ2()); len(got) != 2 {
+		t.Errorf("Q2 selects %v", got)
+	}
+}
+
+func TestRelalgThroughFacade(t *testing.T) {
+	a, _ := jim.NewSchema("x")
+	ra := jim.NewRelation(a)
+	_ = ra
+	flights, err := jim.ReadCSV(strings.NewReader("From,To\nParis,Lille\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotels, err := jim.ReadCSV(strings.NewReader("City\nLille\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := jim.Cross(jim.Prefix(flights, "f."), jim.Prefix(hotels, "h."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() != 1 || inst.Schema().Len() != 3 {
+		t.Errorf("cross shape %d×%d", inst.Len(), inst.Schema().Len())
+	}
+	all, err := jim.CrossAll(jim.Prefix(flights, "a."), jim.Prefix(hotels, "b."))
+	if err != nil || all.Len() != 1 {
+		t.Errorf("CrossAll: %v, %v", all, err)
+	}
+	j, err := jim.EquiJoin(jim.Prefix(flights, "f."), jim.Prefix(hotels, "h."),
+		[]jim.JoinOn{{Left: "f.To", Right: "h.City"}})
+	if err != nil || j.Len() != 1 {
+		t.Errorf("EquiJoin: %v, %v", j, err)
+	}
+	gav, err := jim.GAVMapping("t", inst.Schema(), jim.Bottom(3))
+	if err != nil || !strings.Contains(gav, ":-") {
+		t.Errorf("GAV = %q, %v", gav, err)
+	}
+	jsql, err := jim.JoinSQL(inst.Schema(), jim.Bottom(3))
+	if err != nil || !strings.Contains(jsql, "CROSS JOIN") {
+		t.Errorf("JoinSQL = %q, %v", jsql, err)
+	}
+	w, err := jim.Where(inst.Schema(), jim.Bottom(3))
+	if err != nil || w != "TRUE" {
+		t.Errorf("Where = %q, %v", w, err)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	rel := workload.Travel()
+	if _, err := jim.Infer(rel, workload.TravelQ2(), "bogus", 1); err == nil {
+		t.Error("bogus strategy accepted by Infer")
+	}
+}
+
+func TestNoisyOracleThroughFacade(t *testing.T) {
+	rel := workload.Travel()
+	st, err := jim.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := jim.NoisyOracle(jim.GoalOracle(workload.TravelQ2()), 0.3, 9)
+	eng := jim.NewEngine(st, jim.MustStrategy("lookahead-maxmin", 0), noisy)
+	eng.OnConflict = jim.SkipOnConflict
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("noisy run did not converge")
+	}
+}

@@ -1,6 +1,8 @@
 // Benchmarks regenerating the paper's figures (E1–E5) and the
-// evaluation experiments (E6–E11), one bench per artifact, plus the
-// micro-benchmarks for the design choices called out in DESIGN.md §5.
+// evaluation experiments (E6–E11), one bench per artifact, plus
+// micro-benchmarks for the performance design choices documented in
+// DESIGN.md §5. The HTTP service has its own load benchmark:
+// `go run ./cmd/jimbench -server` (see internal/loadtest).
 // Run: go test -bench=. -benchmem
 package jim_test
 
@@ -287,7 +289,7 @@ func BenchmarkVersionSpace(b *testing.B) {
 	}
 }
 
-// --- DESIGN.md §5 micro-benchmarks -----------------------------------
+// --- Micro-benchmarks for the design choices in DESIGN.md §5 ---------
 
 func randomPartitions(n, count int, seed int64) []partition.P {
 	r := rand.New(rand.NewSource(seed))

@@ -1,42 +1,72 @@
 // Command jimbench regenerates the paper's figures and the companion
-// experiments as text tables and ASCII charts.
+// experiments as text tables and ASCII charts, and load-tests the HTTP
+// service with concurrent simulated users.
 //
 // Usage:
 //
 //	jimbench -list
 //	jimbench -exp fig4 [-seed 7] [-trials 50]
 //	jimbench -all [-quick]
+//	jimbench -server [-users 64] [-sessions 1] [-workloads travel,synthetic,zipf] [-out BENCH_server.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/loadtest"
 )
 
-func main() {
-	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("exp", "", "experiment id to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Int64("seed", 1, "random seed")
-		trials = flag.Int("trials", 0, "trials per randomized measurement (0 = default)")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-	)
-	flag.Parse()
+// options gathers everything main parses; run is kept effect-free for
+// tests (all output goes to w or opts.out).
+type options struct {
+	list    bool
+	exp     string
+	all     bool
+	expOpts experiments.Options
 
-	if err := run(os.Stdout, *list, *exp, *all, experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}); err != nil {
+	server    bool
+	users     int
+	sessions  int
+	workloads string
+	strategy  string
+	out       string
+}
+
+func main() {
+	var o options
+	flag.BoolVar(&o.list, "list", false, "list available experiments")
+	flag.StringVar(&o.exp, "exp", "", "experiment id to run (see -list)")
+	flag.BoolVar(&o.all, "all", false, "run every experiment")
+	seed := flag.Int64("seed", 1, "random seed")
+	trials := flag.Int("trials", 0, "trials per randomized measurement (0 = default)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	flag.BoolVar(&o.server, "server", false, "load-test the HTTP service instead of running experiments")
+	flag.IntVar(&o.users, "users", 64, "concurrent simulated users (with -server)")
+	flag.IntVar(&o.sessions, "sessions", 1, "sessions each user completes (with -server)")
+	flag.StringVar(&o.workloads, "workloads", "travel,synthetic,zipf", "comma-separated workloads (with -server)")
+	flag.StringVar(&o.strategy, "strategy", "lookahead-maxmin", "question strategy (with -server)")
+	flag.StringVar(&o.out, "out", "BENCH_server.json", "machine-readable output file (with -server)")
+	flag.Parse()
+	o.expOpts = experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "jimbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, list bool, exp string, all bool, opt experiments.Options) error {
+func run(w io.Writer, o options) error {
 	switch {
-	case list:
+	case o.server:
+		return runServerBench(w, o)
+	case o.list:
 		for _, id := range experiments.IDs() {
 			title, err := experiments.Title(id)
 			if err != nil {
@@ -45,15 +75,98 @@ func run(w io.Writer, list bool, exp string, all bool, opt experiments.Options) 
 			fmt.Fprintf(w, "%-12s %s\n", id, title)
 		}
 		return nil
-	case all:
-		return experiments.RunAll(w, opt)
-	case exp != "":
-		res, err := experiments.Run(exp, opt)
+	case o.all:
+		return experiments.RunAll(w, o.expOpts)
+	case o.exp != "":
+		res, err := experiments.Run(o.exp, o.expOpts)
 		if err != nil {
 			return err
 		}
 		return res.Render(w)
 	default:
-		return fmt.Errorf("nothing to do: pass -list, -exp <id>, or -all")
+		return fmt.Errorf("nothing to do: pass -list, -exp <id>, -all, or -server")
 	}
+}
+
+// serverBench is the BENCH_server.json payload: one loadtest report
+// per workload plus run-wide totals, for the perf trajectory.
+type serverBench struct {
+	Benchmark       string             `json:"benchmark"`
+	GoVersion       string             `json:"go_version"`
+	MaxProcs        int                `json:"gomaxprocs"`
+	Users           int                `json:"users"`
+	SessionsPerUser int                `json:"sessions_per_user"`
+	Strategy        string             `json:"strategy"`
+	Workloads       []*loadtest.Report `json:"workloads"`
+	Totals          benchTotals        `json:"totals"`
+}
+
+type benchTotals struct {
+	Sessions       int     `json:"sessions"`
+	Completed      int     `json:"completed"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+func runServerBench(w io.Writer, o options) error {
+	bench := &serverBench{
+		Benchmark:       "jim-server-loadtest",
+		GoVersion:       runtime.Version(),
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		Users:           o.users,
+		SessionsPerUser: o.sessions,
+		Strategy:        o.strategy,
+	}
+	for _, wl := range strings.Split(o.workloads, ",") {
+		wl = strings.TrimSpace(wl)
+		if wl == "" {
+			continue
+		}
+		rep, err := loadtest.Run(loadtest.Config{
+			Users:           o.users,
+			SessionsPerUser: o.sessions,
+			Workload:        wl,
+			Strategy:        o.strategy,
+			Seed:            o.expOpts.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		bench.Workloads = append(bench.Workloads, rep)
+		bench.Totals.Sessions += rep.Sessions
+		bench.Totals.Completed += rep.Completed
+		bench.Totals.Requests += rep.Requests
+		bench.Totals.Errors += rep.Errors
+		bench.Totals.ElapsedSeconds += rep.ElapsedSeconds
+		fmt.Fprintf(w, "%-10s %4d/%d sessions  %8.1f req/s  %7.1f sessions/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+			wl, rep.Completed, rep.Sessions, rep.RequestsPerSec, rep.SessionsPerSec,
+			rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+	}
+	if len(bench.Workloads) == 0 {
+		return fmt.Errorf("no workloads selected")
+	}
+	if bench.Totals.Errors > 0 {
+		for _, rep := range bench.Workloads {
+			if rep.FirstError != "" {
+				return fmt.Errorf("%d sessions failed, first: %s", bench.Totals.Errors, rep.FirstError)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if o.out == "" || o.out == "-" {
+		_, err = w.Write(data)
+		return err
+	}
+	if err := os.WriteFile(o.out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s: %d sessions (%d completed), %d requests in %.2fs\n",
+		o.out, bench.Totals.Sessions, bench.Totals.Completed,
+		bench.Totals.Requests, bench.Totals.ElapsedSeconds)
+	return nil
 }

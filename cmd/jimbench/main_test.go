@@ -2,15 +2,22 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 )
 
+func quickOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Trials: 2, Quick: true}
+}
+
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, true, "", false, experiments.Options{}); err != nil {
+	if err := run(&buf, options{list: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -23,8 +30,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	opt := experiments.Options{Seed: 1, Trials: 2, Quick: true}
-	if err := run(&buf, false, "fig1", false, opt); err != nil {
+	if err := run(&buf, options{exp: "fig1", expOpts: quickOpts()}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "To=City") {
@@ -34,10 +40,72 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, false, "nope", false, experiments.Options{Quick: true}); err == nil {
+	if err := run(&buf, options{exp: "nope", expOpts: quickOpts()}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(&buf, false, "", false, experiments.Options{}); err == nil {
+	if err := run(&buf, options{}); err == nil {
 		t.Error("no-op invocation accepted")
+	}
+	if err := run(&buf, options{server: true, users: 1, workloads: "bogus", out: "-"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&buf, options{server: true, users: 1, workloads: "", out: "-"}); err == nil {
+		t.Error("empty workload list accepted")
+	}
+}
+
+func TestRunServerBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var buf bytes.Buffer
+	o := options{
+		server:    true,
+		users:     8,
+		sessions:  1,
+		workloads: "travel,zipf",
+		strategy:  "lookahead-maxmin",
+		out:       out,
+		expOpts:   quickOpts(),
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench serverBench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if bench.Benchmark != "jim-server-loadtest" || bench.Users != 8 {
+		t.Errorf("bench header = %+v", bench)
+	}
+	if len(bench.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(bench.Workloads))
+	}
+	if bench.Totals.Sessions != 16 || bench.Totals.Completed != 16 || bench.Totals.Errors != 0 {
+		t.Errorf("totals = %+v", bench.Totals)
+	}
+	for _, rep := range bench.Workloads {
+		if rep.Latency.P95 < rep.Latency.P50 || rep.Latency.P50 <= 0 {
+			t.Errorf("%s latency = %+v", rep.Workload, rep.Latency)
+		}
+		if rep.SessionsPerSec <= 0 {
+			t.Errorf("%s throughput missing", rep.Workload)
+		}
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Errorf("summary line missing: %s", buf.String())
+	}
+}
+
+func TestRunServerBenchStdout(t *testing.T) {
+	var buf bytes.Buffer
+	o := options{server: true, users: 2, sessions: 1, workloads: "travel", out: "-"}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"benchmark": "jim-server-loadtest"`) {
+		t.Errorf("stdout mode missing JSON payload:\n%s", buf.String())
 	}
 }

@@ -1,7 +1,9 @@
 // Command jimserver serves the JIM inference API over HTTP — the
-// demonstration's interactive tool as a JSON service.
+// demonstration's interactive tool as a JSON service, with production
+// lifecycle controls: a session cap, idle-session eviction, and a
+// /stats endpoint for monitoring.
 //
-//	jimserver -addr :8080
+//	jimserver -addr :8080 -max-sessions 10000 -session-ttl 30m
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -10,30 +12,98 @@
 //	POST   /sessions/{id}/label   {"index": 3, "label": "+"}
 //	GET    /sessions/{id}/result  inferred predicate + SQL
 //	GET    /sessions/{id}/export  persistable session file
+//	GET    /stats                 session counts, label throughput, latency
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
 
+// config is everything main parses; newServer is kept separate so
+// tests can exercise flag wiring without binding a socket.
+type config struct {
+	addr        string
+	maxSessions int
+	sessionTTL  time.Duration
+	sweepEvery  time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("jimserver", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&cfg.maxSessions, "max-sessions", 0, "max live sessions; creates beyond this get 429 (0 = unlimited)")
+	fs.DurationVar(&cfg.sessionTTL, "session-ttl", 0, "evict sessions idle for this long (0 = never)")
+	fs.DurationVar(&cfg.sweepEvery, "sweep-every", time.Minute, "how often the janitor scans for expired sessions")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.maxSessions < 0 {
+		return cfg, fmt.Errorf("-max-sessions must be >= 0, got %d", cfg.maxSessions)
+	}
+	if cfg.sessionTTL < 0 {
+		return cfg, fmt.Errorf("-session-ttl must be >= 0, got %v", cfg.sessionTTL)
+	}
+	return cfg, nil
+}
+
+func newServer(cfg config) *server.Server {
+	return server.NewWith(server.Config{
+		MaxSessions: cfg.maxSessions,
+		IdleTTL:     cfg.sessionTTL,
+	})
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:])
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jimserver:", err)
+		os.Exit(2)
+	}
+
+	svc := newServer(cfg)
+	if cfg.sessionTTL > 0 {
+		stop := svc.StartJanitor(cfg.sweepEvery)
+		defer stop()
+	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New().Handler(),
+		Addr:              cfg.addr,
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("jimserver listening on %s\n", *addr)
+
+	// Drain in-flight requests on SIGINT/SIGTERM.
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("jimserver listening on %s (max-sessions=%d, session-ttl=%v)\n",
+		cfg.addr, cfg.maxSessions, cfg.sessionTTL)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "jimserver:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "jimserver: shutdown:", err)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    config
+		wantErr bool
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			want: config{addr: "127.0.0.1:8080", sweepEvery: time.Minute},
+		},
+		{
+			name: "full",
+			args: []string{"-addr", ":9090", "-max-sessions", "100", "-session-ttl", "30m", "-sweep-every", "10s"},
+			want: config{addr: ":9090", maxSessions: 100, sessionTTL: 30 * time.Minute, sweepEvery: 10 * time.Second},
+		},
+		{name: "negative cap", args: []string{"-max-sessions", "-1"}, wantErr: true},
+		{name: "negative ttl", args: []string{"-session-ttl", "-5s"}, wantErr: true},
+		{name: "bad flag", args: []string{"-nope"}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseFlags(tc.args)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseFlags(%v) accepted", tc.args)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("parseFlags(%v) = %+v, want %+v", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewServerAppliesConfig checks the flag-to-server wiring by
+// observing the configured cap through the HTTP API.
+func TestNewServerAppliesConfig(t *testing.T) {
+	cfg, err := parseFlags([]string{"-max-sessions", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(cfg).Handler())
+	defer ts.Close()
+	csv := "A,B\n1,1\n1,2\n"
+	post := func() int {
+		data, _ := json.Marshal(map[string]any{"csv": csv})
+		resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusCreated {
+		t.Fatalf("first create: status %d", code)
+	}
+	if code := post(); code != http.StatusTooManyRequests {
+		t.Errorf("second create: status %d, want 429", code)
+	}
+}

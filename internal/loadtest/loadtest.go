@@ -1,0 +1,350 @@
+// Package loadtest drives the JIM HTTP service with many concurrent
+// oracle-backed simulated users and reports throughput and latency
+// quantiles. Each user runs the full interactive protocol end to end
+// — create a session from a workload instance, loop next/label until
+// convergence, read the result — so a run exercises the sharded
+// session table, the per-session locks, and the inference hot path
+// exactly the way production traffic would. cmd/jimbench wires it to
+// BENCH_server.json for the perf trajectory.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Config tunes one load-test run.
+type Config struct {
+	// Users is the number of concurrent simulated users (default 8).
+	Users int
+	// SessionsPerUser is how many sessions each user completes in
+	// sequence (default 1).
+	SessionsPerUser int
+	// Workload names the instance generator: "travel", "synthetic", or
+	// "zipf" (default "travel").
+	Workload string
+	// Strategy is the server-side question strategy (default
+	// "lookahead-maxmin").
+	Strategy string
+	// Seed drives instance generation and goal choice.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users <= 0 {
+		c.Users = 8
+	}
+	if c.SessionsPerUser <= 0 {
+		c.SessionsPerUser = 1
+	}
+	if c.Workload == "" {
+		c.Workload = "travel"
+	}
+	if c.Strategy == "" {
+		c.Strategy = "lookahead-maxmin"
+	}
+	return c
+}
+
+// Quantiles summarizes a latency distribution in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Report is the machine-readable outcome of a run.
+type Report struct {
+	Workload        string  `json:"workload"`
+	Strategy        string  `json:"strategy"`
+	Users           int     `json:"users"`
+	Sessions        int     `json:"sessions"`
+	Completed       int     `json:"completed"`
+	Questions       int     `json:"questions"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	QuestionsPerSec float64 `json:"questions_per_sec"`
+	// Latency covers every HTTP request the simulated users issued.
+	Latency Quantiles `json:"latency"`
+	// FirstError carries one representative failure for diagnostics.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// instance is one user's inference problem: the relation, its CSV
+// serialization, and the goal the oracle answers by.
+type instance struct {
+	rel  *relation.Relation
+	csv  string
+	goal partition.P
+}
+
+// makeInstance builds the per-user instance for a workload. Seeds are
+// offset per user so synthetic and zipf users get diverse instances.
+func makeInstance(wl string, seed int64) (*instance, error) {
+	var (
+		rel  *relation.Relation
+		goal partition.P
+		err  error
+	)
+	switch wl {
+	case "travel":
+		rel, goal = workload.Travel(), workload.TravelQ2()
+	case "synthetic":
+		rel, goal, err = workload.Synthetic(workload.SynthConfig{
+			Attrs: 6, Tuples: 60, GoalAtoms: 2, ExtraMerges: 1.5, Seed: seed,
+		})
+	case "zipf":
+		// Zipf has no planted goal; draw one and let the oracle answer
+		// by it. Inference converges regardless of whether the goal is
+		// realizable on the instance.
+		rel, err = workload.Zipf(workload.ZipfConfig{
+			Attrs: 5, Tuples: 40, Vocab: 8, S: 1.5, Seed: seed,
+		})
+		if err == nil {
+			goal = partition.RandomGoal(rand.New(rand.NewSource(seed)), 5, 2)
+		}
+	default:
+		return nil, fmt.Errorf("loadtest: unknown workload %q (want travel, synthetic, or zipf)", wl)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(&buf, rel); err != nil {
+		return nil, err
+	}
+	return &instance{rel: rel, csv: buf.String(), goal: goal}, nil
+}
+
+// Run spins up an in-process server and drives it; see RunAgainst.
+func Run(cfg Config) (*Report, error) {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
+	return RunAgainst(ts.URL, client, cfg)
+}
+
+// RunAgainst drives an already-running server at baseURL with
+// cfg.Users concurrent simulated users and aggregates their latencies.
+func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	// Pre-build instances outside the timed region.
+	instances := make([]*instance, cfg.Users)
+	for u := range instances {
+		inst, err := makeInstance(cfg.Workload, cfg.Seed+int64(u))
+		if err != nil {
+			return nil, err
+		}
+		instances[u] = inst
+	}
+
+	results := make([]userResult, cfg.Users)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			results[u] = driveUser(client, baseURL, instances[u], cfg)
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Workload: cfg.Workload,
+		Strategy: cfg.Strategy,
+		Users:    cfg.Users,
+		Sessions: cfg.Users * cfg.SessionsPerUser,
+	}
+	var all []time.Duration
+	for _, r := range results {
+		rep.Completed += r.completed
+		rep.Questions += r.questions
+		rep.Errors += r.errors
+		all = append(all, r.latencies...)
+		if rep.FirstError == "" && r.firstErr != nil {
+			rep.FirstError = r.firstErr.Error()
+		}
+	}
+	rep.Requests = len(all)
+	rep.ElapsedSeconds = elapsed.Seconds()
+	if rep.ElapsedSeconds > 0 {
+		rep.SessionsPerSec = float64(rep.Completed) / rep.ElapsedSeconds
+		rep.RequestsPerSec = float64(rep.Requests) / rep.ElapsedSeconds
+		rep.QuestionsPerSec = float64(rep.Questions) / rep.ElapsedSeconds
+	}
+	rep.Latency = quantiles(all)
+	return rep, nil
+}
+
+type userResult struct {
+	completed int
+	questions int
+	errors    int
+	firstErr  error
+	latencies []time.Duration
+}
+
+// driveUser completes cfg.SessionsPerUser full sessions in sequence.
+func driveUser(client *http.Client, baseURL string, inst *instance, cfg Config) userResult {
+	var r userResult
+	for s := 0; s < cfg.SessionsPerUser; s++ {
+		if err := r.driveSession(client, baseURL, inst, cfg.Strategy); err != nil {
+			r.errors++
+			if r.firstErr == nil {
+				r.firstErr = err
+			}
+			continue
+		}
+		r.completed++
+	}
+	return r
+}
+
+func (r *userResult) driveSession(client *http.Client, baseURL string, inst *instance, strategyName string) error {
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := r.call(client, "POST", baseURL+"/sessions",
+		map[string]any{"csv": inst.csv, "strategy": strategyName},
+		http.StatusCreated, &created); err != nil {
+		return err
+	}
+	base := baseURL + "/sessions/" + created.ID
+	if err := r.runSession(client, base, inst); err != nil {
+		// Best-effort cleanup so failed sessions don't accumulate in
+		// the target server across a long run.
+		_ = r.call(client, "DELETE", base, nil, http.StatusNoContent, nil)
+		return err
+	}
+	// Leave the table tidy for long runs: completed sessions are
+	// deleted so the server's active count tracks in-flight users.
+	return r.call(client, "DELETE", base, nil, http.StatusNoContent, nil)
+}
+
+func (r *userResult) runSession(client *http.Client, base string, inst *instance) error {
+	for step := 0; ; step++ {
+		if step > inst.rel.Len() {
+			return fmt.Errorf("loadtest: session %s asked more questions than tuples", base)
+		}
+		var n struct {
+			Done  bool `json:"done"`
+			Tuple *struct {
+				Index int `json:"index"`
+			} `json:"tuple"`
+		}
+		if err := r.call(client, "GET", base+"/next", nil, http.StatusOK, &n); err != nil {
+			return err
+		}
+		if n.Done {
+			break
+		}
+		if n.Tuple == nil {
+			return fmt.Errorf("loadtest: session %s: next returned neither done nor tuple", base)
+		}
+		label := "-"
+		if core.Selects(inst.goal, inst.rel.Tuple(n.Tuple.Index)) {
+			label = "+"
+		}
+		if err := r.call(client, "POST", base+"/label",
+			map[string]any{"index": n.Tuple.Index, "label": label},
+			http.StatusOK, nil); err != nil {
+			return err
+		}
+		r.questions++
+	}
+	var res struct {
+		Done bool `json:"done"`
+	}
+	if err := r.call(client, "GET", base+"/result", nil, http.StatusOK, &res); err != nil {
+		return err
+	}
+	if !res.Done {
+		return fmt.Errorf("loadtest: session %s read result before convergence", base)
+	}
+	return nil
+}
+
+// call performs one HTTP request, records its latency, and decodes the
+// JSON response into out when non-nil.
+func (r *userResult) call(client *http.Client, method, url string, body any, wantStatus int, out any) error {
+	var reader *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(data)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	r.latencies = append(r.latencies, time.Since(start))
+	if err != nil {
+		return err
+	}
+	// Always drain the body so the transport can reuse the keep-alive
+	// connection — otherwise every request pays TCP setup and the
+	// latency quantiles measure the dialer, not the server.
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("loadtest: %s %s: status %d, want %d", method, url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// quantiles computes exact client-side latency quantiles.
+func quantiles(ds []time.Duration) Quantiles {
+	if len(ds) == 0 {
+		return Quantiles{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) float64 {
+		i := int(p*float64(len(sorted)-1) + 0.5)
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return Quantiles{
+		P50: at(0.50),
+		P95: at(0.95),
+		P99: at(0.99),
+		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}

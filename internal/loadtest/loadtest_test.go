@@ -1,0 +1,116 @@
+package loadtest_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/loadtest"
+	"repro/internal/server"
+)
+
+func TestRunWorkloads(t *testing.T) {
+	for _, wl := range []string{"travel", "synthetic", "zipf"} {
+		t.Run(wl, func(t *testing.T) {
+			rep, err := loadtest.Run(loadtest.Config{
+				Users: 6, SessionsPerUser: 2, Workload: wl, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Sessions != 12 || rep.Completed != 12 {
+				t.Errorf("sessions=%d completed=%d, want 12/12 (first error: %s)",
+					rep.Sessions, rep.Completed, rep.FirstError)
+			}
+			if rep.Errors != 0 {
+				t.Errorf("errors=%d: %s", rep.Errors, rep.FirstError)
+			}
+			if rep.Questions == 0 {
+				t.Error("no questions asked")
+			}
+			// Every session issues at least create + next + result + delete.
+			if rep.Requests < 4*rep.Sessions {
+				t.Errorf("requests=%d, want >= %d", rep.Requests, 4*rep.Sessions)
+			}
+			if rep.SessionsPerSec <= 0 || rep.RequestsPerSec <= 0 {
+				t.Errorf("throughput missing: %+v", rep)
+			}
+			q := rep.Latency
+			if q.P50 <= 0 || q.P95 < q.P50 || q.P99 < q.P95 || q.Max < q.P99 {
+				t.Errorf("latency quantiles not monotone positive: %+v", q)
+			}
+		})
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := loadtest.Run(loadtest.Config{Workload: "bogus"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestRunAgainstCountsServerSide cross-checks the client-side report
+// against the server's own /stats counters.
+func TestRunAgainstCountsServerSide(t *testing.T) {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+	rep, err := loadtest.RunAgainst(ts.URL, ts.Client(), loadtest.Config{
+		Users: 4, Workload: "travel", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 {
+		t.Fatalf("completed=%d: %s", rep.Completed, rep.FirstError)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Sessions struct {
+			Active  int64 `json:"active"`
+			Created int64 `json:"created"`
+		} `json:"sessions"`
+		Labels struct {
+			Total int64 `json:"total"`
+		} `json:"labels"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions.Created != 4 || stats.Sessions.Active != 0 {
+		t.Errorf("server sessions = %+v, want 4 created / 0 active", stats.Sessions)
+	}
+	if stats.Labels.Total != int64(rep.Questions) {
+		t.Errorf("server labels = %d, client questions = %d", stats.Labels.Total, rep.Questions)
+	}
+}
+
+// TestReportJSONRoundTrip: the report is the BENCH_server.json payload;
+// it must survive serialization with its field names intact.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := loadtest.Run(loadtest.Config{Users: 2, Workload: "travel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"workload", "sessions_per_sec", "p95_ms", "completed"} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshaled report missing %q: %s", key, data)
+		}
+	}
+	var back loadtest.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Completed != rep.Completed || back.Latency.P95 != rep.Latency.P95 {
+		t.Errorf("round trip changed report: %+v vs %+v", back, rep)
+	}
+}

@@ -1,0 +1,125 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// TestDifferentialConvergence drives the same instance, strategy, and
+// goal through the HTTP API and through the in-process core.Engine,
+// and requires both to infer the same predicate M_P with the same
+// number of questions — the service must add routing and locking, not
+// change the inference.
+func TestDifferentialConvergence(t *testing.T) {
+	synth := func(cfg workload.SynthConfig) func(t *testing.T) (*relation.Relation, partition.P) {
+		return func(t *testing.T) (*relation.Relation, partition.P) {
+			t.Helper()
+			rel, goal, err := workload.Synthetic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rel, goal
+		}
+	}
+	cases := []struct {
+		name     string
+		strategy string
+		make     func(t *testing.T) (*relation.Relation, partition.P)
+	}{
+		{
+			name: "travel/lookahead-maxmin", strategy: "lookahead-maxmin",
+			make: func(t *testing.T) (*relation.Relation, partition.P) {
+				return workload.Travel(), workload.TravelQ2()
+			},
+		},
+		{
+			name: "synthetic/lookahead-maxmin", strategy: "lookahead-maxmin",
+			make: synth(workload.SynthConfig{Attrs: 6, Tuples: 80, GoalAtoms: 2, ExtraMerges: 1.5, Seed: 11}),
+		},
+		{
+			name: "synthetic/lookahead-entropy", strategy: "lookahead-entropy",
+			make: synth(workload.SynthConfig{Attrs: 5, Tuples: 60, GoalAtoms: 2, ExtraMerges: 2, Seed: 3}),
+		},
+		{
+			name: "synthetic/local-most-specific", strategy: "local-most-specific",
+			make: synth(workload.SynthConfig{Attrs: 6, Tuples: 100, GoalAtoms: 3, ExtraMerges: 1.5, Seed: 7}),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rel, goal := tc.make(t)
+
+			// Reference: the in-process engine with a goal oracle.
+			st, err := core.NewState(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			picker, err := strategy.ByName(tc.strategy, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.NewEngine(st, picker, oracle.Goal(goal)).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Converged {
+				t.Fatal("reference engine did not converge")
+			}
+
+			// Same inference over HTTP.
+			var csv bytes.Buffer
+			if err := relation.WriteCSV(&csv, rel); err != nil {
+				t.Fatal(err)
+			}
+			ts := newTestServer(t)
+			var s summary
+			doJSON(t, "POST", ts.URL+"/sessions",
+				map[string]any{"csv": csv.String(), "strategy": tc.strategy, "seed": 1},
+				http.StatusCreated, &s)
+			questions := 0
+			for {
+				var n next
+				doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
+				if n.Done {
+					break
+				}
+				if n.Tuple == nil {
+					t.Fatal("next returned neither done nor tuple")
+				}
+				if questions++; questions > rel.Len() {
+					t.Fatal("server asked more questions than tuples")
+				}
+				label := "-"
+				if core.Selects(goal, rel.Tuple(n.Tuple.Index)) {
+					label = "+"
+				}
+				var lr labelResp
+				doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+					map[string]any{"index": n.Tuple.Index, "label": label},
+					http.StatusOK, &lr)
+			}
+			var res struct {
+				Done      bool   `json:"done"`
+				Predicate string `json:"predicate"`
+			}
+			doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+			if !res.Done {
+				t.Error("HTTP session did not converge")
+			}
+			if res.Predicate != ref.Query.String() {
+				t.Errorf("M_P over HTTP = %s, in-process = %s", res.Predicate, ref.Query.String())
+			}
+			if questions != ref.UserLabels {
+				t.Errorf("questions over HTTP = %d, in-process = %d", questions, ref.UserLabels)
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numShards spreads sessions over independent maps so that session
+// creation, lookup, and eviction on one shard never contend with
+// traffic on another. Power of two; small enough that a full sweep
+// stays cheap.
+const numShards = 16
+
+// shard is one slice of the session table. Its lock guards only map
+// membership — per-session state is guarded by liveSession.mu, so a
+// slow request on one session never blocks lookups of its neighbors.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*liveSession
+}
+
+// store is the sharded session table plus the counters the cap and the
+// /stats endpoint need. Counters are atomics so hot paths never take a
+// global lock.
+type store struct {
+	shards  [numShards]shard
+	active  atomic.Int64 // current session count, maintained across shards
+	created atomic.Int64
+	evicted atomic.Int64
+	deleted atomic.Int64
+	// rejected counts creates refused by the session cap.
+	rejected atomic.Int64
+}
+
+func newStore() *store {
+	st := &store{}
+	for i := range st.shards {
+		st.shards[i].sessions = make(map[string]*liveSession)
+	}
+	return st
+}
+
+func (st *store) shardFor(id string) *shard {
+	// Inline FNV-1a: a hash.Hash32 would heap-allocate per request.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &st.shards[h&(numShards-1)]
+}
+
+// put inserts a new session, enforcing the cap (maxSessions <= 0 means
+// unlimited). The active counter is reserved before insertion so
+// concurrent creates cannot overshoot the cap. The caller counts
+// rejections: a cap bounce here may still succeed after a sweep.
+func (st *store) put(id string, ls *liveSession, maxSessions int) error {
+	if maxSessions > 0 && st.active.Add(1) > int64(maxSessions) {
+		st.active.Add(-1)
+		return errSessionCap
+	}
+	if maxSessions <= 0 {
+		st.active.Add(1)
+	}
+	st.created.Add(1)
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = ls
+	sh.mu.Unlock()
+	return nil
+}
+
+func (st *store) get(id string) (*liveSession, bool) {
+	sh := st.shardFor(id)
+	sh.mu.RLock()
+	ls, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return ls, ok
+}
+
+func (st *store) delete(id string) bool {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		st.active.Add(-1)
+		st.deleted.Add(1)
+	}
+	return ok
+}
+
+// forEach visits a consistent snapshot of each shard in turn. The
+// callback runs outside the shard lock so it may lock the session.
+func (st *store) forEach(f func(id string, ls *liveSession)) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		ids := make([]string, 0, len(sh.sessions))
+		lss := make([]*liveSession, 0, len(sh.sessions))
+		for id, ls := range sh.sessions {
+			ids = append(ids, id)
+			lss = append(lss, ls)
+		}
+		sh.mu.RUnlock()
+		for j, id := range ids {
+			f(id, lss[j])
+		}
+	}
+}
+
+var errSessionCap = fmt.Errorf("server: session limit reached")
+
+// touch records an access so the idle-TTL sweeper keeps the session.
+func (ls *liveSession) touch(now time.Time) {
+	ls.lastAccess.Store(now.UnixNano())
+}
+
+// Sweep evicts every session idle for longer than the configured TTL
+// and returns how many were removed. It is a no-op when IdleTTL is
+// zero. The server calls it opportunistically on session creation and
+// from the janitor started by StartJanitor; tests drive it directly
+// with an injected clock.
+func (s *Server) Sweep() int {
+	if s.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	deadline := s.now().Add(-s.cfg.IdleTTL).UnixNano()
+	n := 0
+	for i := range s.store.shards {
+		sh := &s.store.shards[i]
+		sh.mu.Lock()
+		for id, ls := range sh.sessions {
+			if ls.lastAccess.Load() <= deadline {
+				delete(sh.sessions, id)
+				s.store.active.Add(-1)
+				s.store.evicted.Add(1)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// StartJanitor sweeps idle sessions every interval until the returned
+// stop function is called. cmd/jimserver runs one; tests and embedded
+// users may prefer calling Sweep directly.
+func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Sweep()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

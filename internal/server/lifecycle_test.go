@@ -1,0 +1,256 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fakeClock is an injectable clock for lifecycle tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func lifecycleServer(cfg server.Config) (*server.Server, *httptest.Server, *fakeClock) {
+	clk := newFakeClock()
+	cfg.Now = clk.now
+	srv := server.NewWith(cfg)
+	return srv, httptest.NewServer(srv.Handler()), clk
+}
+
+func postSession(t *testing.T, url string) (string, int) {
+	t.Helper()
+	data, _ := json.Marshal(map[string]any{"csv": travelCSV})
+	resp, err := http.Post(url+"/sessions", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s summary
+	_ = json.NewDecoder(resp.Body).Decode(&s)
+	return s.ID, resp.StatusCode
+}
+
+func sessionStatus(t *testing.T, url, id string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestIdleTTLEviction(t *testing.T) {
+	ttl := 10 * time.Minute
+	cases := []struct {
+		name string
+		// idle durations for three sessions before the sweep
+		idle    []time.Duration
+		evicted []bool
+	}{
+		{
+			name:    "all fresh",
+			idle:    []time.Duration{0, time.Minute, 5 * time.Minute},
+			evicted: []bool{false, false, false},
+		},
+		{
+			name:    "one expired",
+			idle:    []time.Duration{15 * time.Minute, time.Minute, 0},
+			evicted: []bool{true, false, false},
+		},
+		{
+			name:    "all expired",
+			idle:    []time.Duration{time.Hour, 11 * time.Minute, 10*time.Minute + time.Second},
+			evicted: []bool{true, true, true},
+		},
+		{
+			name:    "exactly at ttl evicts",
+			idle:    []time.Duration{ttl, ttl - time.Second, 0},
+			evicted: []bool{true, false, false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, ts, clk := lifecycleServer(server.Config{IdleTTL: ttl})
+			defer ts.Close()
+			// Create sessions oldest-idle first, advancing the clock so
+			// each ends up idle for tc.idle[i] at sweep time.
+			ids := make([]string, len(tc.idle))
+			maxIdle := tc.idle[0]
+			for _, d := range tc.idle {
+				if d > maxIdle {
+					maxIdle = d
+				}
+			}
+			for i, d := range tc.idle {
+				clk.t = newFakeClock().t.Add(maxIdle - d)
+				id, code := postSession(t, ts.URL)
+				if code != http.StatusCreated {
+					t.Fatalf("create %d: status %d", i, code)
+				}
+				ids[i] = id
+			}
+			clk.t = newFakeClock().t.Add(maxIdle)
+			wantEvicted := 0
+			for _, e := range tc.evicted {
+				if e {
+					wantEvicted++
+				}
+			}
+			if got := srv.Sweep(); got != wantEvicted {
+				t.Errorf("Sweep() = %d, want %d", got, wantEvicted)
+			}
+			for i, id := range ids {
+				want := http.StatusOK
+				if tc.evicted[i] {
+					want = http.StatusNotFound
+				}
+				if got := sessionStatus(t, ts.URL, id); got != want {
+					t.Errorf("session %d (%s): status %d, want %d", i, id, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTTLAccessRefreshes(t *testing.T) {
+	srv, ts, clk := lifecycleServer(server.Config{IdleTTL: 10 * time.Minute})
+	defer ts.Close()
+	id, _ := postSession(t, ts.URL)
+	// Touch the session every 6 minutes; it must survive sweeps far
+	// beyond the TTL because it is never idle that long.
+	for i := 0; i < 5; i++ {
+		clk.advance(6 * time.Minute)
+		if got := sessionStatus(t, ts.URL, id); got != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, got)
+		}
+		if n := srv.Sweep(); n != 0 {
+			t.Fatalf("round %d: swept %d sessions", i, n)
+		}
+	}
+	// Now go idle past the TTL.
+	clk.advance(11 * time.Minute)
+	if n := srv.Sweep(); n != 1 {
+		t.Errorf("final sweep = %d, want 1", n)
+	}
+}
+
+func TestSweepDisabledWithoutTTL(t *testing.T) {
+	srv, ts, clk := lifecycleServer(server.Config{})
+	defer ts.Close()
+	postSession(t, ts.URL)
+	clk.advance(1000 * time.Hour)
+	if n := srv.Sweep(); n != 0 {
+		t.Errorf("sweep with no TTL evicted %d", n)
+	}
+}
+
+func TestSessionCap(t *testing.T) {
+	cases := []struct {
+		name       string
+		max        int
+		creates    int
+		wantOK     int
+		wantReject int
+		deleteOne  bool // delete a session, then retry one create
+		wantRefill bool
+	}{
+		{name: "unlimited", max: 0, creates: 10, wantOK: 10},
+		{name: "cap 3", max: 3, creates: 5, wantOK: 3, wantReject: 2},
+		{name: "cap 1", max: 1, creates: 3, wantOK: 1, wantReject: 2},
+		{name: "delete frees a slot", max: 2, creates: 3, wantOK: 2, wantReject: 1,
+			deleteOne: true, wantRefill: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts, _ := lifecycleServer(server.Config{MaxSessions: tc.max})
+			defer ts.Close()
+			var ok, rejected int
+			var ids []string
+			for i := 0; i < tc.creates; i++ {
+				id, code := postSession(t, ts.URL)
+				switch code {
+				case http.StatusCreated:
+					ok++
+					ids = append(ids, id)
+				case http.StatusTooManyRequests:
+					rejected++
+				default:
+					t.Fatalf("create %d: unexpected status %d", i, code)
+				}
+			}
+			if ok != tc.wantOK || rejected != tc.wantReject {
+				t.Errorf("ok=%d rejected=%d, want ok=%d rejected=%d", ok, rejected, tc.wantOK, tc.wantReject)
+			}
+			if tc.deleteOne {
+				req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/"+ids[0], nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				_, code := postSession(t, ts.URL)
+				if gotRefill := code == http.StatusCreated; gotRefill != tc.wantRefill {
+					t.Errorf("create after delete: status %d, refill=%v want %v", code, gotRefill, tc.wantRefill)
+				}
+			}
+		})
+	}
+}
+
+// TestCapSweepInteraction: a full table of expired sessions must not
+// lock out new users — create at the cap sweeps expired sessions and
+// admits the newcomer.
+func TestCapSweepInteraction(t *testing.T) {
+	_, ts, clk := lifecycleServer(server.Config{MaxSessions: 2, IdleTTL: 10 * time.Minute})
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		if _, code := postSession(t, ts.URL); code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+	}
+	if _, code := postSession(t, ts.URL); code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create: status %d", code)
+	}
+	clk.advance(11 * time.Minute)
+	// Both old sessions are now expired; the create should evict them
+	// and succeed without an explicit Sweep call.
+	if _, code := postSession(t, ts.URL); code != http.StatusCreated {
+		t.Errorf("create after expiry: status %d, want 201", code)
+	}
+}
+
+func TestJanitorEvicts(t *testing.T) {
+	clk := newFakeClock()
+	srv := server.NewWith(server.Config{IdleTTL: time.Minute, Now: clk.now})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	postSession(t, ts.URL)
+	clk.advance(2 * time.Minute)
+	stop := srv.StartJanitor(time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		var list []summary
+		resp, err := http.Get(ts.URL + "/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if len(list) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("janitor did not evict the expired session")
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a fixed-size log-scale histogram of request
+// durations. Bucket i covers (2^(i-1), 2^i] microseconds, so quantile
+// estimates are exact to within a factor of two — plenty for a /stats
+// panel — while recording stays allocation-free and a single atomic
+// add per request.
+const histBuckets = 40
+
+type latencyHist struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sumUS.Add(d.Microseconds())
+}
+
+// quantile returns the upper bound (in milliseconds) of the bucket
+// containing the p-th percentile observation, or 0 with no data.
+func (h *latencyHist) quantile(p float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return float64(int64(1)<<uint(i)) / 1000 // 2^i µs in ms
+		}
+	}
+	return float64(int64(1)<<uint(histBuckets-1)) / 1000
+}
+
+func (h *latencyHist) meanMS() float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.sumUS.Load()) / float64(total) / 1000
+}
+
+// endpointMetrics aggregates one route pattern.
+type endpointMetrics struct {
+	count  atomic.Int64
+	errors atomic.Int64 // responses with status >= 400
+	hist   latencyHist
+}
+
+// metrics is the server-wide instrumentation: per-endpoint latency
+// plus label throughput. Endpoint slots live in a sync.Map so the
+// steady state (slot exists) is a lock-free load and everything after
+// is atomics — no global serialization point on the request path.
+type metrics struct {
+	endpoints sync.Map     // pattern string -> *endpointMetrics
+	labels    atomic.Int64 // successful label applications
+	startedAt time.Time
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{startedAt: now}
+}
+
+func (m *metrics) endpoint(pattern string) *endpointMetrics {
+	if em, ok := m.endpoints.Load(pattern); ok {
+		return em.(*endpointMetrics)
+	}
+	em, _ := m.endpoints.LoadOrStore(pattern, &endpointMetrics{})
+	return em.(*endpointMetrics)
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux, recording count, errors, and latency per
+// matched route pattern (r.Pattern is set by ServeMux on match).
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		em := s.metrics.endpoint(pattern)
+		em.count.Add(1)
+		if rec.status >= 400 {
+			em.errors.Add(1)
+		}
+		em.hist.observe(s.now().Sub(start))
+	})
+}
+
+type endpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+type statsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Sessions      sessionStats             `json:"sessions"`
+	Labels        labelStats               `json:"labels"`
+	Endpoints     map[string]endpointStats `json:"endpoints"`
+	EndpointOrder []string                 `json:"endpoint_order"`
+}
+
+type sessionStats struct {
+	Active   int64 `json:"active"`
+	Created  int64 `json:"created"`
+	Deleted  int64 `json:"deleted"`
+	Evicted  int64 `json:"evicted"`
+	Rejected int64 `json:"rejected"`
+	Max      int   `json:"max,omitempty"`
+}
+
+type labelStats struct {
+	Total     int64   `json:"total"`
+	PerSecond float64 `json:"per_second"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	uptime := s.now().Sub(m.startedAt).Seconds()
+	resp := statsResponse{
+		UptimeSeconds: uptime,
+		Sessions: sessionStats{
+			Active:   s.store.active.Load(),
+			Created:  s.store.created.Load(),
+			Deleted:  s.store.deleted.Load(),
+			Evicted:  s.store.evicted.Load(),
+			Rejected: s.store.rejected.Load(),
+			Max:      s.cfg.MaxSessions,
+		},
+		Labels:    labelStats{Total: m.labels.Load()},
+		Endpoints: make(map[string]endpointStats),
+	}
+	if uptime > 0 {
+		resp.Labels.PerSecond = float64(resp.Labels.Total) / uptime
+	}
+	m.endpoints.Range(func(key, value any) bool {
+		em := value.(*endpointMetrics)
+		resp.Endpoints[key.(string)] = endpointStats{
+			Count:  em.count.Load(),
+			Errors: em.errors.Load(),
+			MeanMS: em.hist.meanMS(),
+			P50MS:  em.hist.quantile(0.50),
+			P95MS:  em.hist.quantile(0.95),
+			P99MS:  em.hist.quantile(0.99),
+		}
+		return true
+	})
+	for pattern := range resp.Endpoints {
+		resp.EndpointOrder = append(resp.EndpointOrder, pattern)
+	}
+	sort.Strings(resp.EndpointOrder)
+	writeJSON(w, http.StatusOK, resp)
+}

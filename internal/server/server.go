@@ -1,18 +1,26 @@
 // Package server exposes JIM over HTTP: sessions are created from a
 // CSV instance, the client fetches the next proposed tuple, posts
 // yes/no/skip answers, and reads the inferred predicate — the
-// demonstration's web tool as a JSON API. State lives in memory; the
-// export/import endpoints round-trip the session-file format of
-// package session for persistence.
+// demonstration's web tool as a JSON API, hardened for concurrent
+// service. Sessions live in a sharded in-memory table; each session
+// carries its own RWMutex so read endpoints (/next, /topk, /result,
+// summaries) run concurrently and a slow request on one session never
+// blocks another. Lifecycle is managed: idle sessions are evicted
+// after a configurable TTL, a session cap rejects overload with 429,
+// and GET /stats reports session counts, label throughput, and
+// per-endpoint latency. The export/import endpoints round-trip the
+// session-file format of package session for persistence.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -22,29 +30,63 @@ import (
 	"repro/internal/strategy"
 )
 
+// Config tunes the service. The zero value means no cap, no eviction,
+// and the real clock — the demo defaults.
+type Config struct {
+	// MaxSessions caps concurrently live sessions; creates beyond it
+	// fail with 429 Too Many Requests. <= 0 means unlimited.
+	MaxSessions int
+	// IdleTTL evicts sessions not accessed for this long. <= 0 disables
+	// eviction.
+	IdleTTL time.Duration
+	// Now is the clock; nil means time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
 // Server is an in-memory multi-session JIM service. The zero value is
-// not usable; call New.
+// not usable; call New or NewWith.
 type Server struct {
-	mu       sync.Mutex
-	sessions map[string]*liveSession
-	nextID   int
-	// now is injectable for tests.
+	cfg     Config
+	store   *store
+	metrics *metrics
+	nextID  atomic.Int64
+	// now is the injectable clock (cfg.Now or time.Now).
 	now func() time.Time
 }
 
+// liveSession is one inference session. mu guards the mutable
+// inference state: Apply goes through the write lock; pure reads
+// (summaries, result, export) share the read lock. The picker and the
+// deferred set are mutable even on read paths (stateful strategies
+// memoize per state version, skips defer classes), so they get their
+// own innermost mutex, letting /next and /topk still run under the
+// read lock concurrently with /result. Lock order: mu before pickMu.
 type liveSession struct {
+	mu           sync.RWMutex
 	st           *core.State
-	picker       core.KPicker
 	strategyName string
 	createdAt    time.Time
-	deferred     map[int]bool // group head index -> deferred (skip answers)
+	lastAccess   atomic.Int64 // unix nanos; maintained by touch
+
+	pickMu   sync.Mutex
+	picker   core.KPicker
+	deferred map[int]bool // group head index -> deferred (skip answers)
 }
 
-// New returns an empty server.
-func New() *Server {
+// New returns an empty server with demo defaults (no cap, no TTL).
+func New() *Server { return NewWith(Config{}) }
+
+// NewWith returns an empty server with the given lifecycle config.
+func NewWith(cfg Config) *Server {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Server{
-		sessions: make(map[string]*liveSession),
-		now:      time.Now,
+		cfg:     cfg,
+		store:   newStore(),
+		metrics: newMetrics(now()),
+		now:     now,
 	}
 }
 
@@ -60,19 +102,21 @@ func New() *Server {
 //	POST   /sessions/{id}/label   {"index": i, "label": "+"|"-"|"skip"}
 //	GET    /sessions/{id}/result  inferred predicate, SQL, certainty
 //	GET    /sessions/{id}/export  persistable session file
+//	GET    /stats                 service counters and latency quantiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", s.handleCreate)
 	mux.HandleFunc("GET /sessions", s.handleList)
 	mux.HandleFunc("POST /sessions/import", s.handleImport)
-	mux.HandleFunc("GET /sessions/{id}", s.withSession(s.handleSummary))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /sessions/{id}", s.readSession(s.handleSummary))
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /sessions/{id}/next", s.withSession(s.handleNext))
-	mux.HandleFunc("GET /sessions/{id}/topk", s.withSession(s.handleTopK))
-	mux.HandleFunc("POST /sessions/{id}/label", s.withSession(s.handleLabel))
-	mux.HandleFunc("GET /sessions/{id}/result", s.withSession(s.handleResult))
-	mux.HandleFunc("GET /sessions/{id}/export", s.withSession(s.handleExport))
-	return mux
+	mux.HandleFunc("GET /sessions/{id}/next", s.readSession(s.handleNext))
+	mux.HandleFunc("GET /sessions/{id}/topk", s.readSession(s.handleTopK))
+	mux.HandleFunc("POST /sessions/{id}/label", s.writeSession(s.handleLabel))
+	mux.HandleFunc("GET /sessions/{id}/result", s.readSession(s.handleResult))
+	mux.HandleFunc("GET /sessions/{id}/export", s.readSession(s.handleExport))
+	return s.instrument(mux)
 }
 
 type createRequest struct {
@@ -117,14 +161,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	id := s.register(&liveSession{
+	s.create(w, &liveSession{
 		st: st, picker: picker, strategyName: req.Strategy,
 		createdAt: s.now(), deferred: map[int]bool{},
 	})
-	summary := s.summaryLocked(id)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, summary)
 }
 
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
@@ -142,31 +182,41 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	id := s.register(&liveSession{
+	s.create(w, &liveSession{
 		st: st, picker: picker, strategyName: name,
 		createdAt: s.now(), deferred: map[int]bool{},
 	})
-	summary := s.summaryLocked(id)
-	s.mu.Unlock()
+}
+
+// create registers a fresh session, enforcing the cap. When at the
+// cap, expired sessions are swept first so a full table of abandoned
+// sessions does not lock out live users.
+func (s *Server) create(w http.ResponseWriter, ls *liveSession) {
+	ls.touch(s.now())
+	id := fmt.Sprintf("s%04d", s.nextID.Add(1))
+	// Snapshot the summary before put publishes the session: ids are
+	// predictable, so a concurrent writer could mutate it immediately.
+	summary := s.summary(id, ls)
+	err := s.store.put(id, ls, s.cfg.MaxSessions)
+	if errors.Is(err, errSessionCap) && s.Sweep() > 0 {
+		err = s.store.put(id, ls, s.cfg.MaxSessions)
+	}
+	if err != nil {
+		s.store.rejected.Add(1)
+		httpError(w, http.StatusTooManyRequests,
+			"%v (%d active, max %d)", err, s.store.active.Load(), s.cfg.MaxSessions)
+		return
+	}
 	writeJSON(w, http.StatusCreated, summary)
 }
 
-// register stores a new session and returns its id. Caller holds mu.
-func (s *Server) register(ls *liveSession) string {
-	s.nextID++
-	id := fmt.Sprintf("s%04d", s.nextID)
-	s.sessions[id] = ls
-	return id
-}
-
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	out := make([]sessionSummary, 0, len(s.sessions))
-	for id := range s.sessions {
-		out = append(out, s.summaryLocked(id))
-	}
-	s.mu.Unlock()
+	out := []sessionSummary{}
+	s.store.forEach(func(id string, ls *liveSession) {
+		ls.mu.RLock()
+		out = append(out, s.summary(id, ls))
+		ls.mu.RUnlock()
+	})
 	// Stable order for clients.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
@@ -178,35 +228,49 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
+	if !s.store.delete(id) {
 		httpError(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// withSession resolves the {id} path parameter under the server lock.
-func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, string, *liveSession)) http.HandlerFunc {
+type sessionHandler func(http.ResponseWriter, *http.Request, string, *liveSession)
+
+// readSession resolves {id} and runs h under the session's read lock:
+// many such requests proceed concurrently on one session.
+func (s *Server) readSession(h sessionHandler) http.HandlerFunc {
+	return s.withSession(h, false)
+}
+
+// writeSession resolves {id} and runs h under the session's write
+// lock, excluding all other requests on that session only.
+func (s *Server) writeSession(h sessionHandler) http.HandlerFunc {
+	return s.withSession(h, true)
+}
+
+func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		ls, ok := s.sessions[id]
+		ls, ok := s.store.get(id)
 		if !ok {
 			httpError(w, http.StatusNotFound, "no session %q", id)
 			return
+		}
+		ls.touch(s.now())
+		if write {
+			ls.mu.Lock()
+			defer ls.mu.Unlock()
+		} else {
+			ls.mu.RLock()
+			defer ls.mu.RUnlock()
 		}
 		h(w, r, id, ls)
 	}
 }
 
-// summaryLocked builds a summary; caller holds mu.
-func (s *Server) summaryLocked(id string) sessionSummary {
-	ls := s.sessions[id]
+// summary builds a summary. Caller holds ls.mu (either mode).
+func (s *Server) summary(id string, ls *liveSession) sessionSummary {
 	p := ls.st.Progress()
 	return sessionSummary{
 		ID:          id,
@@ -222,7 +286,7 @@ func (s *Server) summaryLocked(id string) sessionSummary {
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	writeJSON(w, http.StatusOK, s.summaryLocked(id))
+	writeJSON(w, http.StatusOK, s.summary(id, ls))
 }
 
 type tupleView struct {
@@ -254,8 +318,11 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, l
 	writeJSON(w, http.StatusOK, nextResponse{Done: false, Tuple: &tv})
 }
 
-// next picks the next informative non-deferred tuple.
+// next picks the next informative non-deferred tuple. Caller holds
+// ls.mu; picker and deferred access is serialized under pickMu.
 func (ls *liveSession) next() (int, bool) {
+	ls.pickMu.Lock()
+	defer ls.pickMu.Unlock()
 	i, ok := ls.picker.Pick(ls.st)
 	if !ok {
 		return 0, false
@@ -284,7 +351,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, id string, l
 		}
 		k = parsed
 	}
+	ls.pickMu.Lock()
 	indices := ls.picker.PickK(ls.st, k)
+	ls.pickMu.Unlock()
 	out := make([]tupleView, 0, len(indices))
 	for _, i := range indices {
 		out = append(out, viewTuple(ls, i))
@@ -321,7 +390,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 	case "-", "no", "n":
 		l = core.Negative
 	case "skip", "s", "?":
+		ls.pickMu.Lock()
 		ls.deferred[ls.st.GroupOf(req.Index).Indices[0]] = true
+		ls.pickMu.Unlock()
 		writeJSON(w, http.StatusOK, labelResponse{
 			Informative: ls.st.InformativeCount(),
 			Done:        ls.st.Done(),
@@ -337,8 +408,11 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	s.metrics.labels.Add(1)
 	// A new label may unblock deferred classes.
+	ls.pickMu.Lock()
 	ls.deferred = map[int]bool{}
+	ls.pickMu.Unlock()
 	if newly == nil {
 		newly = []int{}
 	}

@@ -1,0 +1,84 @@
+package server_test
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+type statsView struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Sessions      struct {
+		Active   int64 `json:"active"`
+		Created  int64 `json:"created"`
+		Deleted  int64 `json:"deleted"`
+		Evicted  int64 `json:"evicted"`
+		Rejected int64 `json:"rejected"`
+	} `json:"sessions"`
+	Labels struct {
+		Total     int64   `json:"total"`
+		PerSecond float64 `json:"per_second"`
+	} `json:"labels"`
+	Endpoints map[string]struct {
+		Count  int64   `json:"count"`
+		Errors int64   `json:"errors"`
+		P50MS  float64 `json:"p50_ms"`
+		P95MS  float64 `json:"p95_ms"`
+		P99MS  float64 `json:"p99_ms"`
+	} `json:"endpoints"`
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	s := createSession(t, ts, "lookahead-maxmin")
+	createSession(t, ts, "random")
+
+	// Drive one session to convergence to accumulate label traffic.
+	rel := workload.Travel()
+	goal := workload.TravelQ2()
+	labels := 0
+	for {
+		var n next
+		doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
+		if n.Done {
+			break
+		}
+		label := "-"
+		if core.Selects(goal, rel.Tuple(n.Tuple.Index)) {
+			label = "+"
+		}
+		var lr labelResp
+		doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+			map[string]any{"index": n.Tuple.Index, "label": label}, http.StatusOK, &lr)
+		labels++
+	}
+	// One bad request for the error counter.
+	var e map[string]string
+	doJSON(t, "GET", ts.URL+"/sessions/nope", nil, http.StatusNotFound, &e)
+
+	var st statsView
+	doJSON(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &st)
+
+	if st.Sessions.Active != 2 || st.Sessions.Created != 2 {
+		t.Errorf("sessions = %+v", st.Sessions)
+	}
+	if st.Labels.Total != int64(labels) {
+		t.Errorf("labels.total = %d, want %d", st.Labels.Total, labels)
+	}
+	label := st.Endpoints["POST /sessions/{id}/label"]
+	if label.Count != int64(labels) {
+		t.Errorf("label endpoint count = %d, want %d", label.Count, labels)
+	}
+	if label.P50MS <= 0 || label.P95MS < label.P50MS || label.P99MS < label.P95MS {
+		t.Errorf("label latency quantiles not monotone positive: %+v", label)
+	}
+	get := st.Endpoints["GET /sessions/{id}"]
+	if get.Errors != 1 {
+		t.Errorf("summary endpoint errors = %d, want 1 (the 404)", get.Errors)
+	}
+	if create := st.Endpoints["POST /sessions"]; create.Count != 2 {
+		t.Errorf("create endpoint count = %d, want 2", create.Count)
+	}
+}

@@ -1,0 +1,127 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestStressOverlappingSessions hammers a small pool of shared
+// sessions from hundreds of goroutines mixing /label, /next, /topk,
+// and DELETE (with recreation). Run under -race this is the lost
+// update / deadlock detector for the sharded, per-session locking:
+// every response must be one of the well-defined statuses and the
+// server must stay responsive afterward.
+func TestStressOverlappingSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	ts := newTestServer(t)
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+
+	const sessions = 8
+	const workers = 200
+	const opsPerWorker = 25
+
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = createSession(t, ts, "lookahead-maxmin").ID
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusCreated:         true,
+		http.StatusNoContent:       true,
+		http.StatusBadRequest:      true, // label index out of range after races
+		http.StatusNotFound:        true, // session deleted by a peer
+		http.StatusConflict:        true, // contradictory label
+		http.StatusTooManyRequests: true,
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for op := 0; op < opsPerWorker; op++ {
+				id := ids[rng.Intn(sessions)]
+				var (
+					resp *http.Response
+					err  error
+				)
+				switch rng.Intn(10) {
+				case 0: // delete, then recreate so the pool stays busy
+					req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/"+id, nil)
+					resp, err = client.Do(req)
+					if err == nil {
+						resp.Body.Close()
+						data, _ := json.Marshal(map[string]any{"csv": travelCSV})
+						resp, err = client.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(data))
+					}
+				case 1, 2, 3: // label a random tuple with a random answer
+					label := [3]string{"+", "-", "skip"}[rng.Intn(3)]
+					data, _ := json.Marshal(map[string]any{"index": rng.Intn(12), "label": label})
+					resp, err = client.Post(ts.URL+"/sessions/"+id+"/label", "application/json", bytes.NewReader(data))
+				case 4, 5, 6: // next
+					resp, err = client.Get(ts.URL + "/sessions/" + id + "/next")
+				case 7, 8: // topk
+					resp, err = client.Get(fmt.Sprintf("%s/sessions/%s/topk?k=%d", ts.URL, id, 1+rng.Intn(5)))
+				default: // result / summary readers
+					if rng.Intn(2) == 0 {
+						resp, err = client.Get(ts.URL + "/sessions/" + id + "/result")
+					} else {
+						resp, err = client.Get(ts.URL + "/sessions/" + id)
+					}
+				}
+				if err != nil {
+					errc <- fmt.Errorf("worker %d op %d: %v", w, op, err)
+					return
+				}
+				if !allowed[resp.StatusCode] {
+					errc <- fmt.Errorf("worker %d op %d: status %d", w, op, resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The service must still answer coherently after the storm.
+	var list []summary
+	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
+	for _, s := range list {
+		var res result
+		doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+		if res.SQL == "" {
+			t.Errorf("session %s: empty SQL after stress", s.ID)
+		}
+	}
+	var stats struct {
+		Sessions struct {
+			Active  int64 `json:"active"`
+			Created int64 `json:"created"`
+			Deleted int64 `json:"deleted"`
+		} `json:"sessions"`
+	}
+	doJSON(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &stats)
+	if int(stats.Sessions.Active) != len(list) {
+		t.Errorf("stats active = %d, list length = %d", stats.Sessions.Active, len(list))
+	}
+	if stats.Sessions.Created-stats.Sessions.Deleted != stats.Sessions.Active {
+		t.Errorf("created-deleted=%d, active=%d",
+			stats.Sessions.Created-stats.Sessions.Deleted, stats.Sessions.Active)
+	}
+}

@@ -393,6 +393,83 @@ func BenchmarkApplyAndPropagate(b *testing.B) {
 	}
 }
 
+// Lookahead pick latency on a 10k-tuple zipf instance: the incremental
+// signature-lattice scorer vs the naive from-scratch reference
+// (DESIGN.md §6). Each iteration scores a cold strategy against a
+// mid-session state, i.e. exactly the work one pick costs after a new
+// label arrives. jimbench -core measures the same comparison over full
+// sessions and records it in BENCH_core.json.
+func BenchmarkPickZipf10k(b *testing.B) {
+	rel, goal, err := workload.Instance("zipf", workload.InstanceConfig{Tuples: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := jim.NewState(rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Advance a few questions so the hypothesis is non-trivial.
+	warm := strategy.LookaheadMaxMin()
+	for q := 0; q < 4 && !st.Done(); q++ {
+		i, ok := warm.Pick(st)
+		if !ok {
+			break
+		}
+		l := core.Negative
+		if core.Selects(goal, rel.Tuple(i)) {
+			l = core.Positive
+		}
+		if _, err := st.Apply(i, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	paths := []struct {
+		name string
+		mk   func() core.Picker
+	}{
+		{"incremental", func() core.Picker { return strategy.LookaheadMaxMin() }},
+		{"naive", func() core.Picker { return strategy.MustNaive("lookahead-maxmin", 0) }},
+	}
+	for _, path := range paths {
+		b.Run(path.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := path.mk().Pick(st); !ok {
+					b.Fatal("no informative tuple left")
+				}
+			}
+		})
+	}
+}
+
+// Full 10k-tuple zipf sessions end to end on the incremental path —
+// the session-throughput side of the -core benchmark.
+func BenchmarkSessionZipf10k(b *testing.B) {
+	rel, goal, err := workload.Instance("zipf", workload.InstanceConfig{Tuples: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	questions := 0
+	for i := 0; i < b.N; i++ {
+		st, err := jim.NewState(rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.NewEngine(st, strategy.LookaheadMaxMin(), oracle.Goal(goal))
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+		questions = res.UserLabels
+	}
+	b.ReportMetric(float64(questions), "questions")
+}
+
 func instanceWithSigs(b *testing.B, rng *rand.Rand, n, k int) *jim.Relation {
 	b.Helper()
 	rel := jim.NewRelation(mustSchema(b, workload.AttrNames(n)...))

@@ -1,6 +1,7 @@
 // Command jimbench regenerates the paper's figures and the companion
-// experiments as text tables and ASCII charts, and load-tests the HTTP
-// service with concurrent simulated users.
+// experiments as text tables and ASCII charts, load-tests the HTTP
+// service with concurrent simulated users, and benchmarks the
+// inference core's pick latency on large instances.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	jimbench -exp fig4 [-seed 7] [-trials 50]
 //	jimbench -all [-quick]
 //	jimbench -server [-users 64] [-sessions 1] [-workloads travel,synthetic,zipf] [-out BENCH_server.json]
+//	jimbench -core [-tuples 10000] [-workloads zipf,synthetic,star] [-runs 4] [-out BENCH_core.json]
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/corebench"
 	"repro/internal/experiments"
 	"repro/internal/loadtest"
 )
@@ -37,6 +40,12 @@ type options struct {
 	workloads string
 	strategy  string
 	out       string
+
+	core       bool
+	tuples     int
+	runs       int
+	strategies string
+	noBaseline bool
 }
 
 func main() {
@@ -50,11 +59,30 @@ func main() {
 	flag.BoolVar(&o.server, "server", false, "load-test the HTTP service instead of running experiments")
 	flag.IntVar(&o.users, "users", 64, "concurrent simulated users (with -server)")
 	flag.IntVar(&o.sessions, "sessions", 1, "sessions each user completes (with -server)")
-	flag.StringVar(&o.workloads, "workloads", "travel,synthetic,zipf", "comma-separated workloads (with -server)")
+	flag.StringVar(&o.workloads, "workloads", "", "comma-separated workloads (default travel,synthetic,zipf with -server; zipf,synthetic,star with -core)")
 	flag.StringVar(&o.strategy, "strategy", "lookahead-maxmin", "question strategy (with -server)")
-	flag.StringVar(&o.out, "out", "BENCH_server.json", "machine-readable output file (with -server)")
+	flag.StringVar(&o.out, "out", "", "machine-readable output file (default BENCH_server.json / BENCH_core.json)")
+	flag.BoolVar(&o.core, "core", false, "benchmark the inference core's pick latency instead of running experiments")
+	flag.IntVar(&o.tuples, "tuples", 10000, "instance size (with -core)")
+	flag.IntVar(&o.runs, "runs", 4, "measured sessions per strategy (with -core)")
+	flag.StringVar(&o.strategies, "strategies", "", "comma-separated strategies (with -core; default the lookahead family)")
+	flag.BoolVar(&o.noBaseline, "no-baseline", false, "skip the naive reference measurement (with -core)")
 	flag.Parse()
 	o.expOpts = experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+	if o.workloads == "" {
+		if o.core {
+			o.workloads = "zipf,synthetic,star"
+		} else {
+			o.workloads = "travel,synthetic,zipf"
+		}
+	}
+	if o.out == "" {
+		if o.core {
+			o.out = "BENCH_core.json"
+		} else {
+			o.out = "BENCH_server.json"
+		}
+	}
 
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "jimbench:", err)
@@ -64,6 +92,8 @@ func main() {
 
 func run(w io.Writer, o options) error {
 	switch {
+	case o.core:
+		return runCoreBench(w, o)
 	case o.server:
 		return runServerBench(w, o)
 	case o.list:
@@ -118,11 +148,7 @@ func runServerBench(w io.Writer, o options) error {
 		SessionsPerUser: o.sessions,
 		Strategy:        o.strategy,
 	}
-	for _, wl := range strings.Split(o.workloads, ",") {
-		wl = strings.TrimSpace(wl)
-		if wl == "" {
-			continue
-		}
+	for _, wl := range splitList(o.workloads) {
 		rep, err := loadtest.Run(loadtest.Config{
 			Users:           o.users,
 			SessionsPerUser: o.sessions,
@@ -153,20 +179,71 @@ func runServerBench(w io.Writer, o options) error {
 			}
 		}
 	}
-	data, err := json.MarshalIndent(bench, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if o.out == "" || o.out == "-" {
-		_, err = w.Write(data)
-		return err
-	}
-	if err := os.WriteFile(o.out, data, 0o644); err != nil {
+	if done, err := writeReport(w, o.out, bench); done || err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s: %d sessions (%d completed), %d requests in %.2fs\n",
 		o.out, bench.Totals.Sessions, bench.Totals.Completed,
 		bench.Totals.Requests, bench.Totals.ElapsedSeconds)
 	return nil
+}
+
+// runCoreBench measures strategy pick latency and session throughput
+// on large single-node instances (incremental scorer vs the naive
+// reference) and writes BENCH_core.json.
+func runCoreBench(w io.Writer, o options) error {
+	cfg := corebench.Config{
+		Workloads: splitList(o.workloads),
+		Tuples:    o.tuples,
+		Sessions:  o.runs,
+		Baseline:  !o.noBaseline,
+		Seed:      o.expOpts.Seed,
+	}
+	if o.strategies != "" {
+		cfg.Strategies = splitList(o.strategies)
+	}
+	if len(cfg.Workloads) == 0 {
+		return fmt.Errorf("no workloads selected")
+	}
+	rep, err := corebench.Run(w, cfg)
+	if err != nil {
+		return err
+	}
+	if done, err := writeReport(w, o.out, rep); done || err != nil {
+		return err
+	}
+	picks := 0
+	for _, wl := range rep.Workloads {
+		for _, sr := range wl.Results {
+			picks += sr.Incremental.Picks
+		}
+	}
+	fmt.Fprintf(w, "wrote %s: %d workloads at %d tuples, %d timed picks\n",
+		o.out, len(rep.Workloads), rep.Tuples, picks)
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// writeReport marshals a benchmark payload to out, or to w when out is
+// "-" or empty; done reports that the payload already went to w.
+func writeReport(w io.Writer, out string, payload any) (done bool, err error) {
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	data = append(data, '\n')
+	if out == "" || out == "-" {
+		_, err = w.Write(data)
+		return true, err
+	}
+	return false, os.WriteFile(out, data, 0o644)
 }

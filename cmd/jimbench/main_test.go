@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/corebench"
 	"repro/internal/experiments"
 )
 
@@ -96,6 +97,60 @@ func TestRunServerBench(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "wrote "+out) {
 		t.Errorf("summary line missing: %s", buf.String())
+	}
+}
+
+func TestRunCoreBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_core.json")
+	var buf bytes.Buffer
+	o := options{
+		core:       true,
+		tuples:     400,
+		runs:       1,
+		workloads:  "zipf,star",
+		strategies: "lookahead-maxmin",
+		out:        out,
+		expOpts:    quickOpts(),
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench corebench.Report
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if bench.Benchmark != "jim-core-pick" || bench.Tuples != 400 {
+		t.Errorf("bench header = %+v", bench)
+	}
+	if len(bench.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(bench.Workloads))
+	}
+	for _, wl := range bench.Workloads {
+		if len(wl.Results) != 1 || wl.Results[0].Strategy != "lookahead-maxmin" {
+			t.Fatalf("%s results = %+v", wl.Workload, wl.Results)
+		}
+		sr := wl.Results[0]
+		if sr.Incremental.Picks == 0 || sr.Naive == nil || sr.PickSpeedup <= 0 {
+			t.Errorf("%s: incomplete comparison %+v", wl.Workload, sr)
+		}
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Errorf("summary line missing: %s", buf.String())
+	}
+
+	// Unknown workloads and strategies must fail loudly.
+	if err := run(&buf, options{core: true, tuples: 50, runs: 1, workloads: "bogus", out: "-"}); err == nil {
+		t.Error("unknown core workload accepted")
+	}
+	if err := run(&buf, options{core: true, tuples: 50, runs: 1, workloads: "star", strategies: "bogus", out: "-"}); err == nil {
+		t.Error("unknown core strategy accepted")
+	}
+	if err := run(&buf, options{core: true, tuples: 50, runs: 1, workloads: "", out: "-"}); err == nil {
+		t.Error("empty core workload list accepted")
 	}
 }
 

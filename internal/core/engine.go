@@ -82,6 +82,7 @@ type Engine struct {
 	// decide) or when a re-offer round starts.
 	deferred    map[*SigGroup]bool
 	redeferrals int
+	infBuf      []int // reusable buffer for deferred-routing scans
 }
 
 // NewEngine builds an engine over an existing state, so callers may
@@ -184,13 +185,17 @@ func (e *Engine) pick() (int, bool) {
 		return i, true
 	}
 	if kp, isKP := e.picker.(KPicker); isKP {
-		for _, j := range kp.PickK(e.st, len(e.st.Groups())) {
+		// Ask for exactly the informative-class count: ranking can never
+		// return more than one tuple per class, so requesting the total
+		// class count only made the ranker chew on settled classes.
+		for _, j := range kp.PickK(e.st, e.st.InformativeGroupCount()) {
 			if !e.deferred[e.st.GroupOf(j)] {
 				return j, true
 			}
 		}
 	}
-	for _, j := range e.st.InformativeIndices() {
+	e.infBuf = e.st.AppendInformativeIndices(e.infBuf[:0])
+	for _, j := range e.infBuf {
 		if !e.deferred[e.st.GroupOf(j)] {
 			return j, true
 		}

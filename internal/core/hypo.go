@@ -24,6 +24,24 @@ func (st *State) Hypo() Hypo {
 // ImpliedLabel returns the label forced on a signature under h, or
 // Unlabeled if the signature is informative under h.
 func (h Hypo) ImpliedLabel(sig partition.P) Label {
+	if h.MP.N() == sig.N() {
+		// Same-size partitions (every real caller): pure pair-bitset
+		// word operations, no meet materialized. The bitsets memoize on
+		// the partitions themselves, so repeated queries against one
+		// hypothesis — the lookahead pattern — cost a few ANDs each.
+		mw, sw := h.MP.PairSet(), sig.PairSet()
+		if mw.SubsetOf(sw) {
+			return ImpliedPositive
+		}
+		for _, neg := range h.Negs {
+			if neg.N() == sig.N() && partition.IntersectSubset(mw, sw, neg.PairSet()) {
+				return ImpliedNegative
+			}
+		}
+		return Unlabeled
+	}
+	// Mismatched sizes keep the definitional path (LessEq false, Meet
+	// panics) so misuse fails the same way it always did.
 	if h.MP.LessEq(sig) {
 		return ImpliedPositive
 	}
@@ -38,11 +56,14 @@ func (h Hypo) ImpliedLabel(sig partition.P) Label {
 
 // Apply returns the hypothesis after labeling a tuple with the given
 // signature. It does not check informativeness; callers simulate only
-// labels that are consistent under h (as the engine guarantees).
+// labels that are consistent under h (as the engine guarantees). The
+// refined meet is returned in cached form: lookahead callers probe it
+// once per remaining class, and the memoized bitset makes every probe
+// after the first allocation-free.
 func (h Hypo) Apply(sig partition.P, l Label) Hypo {
 	switch l.Explicit() {
 	case Positive:
-		return Hypo{MP: h.MP.Meet(sig), Negs: h.Negs}
+		return Hypo{MP: h.MP.Meet(sig).Cached(), Negs: h.Negs}
 	case Negative:
 		for _, neg := range h.Negs {
 			if sig.LessEq(neg) {
@@ -70,11 +91,9 @@ type GroupCount struct {
 // tuples, with their unlabeled-tuple counts — the input to lookahead
 // prune counting.
 func (st *State) GroupCounts() []GroupCount {
-	var out []GroupCount
-	for _, g := range st.groups {
-		if c := st.unlabeledIn(g); c > 0 {
-			out = append(out, GroupCount{Sig: g.Sig, Count: c})
-		}
+	out := make([]GroupCount, 0, len(st.infGroups))
+	for _, gi := range st.infGroups {
+		out = append(out, GroupCount{Sig: st.groups[gi].Sig, Count: st.groupUnlabeled[gi]})
 	}
 	return out
 }

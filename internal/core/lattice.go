@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/partition"
+)
+
+// latticeRowCap bounds the number of signature classes for which the
+// lattice caches group×group implied-positive rows. Each row is one
+// bit per class, so the worst case is rowCap²/8 bytes (8 MiB at the
+// default). Instances with more classes than the cap skip the row
+// cache and fall back to the direct word operations, which are still
+// allocation-free — the cap trades a constant factor, never
+// correctness. Variable so tests can force both regimes.
+var latticeRowCap = 8192
+
+// groupSet is a bitset over signature-class positions.
+type groupSet []uint64
+
+func (s groupSet) has(i int) bool { return s[i>>6]&(1<<(i&63)) != 0 }
+func (s groupSet) set(i int)      { s[i>>6] |= 1 << (i & 63) }
+
+// lattice caches the structural facts of the signature lattice for one
+// State. The signatures are fixed at NewState, so their pair bitsets
+// are precomputed once; the hypothesis side (M_P, the negative
+// antichain) is refreshed on the Apply that changes it. On top of the
+// bitsets it lazily caches, per M_P version and capped by
+// latticeRowCap, the group×group meet/≤ relation
+//
+//	posRow(g)[h]  ⇔  (M_P ∧ sig_g) ≤ sig_h
+//
+// — "labeling class g positive implies class h positive" — which is
+// the inner test of every positive-label simulation. Rows are filled
+// on first demand for a candidate class and stay valid until M_P
+// changes (negative labels never move M_P, so the rows survive entire
+// negative-heavy stretches of a session). Row installs use atomic
+// pointers because strategies fill them from parallel scoring
+// goroutines; duplicated fills compute identical rows.
+type lattice struct {
+	sigs []partition.PairSet // per class, fixed at NewState
+	mp   partition.PairSet   // pairs of the current M_P
+	negs []partition.PairSet // pairs of each maximal negative
+
+	rows      []atomic.Pointer[groupSet] // implied-positive rows, nil entries until demanded
+	rowsWords int                        // words per row
+}
+
+func (lat *lattice) init(groups []*SigGroup, mp partition.P, negs []partition.P) {
+	lat.sigs = make([]partition.PairSet, len(groups))
+	for i, g := range groups {
+		lat.sigs[i] = g.Sig.PairSet()
+	}
+	if len(groups) <= latticeRowCap {
+		lat.rows = make([]atomic.Pointer[groupSet], len(groups))
+		lat.rowsWords = (len(groups) + 63) / 64
+	}
+	lat.setMP(mp)
+	lat.setNegs(negs)
+}
+
+// setMP installs a new hypothesis meet and invalidates the cached
+// rows, which are conditioned on it.
+func (lat *lattice) setMP(mp partition.P) {
+	lat.mp = mp.PairSet()
+	for i := range lat.rows {
+		lat.rows[i].Store(nil)
+	}
+}
+
+// setNegs rebuilds the negative-antichain bitsets. Rows stay valid:
+// they encode only the M_P side of the relation.
+func (lat *lattice) setNegs(negs []partition.P) {
+	lat.negs = lat.negs[:0]
+	for _, n := range negs {
+		lat.negs = append(lat.negs, n.PairSet())
+	}
+}
+
+// posRow returns the implied-positive row of class gi, computing and
+// caching it on first use, or nil when the class count exceeds
+// latticeRowCap (callers then test pairs directly).
+func (lat *lattice) posRow(gi int) groupSet {
+	if lat.rows == nil {
+		return nil
+	}
+	if r := lat.rows[gi].Load(); r != nil {
+		return *r
+	}
+	row := make(groupSet, lat.rowsWords)
+	g := lat.sigs[gi]
+	for hi, h := range lat.sigs {
+		if partition.IntersectSubset(lat.mp, g, h) {
+			row.set(hi)
+		}
+	}
+	lat.rows[gi].Store(&row)
+	return row
+}
+
+// impliedGroup classifies class gi under the current hypothesis using
+// only word operations: implied positive iff M_P ≤ sig, implied
+// negative iff (M_P ∧ sig) ≤ some maximal negative.
+func (lat *lattice) impliedGroup(gi int) Label {
+	s := lat.sigs[gi]
+	if lat.mp.SubsetOf(s) {
+		return ImpliedPositive
+	}
+	for _, neg := range lat.negs {
+		if partition.IntersectSubset(lat.mp, s, neg) {
+			return ImpliedNegative
+		}
+	}
+	return Unlabeled
+}

@@ -25,6 +25,7 @@ var ErrAlreadyLabeled = errors.New("core: tuple already labeled explicitly")
 type SigGroup struct {
 	Sig     partition.P
 	Indices []int // tuple indices in first-occurrence order
+	Pos     int   // position in State.Groups(), fixed at NewState
 }
 
 // State holds the instance and everything the engine knows: explicit
@@ -40,9 +41,22 @@ type State struct {
 	negs []partition.P // ≤-maximal negative signatures (antichain)
 
 	groups  []*SigGroup
-	groupOf []int // tuple index -> group position
+	groupOf []int          // tuple index -> group position
+	byKey   map[string]int // signature key -> group position
 	counts  [5]int
-	version int // bumped on every successful Apply; see Version
+
+	// Incrementally maintained scoring state (see lattice.go): the
+	// per-class unlabeled counts, the positions of classes that still
+	// hold informative tuples (always sorted), and the pair-bitset
+	// lattice over the fixed signature set. Together they let implied
+	// checks and lookahead simulations run without scanning tuples or
+	// allocating partitions.
+	groupUnlabeled []int
+	infGroups      []int
+	lat            lattice
+
+	version   int // bumped on every successful Apply; see Version
+	mpVersion int // bumped only when Apply strictly refines M_P
 }
 
 // NewState indexes a denormalized instance for inference. The relation
@@ -58,25 +72,34 @@ func NewState(rel *relation.Relation) (*State, error) {
 		n:       n,
 		sigs:    make([]partition.P, rel.Len()),
 		labels:  make([]Label, rel.Len()),
-		mp:      partition.Top(n),
+		mp:      partition.Top(n).Cached(),
 		groupOf: make([]int, rel.Len()),
+		byKey:   make(map[string]int),
 	}
-	byKey := make(map[string]int)
 	for i := 0; i < rel.Len(); i++ {
 		t := rel.Tuple(i)
 		sig := partition.FromEqual(n, func(a, b int) bool { return t[a].Equal(t[b]) })
-		st.sigs[i] = sig
 		key := sig.Key()
-		gi, ok := byKey[key]
+		gi, ok := st.byKey[key]
 		if !ok {
 			gi = len(st.groups)
-			byKey[key] = gi
-			st.groups = append(st.groups, &SigGroup{Sig: sig})
+			st.byKey[key] = gi
+			st.groups = append(st.groups, &SigGroup{Sig: sig.Cached(), Pos: gi})
 		}
+		// Tuples share their class's cached signature, so every later
+		// lattice question about this tuple hits the memoized bitset.
+		st.sigs[i] = st.groups[gi].Sig
 		st.groups[gi].Indices = append(st.groups[gi].Indices, i)
 		st.groupOf[i] = gi
 	}
 	st.counts[Unlabeled] = rel.Len()
+	st.groupUnlabeled = make([]int, len(st.groups))
+	st.infGroups = make([]int, len(st.groups))
+	for gi, g := range st.groups {
+		st.groupUnlabeled[gi] = len(g.Indices)
+		st.infGroups[gi] = gi
+	}
+	st.lat.init(st.groups, st.mp, st.negs)
 	st.propagate()
 	return st, nil
 }
@@ -148,25 +171,43 @@ func (st *State) Informative(i int) bool {
 // InformativeGroups returns the signature classes that still contain
 // informative tuples, in stable order.
 func (st *State) InformativeGroups() []*SigGroup {
-	var out []*SigGroup
-	for _, g := range st.groups {
-		if st.labels[g.Indices[0]] == Unlabeled {
-			out = append(out, g)
-		}
-	}
-	return out
+	return st.AppendInformativeGroups(nil)
 }
+
+// AppendInformativeGroups appends the informative signature classes to
+// buf, in stable order, and returns the extended slice. Hot loops pass
+// a reused buffer (buf[:0]) so per-pick selection allocates nothing.
+func (st *State) AppendInformativeGroups(buf []*SigGroup) []*SigGroup {
+	for _, gi := range st.infGroups {
+		buf = append(buf, st.groups[gi])
+	}
+	return buf
+}
+
+// InformativeGroupCount returns the number of signature classes that
+// still contain informative tuples — the natural candidate-list size
+// for top-k ranking (one proposal per class is ever useful).
+func (st *State) InformativeGroupCount() int { return len(st.infGroups) }
 
 // InformativeIndices returns the informative tuple indices in order.
 func (st *State) InformativeIndices() []int {
-	var out []int
+	return st.AppendInformativeIndices(nil)
+}
+
+// AppendInformativeIndices appends the informative tuple indices in
+// ascending order to buf and returns the extended slice.
+func (st *State) AppendInformativeIndices(buf []int) []int {
 	for i, l := range st.labels {
 		if l == Unlabeled {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
+
+// GroupUnlabeled returns the number of unlabeled tuples in the class
+// at position gi of Groups().
+func (st *State) GroupUnlabeled(gi int) int { return st.groupUnlabeled[gi] }
 
 // InformativeCount returns the number of informative tuples.
 func (st *State) InformativeCount() int { return st.counts[Unlabeled] }
@@ -223,9 +264,18 @@ func (st *State) Apply(i int, l Label) (newlyImplied []int, err error) {
 	st.setLabel(i, l)
 	switch l {
 	case Positive:
-		st.mp = st.mp.Meet(sig)
+		// M_P moves only when the new positive's signature does not
+		// already refine above it; leaving it untouched keeps the
+		// mp-conditioned caches (lattice rows, strategy scores) valid.
+		if !st.mp.LessEq(sig) {
+			st.mp = st.mp.Meet(sig).Cached()
+			st.mpVersion++
+			st.lat.setMP(st.mp)
+		}
 	case Negative:
-		st.addNegative(sig)
+		if st.addNegative(sig) {
+			st.lat.setNegs(st.negs)
+		}
 	}
 	st.version++
 	return st.propagate(), nil
@@ -235,13 +285,20 @@ func (st *State) Apply(i int, l Label) (newlyImplied []int, err error) {
 // Strategies use it to cache per-state computations safely.
 func (st *State) Version() int { return st.version }
 
+// MPVersion returns a counter bumped only when Apply strictly refines
+// M_P. Scores that depend solely on M_P and a fixed signature (the
+// local strategies) stay valid across Applies that leave it unchanged
+// — in particular across every negative label.
+func (st *State) MPVersion() int { return st.mpVersion }
+
 // addNegative inserts sig into the maximal antichain of negative
 // signatures: a signature refined by an existing one is redundant
-// (Q ≰ coarser implies Q ≰ finer), so only ≤-maximal elements are kept.
-func (st *State) addNegative(sig partition.P) {
+// (Q ≰ coarser implies Q ≰ finer), so only ≤-maximal elements are
+// kept. It reports whether the antichain changed.
+func (st *State) addNegative(sig partition.P) bool {
 	for _, neg := range st.negs {
 		if sig.LessEq(neg) {
-			return // dominated: the new constraint is already implied
+			return false // dominated: the new constraint is already implied
 		}
 	}
 	kept := st.negs[:0]
@@ -251,34 +308,45 @@ func (st *State) addNegative(sig partition.P) {
 		}
 	}
 	st.negs = append(kept, sig)
+	return true
 }
 
-// propagate recomputes implied labels for all unlabeled tuples and
-// returns the indices newly marked implied.
+// propagate reclassifies the classes that might have changed status —
+// exactly the ones still holding unlabeled tuples — and returns the
+// tuple indices newly marked implied. It also compacts the
+// informative-class index in place, so convergence checks and
+// candidate listing stay O(informative classes), never O(tuples).
 func (st *State) propagate() []int {
 	var newly []int
-	for _, g := range st.groups {
-		if !st.groupHasUnlabeled(g) {
-			continue
+	kept := st.infGroups[:0]
+	for _, gi := range st.infGroups {
+		if st.groupUnlabeled[gi] == 0 {
+			continue // settled by the explicit label this round
 		}
-		implied := st.ImpliedLabel(g.Sig)
+		implied := st.lat.impliedGroup(gi)
 		if implied == Unlabeled {
+			kept = append(kept, gi)
 			continue
 		}
-		for _, i := range g.Indices {
+		for _, i := range st.groups[gi].Indices {
 			if st.labels[i] == Unlabeled {
 				st.setLabel(i, implied)
 				newly = append(newly, i)
 			}
 		}
 	}
+	st.infGroups = kept
 	return newly
 }
 
 func (st *State) setLabel(i int, l Label) {
-	st.counts[st.labels[i]]--
+	old := st.labels[i]
+	st.counts[old]--
 	st.labels[i] = l
 	st.counts[l]++
+	if old == Unlabeled {
+		st.groupUnlabeled[st.groupOf[i]]--
+	}
 }
 
 // SimulatePrune returns how many currently-unlabeled tuples would stop
@@ -290,37 +358,85 @@ func (st *State) SimulatePrune(sig partition.P, l Label) int {
 	if !l.IsExplicit() {
 		panic(fmt.Sprintf("core: SimulatePrune with non-explicit label %v", l))
 	}
-	next := st.Hypo().Apply(sig, l)
-	count := 0
-	for _, g := range st.groups {
-		c := st.unlabeledIn(g)
-		if c == 0 {
-			continue
+	if sig.N() != st.n {
+		// Foreign-size signature (tests only): fall back to the
+		// definitional hypothesis simulation.
+		next := st.Hypo().Apply(sig, l)
+		count := 0
+		for _, gi := range st.infGroups {
+			if next.ImpliedLabel(st.groups[gi].Sig) != Unlabeled {
+				count += st.groupUnlabeled[gi]
+			}
 		}
-		if next.ImpliedLabel(g.Sig) != Unlabeled {
-			count += c
+		return count
+	}
+	if gi, ok := st.byKey[sig.Key()]; ok {
+		return st.SimulatePruneGroup(gi, l)
+	}
+	if l == Positive {
+		return st.simulatePositive(sig.PairSet(), nil)
+	}
+	return st.simulateNegative(sig.PairSet())
+}
+
+// SimulatePruneGroup is SimulatePrune for the signature class at
+// position gi of Groups(). It is the strategies' inner loop: every
+// test against the cached lattice is a few word operations, and for
+// positive simulations the group×group implied-positive relation is
+// served from the per-M_P row cache.
+func (st *State) SimulatePruneGroup(gi int, l Label) int {
+	if !l.IsExplicit() {
+		panic(fmt.Sprintf("core: SimulatePruneGroup with non-explicit label %v", l))
+	}
+	if l == Positive {
+		return st.simulatePositive(st.lat.sigs[gi], st.lat.posRow(gi))
+	}
+	return st.simulateNegative(st.lat.sigs[gi])
+}
+
+// simulatePositive counts the unlabeled tuples grayed out by labeling
+// a tuple with pair set g positive: the hypothesis meet refines to
+// M_P ∧ g, so class h becomes implied positive iff (M_P ∧ g) ≤ h and
+// implied negative iff (M_P ∧ g ∧ h) ≤ some maximal negative. row,
+// when non-nil, is the cached implied-positive row for g.
+func (st *State) simulatePositive(g partition.PairSet, row groupSet) int {
+	count := 0
+	for _, hi := range st.infGroups {
+		h := st.lat.sigs[hi]
+		var pruned bool
+		if row != nil {
+			pruned = row.has(hi)
+		} else {
+			pruned = partition.IntersectSubset(st.lat.mp, g, h)
+		}
+		if !pruned {
+			for _, neg := range st.lat.negs {
+				if partition.IntersectSubset3(st.lat.mp, g, h, neg) {
+					pruned = true
+					break
+				}
+			}
+		}
+		if pruned {
+			count += st.groupUnlabeled[hi]
 		}
 	}
 	return count
 }
 
-func (st *State) groupHasUnlabeled(g *SigGroup) bool {
-	for _, i := range g.Indices {
-		if st.labels[i] == Unlabeled {
-			return true
+// simulateNegative counts the unlabeled tuples grayed out by labeling
+// a tuple with pair set g negative: g joins the negative antichain, so
+// class h (not implied by the existing negatives — it is informative)
+// becomes implied negative iff (M_P ∧ h) ≤ g. Implied-positive status
+// cannot change, so this is a single test per class.
+func (st *State) simulateNegative(g partition.PairSet) int {
+	count := 0
+	for _, hi := range st.infGroups {
+		if partition.IntersectSubset(st.lat.mp, st.lat.sigs[hi], g) {
+			count += st.groupUnlabeled[hi]
 		}
 	}
-	return false
-}
-
-func (st *State) unlabeledIn(g *SigGroup) int {
-	n := 0
-	for _, i := range g.Indices {
-		if st.labels[i] == Unlabeled {
-			n++
-		}
-	}
-	return n
+	return count
 }
 
 // ConsistentQueries enumerates every hypothesis consistent with the
@@ -430,6 +546,43 @@ func (st *State) CheckInvariants() error {
 	}
 	if counts != st.counts {
 		return fmt.Errorf("core: label counts %v drifted from cache %v", counts, st.counts)
+	}
+	// Incremental scoring state: per-class unlabeled counts, the
+	// informative-class index, and the lattice's view of implied
+	// status must all agree with a from-scratch recount.
+	inf := map[int]bool{}
+	for _, gi := range st.infGroups {
+		if inf[gi] {
+			return fmt.Errorf("core: class %d listed twice in informative index", gi)
+		}
+		inf[gi] = true
+	}
+	prev := -1
+	for _, gi := range st.infGroups {
+		if gi <= prev {
+			return fmt.Errorf("core: informative index not sorted: %v", st.infGroups)
+		}
+		prev = gi
+	}
+	for gi, g := range st.groups {
+		if g.Pos != gi {
+			return fmt.Errorf("core: class %d carries Pos %d", gi, g.Pos)
+		}
+		n := 0
+		for _, i := range g.Indices {
+			if st.labels[i] == Unlabeled {
+				n++
+			}
+		}
+		if n != st.groupUnlabeled[gi] {
+			return fmt.Errorf("core: class %d unlabeled count %d drifted from cache %d", gi, n, st.groupUnlabeled[gi])
+		}
+		if inf[gi] != (n > 0) {
+			return fmt.Errorf("core: class %d informative-index membership %v with %d unlabeled", gi, inf[gi], n)
+		}
+		if got, want := st.lat.impliedGroup(gi), st.ImpliedLabel(g.Sig); got != want {
+			return fmt.Errorf("core: class %d lattice implied %v, definitional %v", gi, got, want)
+		}
 	}
 	return nil
 }

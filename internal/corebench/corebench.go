@@ -1,0 +1,238 @@
+// Package corebench measures the inference core's interactive hot
+// path — strategy pick latency and full-session throughput — on large
+// single-node instances, without the HTTP layer in the way. It drives
+// complete oracle-answered sessions, timing every strategy pick, for
+// both the incremental scorer and the from-scratch naive reference
+// (strategy.Naive), and reports the speedup between them. cmd/jimbench
+// -core wires it to BENCH_core.json, the companion artifact to the
+// load harness's BENCH_server.json: one proves the inference core
+// scales to 10k-tuple instances at interactive latency, the other that
+// the service layer preserves it under concurrent traffic.
+package corebench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// Config tunes one benchmark run.
+type Config struct {
+	// Workloads names the instances to measure (default
+	// zipf,synthetic,star — the generators that scale).
+	Workloads []string
+	// Tuples is the instance size (default 10000).
+	Tuples int
+	// Strategies lists the strategies to measure (default the one-step
+	// lookahead family, the scorers the refactor targets).
+	Strategies []string
+	// Sessions is how many full sessions are measured per strategy and
+	// path (default 4; the first session warms nothing — state and
+	// strategy are rebuilt per session).
+	Sessions int
+	// Baseline also measures the naive from-scratch reference and
+	// reports speedups (default on; disable for quick runs).
+	Baseline bool
+	// Seed drives instance generation and goal choice.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"zipf", "synthetic", "star"}
+	}
+	if c.Tuples <= 0 {
+		c.Tuples = 10000
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = []string{"lookahead-maxmin", "lookahead-expected", "lookahead-entropy"}
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	return c
+}
+
+// Report is the machine-readable outcome of a run (BENCH_core.json).
+type Report struct {
+	Benchmark string           `json:"benchmark"`
+	GoVersion string           `json:"go_version"`
+	MaxProcs  int              `json:"gomaxprocs"`
+	Tuples    int              `json:"tuples"`
+	Sessions  int              `json:"sessions_per_strategy"`
+	Workloads []WorkloadReport `json:"workloads"`
+}
+
+// WorkloadReport aggregates one instance's measurements.
+type WorkloadReport struct {
+	Workload string           `json:"workload"`
+	Tuples   int              `json:"tuples"`
+	Attrs    int              `json:"attrs"`
+	Classes  int              `json:"signature_classes"`
+	Results  []StrategyReport `json:"strategies"`
+}
+
+// StrategyReport compares the incremental scorer against the naive
+// reference for one strategy.
+type StrategyReport struct {
+	Strategy    string     `json:"strategy"`
+	Incremental PathStats  `json:"incremental"`
+	Naive       *PathStats `json:"naive,omitempty"`
+	// PickSpeedup is naive mean pick latency over incremental mean pick
+	// latency — the pick-throughput improvement of the refactor.
+	PickSpeedup float64 `json:"pick_speedup,omitempty"`
+}
+
+// PathStats summarizes the measured sessions of one scoring path.
+type PathStats struct {
+	Sessions       int     `json:"sessions"`
+	Questions      int     `json:"questions"`
+	Picks          int     `json:"picks"`
+	PickMeanMicros float64 `json:"pick_mean_us"`
+	PickP50Micros  float64 `json:"pick_p50_us"`
+	PickP95Micros  float64 `json:"pick_p95_us"`
+	PickP99Micros  float64 `json:"pick_p99_us"`
+	PickMaxMicros  float64 `json:"pick_max_us"`
+	PicksPerSec    float64 `json:"picks_per_sec"`
+	SessionSeconds float64 `json:"session_seconds_total"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+}
+
+// Run executes the benchmark, printing one progress line per
+// workload/strategy to w (nil discards them).
+func Run(w io.Writer, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if w == nil {
+		w = io.Discard
+	}
+	rep := &Report{
+		Benchmark: "jim-core-pick",
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Tuples:    cfg.Tuples,
+		Sessions:  cfg.Sessions,
+	}
+	for _, wl := range cfg.Workloads {
+		rel, goal, err := workload.Instance(wl, workload.InstanceConfig{Tuples: cfg.Tuples, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.NewState(rel)
+		if err != nil {
+			return nil, err
+		}
+		wr := WorkloadReport{
+			Workload: wl,
+			Tuples:   rel.Len(),
+			Attrs:    rel.Schema().Len(),
+			Classes:  len(st.Groups()),
+		}
+		for _, name := range cfg.Strategies {
+			sr := StrategyReport{Strategy: name}
+			inc, err := measure(rel, goal, cfg.Sessions, func() (core.Picker, error) {
+				return strategy.ByName(name, cfg.Seed)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("corebench: %s/%s incremental: %w", wl, name, err)
+			}
+			sr.Incremental = inc
+			if cfg.Baseline {
+				nv, err := measure(rel, goal, cfg.Sessions, func() (core.Picker, error) {
+					return strategy.Naive(name, cfg.Seed)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("corebench: %s/%s naive: %w", wl, name, err)
+				}
+				sr.Naive = &nv
+				if inc.PickMeanMicros > 0 {
+					sr.PickSpeedup = round2(nv.PickMeanMicros / inc.PickMeanMicros)
+				}
+				fmt.Fprintf(w, "%-10s %-19s %4d classes  pick p95 %8.1fµs (naive %10.1fµs)  %8.0f picks/s  speedup %6.1fx\n",
+					wl, name, wr.Classes, inc.PickP95Micros, nv.PickP95Micros, inc.PicksPerSec, sr.PickSpeedup)
+			} else {
+				fmt.Fprintf(w, "%-10s %-19s %4d classes  pick p95 %8.1fµs  %8.0f picks/s\n",
+					wl, name, wr.Classes, inc.PickP95Micros, inc.PicksPerSec)
+			}
+			wr.Results = append(wr.Results, sr)
+		}
+		rep.Workloads = append(rep.Workloads, wr)
+	}
+	return rep, nil
+}
+
+// measure runs full sessions to convergence with a fresh state and
+// picker per session, timing each pick. The oracle answers by the
+// goal, outside the timed region.
+func measure(rel *relation.Relation, goal partition.P, sessions int, mk func() (core.Picker, error)) (PathStats, error) {
+	var stats PathStats
+	var pickTimes []time.Duration
+	for s := 0; s < sessions; s++ {
+		picker, err := mk()
+		if err != nil {
+			return stats, err
+		}
+		st, err := core.NewState(rel)
+		if err != nil {
+			return stats, err
+		}
+		sessionStart := time.Now()
+		for steps := 0; !st.Done(); steps++ {
+			if steps > rel.Len() {
+				return stats, fmt.Errorf("session exceeded %d questions without converging", rel.Len())
+			}
+			t0 := time.Now()
+			i, ok := picker.Pick(st)
+			pickTimes = append(pickTimes, time.Since(t0))
+			stats.Picks++
+			if !ok {
+				break
+			}
+			l := core.Negative
+			if core.Selects(goal, rel.Tuple(i)) {
+				l = core.Positive
+			}
+			if _, err := st.Apply(i, l); err != nil {
+				return stats, err
+			}
+			stats.Questions++
+		}
+		stats.SessionSeconds += time.Since(sessionStart).Seconds()
+		stats.Sessions++
+	}
+	var total time.Duration
+	for _, d := range pickTimes {
+		total += d
+	}
+	if len(pickTimes) > 0 {
+		stats.PickMeanMicros = micros(total) / float64(len(pickTimes))
+		sort.Slice(pickTimes, func(i, j int) bool { return pickTimes[i] < pickTimes[j] })
+		at := func(p float64) float64 {
+			return micros(pickTimes[int(p*float64(len(pickTimes)-1)+0.5)])
+		}
+		stats.PickP50Micros = round2(at(0.50))
+		stats.PickP95Micros = round2(at(0.95))
+		stats.PickP99Micros = round2(at(0.99))
+		stats.PickMaxMicros = round2(micros(pickTimes[len(pickTimes)-1]))
+		stats.PickMeanMicros = round2(stats.PickMeanMicros)
+	}
+	if total > 0 {
+		stats.PicksPerSec = round2(float64(stats.Picks) / total.Seconds())
+	}
+	if stats.SessionSeconds > 0 {
+		stats.SessionsPerSec = round2(float64(stats.Sessions) / stats.SessionSeconds)
+	}
+	stats.SessionSeconds = round2(stats.SessionSeconds)
+	return stats, nil
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

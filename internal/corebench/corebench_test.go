@@ -1,0 +1,65 @@
+package corebench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	rep, err := Run(io.Discard, Config{
+		Workloads:  []string{"zipf", "star"},
+		Tuples:     300,
+		Strategies: []string{"lookahead-maxmin"},
+		Sessions:   2,
+		Baseline:   true,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("got %d workload reports, want 2", len(rep.Workloads))
+	}
+	for _, wr := range rep.Workloads {
+		if wr.Tuples != 300 {
+			t.Errorf("%s: tuples = %d, want 300", wr.Workload, wr.Tuples)
+		}
+		if wr.Classes < 2 {
+			t.Errorf("%s: only %d signature classes", wr.Workload, wr.Classes)
+		}
+		for _, sr := range wr.Results {
+			if sr.Incremental.Sessions != 2 || sr.Incremental.Picks == 0 {
+				t.Errorf("%s/%s: incomplete incremental stats %+v", wr.Workload, sr.Strategy, sr.Incremental)
+			}
+			if sr.Naive == nil || sr.Naive.Picks == 0 {
+				t.Errorf("%s/%s: missing naive baseline", wr.Workload, sr.Strategy)
+				continue
+			}
+			// Both paths answer by the same goal with deterministic
+			// strategies: sessions must ask identical question counts.
+			if sr.Incremental.Questions != sr.Naive.Questions {
+				t.Errorf("%s/%s: incremental asked %d questions, naive %d",
+					wr.Workload, sr.Strategy, sr.Incremental.Questions, sr.Naive.Questions)
+			}
+			if sr.PickSpeedup <= 0 {
+				t.Errorf("%s/%s: speedup not computed", wr.Workload, sr.Strategy)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if _, err := Run(io.Discard, Config{Workloads: []string{"nope"}, Tuples: 50}); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}
+
+func TestRunRejectsUnknownStrategy(t *testing.T) {
+	_, err := Run(io.Discard, Config{
+		Workloads: []string{"star"}, Tuples: 60, Strategies: []string{"bogus"}, Sessions: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want unknown-strategy error, got %v", err)
+	}
+}

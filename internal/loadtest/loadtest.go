@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -96,34 +95,11 @@ type instance struct {
 	goal partition.P
 }
 
-// makeInstance builds the per-user instance for a workload. Seeds are
-// offset per user so synthetic and zipf users get diverse instances.
+// makeInstance builds the per-user instance for a workload (any
+// workload.Instance name). Seeds are offset per user so generated
+// instances are diverse across users.
 func makeInstance(wl string, seed int64) (*instance, error) {
-	var (
-		rel  *relation.Relation
-		goal partition.P
-		err  error
-	)
-	switch wl {
-	case "travel":
-		rel, goal = workload.Travel(), workload.TravelQ2()
-	case "synthetic":
-		rel, goal, err = workload.Synthetic(workload.SynthConfig{
-			Attrs: 6, Tuples: 60, GoalAtoms: 2, ExtraMerges: 1.5, Seed: seed,
-		})
-	case "zipf":
-		// Zipf has no planted goal; draw one and let the oracle answer
-		// by it. Inference converges regardless of whether the goal is
-		// realizable on the instance.
-		rel, err = workload.Zipf(workload.ZipfConfig{
-			Attrs: 5, Tuples: 40, Vocab: 8, S: 1.5, Seed: seed,
-		})
-		if err == nil {
-			goal = partition.RandomGoal(rand.New(rand.NewSource(seed)), 5, 2)
-		}
-	default:
-		return nil, fmt.Errorf("loadtest: unknown workload %q (want travel, synthetic, or zipf)", wl)
-	}
+	rel, goal, err := workload.Instance(wl, workload.InstanceConfig{Seed: seed})
 	if err != nil {
 		return nil, err
 	}

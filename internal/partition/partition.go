@@ -26,9 +26,15 @@ import (
 
 // P is a partition of {0..n-1} in canonical restricted-growth form.
 // The zero value is the empty partition of zero elements.
+//
+// A P may additionally carry a lazy cache of derived forms (canonical
+// key, pair bitset) — see Cached and bits.go. The cache is invisible
+// to the lattice semantics: Equal, LessEq, Meet, and Join depend only
+// on the labels.
 type P struct {
 	labels []int // labels[i] = block id of element i, canonical
 	blocks int   // number of distinct blocks
+	cache  *pCache
 }
 
 // New builds a partition from arbitrary block labels (equal labels mean
@@ -178,6 +184,9 @@ func (p P) BlockSizes() []int {
 // PairCount returns |Pairs(p)|: the number of unordered element pairs
 // in a common block. It measures predicate specificity.
 func (p P) PairCount() int {
+	if info := p.readyPairs(); info != nil {
+		return info.count
+	}
 	total := 0
 	for _, s := range p.BlockSizes() {
 		total += s * (s - 1) / 2
@@ -250,6 +259,13 @@ func (p P) LessEq(q P) bool {
 	if len(p.labels) != len(q.labels) {
 		return false
 	}
+	// When both sides already have memoized pair bitsets (long-lived
+	// signatures on the inference hot path), refinement is a subset
+	// check over a few words, with no allocation. The check never
+	// computes a bitset: one-shot comparisons keep the O(n) scan below.
+	if pb, qb := p.readyPairs(), q.readyPairs(); pb != nil && qb != nil {
+		return pb.set.SubsetOf(qb.set)
+	}
 	img := make([]int, p.blocks)
 	for i := range img {
 		img[i] = -1
@@ -320,8 +336,21 @@ func mergeBlocks(uf *unionFind, p P) {
 }
 
 // Key returns a compact canonical string key for map indexing. Equal
-// partitions have equal keys and vice versa.
+// partitions have equal keys and vice versa. Cached partitions
+// memoize the key on first use.
 func (p P) Key() string {
+	if p.cache == nil {
+		return p.buildKey()
+	}
+	if k := p.cache.key.Load(); k != nil {
+		return *k
+	}
+	k := p.buildKey()
+	p.cache.key.CompareAndSwap(nil, &k)
+	return *p.cache.key.Load()
+}
+
+func (p P) buildKey() string {
 	if len(p.labels) == 0 {
 		return ""
 	}

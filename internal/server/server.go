@@ -330,7 +330,7 @@ func (ls *liveSession) next() (int, bool) {
 	if !ls.deferred[ls.st.GroupOf(i).Indices[0]] {
 		return i, true
 	}
-	for _, j := range ls.picker.PickK(ls.st, len(ls.st.Groups())) {
+	for _, j := range ls.picker.PickK(ls.st, ls.st.InformativeGroupCount()) {
 		if !ls.deferred[ls.st.GroupOf(j).Indices[0]] {
 			return j, true
 		}

@@ -17,76 +17,81 @@ const lookahead2Beam = 8
 //
 //	min over answer l of [ prune(g,l) + max_g' min_l' prune'(g',l') ].
 //
-// It is the natural deepening of lookahead-maxmin. Per-pick cost is
-// O(beam · classes²) partition operations (one-step scores are cached
-// per state version), so it suits instances with up to a few hundred
-// distinct signatures — the selection-time-vs-questions dial of the
-// paper turned one notch further.
+// It is the natural deepening of lookahead-maxmin. One-step scores
+// come from the state's cached lattice (SimulatePruneGroup); only the
+// depth-two expansion builds hypothetical hypotheses, and those run on
+// memoized pair bitsets, so per-pick cost is O(beam · classes²) word
+// operations — the selection-time-vs-questions dial of the paper
+// turned one notch further, now cheap enough for thousands of tuples.
 func Lookahead2() core.KPicker {
 	c := &l2cache{}
 	return &ranked{name: "lookahead-2", score: c.score}
 }
 
-// l2cache memoizes the per-state one-step scores and beam membership.
-// A cache entry is valid for one (state, version) pair.
+// l2cache memoizes the per-state one-step scores and beam membership,
+// indexed by class position. A cache entry is valid for one
+// (state, version) pair.
 type l2cache struct {
 	st      *core.State
 	version int
 
 	hypo    core.Hypo
 	groups  []core.GroupCount
-	oneStep map[string]int // signature key -> min(p, n)
-	inBeam  map[string]bool
+	oneStep []int  // class position -> min(p, n)
+	inBeam  []bool // class position -> beam membership
+	infBuf  []*core.SigGroup
 }
 
 func (c *l2cache) refresh(st *core.State) {
-	if c.st == st && c.version == st.Version() && c.oneStep != nil {
+	if c.st == st && c.version == st.Version() {
 		return
 	}
 	c.st = st
 	c.version = st.Version()
 	c.hypo = st.Hypo()
 	c.groups = st.GroupCounts()
-	c.oneStep = make(map[string]int, len(c.groups))
+	c.infBuf = st.AppendInformativeGroups(c.infBuf[:0])
 
-	type scored struct {
-		key string
-		val int
+	total := len(st.Groups())
+	if cap(c.oneStep) < total {
+		c.oneStep = make([]int, total)
+		c.inBeam = make([]bool, total)
 	}
-	var all []scored
-	for _, g := range st.InformativeGroups() {
-		p := c.hypo.PruneCount(c.groups, g.Sig, core.Positive)
-		n := c.hypo.PruneCount(c.groups, g.Sig, core.Negative)
-		key := g.Sig.Key()
-		c.oneStep[key] = min(p, n)
-		all = append(all, scored{key: key, val: min(p, n)})
+	c.oneStep = c.oneStep[:total]
+	c.inBeam = c.inBeam[:total]
+	for i := range c.inBeam {
+		c.inBeam[i] = false
 	}
-	// Select the beam: top lookahead2Beam by one-step score.
-	c.inBeam = make(map[string]bool, lookahead2Beam)
-	for b := 0; b < lookahead2Beam && b < len(all); b++ {
+	for _, g := range c.infBuf {
+		p := st.SimulatePruneGroup(g.Pos, core.Positive)
+		n := st.SimulatePruneGroup(g.Pos, core.Negative)
+		c.oneStep[g.Pos] = min(p, n)
+	}
+	// Select the beam: top lookahead2Beam by one-step score, ties to
+	// the earlier class (the pre-refactor iteration order).
+	for b := 0; b < lookahead2Beam && b < len(c.infBuf); b++ {
 		best := -1
-		for i := range all {
-			if c.inBeam[all[i].key] {
+		for _, g := range c.infBuf {
+			if c.inBeam[g.Pos] {
 				continue
 			}
-			if best == -1 || all[i].val > all[best].val {
-				best = i
+			if best == -1 || c.oneStep[g.Pos] > c.oneStep[best] {
+				best = g.Pos
 			}
 		}
-		c.inBeam[all[best].key] = true
+		c.inBeam[best] = true
 	}
 }
 
 func (c *l2cache) score(st *core.State, g *core.SigGroup) float64 {
 	c.refresh(st)
-	key := g.Sig.Key()
-	base := float64(c.oneStep[key])
-	if !c.inBeam[key] {
+	base := float64(c.oneStep[g.Pos])
+	if !c.inBeam[g.Pos] {
 		return base // outside the beam: one-step score only
 	}
 	worst := math.Inf(1)
 	for _, l := range []core.Label{core.Positive, core.Negative} {
-		immediate := c.hypo.PruneCount(c.groups, g.Sig, l)
+		immediate := st.SimulatePruneGroup(g.Pos, l)
 		next := c.hypo.Apply(g.Sig, l)
 		best := bestOneStep(next, c.groups)
 		if total := float64(immediate + best); total < worst {

@@ -1,0 +1,309 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// This file holds the from-scratch reference implementations of every
+// heuristic strategy: the pre-refactor scoring path, which rebuilds
+// the hypothesis with partition meets, reclassifies every class with
+// Meet/LessEq, and recounts unlabeled tuples by scanning labels on
+// each evaluation. They exist for two jobs:
+//
+//   - the differential tests assert that the incremental scorer picks
+//     the same tuple sequence as these definitional rescorers on
+//     randomized workloads — the safety net under the whole
+//     incremental-scoring refactor;
+//   - jimbench -core and the pick benchmarks use them as the baseline
+//     the incremental path is measured against.
+//
+// They intentionally keep the old cost profile — O(classes²) partition
+// meets plus O(tuples) label scans per pick — so benchmark speedups
+// measure the refactor, not a weakened straw man.
+
+// Naive returns the from-scratch reference implementation of the named
+// heuristic strategy. It accepts every HeuristicNames entry and
+// reports the same Name as the incremental version; only the scoring
+// machinery differs. The exponential optimal strategy has no naive
+// variant (it is already definitional).
+func Naive(name string, seed int64) (core.KPicker, error) {
+	switch name {
+	case "random":
+		r := rand.New(rand.NewSource(seed))
+		return &naiveRanked{name: "random", score: func(st *core.State, g *core.SigGroup) float64 {
+			return math.Pow(r.Float64(), 1/float64(len(g.Indices)))
+		}}, nil
+	case "local-most-specific":
+		return &naiveRanked{name: name, score: func(st *core.State, g *core.SigGroup) float64 {
+			return float64(st.MP().Meet(g.Sig).PairCount()) + float64(len(g.Indices))*1e-6
+		}}, nil
+	case "local-least-specific":
+		return &naiveRanked{name: name, score: func(st *core.State, g *core.SigGroup) float64 {
+			return -float64(st.MP().Meet(g.Sig).PairCount()) + float64(len(g.Indices))*1e-6
+		}}, nil
+	case "lookahead-maxmin":
+		return &naiveRanked{name: name, score: func(st *core.State, g *core.SigGroup) float64 {
+			p, n := naivePrune(st, g.Sig, core.Positive), naivePrune(st, g.Sig, core.Negative)
+			return float64(min(p, n))*1e6 + float64(p+n)
+		}}, nil
+	case "lookahead-expected":
+		return &naiveRanked{name: name, score: func(st *core.State, g *core.SigGroup) float64 {
+			p, n := naivePrune(st, g.Sig, core.Positive), naivePrune(st, g.Sig, core.Negative)
+			return float64(p+n) / 2
+		}}, nil
+	case "lookahead-entropy":
+		return &naiveRanked{name: name, score: func(st *core.State, g *core.SigGroup) float64 {
+			p, n := naivePrune(st, g.Sig, core.Positive), naivePrune(st, g.Sig, core.Negative)
+			total := p + n
+			if total == 0 {
+				return 0
+			}
+			q := float64(p) / float64(total)
+			return entropy(q) * float64(total)
+		}}, nil
+	case "lookahead-2":
+		c := &naiveL2{}
+		return &naiveRanked{name: name, score: c.score}, nil
+	}
+	return nil, fmt.Errorf("strategy: no naive reference for %q (want one of %v)", name, HeuristicNames())
+}
+
+// MustNaive is Naive that panics on unknown names; for benchmarks and
+// statically-known strategy literals.
+func MustNaive(name string, seed int64) core.KPicker {
+	s, err := Naive(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// naiveRanked is the pre-refactor ranked scaffolding: fresh candidate
+// list and fresh scores on every call, selection by repeated scan.
+type naiveRanked struct {
+	name  string
+	score func(st *core.State, g *core.SigGroup) float64
+}
+
+func (s *naiveRanked) Name() string { return s.name }
+
+func (s *naiveRanked) Pick(st *core.State) (int, bool) {
+	groups := st.InformativeGroups()
+	if len(groups) == 0 {
+		return 0, false
+	}
+	best := -1
+	bestScore := math.Inf(-1)
+	for gi, g := range groups {
+		if sc := s.score(st, g); sc > bestScore {
+			best, bestScore = gi, sc
+		}
+	}
+	return firstUnlabeled(st, groups[best]), true
+}
+
+// PickK is the old O(k·C) stable selection sort, kept as the ordering
+// oracle for the heap-based partial sort.
+func (s *naiveRanked) PickK(st *core.State, k int) []int {
+	groups := st.InformativeGroups()
+	if len(groups) == 0 {
+		return nil
+	}
+	scores := make([]float64, len(groups))
+	for gi, g := range groups {
+		scores[gi] = s.score(st, g)
+	}
+	out := make([]int, 0, max(k, 0))
+	used := make([]bool, len(groups))
+	for len(out) < k {
+		best := -1
+		for i := range groups {
+			if used[i] {
+				continue
+			}
+			if best == -1 || scores[i] > scores[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		out = append(out, firstUnlabeled(st, groups[best]))
+	}
+	return out
+}
+
+// naivePrune is the definitional SimulatePrune: apply the label to a
+// snapshot of the hypothesis, then reclassify every class with
+// Meet/LessEq, counting its unlabeled tuples by scanning labels.
+func naivePrune(st *core.State, sig partition.P, l core.Label) int {
+	mp, negs := naiveApply(st.MP(), st.Negatives(), sig, l)
+	count := 0
+	for _, g := range st.Groups() {
+		c := 0
+		for _, i := range g.Indices {
+			if st.Label(i) == core.Unlabeled {
+				c++
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		if naiveImplied(mp, negs, g.Sig) != core.Unlabeled {
+			count += c
+		}
+	}
+	return count
+}
+
+// naiveApply refines a (M_P, negative antichain) hypothesis by one
+// label, mirroring core.Hypo.Apply with explicit partition operations.
+func naiveApply(mp partition.P, negs []partition.P, sig partition.P, l core.Label) (partition.P, []partition.P) {
+	if l == core.Positive {
+		return mp.Meet(sig), negs
+	}
+	for _, neg := range negs {
+		if sig.LessEq(neg) {
+			return mp, negs
+		}
+	}
+	kept := make([]partition.P, 0, len(negs)+1)
+	for _, neg := range negs {
+		if !neg.LessEq(sig) {
+			kept = append(kept, neg)
+		}
+	}
+	return mp, append(kept, sig)
+}
+
+func naiveImplied(mp partition.P, negs []partition.P, sig partition.P) core.Label {
+	if mp.LessEq(sig) {
+		return core.ImpliedPositive
+	}
+	m := mp.Meet(sig)
+	for _, neg := range negs {
+		if m.LessEq(neg) {
+			return core.ImpliedNegative
+		}
+	}
+	return core.Unlabeled
+}
+
+// naiveL2 is the pre-refactor two-step lookahead: per-version memo of
+// one-step scores and beam membership keyed by signature strings.
+type naiveL2 struct {
+	st      *core.State
+	version int
+
+	mp      partition.P
+	negs    []partition.P
+	groups  []core.GroupCount
+	oneStep map[string]int
+	inBeam  map[string]bool
+}
+
+func (c *naiveL2) refresh(st *core.State) {
+	if c.st == st && c.version == st.Version() && c.oneStep != nil {
+		return
+	}
+	c.st = st
+	c.version = st.Version()
+	c.mp = st.MP()
+	c.negs = append([]partition.P(nil), st.Negatives()...)
+	c.groups = nil
+	for _, g := range st.Groups() {
+		n := 0
+		for _, i := range g.Indices {
+			if st.Label(i) == core.Unlabeled {
+				n++
+			}
+		}
+		if n > 0 {
+			c.groups = append(c.groups, core.GroupCount{Sig: g.Sig, Count: n})
+		}
+	}
+	c.oneStep = make(map[string]int)
+
+	type scored struct {
+		key string
+		val int
+	}
+	var all []scored
+	for _, g := range st.InformativeGroups() {
+		p := naivePrune(st, g.Sig, core.Positive)
+		n := naivePrune(st, g.Sig, core.Negative)
+		key := g.Sig.Key()
+		c.oneStep[key] = min(p, n)
+		all = append(all, scored{key: key, val: min(p, n)})
+	}
+	c.inBeam = make(map[string]bool, lookahead2Beam)
+	for b := 0; b < lookahead2Beam && b < len(all); b++ {
+		best := -1
+		for i := range all {
+			if c.inBeam[all[i].key] {
+				continue
+			}
+			if best == -1 || all[i].val > all[best].val {
+				best = i
+			}
+		}
+		c.inBeam[all[best].key] = true
+	}
+}
+
+func (c *naiveL2) score(st *core.State, g *core.SigGroup) float64 {
+	c.refresh(st)
+	key := g.Sig.Key()
+	base := float64(c.oneStep[key])
+	if !c.inBeam[key] {
+		return base
+	}
+	worst := math.Inf(1)
+	for _, l := range []core.Label{core.Positive, core.Negative} {
+		immediate := naivePrune(st, g.Sig, l)
+		nmp, nnegs := naiveApply(c.mp, c.negs, g.Sig, l)
+		best := naiveBestOneStep(nmp, nnegs, c.groups)
+		if total := float64(immediate + best); total < worst {
+			worst = total
+		}
+	}
+	if math.IsInf(worst, 1) {
+		worst = base
+	}
+	return worst*1e3 + base
+}
+
+func naiveBestOneStep(mp partition.P, negs []partition.P, groups []core.GroupCount) int {
+	var remaining []core.GroupCount
+	for _, g := range groups {
+		if naiveImplied(mp, negs, g.Sig) == core.Unlabeled {
+			remaining = append(remaining, g)
+		}
+	}
+	best := 0
+	for _, g2 := range remaining {
+		p := naivePruneCount(mp, negs, remaining, g2.Sig, core.Positive)
+		n := naivePruneCount(mp, negs, remaining, g2.Sig, core.Negative)
+		if m := min(p, n); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+func naivePruneCount(mp partition.P, negs []partition.P, groups []core.GroupCount, sig partition.P, l core.Label) int {
+	nmp, nnegs := naiveApply(mp, negs, sig, l)
+	count := 0
+	for _, g := range groups {
+		if naiveImplied(nmp, nnegs, g.Sig) != core.Unlabeled {
+			count += g.Count
+		}
+	}
+	return count
+}

@@ -10,6 +10,15 @@
 // All strategies operate on signature classes (core.SigGroup): tuples
 // with the same Eq signature are interchangeable for every hypothesis,
 // so scoring classes instead of tuples is an exact optimization.
+//
+// Scoring is incremental: ranked keeps its per-class scores keyed on
+// core.State.Version, so a pick after no new label reuses them
+// outright, and the local strategies — whose scores depend only on
+// M_P and the class signature — additionally survive every Apply that
+// leaves M_P in place (in particular, every negative label) via
+// core.State.MPVersion. naive.go holds the from-scratch reference
+// implementations that the differential tests and benchmarks compare
+// against.
 package strategy
 
 import (
@@ -17,19 +26,35 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
 // parallelThreshold is the informative-class count above which a
-// parallel-safe strategy fans its scoring out across CPUs. Variable so
-// tests can force both paths.
-var parallelThreshold = 64
+// parallel-safe strategy fans its scoring out across CPUs. The
+// incremental scorer made per-class scoring cheap (a few word
+// operations per remaining class), so the threshold sits well above
+// the old value — below it, goroutine handoff costs more than the
+// scoring. Variable so tests can force both paths.
+var parallelThreshold = 128
+
+// scoreChunk is the number of classes a scoring worker claims per
+// atomic fetch. Chunking replaces the old one-unbuffered-channel-send
+// per class, which serialized the fan-out on channel handoffs.
+const scoreChunk = 32
 
 // ranked is the common scaffolding: a strategy that totally orders the
 // informative signature classes by a score (higher = asked first).
 // It implements both core.Picker and core.KPicker.
+//
+// A ranked instance memoizes one state's scores (indexed by class
+// position, so the buffer survives classes becoming uninformative) and
+// is NOT safe for concurrent use — the HTTP layer serializes picker
+// access per session (pickMu), matching the pre-existing contract for
+// stateful pickers.
 type ranked struct {
 	name string
 	// score returns the priority of asking about group g now.
@@ -37,58 +62,98 @@ type ranked struct {
 	// parallel marks score as safe to call concurrently (pure reads of
 	// the state, no shared mutable captures such as RNGs or caches).
 	parallel bool
+	// mpOnly marks score as a function of M_P and the class signature
+	// alone: cached scores stay valid while State.MPVersion stands.
+	mpOnly bool
+	// volatile disables caching entirely (the random strategy draws a
+	// fresh score per evaluation; reusing draws would change its
+	// distribution and its seeded sequences).
+	volatile bool
+
+	cst        *core.State // state the cache belongs to
+	cversion   int         // State.Version the scores were computed at
+	cmpVersion int         // State.MPVersion likewise
+	cvalid     bool
+	scores     []float64        // score per class position
+	infBuf     []*core.SigGroup // reusable informative-class list
 }
 
 func (s *ranked) Name() string { return s.name }
 
-// scores evaluates every group, fanning out across CPUs when the
-// strategy is parallel-safe and the class count makes it worthwhile.
-// Lookahead scoring is O(classes) partition work per class, so the
-// fan-out turns the dominant O(classes²) selection cost into
-// O(classes²/P).
-func (s *ranked) scores(st *core.State, groups []*core.SigGroup) []float64 {
-	out := make([]float64, len(groups))
-	if !s.parallel || len(groups) < parallelThreshold {
-		for gi, g := range groups {
-			out[gi] = s.score(st, g)
+// refresh returns the informative classes with s.scores valid for
+// them, rescoring only when the cached version no longer matches.
+func (s *ranked) refresh(st *core.State) []*core.SigGroup {
+	if s.cvalid && s.cst == st && !s.volatile {
+		if s.cversion == st.Version() {
+			return s.infBuf
 		}
-		return out
+		if s.mpOnly && s.cmpVersion == st.MPVersion() {
+			// Scores depend only on (M_P, signature) pairs that did not
+			// move; only the candidate list shrank.
+			s.infBuf = st.AppendInformativeGroups(s.infBuf[:0])
+			s.cversion = st.Version()
+			return s.infBuf
+		}
+	}
+	s.infBuf = st.AppendInformativeGroups(s.infBuf[:0])
+	if cap(s.scores) < len(st.Groups()) {
+		s.scores = make([]float64, len(st.Groups()))
+	}
+	s.scores = s.scores[:len(st.Groups())]
+	s.rescore(st, s.infBuf)
+	s.cst, s.cversion, s.cmpVersion, s.cvalid = st, st.Version(), st.MPVersion(), true
+	return s.infBuf
+}
+
+// rescore evaluates every informative class into s.scores, fanning out
+// across CPUs in chunks when the strategy is parallel-safe and the
+// class count makes it worthwhile.
+func (s *ranked) rescore(st *core.State, groups []*core.SigGroup) {
+	if !s.parallel || len(groups) < parallelThreshold {
+		for _, g := range groups {
+			s.scores[g.Pos] = s.score(st, g)
+		}
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(groups) {
-		workers = len(groups)
+	if maxW := (len(groups) + scoreChunk - 1) / scoreChunk; workers > maxW {
+		workers = maxW
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for gi := range next {
-				out[gi] = s.score(st, groups[gi])
+			for {
+				start := int(next.Add(scoreChunk)) - scoreChunk
+				if start >= len(groups) {
+					return
+				}
+				end := start + scoreChunk
+				if end > len(groups) {
+					end = len(groups)
+				}
+				for _, g := range groups[start:end] {
+					s.scores[g.Pos] = s.score(st, g)
+				}
 			}
 		}()
 	}
-	for gi := range groups {
-		next <- gi
-	}
-	close(next)
 	wg.Wait()
-	return out
 }
 
 // Pick returns the first tuple of the best-scoring informative class.
 func (s *ranked) Pick(st *core.State) (int, bool) {
-	groups := st.InformativeGroups()
+	groups := s.refresh(st)
 	if len(groups) == 0 {
 		return 0, false
 	}
-	scores := s.scores(st, groups)
 	best := -1
 	bestScore := math.Inf(-1)
-	for gi := range groups {
-		if scores[gi] > bestScore {
-			best, bestScore = gi, scores[gi]
+	for gi, g := range groups {
+		if sc := s.scores[g.Pos]; sc > bestScore {
+			best, bestScore = gi, sc
 		}
 	}
 	return firstUnlabeled(st, groups[best]), true
@@ -96,33 +161,76 @@ func (s *ranked) Pick(st *core.State) (int, bool) {
 
 // PickK returns up to k informative tuples, best class first, at most
 // one tuple per class (labeling one member of a class settles the
-// whole class, so proposing two is never useful).
+// whole class, so proposing two is never useful). Selection is a
+// size-k partial sort — a min-heap over the candidate classes — so
+// ranking costs O(C log k) instead of the old O(k·C) selection sort.
+// Order matches the full sort by (score descending, class position
+// ascending), i.e. ties go to the earlier class, exactly as before.
 func (s *ranked) PickK(st *core.State, k int) []int {
-	groups := st.InformativeGroups()
+	if k <= 0 {
+		return nil
+	}
+	groups := s.refresh(st)
 	if len(groups) == 0 {
 		return nil
 	}
-	scores := s.scores(st, groups)
-	// Stable selection sort by descending score (k is small).
-	out := make([]int, 0, k)
-	used := make([]bool, len(groups))
-	for len(out) < k {
-		best := -1
-		for i := range groups {
-			if used[i] {
-				continue
-			}
-			if best == -1 || scores[i] > scores[best] {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		used[best] = true
-		out = append(out, firstUnlabeled(st, groups[best]))
+	top := topKGroups(groups, s.scores, k)
+	out := make([]int, 0, len(top))
+	for _, g := range top {
+		out = append(out, firstUnlabeled(st, g))
 	}
 	return out
+}
+
+// topKGroups selects the k best classes by (score desc, Pos asc).
+func topKGroups(groups []*core.SigGroup, scores []float64, k int) []*core.SigGroup {
+	better := func(a, b *core.SigGroup) bool {
+		sa, sb := scores[a.Pos], scores[b.Pos]
+		if sa != sb {
+			return sa > sb
+		}
+		return a.Pos < b.Pos
+	}
+	if k >= len(groups) {
+		out := make([]*core.SigGroup, len(groups))
+		copy(out, groups)
+		sort.SliceStable(out, func(i, j int) bool { return better(out[i], out[j]) })
+		return out
+	}
+	// Min-heap of the k best so far: the worst kept candidate at the
+	// root, displaced whenever a better one arrives.
+	h := make([]*core.SigGroup, k)
+	copy(h, groups[:k])
+	worse := func(a, b *core.SigGroup) bool { return better(b, a) }
+	var siftDown func(i int)
+	siftDown = func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < k && worse(h[l], h[min]) {
+				min = l
+			}
+			if r < k && worse(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for _, g := range groups[k:] {
+		if better(g, h[0]) {
+			h[0] = g
+			siftDown(0)
+		}
+	}
+	sort.SliceStable(h, func(i, j int) bool { return better(h[i], h[j]) })
+	return h
 }
 
 func firstUnlabeled(st *core.State, g *core.SigGroup) int {
@@ -143,7 +251,8 @@ func firstUnlabeled(st *core.State, g *core.SigGroup) int {
 func Random(seed int64) core.KPicker {
 	r := rand.New(rand.NewSource(seed))
 	return &ranked{
-		name: "random",
+		name:     "random",
+		volatile: true,
 		score: func(st *core.State, g *core.SigGroup) float64 {
 			return math.Pow(r.Float64(), 1/float64(len(g.Indices)))
 		},
@@ -158,8 +267,9 @@ func LocalMostSpecific() core.KPicker {
 	return &ranked{
 		name:     "local-most-specific",
 		parallel: true,
+		mpOnly:   true,
 		score: func(st *core.State, g *core.SigGroup) float64 {
-			overlap := st.MP().Meet(g.Sig).PairCount()
+			overlap := st.MP().MeetPairCount(g.Sig)
 			return float64(overlap) + float64(len(g.Indices))*1e-6
 		},
 	}
@@ -173,8 +283,9 @@ func LocalLeastSpecific() core.KPicker {
 	return &ranked{
 		name:     "local-least-specific",
 		parallel: true,
+		mpOnly:   true,
 		score: func(st *core.State, g *core.SigGroup) float64 {
-			overlap := st.MP().Meet(g.Sig).PairCount()
+			overlap := st.MP().MeetPairCount(g.Sig)
 			return -float64(overlap) + float64(len(g.Indices))*1e-6
 		},
 	}
@@ -183,7 +294,7 @@ func LocalLeastSpecific() core.KPicker {
 // lookaheadCounts returns how many unlabeled tuples stop being
 // informative if this class is labeled +, respectively −.
 func lookaheadCounts(st *core.State, g *core.SigGroup) (pos, neg int) {
-	return st.SimulatePrune(g.Sig, core.Positive), st.SimulatePrune(g.Sig, core.Negative)
+	return st.SimulatePruneGroup(g.Pos, core.Positive), st.SimulatePruneGroup(g.Pos, core.Negative)
 }
 
 // LookaheadMaxMin returns the lookahead strategy maximizing the
@@ -277,6 +388,14 @@ func Names() []string {
 		"lookahead-2",
 		"optimal",
 	}
+}
+
+// HeuristicNames lists the polynomial-time strategies — Names without
+// the exponential optimal strategy. Every entry is accepted by both
+// ByName and Naive.
+func HeuristicNames() []string {
+	names := Names()
+	return names[:len(names)-1]
 }
 
 // Heuristics returns fresh instances of every practical (polynomial-

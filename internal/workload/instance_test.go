@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInstanceNamesAllBuild(t *testing.T) {
+	for _, name := range InstanceNames() {
+		rel, goal, err := Instance(name, InstanceConfig{Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel.Len() == 0 {
+			t.Fatalf("%s: empty instance", name)
+		}
+		if goal.N() != rel.Schema().Len() {
+			t.Fatalf("%s: goal over %d attrs, schema has %d", name, goal.N(), rel.Schema().Len())
+		}
+	}
+}
+
+func TestInstanceHonorsTuples(t *testing.T) {
+	for _, name := range InstanceNames() {
+		rel, _, err := Instance(name, InstanceConfig{Tuples: 500, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel.Len() != 500 {
+			t.Fatalf("%s: %d tuples, want 500", name, rel.Len())
+		}
+	}
+}
+
+func TestInstanceUnknownName(t *testing.T) {
+	if _, _, err := Instance("bogus", InstanceConfig{}); err == nil {
+		t.Fatal("want error for unknown instance name")
+	}
+}
+
+// TestInstanceSessionsConverge drives each instance to convergence so
+// every generator is known to produce a solvable inference problem.
+func TestInstanceSessionsConverge(t *testing.T) {
+	for _, name := range InstanceNames() {
+		rel, goal, err := Instance(name, InstanceConfig{Tuples: 200, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st, err := core.NewState(rel)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for steps := 0; !st.Done(); steps++ {
+			if steps > rel.Len() {
+				t.Fatalf("%s: no convergence", name)
+			}
+			i := st.InformativeIndices()[0]
+			l := core.Negative
+			if core.Selects(goal, rel.Tuple(i)) {
+				l = core.Positive
+			}
+			if _, err := st.Apply(i, l); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}

@@ -8,8 +8,13 @@
 //	jimbench -list
 //	jimbench -exp fig4 [-seed 7] [-trials 50]
 //	jimbench -all [-quick]
-//	jimbench -server [-users 64] [-sessions 1] [-workloads travel,synthetic,zipf] [-out BENCH_server.json]
-//	jimbench -core [-tuples 10000] [-workloads zipf,synthetic,star] [-runs 4] [-out BENCH_core.json]
+//	jimbench -server [-users 64] [-sessions 1] [-workloads travel,synthetic,zipf] [-stream 6] [-out BENCH_server.json]
+//	jimbench -core [-tuples 10000] [-workloads zipf,synthetic,star] [-runs 4] [-stream 16] [-out BENCH_core.json]
+//
+// -server also runs streaming variants (users label while the
+// instance arrives in -stream append batches) for zipf and star;
+// -core times every State.Append against the rebuild-from-scratch
+// alternative. -stream -1 disables both.
 package main
 
 import (
@@ -46,6 +51,7 @@ type options struct {
 	runs       int
 	strategies string
 	noBaseline bool
+	stream     int
 }
 
 func main() {
@@ -67,6 +73,7 @@ func main() {
 	flag.IntVar(&o.runs, "runs", 4, "measured sessions per strategy (with -core)")
 	flag.StringVar(&o.strategies, "strategies", "", "comma-separated strategies (with -core; default the lookahead family)")
 	flag.BoolVar(&o.noBaseline, "no-baseline", false, "skip the naive reference measurement (with -core)")
+	flag.IntVar(&o.stream, "stream", 0, "streaming-ingestion batches: 0 = mode default (16 with -core; 6 with -server), negative disables")
 	flag.Parse()
 	o.expOpts = experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
 	if o.workloads == "" {
@@ -148,12 +155,36 @@ func runServerBench(w io.Writer, o options) error {
 		SessionsPerUser: o.sessions,
 		Strategy:        o.strategy,
 	}
-	for _, wl := range splitList(o.workloads) {
+	// One classic run per workload, plus streaming runs (users label
+	// while the instance grows in append batches) for the generators
+	// that scale.
+	type benchRun struct {
+		workload string
+		stream   int
+	}
+	classic := splitList(o.workloads)
+	if len(classic) == 0 {
+		return fmt.Errorf("no workloads selected")
+	}
+	var runs []benchRun
+	for _, wl := range classic {
+		runs = append(runs, benchRun{workload: wl})
+	}
+	if stream := o.stream; stream >= 0 {
+		if stream == 0 {
+			stream = 6
+		}
+		for _, wl := range []string{"zipf", "star"} {
+			runs = append(runs, benchRun{workload: wl, stream: stream})
+		}
+	}
+	for _, br := range runs {
 		rep, err := loadtest.Run(loadtest.Config{
 			Users:           o.users,
 			SessionsPerUser: o.sessions,
-			Workload:        wl,
+			Workload:        br.workload,
 			Strategy:        o.strategy,
+			StreamBatches:   br.stream,
 			Seed:            o.expOpts.Seed,
 		})
 		if err != nil {
@@ -165,8 +196,12 @@ func runServerBench(w io.Writer, o options) error {
 		bench.Totals.Requests += rep.Requests
 		bench.Totals.Errors += rep.Errors
 		bench.Totals.ElapsedSeconds += rep.ElapsedSeconds
-		fmt.Fprintf(w, "%-10s %4d/%d sessions  %8.1f req/s  %7.1f sessions/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
-			wl, rep.Completed, rep.Sessions, rep.RequestsPerSec, rep.SessionsPerSec,
+		name := br.workload
+		if br.stream > 0 {
+			name = fmt.Sprintf("%s+stream%d", br.workload, br.stream)
+		}
+		fmt.Fprintf(w, "%-14s %4d/%d sessions  %8.1f req/s  %7.1f sessions/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+			name, rep.Completed, rep.Sessions, rep.RequestsPerSec, rep.SessionsPerSec,
 			rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
 	}
 	if len(bench.Workloads) == 0 {
@@ -193,11 +228,12 @@ func runServerBench(w io.Writer, o options) error {
 // reference) and writes BENCH_core.json.
 func runCoreBench(w io.Writer, o options) error {
 	cfg := corebench.Config{
-		Workloads: splitList(o.workloads),
-		Tuples:    o.tuples,
-		Sessions:  o.runs,
-		Baseline:  !o.noBaseline,
-		Seed:      o.expOpts.Seed,
+		Workloads:     splitList(o.workloads),
+		Tuples:        o.tuples,
+		Sessions:      o.runs,
+		Baseline:      !o.noBaseline,
+		StreamBatches: o.stream, // 0 = corebench default, negative disables
+		Seed:          o.expOpts.Seed,
 	}
 	if o.strategies != "" {
 		cfg.Strategies = splitList(o.strategies)

@@ -64,6 +64,7 @@ func TestRunServerBench(t *testing.T) {
 		sessions:  1,
 		workloads: "travel,zipf",
 		strategy:  "lookahead-maxmin",
+		stream:    -1, // classic runs only; streaming covered separately
 		out:       out,
 		expOpts:   quickOpts(),
 	}
@@ -156,11 +157,58 @@ func TestRunCoreBench(t *testing.T) {
 
 func TestRunServerBenchStdout(t *testing.T) {
 	var buf bytes.Buffer
-	o := options{server: true, users: 2, sessions: 1, workloads: "travel", out: "-"}
+	o := options{server: true, users: 2, sessions: 1, workloads: "travel", stream: -1, out: "-"}
 	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"benchmark": "jim-server-loadtest"`) {
 		t.Errorf("stdout mode missing JSON payload:\n%s", buf.String())
+	}
+}
+
+// TestRunServerBenchStreaming: the default -server run appends
+// streaming variants (users label while the instance grows) for the
+// scaling generators, tagged by stream_batches in the report.
+func TestRunServerBenchStreaming(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var buf bytes.Buffer
+	o := options{
+		server:    true,
+		users:     2,
+		sessions:  1,
+		workloads: "travel",
+		strategy:  "lookahead-maxmin",
+		stream:    3,
+		out:       out,
+		expOpts:   quickOpts(),
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench serverBench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Workloads) != 3 { // travel classic + zipf/star streaming
+		t.Fatalf("workloads = %d, want 3", len(bench.Workloads))
+	}
+	streaming := 0
+	for _, rep := range bench.Workloads {
+		if rep.StreamBatches > 0 {
+			streaming++
+			if rep.StreamBatches != 3 || rep.Appends == 0 {
+				t.Errorf("%s streaming report incomplete: %+v", rep.Workload, rep)
+			}
+		}
+	}
+	if streaming != 2 {
+		t.Fatalf("streaming entries = %d, want 2", streaming)
+	}
+	if bench.Totals.Errors != 0 {
+		t.Errorf("streaming bench errors: %+v", bench.Totals)
 	}
 }

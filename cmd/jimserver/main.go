@@ -10,9 +10,10 @@
 //	POST   /sessions              {"csv": "...", "strategy": "lookahead-maxmin"}
 //	GET    /sessions/{id}/next    next proposed tuple
 //	POST   /sessions/{id}/label   {"index": 3, "label": "+"}
+//	POST   /sessions/{id}/tuples  stream new tuples into the instance
 //	GET    /sessions/{id}/result  inferred predicate + SQL
 //	GET    /sessions/{id}/export  persistable session file
-//	GET    /stats                 session counts, label throughput, latency
+//	GET    /stats                 session counts, label/ingest throughput, latency
 package main
 
 import (
@@ -31,10 +32,11 @@ import (
 // config is everything main parses; newServer is kept separate so
 // tests can exercise flag wiring without binding a socket.
 type config struct {
-	addr        string
-	maxSessions int
-	sessionTTL  time.Duration
-	sweepEvery  time.Duration
+	addr         string
+	maxSessions  int
+	sessionTTL   time.Duration
+	sweepEvery   time.Duration
+	maxBodyBytes int64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -44,6 +46,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.maxSessions, "max-sessions", 0, "max live sessions; creates beyond this get 429 (0 = unlimited)")
 	fs.DurationVar(&cfg.sessionTTL, "session-ttl", 0, "evict sessions idle for this long (0 = never)")
 	fs.DurationVar(&cfg.sweepEvery, "sweep-every", time.Minute, "how often the janitor scans for expired sessions")
+	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 32<<20, "cap on create/import/append request bodies; larger get 413 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -53,13 +56,17 @@ func parseFlags(args []string) (config, error) {
 	if cfg.sessionTTL < 0 {
 		return cfg, fmt.Errorf("-session-ttl must be >= 0, got %v", cfg.sessionTTL)
 	}
+	if cfg.maxBodyBytes < 0 {
+		return cfg, fmt.Errorf("-max-body-bytes must be >= 0, got %d", cfg.maxBodyBytes)
+	}
 	return cfg, nil
 }
 
 func newServer(cfg config) *server.Server {
 	return server.NewWith(server.Config{
-		MaxSessions: cfg.maxSessions,
-		IdleTTL:     cfg.sessionTTL,
+		MaxSessions:  cfg.maxSessions,
+		IdleTTL:      cfg.sessionTTL,
+		MaxBodyBytes: cfg.maxBodyBytes,
 	})
 }
 

@@ -19,15 +19,16 @@ func TestParseFlags(t *testing.T) {
 		{
 			name: "defaults",
 			args: nil,
-			want: config{addr: "127.0.0.1:8080", sweepEvery: time.Minute},
+			want: config{addr: "127.0.0.1:8080", sweepEvery: time.Minute, maxBodyBytes: 32 << 20},
 		},
 		{
 			name: "full",
-			args: []string{"-addr", ":9090", "-max-sessions", "100", "-session-ttl", "30m", "-sweep-every", "10s"},
-			want: config{addr: ":9090", maxSessions: 100, sessionTTL: 30 * time.Minute, sweepEvery: 10 * time.Second},
+			args: []string{"-addr", ":9090", "-max-sessions", "100", "-session-ttl", "30m", "-sweep-every", "10s", "-max-body-bytes", "1024"},
+			want: config{addr: ":9090", maxSessions: 100, sessionTTL: 30 * time.Minute, sweepEvery: 10 * time.Second, maxBodyBytes: 1024},
 		},
 		{name: "negative cap", args: []string{"-max-sessions", "-1"}, wantErr: true},
 		{name: "negative ttl", args: []string{"-session-ttl", "-5s"}, wantErr: true},
+		{name: "negative body cap", args: []string{"-max-body-bytes", "-1"}, wantErr: true},
 		{name: "bad flag", args: []string{"-nope"}, wantErr: true},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/values"
+)
+
+// randomTuples draws count tuples with random signatures over n
+// attributes (same encoding as randomInstance: values encode blocks
+// with a per-tuple base, so Eq(t) is exactly the drawn partition and
+// classes repeat whenever Uniform redraws a partition). serial keeps
+// bases unique across batches.
+func randomTuples(r *rand.Rand, n, count int, serial *int) []relation.Tuple {
+	out := make([]relation.Tuple, count)
+	for t := range out {
+		sig := partition.Uniform(r, n)
+		tu := make(relation.Tuple, n)
+		base := int64(*serial) << 8
+		*serial++
+		for i := 0; i < n; i++ {
+			tu[i] = values.Int(base + int64(sig.BlockOf(i)))
+		}
+		out[t] = tu
+	}
+	return out
+}
+
+// labelRandomInformative applies one goal-answered label to a random
+// informative tuple and checks invariants. Returns false at
+// convergence.
+func labelRandomInformative(t *testing.T, r *rand.Rand, st *State, goal partition.P) bool {
+	t.Helper()
+	inf := st.InformativeIndices()
+	if len(inf) == 0 {
+		return false
+	}
+	i := inf[r.Intn(len(inf))]
+	l := Negative
+	if goal.LessEq(st.Sig(i)) {
+		l = Positive
+	}
+	if _, err := st.Apply(i, l); err != nil {
+		t.Fatalf("Apply(%d, %v): %v", i, l, err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("after Apply(%d, %v): %v", i, l, err)
+	}
+	return true
+}
+
+// TestAppendApplyInterleavedInvariants is the randomized property test
+// for streaming ingestion: Append and Apply interleave in random
+// order, CheckInvariants runs after every step, and the converged
+// state is cross-checked against a fresh NewState over the full
+// instance with the explicit labels replayed.
+func TestAppendApplyInterleavedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(4)
+		goal := partition.Uniform(r, n)
+		serial := 0
+		rel := relation.New(relation.MustSchema(attrNames(n)...))
+		for _, tu := range randomTuples(r, n, 1+r.Intn(6), &serial) {
+			rel.MustAppend(tu)
+		}
+		st, err := NewState(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := st.BaseLen()
+		appends := 0
+		for step := 0; step < 150; step++ {
+			if appends < 8 && (r.Float64() < 0.3 || st.Done()) {
+				batch := randomTuples(r, n, 1+r.Intn(5), &serial)
+				newly, err := st.Append(batch)
+				if err != nil {
+					t.Fatalf("trial %d step %d: Append: %v", trial, step, err)
+				}
+				if err := st.CheckInvariants(); err != nil {
+					t.Fatalf("trial %d step %d: after Append: %v", trial, step, err)
+				}
+				for _, i := range newly {
+					if i < st.Relation().Len()-len(batch) {
+						t.Fatalf("trial %d step %d: Append implied pre-existing tuple %d", trial, step, i)
+					}
+					if st.Label(i) == Unlabeled {
+						t.Fatalf("trial %d step %d: tuple %d reported implied but unlabeled", trial, step, i)
+					}
+				}
+				appends++
+				continue
+			}
+			if !labelRandomInformative(t, r, st, goal) && appends >= 8 {
+				break
+			}
+		}
+		// Drain to convergence so the cross-check covers a full session.
+		for !st.Done() {
+			if !labelRandomInformative(t, r, st, goal) {
+				break
+			}
+		}
+		if st.BaseLen() != base {
+			t.Fatalf("trial %d: BaseLen moved from %d to %d", trial, base, st.BaseLen())
+		}
+		if got, want := st.Appended(), st.Relation().Len()-base; got != want {
+			t.Fatalf("trial %d: Appended() = %d, want %d", trial, got, want)
+		}
+		if st.StructureVersion() != appends {
+			t.Fatalf("trial %d: StructureVersion %d after %d appends", trial, st.StructureVersion(), appends)
+		}
+		crossCheckAgainstFresh(t, st)
+	}
+}
+
+// crossCheckAgainstFresh rebuilds a state from scratch over st's full
+// instance, replays st's explicit labels, and requires identical M_P,
+// identical per-tuple labels, and the same negative antichain.
+func crossCheckAgainstFresh(t *testing.T, st *State) {
+	t.Helper()
+	fresh, err := NewState(st.Relation().Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.Relation().Len(); i++ {
+		if l := st.Label(i); l.IsExplicit() {
+			if _, err := fresh.Apply(i, l); err != nil {
+				t.Fatalf("replaying label %d (%v): %v", i, l, err)
+			}
+		}
+	}
+	if !fresh.MP().Equal(st.MP()) {
+		t.Fatalf("M_P diverged: incremental %v, fresh %v", st.MP(), fresh.MP())
+	}
+	if a, b := negKeys(st), negKeys(fresh); len(a) != len(b) {
+		t.Fatalf("negative antichains diverged: %v vs %v", a, b)
+	} else {
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("negative antichains diverged: %v vs %v", a, b)
+			}
+		}
+	}
+	for i := 0; i < st.Relation().Len(); i++ {
+		if st.Label(i) != fresh.Label(i) {
+			t.Fatalf("tuple %d: incremental label %v, fresh label %v", i, st.Label(i), fresh.Label(i))
+		}
+	}
+}
+
+func negKeys(st *State) []string {
+	keys := make([]string, 0, len(st.Negatives()))
+	for _, neg := range st.Negatives() {
+		keys = append(keys, neg.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func attrNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	return names
+}
+
+func TestAppendRejectsArityMismatchWhole(t *testing.T) {
+	rel := relation.MustBuild(relation.MustSchema("a", "b"),
+		[]any{1, 1}, []any{1, 2})
+	st, err := NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Relation().Len()
+	good := relation.Tuple{values.Int(3), values.Int(3)}
+	bad := relation.Tuple{values.Int(4)}
+	if _, err := st.Append([]relation.Tuple{good, bad}); err == nil {
+		t.Fatal("Append accepted a wrong-arity tuple")
+	}
+	if st.Relation().Len() != before {
+		t.Fatalf("failed Append grew the instance to %d tuples", st.Relation().Len())
+	}
+	if st.StructureVersion() != 0 {
+		t.Fatalf("failed Append bumped StructureVersion to %d", st.StructureVersion())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendClassifiesArrivalsImmediately pins the arrival-time
+// propagation: tuples whose signature is already implied by the
+// hypothesis arrive labeled, informative arrivals un-converge the
+// session, and empty batches are no-ops.
+func TestAppendClassifiesArrivalsImmediately(t *testing.T) {
+	rel := relation.MustBuild(relation.MustSchema("a", "b", "c", "d"),
+		[]any{1, 1, 2, 2}, // a=b, c=d -> labeled +, M_P = {ab}{cd}
+		[]any{3, 4, 5, 6}, // all distinct -> labeled -, neg = bottom
+	)
+	st, err := NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(0, Positive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(1, Negative); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done() {
+		t.Fatalf("session not converged: %v", st.Progress())
+	}
+	if newly, err := st.Append(nil); err != nil || newly != nil {
+		t.Fatalf("empty Append = (%v, %v), want (nil, nil)", newly, err)
+	}
+	if st.Version() != 2 || st.StructureVersion() != 0 {
+		t.Fatalf("empty Append bumped versions: %d/%d", st.Version(), st.StructureVersion())
+	}
+
+	// Arrivals refining M_P (existing a=b,c=d class; new all-equal
+	// class) are implied positive on arrival; an all-distinct arrival
+	// joins the bottom class, implied negative.
+	batch := []relation.Tuple{
+		{values.Int(7), values.Int(7), values.Int(8), values.Int(8)},     // existing + class
+		{values.Int(9), values.Int(9), values.Int(9), values.Int(9)},     // new class, implied +
+		{values.Int(10), values.Int(11), values.Int(12), values.Int(13)}, // distinct: implied -
+	}
+	newly, err := st.Append(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 3 {
+		t.Fatalf("Append implied %d arrivals, want 3 (%v)", len(newly), newly)
+	}
+	if !st.Done() {
+		t.Fatalf("implied-only arrivals broke convergence: %v", st.Progress())
+	}
+	if got := []Label{st.Label(2), st.Label(3), st.Label(4)}; got[0] != ImpliedPositive ||
+		got[1] != ImpliedPositive || got[2] != ImpliedNegative {
+		t.Fatalf("arrival labels = %v", got)
+	}
+
+	// An informative arrival (a=b only: M_P does not refine it, and its
+	// meet with M_P keeps the (a,b) pair, so no negative dominates it)
+	// re-opens the session.
+	newly, err = st.Append([]relation.Tuple{{values.Int(20), values.Int(20), values.Int(21), values.Int(22)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 0 {
+		t.Fatalf("informative arrival reported implied: %v", newly)
+	}
+	if st.Done() {
+		t.Fatal("informative arrival left the session converged")
+	}
+	if st.InformativeCount() != 1 {
+		t.Fatalf("informative count %d, want 1", st.InformativeCount())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendAcrossLatticeRowCap drives the same interleaved session in
+// both row-cache regimes, including growth across the cap boundary, so
+// the lattice-growth policy (extend vs drop) is covered.
+func TestAppendAcrossLatticeRowCap(t *testing.T) {
+	old := latticeRowCap
+	t.Cleanup(func() { latticeRowCap = old })
+	for _, cap := range []int{3, 8192} {
+		latticeRowCap = cap
+		r := rand.New(rand.NewSource(41))
+		serial := 0
+		rel := relation.New(relation.MustSchema(attrNames(4)...))
+		for _, tu := range randomTuples(r, 4, 3, &serial) {
+			rel.MustAppend(tu)
+		}
+		st, err := NewState(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goal := partition.Uniform(r, 4)
+		for step := 0; step < 40; step++ {
+			if step%3 == 0 {
+				if _, err := st.Append(randomTuples(r, 4, 2, &serial)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				labelRandomInformative(t, r, st, goal)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("cap %d step %d: %v", cap, step, err)
+			}
+		}
+		crossCheckAgainstFresh(t, st)
+	}
+}

@@ -22,11 +22,12 @@ func (s groupSet) has(i int) bool { return s[i>>6]&(1<<(i&63)) != 0 }
 func (s groupSet) set(i int)      { s[i>>6] |= 1 << (i & 63) }
 
 // lattice caches the structural facts of the signature lattice for one
-// State. The signatures are fixed at NewState, so their pair bitsets
-// are precomputed once; the hypothesis side (M_P, the negative
-// antichain) is refreshed on the Apply that changes it. On top of the
-// bitsets it lazily caches, per M_P version and capped by
-// latticeRowCap, the group×group meet/≤ relation
+// State. Signatures are registered at NewState and extended by Append
+// (appendClasses), so their pair bitsets are computed once per class;
+// the hypothesis side (M_P, the negative antichain) is refreshed on
+// the Apply that changes it. On top of the bitsets it lazily caches,
+// per M_P version and capped by latticeRowCap, the group×group meet/≤
+// relation
 //
 //	posRow(g)[h]  ⇔  (M_P ∧ sig_g) ≤ sig_h
 //
@@ -57,6 +58,31 @@ func (lat *lattice) init(groups []*SigGroup, mp partition.P, negs []partition.P)
 	}
 	lat.setMP(mp)
 	lat.setNegs(negs)
+}
+
+// appendClasses registers the pair bitsets of classes that arrived via
+// State.Append. Growth policy: appends that create no new class leave
+// the cached rows untouched (rows encode only class-pair facts, which
+// arrivals into existing classes cannot change). New classes widen the
+// rows, so the row cache is rebuilt empty — rows refill lazily on the
+// next demand, keeping append cost proportional to the batch, not to
+// classes². Growing past latticeRowCap drops the row cache for good;
+// callers fall back to the direct word operations, as large instances
+// always have.
+func (lat *lattice) appendClasses(groups []*SigGroup) {
+	if len(groups) == 0 {
+		return
+	}
+	for _, g := range groups {
+		lat.sigs = append(lat.sigs, g.Sig.PairSet())
+	}
+	if len(lat.sigs) > latticeRowCap {
+		lat.rows = nil
+		lat.rowsWords = 0
+		return
+	}
+	lat.rows = make([]atomic.Pointer[groupSet], len(lat.sigs))
+	lat.rowsWords = (len(lat.sigs) + 63) / 64
 }
 
 // setMP installs a new hypothesis meet and invalidates the cached

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -25,7 +26,7 @@ var ErrAlreadyLabeled = errors.New("core: tuple already labeled explicitly")
 type SigGroup struct {
 	Sig     partition.P
 	Indices []int // tuple indices in first-occurrence order
-	Pos     int   // position in State.Groups(), fixed at NewState
+	Pos     int   // position in State.Groups(), fixed at registration
 }
 
 // State holds the instance and everything the engine knows: explicit
@@ -48,60 +49,174 @@ type State struct {
 	// Incrementally maintained scoring state (see lattice.go): the
 	// per-class unlabeled counts, the positions of classes that still
 	// hold informative tuples (always sorted), and the pair-bitset
-	// lattice over the fixed signature set. Together they let implied
-	// checks and lookahead simulations run without scanning tuples or
-	// allocating partitions.
+	// lattice over the registered signature set. Together they let
+	// implied checks and lookahead simulations run without scanning
+	// tuples or allocating partitions.
 	groupUnlabeled []int
 	infGroups      []int
 	lat            lattice
 
-	version   int // bumped on every successful Apply; see Version
-	mpVersion int // bumped only when Apply strictly refines M_P
+	base             int // instance size at NewState; see BaseLen
+	version          int // bumped on every successful Apply or Append; see Version
+	mpVersion        int // bumped only when Apply strictly refines M_P
+	structureVersion int // bumped on every successful Append; see StructureVersion
 }
 
 // NewState indexes a denormalized instance for inference. The relation
 // must have at least one attribute; an empty relation converges
-// immediately.
+// immediately (until tuples arrive via Append). The state takes
+// ownership of the relation: it grows under Append, so callers must
+// not mutate it or share it across states.
 func NewState(rel *relation.Relation) (*State, error) {
 	n := rel.Schema().Len()
 	if n < 1 {
 		return nil, fmt.Errorf("core: instance needs at least one attribute")
 	}
 	st := &State{
-		rel:     rel,
-		n:       n,
-		sigs:    make([]partition.P, rel.Len()),
-		labels:  make([]Label, rel.Len()),
-		mp:      partition.Top(n).Cached(),
-		groupOf: make([]int, rel.Len()),
-		byKey:   make(map[string]int),
+		rel:   rel,
+		n:     n,
+		mp:    partition.Top(n).Cached(),
+		byKey: make(map[string]int),
+		base:  rel.Len(),
 	}
 	for i := 0; i < rel.Len(); i++ {
-		t := rel.Tuple(i)
-		sig := partition.FromEqual(n, func(a, b int) bool { return t[a].Equal(t[b]) })
-		key := sig.Key()
-		gi, ok := st.byKey[key]
-		if !ok {
-			gi = len(st.groups)
-			st.byKey[key] = gi
-			st.groups = append(st.groups, &SigGroup{Sig: sig.Cached(), Pos: gi})
-		}
-		// Tuples share their class's cached signature, so every later
-		// lattice question about this tuple hits the memoized bitset.
-		st.sigs[i] = st.groups[gi].Sig
-		st.groups[gi].Indices = append(st.groups[gi].Indices, i)
-		st.groupOf[i] = gi
+		st.register(rel.Tuple(i))
 	}
-	st.counts[Unlabeled] = rel.Len()
-	st.groupUnlabeled = make([]int, len(st.groups))
 	st.infGroups = make([]int, len(st.groups))
-	for gi, g := range st.groups {
-		st.groupUnlabeled[gi] = len(g.Indices)
+	for gi := range st.groups {
 		st.infGroups[gi] = gi
 	}
 	st.lat.init(st.groups, st.mp, st.negs)
 	st.propagate()
 	return st, nil
+}
+
+// Append ingests a batch of new tuples into a live session: the
+// streaming counterpart of NewState's build-once registration. Each
+// arrival is registered (new signature classes are created, existing
+// ones extended), the lattice grows by the new classes, and every
+// arrival is immediately classified against the current M_P and
+// negative antichain, so implied labels propagate to new tuples the
+// moment they land. It returns the indices of appended tuples whose
+// labels were implied on arrival. A batch with a wrong-arity tuple is
+// rejected whole, leaving the state untouched.
+//
+// Append bumps both Version and StructureVersion: strategy caches
+// keyed on (Version, MPVersion, StructureVersion) invalidate exactly
+// when the class set or the class sizes change. It must not run
+// concurrently with any other State method (the HTTP layer serializes
+// it under the session write lock).
+func (st *State) Append(tuples []relation.Tuple) (newlyImplied []int, err error) {
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	for k, t := range tuples {
+		if len(t) != st.n {
+			return nil, fmt.Errorf("core: appended tuple %d has arity %d, want %d", k, len(t), st.n)
+		}
+	}
+	prevClasses := len(st.groups)
+	firstNew := len(st.labels)
+	for _, t := range tuples {
+		st.rel.MustAppend(t) // arity pre-checked above
+		st.register(t)
+	}
+	st.lat.appendClasses(st.groups[prevClasses:])
+	newlyImplied = st.classifyArrivals(firstNew, prevClasses)
+	st.version++
+	st.structureVersion++
+	return newlyImplied, nil
+}
+
+// classifyArrivals labels the tuples appended at or after index
+// firstNew against the current hypothesis and repairs the sorted
+// informative-class index. Classes at positions >= prevClasses are
+// new; classes below it existed before the batch. An existing class
+// that was informative stays informative (the hypothesis did not
+// move), so only new and previously-settled classes are classified.
+func (st *State) classifyArrivals(firstNew, prevClasses int) []int {
+	var newly []int
+	var reenter []int // sorted class positions to add to infGroups
+	seen := make(map[int]bool)
+	for i := firstNew; i < len(st.labels); i++ {
+		gi := st.groupOf[i]
+		if seen[gi] {
+			continue
+		}
+		seen[gi] = true
+		inIndex := gi < prevClasses && st.inInformativeIndex(gi)
+		if inIndex {
+			continue // informative class stays informative; counts already updated
+		}
+		implied := st.lat.impliedGroup(gi)
+		if implied == Unlabeled {
+			reenter = append(reenter, gi)
+			continue
+		}
+		for _, j := range st.groups[gi].Indices {
+			if st.labels[j] == Unlabeled {
+				st.setLabel(j, implied)
+				newly = append(newly, j)
+			}
+		}
+	}
+	if len(reenter) > 0 {
+		sort.Ints(reenter)
+		st.infGroups = mergeSorted(st.infGroups, reenter)
+	}
+	return newly
+}
+
+// inInformativeIndex reports membership of class gi in the sorted
+// informative-class index.
+func (st *State) inInformativeIndex(gi int) bool {
+	k := sort.SearchInts(st.infGroups, gi)
+	return k < len(st.infGroups) && st.infGroups[k] == gi
+}
+
+// mergeSorted merges two sorted, disjoint position lists in place of a.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// register indexes one tuple already present at the tail of st.rel:
+// it computes the Eq signature, finds or creates the signature class,
+// and extends the per-tuple and per-class arrays. The tuple starts
+// Unlabeled; classification against the hypothesis is the caller's job
+// (propagate at NewState, classifyArrivals at Append). It returns the
+// class position.
+func (st *State) register(t relation.Tuple) int {
+	i := len(st.labels)
+	sig := partition.FromEqual(st.n, func(a, b int) bool { return t[a].Equal(t[b]) })
+	key := sig.Key()
+	gi, ok := st.byKey[key]
+	if !ok {
+		gi = len(st.groups)
+		st.byKey[key] = gi
+		st.groups = append(st.groups, &SigGroup{Sig: sig.Cached(), Pos: gi})
+		st.groupUnlabeled = append(st.groupUnlabeled, 0)
+	}
+	// Tuples share their class's cached signature, so every later
+	// lattice question about this tuple hits the memoized bitset.
+	st.sigs = append(st.sigs, st.groups[gi].Sig)
+	st.groups[gi].Indices = append(st.groups[gi].Indices, i)
+	st.groupOf = append(st.groupOf, gi)
+	st.labels = append(st.labels, Unlabeled)
+	st.counts[Unlabeled]++
+	st.groupUnlabeled[gi]++
+	return gi
 }
 
 // Relation returns the instance being labeled.
@@ -281,8 +396,8 @@ func (st *State) Apply(i int, l Label) (newlyImplied []int, err error) {
 	return st.propagate(), nil
 }
 
-// Version returns a counter bumped by every successful Apply.
-// Strategies use it to cache per-state computations safely.
+// Version returns a counter bumped by every successful Apply or
+// Append. Strategies use it to cache per-state computations safely.
 func (st *State) Version() int { return st.version }
 
 // MPVersion returns a counter bumped only when Apply strictly refines
@@ -290,6 +405,21 @@ func (st *State) Version() int { return st.version }
 // local strategies) stay valid across Applies that leave it unchanged
 // — in particular across every negative label.
 func (st *State) MPVersion() int { return st.mpVersion }
+
+// StructureVersion returns a counter bumped by every successful
+// Append: it changes exactly when the signature-class structure (the
+// class set, class sizes, or per-class unlabeled populations) can have
+// changed without a label being applied. Caches conditioned on the
+// class structure — strategy score buffers, rankings — key on it
+// alongside Version and MPVersion.
+func (st *State) StructureVersion() int { return st.structureVersion }
+
+// BaseLen returns the instance size at NewState — the tuples present
+// before any Append.
+func (st *State) BaseLen() int { return st.base }
+
+// Appended returns how many tuples arrived via Append after creation.
+func (st *State) Appended() int { return st.rel.Len() - st.base }
 
 // addNegative inserts sig into the maximal antichain of negative
 // signatures: a signature refined by an existing one is redundant
@@ -546,6 +676,23 @@ func (st *State) CheckInvariants() error {
 	}
 	if counts != st.counts {
 		return fmt.Errorf("core: label counts %v drifted from cache %v", counts, st.counts)
+	}
+	// Registration arrays must cover the (possibly grown) instance and
+	// agree with the class table.
+	if len(st.labels) != st.rel.Len() || len(st.sigs) != st.rel.Len() || len(st.groupOf) != st.rel.Len() {
+		return fmt.Errorf("core: registration arrays (%d labels, %d sigs, %d groupOf) drifted from instance size %d",
+			len(st.labels), len(st.sigs), len(st.groupOf), st.rel.Len())
+	}
+	if len(st.lat.sigs) != len(st.groups) {
+		return fmt.Errorf("core: lattice tracks %d classes, state has %d", len(st.lat.sigs), len(st.groups))
+	}
+	if len(st.byKey) != len(st.groups) {
+		return fmt.Errorf("core: key index has %d entries for %d classes", len(st.byKey), len(st.groups))
+	}
+	for key, gi := range st.byKey {
+		if gi < 0 || gi >= len(st.groups) || st.groups[gi].Sig.Key() != key {
+			return fmt.Errorf("core: key index entry %q -> %d does not match its class", key, gi)
+		}
 	}
 	// Incremental scoring state: per-class unlabeled counts, the
 	// informative-class index, and the lattice's view of implied

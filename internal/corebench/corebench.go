@@ -41,6 +41,12 @@ type Config struct {
 	// Baseline also measures the naive from-scratch reference and
 	// reports speedups (default on; disable for quick runs).
 	Baseline bool
+	// StreamBatches is the batch count for the streaming-ingestion
+	// benchmark: each workload instance is dripped into a live session
+	// in this many appends while an oracle labels, timing every
+	// State.Append against the rebuild-from-scratch alternative.
+	// 0 picks the default of 16; negative disables the measurement.
+	StreamBatches int
 	// Seed drives instance generation and goal choice.
 	Seed int64
 }
@@ -58,6 +64,9 @@ func (c Config) withDefaults() Config {
 	if c.Sessions <= 0 {
 		c.Sessions = 4
 	}
+	if c.StreamBatches == 0 {
+		c.StreamBatches = 16
+	}
 	return c
 }
 
@@ -69,6 +78,36 @@ type Report struct {
 	Tuples    int              `json:"tuples"`
 	Sessions  int              `json:"sessions_per_strategy"`
 	Workloads []WorkloadReport `json:"workloads"`
+	// Streams measures streaming ingestion per workload: the same
+	// instances dripped into live sessions batch by batch.
+	Streams []StreamReport `json:"streams,omitempty"`
+}
+
+// StreamReport measures streaming ingestion for one workload: the
+// instance arrives in batches into a live labeled session, and every
+// State.Append is timed against the rebuild-from-scratch alternative
+// (fresh NewState over the grown prefix + explicit-label replay — what
+// a build-once stack would pay per arrival batch). Amortized-
+// incremental ingestion shows up as append latencies orders of
+// magnitude below the rebuild mean and sublinear in instance size.
+type StreamReport struct {
+	Workload string `json:"workload"`
+	Tuples   int    `json:"tuples"`
+	Initial  int    `json:"initial_tuples"`
+	Batches  int    `json:"batches"`
+	Appended int    `json:"appended_tuples"`
+	// Questions is how many oracle labels the session consumed while
+	// the instance grew (appends interleave with the labeling loop).
+	Questions          int     `json:"questions"`
+	AppendMeanMicros   float64 `json:"append_mean_us"`
+	AppendP50Micros    float64 `json:"append_p50_us"`
+	AppendP95Micros    float64 `json:"append_p95_us"`
+	AppendMaxMicros    float64 `json:"append_max_us"`
+	TuplesPerSecIngest float64 `json:"append_tuples_per_sec"`
+	// RebuildMeanMicros is the mean cost of rebuilding from scratch at
+	// the same batch points; Speedup = rebuild mean / append mean.
+	RebuildMeanMicros float64 `json:"rebuild_mean_us"`
+	Speedup           float64 `json:"append_speedup_vs_rebuild"`
 }
 
 // WorkloadReport aggregates one instance's measurements.
@@ -165,7 +204,124 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 		}
 		rep.Workloads = append(rep.Workloads, wr)
 	}
+	if cfg.StreamBatches > 0 {
+		for _, wl := range cfg.Workloads {
+			sr, err := measureStream(wl, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("corebench: %s stream: %w", wl, err)
+			}
+			fmt.Fprintf(w, "%-10s %-19s %4d batches  append p95 %8.1fµs (rebuild %10.1fµs)  %8.0f tuples/s  speedup %6.1fx\n",
+				wl, "stream-ingest", sr.Batches, sr.AppendP95Micros, sr.RebuildMeanMicros, sr.TuplesPerSecIngest, sr.Speedup)
+			rep.Streams = append(rep.Streams, *sr)
+		}
+	}
 	return rep, nil
+}
+
+// measureStream drives one streaming session: the workload instance
+// arrives in cfg.StreamBatches appends while an oracle labels a few
+// questions between batches, then the session drains to convergence.
+// Every Append is timed; at each batch point the rebuild-from-scratch
+// alternative is timed too (outside the session, on a throwaway copy).
+func measureStream(wl string, cfg Config) (*StreamReport, error) {
+	stream, err := workload.NewStream(wl, workload.StreamConfig{
+		Tuples: cfg.Tuples, Batches: cfg.StreamBatches, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	picker, err := strategy.ByName("lookahead-maxmin", cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.NewState(stream.Initial.Clone())
+	if err != nil {
+		return nil, err
+	}
+	sr := &StreamReport{
+		Workload: wl,
+		Tuples:   stream.TotalTuples(),
+		Initial:  stream.Initial.Len(),
+		Batches:  len(stream.Batches),
+	}
+	label := func() (bool, error) {
+		i, ok := picker.Pick(st)
+		if !ok {
+			return false, nil
+		}
+		l := core.Negative
+		if core.Selects(stream.Goal, st.Relation().Tuple(i)) {
+			l = core.Positive
+		}
+		if _, err := st.Apply(i, l); err != nil {
+			return false, err
+		}
+		sr.Questions++
+		return true, nil
+	}
+	var appendTimes []time.Duration
+	var rebuildTotal time.Duration
+	for _, batch := range stream.Batches {
+		t0 := time.Now()
+		if _, err := st.Append(batch); err != nil {
+			return nil, err
+		}
+		appendTimes = append(appendTimes, time.Since(t0))
+		sr.Appended += len(batch)
+		t0 = time.Now()
+		if _, err := strategy.RebuildFromScratch(st); err != nil {
+			return nil, err
+		}
+		rebuildTotal += time.Since(t0)
+		// A few labels between batches keep the hypothesis moving, so
+		// appends are measured against a live mid-session state.
+		for q := 0; q < 3; q++ {
+			if ok, err := label(); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	for steps := 0; !st.Done(); steps++ {
+		if steps > sr.Tuples {
+			return nil, fmt.Errorf("streamed session exceeded %d questions without converging", sr.Tuples)
+		}
+		if ok, err := label(); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	if len(appendTimes) == 0 {
+		// Instance too small to carve any batch (tiny -tuples runs):
+		// nothing to time, report the zeroed stats rather than divide
+		// by an empty sample.
+		return sr, nil
+	}
+	var appendTotal time.Duration
+	for _, d := range appendTimes {
+		appendTotal += d
+	}
+	sort.Slice(appendTimes, func(i, j int) bool { return appendTimes[i] < appendTimes[j] })
+	at := func(p float64) float64 {
+		return micros(appendTimes[int(p*float64(len(appendTimes)-1)+0.5)])
+	}
+	sr.AppendMeanMicros = round2(micros(appendTotal) / float64(len(appendTimes)))
+	sr.AppendP50Micros = round2(at(0.50))
+	sr.AppendP95Micros = round2(at(0.95))
+	sr.AppendMaxMicros = round2(micros(appendTimes[len(appendTimes)-1]))
+	if appendTotal > 0 {
+		sr.TuplesPerSecIngest = round2(float64(sr.Appended) / appendTotal.Seconds())
+	}
+	sr.RebuildMeanMicros = round2(micros(rebuildTotal) / float64(len(stream.Batches)))
+	if sr.AppendMeanMicros > 0 {
+		sr.Speedup = round2(sr.RebuildMeanMicros / sr.AppendMeanMicros)
+	}
+	return sr, nil
 }
 
 // measure runs full sessions to convergence with a fresh state and

@@ -63,3 +63,71 @@ func TestRunRejectsUnknownStrategy(t *testing.T) {
 		t.Fatalf("want unknown-strategy error, got %v", err)
 	}
 }
+
+// TestRunMeasuresStreamingIngestion checks the streaming section of
+// the report: every workload gains a stream entry whose batches all
+// landed in a converged, invariant-clean session, with both sides of
+// the append-vs-rebuild comparison populated.
+func TestRunMeasuresStreamingIngestion(t *testing.T) {
+	rep, err := Run(io.Discard, Config{
+		Workloads:     []string{"zipf", "star"},
+		Tuples:        400,
+		Strategies:    []string{"lookahead-maxmin"},
+		Sessions:      1,
+		Baseline:      false,
+		StreamBatches: 5,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 2 {
+		t.Fatalf("got %d stream reports, want 2", len(rep.Streams))
+	}
+	for _, sr := range rep.Streams {
+		if sr.Batches != 5 || sr.Initial+sr.Appended != sr.Tuples {
+			t.Errorf("%s: inconsistent stream accounting %+v", sr.Workload, sr)
+		}
+		if sr.Questions == 0 {
+			t.Errorf("%s: streamed session answered no questions", sr.Workload)
+		}
+		if sr.AppendMeanMicros <= 0 || sr.RebuildMeanMicros <= 0 {
+			t.Errorf("%s: missing timing: append %v rebuild %v",
+				sr.Workload, sr.AppendMeanMicros, sr.RebuildMeanMicros)
+		}
+	}
+}
+
+// TestRunStreamingDisabled pins the opt-out: negative StreamBatches
+// skips the streaming section.
+func TestRunStreamingDisabled(t *testing.T) {
+	rep, err := Run(io.Discard, Config{
+		Workloads: []string{"star"}, Tuples: 120, Strategies: []string{"lookahead-maxmin"},
+		Sessions: 1, Baseline: false, StreamBatches: -1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 0 {
+		t.Fatalf("streaming ran despite StreamBatches=-1: %+v", rep.Streams)
+	}
+}
+
+// TestRunStreamingTinyInstance: an instance too small to carve any
+// append batch must degrade to a zeroed stream report, not panic on
+// an empty timing sample.
+func TestRunStreamingTinyInstance(t *testing.T) {
+	rep, err := Run(io.Discard, Config{
+		Workloads: []string{"zipf"}, Tuples: 1, Strategies: []string{"lookahead-maxmin"},
+		Sessions: 1, Baseline: false, StreamBatches: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 1 {
+		t.Fatalf("stream reports = %d, want 1", len(rep.Streams))
+	}
+	if sr := rep.Streams[0]; sr.Appended != 0 || sr.AppendMeanMicros != 0 {
+		t.Errorf("tiny instance produced append stats: %+v", sr)
+	}
+}

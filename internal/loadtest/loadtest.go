@@ -39,6 +39,12 @@ type Config struct {
 	// Strategy is the server-side question strategy (default
 	// "lookahead-maxmin").
 	Strategy string
+	// StreamBatches, when positive, switches users to the streaming
+	// protocol: each session is created from an initial prefix of the
+	// workload instance and the rest arrives in this many
+	// POST /tuples batches interleaved with the labeling loop — users
+	// label while the instance grows.
+	StreamBatches int
 	// Seed drives instance generation and goal choice.
 	Seed int64
 }
@@ -69,12 +75,16 @@ type Quantiles struct {
 
 // Report is the machine-readable outcome of a run.
 type Report struct {
-	Workload        string  `json:"workload"`
-	Strategy        string  `json:"strategy"`
+	Workload string `json:"workload"`
+	Strategy string `json:"strategy"`
+	// StreamBatches > 0 marks a streaming run: sessions ingested their
+	// instance in this many append batches while users labeled.
+	StreamBatches   int     `json:"stream_batches,omitempty"`
 	Users           int     `json:"users"`
 	Sessions        int     `json:"sessions"`
 	Completed       int     `json:"completed"`
 	Questions       int     `json:"questions"`
+	Appends         int     `json:"appends,omitempty"`
 	Requests        int     `json:"requests"`
 	Errors          int     `json:"errors"`
 	ElapsedSeconds  float64 `json:"elapsed_seconds"`
@@ -87,27 +97,59 @@ type Report struct {
 	FirstError string `json:"first_error,omitempty"`
 }
 
-// instance is one user's inference problem: the relation, its CSV
-// serialization, and the goal the oracle answers by.
+// instance is one user's inference problem: the full relation (for
+// oracle answers by tuple index), the CSV the session is created from,
+// the goal, and — in streaming runs — the arrival batches as raw rows.
 type instance struct {
-	rel  *relation.Relation
-	csv  string
-	goal partition.P
+	rel     *relation.Relation
+	csv     string
+	goal    partition.P
+	batches [][][]string // arrival batches for POST /tuples (rows encoding)
 }
 
 // makeInstance builds the per-user instance for a workload (any
 // workload.Instance name). Seeds are offset per user so generated
-// instances are diverse across users.
-func makeInstance(wl string, seed int64) (*instance, error) {
-	rel, goal, err := workload.Instance(wl, workload.InstanceConfig{Seed: seed})
+// instances are diverse across users. With streamBatches > 0 the
+// creation CSV covers only the initial prefix and the remainder is
+// carved into arrival batches; the session's tuple order (initial ++
+// batches) matches rel exactly, so oracle answers index into rel.
+func makeInstance(wl string, seed int64, streamBatches int) (*instance, error) {
+	if streamBatches <= 0 {
+		rel, goal, err := workload.Instance(wl, workload.InstanceConfig{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := relation.WriteCSV(&buf, rel); err != nil {
+			return nil, err
+		}
+		return &instance{rel: rel, csv: buf.String(), goal: goal}, nil
+	}
+	stream, err := workload.NewStream(wl, workload.StreamConfig{Batches: streamBatches, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer
-	if err := relation.WriteCSV(&buf, rel); err != nil {
+	if err := relation.WriteCSV(&buf, stream.Initial); err != nil {
 		return nil, err
 	}
-	return &instance{rel: rel, csv: buf.String(), goal: goal}, nil
+	inst := &instance{csv: buf.String(), goal: stream.Goal}
+	full := relation.New(stream.Initial.Schema())
+	stream.Initial.Each(func(i int, t relation.Tuple) { full.MustAppend(t) })
+	for _, batch := range stream.Batches {
+		rows := make([][]string, 0, len(batch))
+		for _, t := range batch {
+			full.MustAppend(t)
+			row := make([]string, len(t))
+			for c, v := range t {
+				row[c] = relation.EncodeCell(v) // same spelling as the creation CSV
+			}
+			rows = append(rows, row)
+		}
+		inst.batches = append(inst.batches, rows)
+	}
+	inst.rel = full
+	return inst, nil
 }
 
 // Run spins up an in-process server and drives it; see RunAgainst.
@@ -130,7 +172,7 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 	// Pre-build instances outside the timed region.
 	instances := make([]*instance, cfg.Users)
 	for u := range instances {
-		inst, err := makeInstance(cfg.Workload, cfg.Seed+int64(u))
+		inst, err := makeInstance(cfg.Workload, cfg.Seed+int64(u), cfg.StreamBatches)
 		if err != nil {
 			return nil, err
 		}
@@ -151,15 +193,17 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 	elapsed := time.Since(start)
 
 	rep := &Report{
-		Workload: cfg.Workload,
-		Strategy: cfg.Strategy,
-		Users:    cfg.Users,
-		Sessions: cfg.Users * cfg.SessionsPerUser,
+		Workload:      cfg.Workload,
+		Strategy:      cfg.Strategy,
+		StreamBatches: cfg.StreamBatches,
+		Users:         cfg.Users,
+		Sessions:      cfg.Users * cfg.SessionsPerUser,
 	}
 	var all []time.Duration
 	for _, r := range results {
 		rep.Completed += r.completed
 		rep.Questions += r.questions
+		rep.Appends += r.appends
 		rep.Errors += r.errors
 		all = append(all, r.latencies...)
 		if rep.FirstError == "" && r.firstErr != nil {
@@ -180,6 +224,7 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 type userResult struct {
 	completed int
 	questions int
+	appends   int
 	errors    int
 	firstErr  error
 	latencies []time.Duration
@@ -223,9 +268,22 @@ func (r *userResult) driveSession(client *http.Client, baseURL string, inst *ins
 }
 
 func (r *userResult) runSession(client *http.Client, base string, inst *instance) error {
+	nextBatch := 0
 	for step := 0; ; step++ {
-		if step > inst.rel.Len() {
+		if step > 2*inst.rel.Len()+len(inst.batches) {
 			return fmt.Errorf("loadtest: session %s asked more questions than tuples", base)
+		}
+		// Streaming runs drip arrival batches into the live session
+		// every few steps — the user labels while the instance grows.
+		if nextBatch < len(inst.batches) && step%3 == 0 {
+			if err := r.call(client, "POST", base+"/tuples",
+				map[string]any{"rows": inst.batches[nextBatch]},
+				http.StatusOK, nil); err != nil {
+				return err
+			}
+			nextBatch++
+			r.appends++
+			continue
 		}
 		var n struct {
 			Done  bool `json:"done"`
@@ -237,6 +295,9 @@ func (r *userResult) runSession(client *http.Client, base string, inst *instance
 			return err
 		}
 		if n.Done {
+			if nextBatch < len(inst.batches) {
+				continue // converged early; arrivals still pending
+			}
 			break
 		}
 		if n.Tuple == nil {

@@ -114,3 +114,30 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		t.Errorf("round trip changed report: %+v vs %+v", back, rep)
 	}
 }
+
+// TestStreamingRunCompletes drives concurrent users that label while
+// their instances grow in append batches, and requires every session
+// to converge with its full instance ingested and zero errors.
+func TestStreamingRunCompletes(t *testing.T) {
+	rep, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "zipf", StreamBatches: 5, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("streaming run had %d errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Completed != 4 {
+		t.Fatalf("completed %d/4 streaming sessions", rep.Completed)
+	}
+	if rep.StreamBatches != 5 {
+		t.Fatalf("report stream_batches = %d, want 5", rep.StreamBatches)
+	}
+	if want := 4 * 5; rep.Appends != want {
+		t.Fatalf("report appends = %d, want %d (every batch for every user)", rep.Appends, want)
+	}
+	if rep.Questions == 0 {
+		t.Fatal("streaming run labeled nothing")
+	}
+}

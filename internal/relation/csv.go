@@ -2,6 +2,7 @@ package relation
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -16,6 +17,56 @@ type CSVOptions struct {
 	NoHeader bool
 	// Comma overrides the field separator (default ',').
 	Comma rune
+	// Typing, when non-nil, forces the per-column parsing rules,
+	// overriding any kind annotations in this input's header. Callers
+	// appending to an existing relation pass its creation-time Typing
+	// so cells in both inputs parse identically (a cell like "01"
+	// must not flip from string to int between creation and append).
+	Typing *Typing
+}
+
+// ErrTypingMismatch reports a forced CSVOptions.Typing whose column
+// count does not match the input — for appenders, a schema mismatch.
+var ErrTypingMismatch = errors.New("relation: forced typing does not match CSV columns")
+
+// Typing records the per-column parsing rules of a typed CSV header
+// ("price:float"): annotated columns parse strictly with
+// values.ParseAs, the rest use values.Parse inference. The zero/nil
+// value means all-inference.
+type Typing struct {
+	kinds []values.Kind
+	typed []bool
+}
+
+// ParseCell parses one cell of column col under the typing.
+func (ty *Typing) ParseCell(col int, cell string) (values.Value, error) {
+	if ty != nil && col < len(ty.typed) && ty.typed[col] {
+		return values.ParseAs(cell, ty.kinds[col])
+	}
+	return values.Parse(cell), nil
+}
+
+// Empty reports whether no column carries an annotation (so inference
+// applies everywhere).
+func (ty *Typing) Empty() bool {
+	if ty == nil {
+		return true
+	}
+	for _, t := range ty.typed {
+		if t {
+			return false
+		}
+	}
+	return true
+}
+
+// InferenceTyping returns an all-inference typing over n columns.
+// Forcing it through CSVOptions.Typing pins every column to
+// values.Parse even when the input's own header carries annotations —
+// the contract appenders need when the original relation was created
+// without typing.
+func InferenceTyping(n int) *Typing {
+	return &Typing{kinds: make([]values.Kind, n), typed: make([]bool, n)}
 }
 
 // ReadCSV reads a relation from CSV. A header cell may be annotated
@@ -23,6 +74,14 @@ type CSVOptions struct {
 // strictly with values.ParseAs, other columns use values.Parse type
 // inference per cell. Empty cells become NULL.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Relation, error) {
+	rel, _, err := ReadCSVTyped(r, opts)
+	return rel, err
+}
+
+// ReadCSVTyped is ReadCSV returning also the per-column parsing rules
+// in effect, so callers that later append tuples to the relation can
+// parse arrivals under the same rules.
+func ReadCSVTyped(r io.Reader, opts CSVOptions) (*Relation, *Typing, error) {
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
@@ -31,8 +90,7 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Relation, error) {
 
 	var (
 		schema *Schema
-		kinds  []values.Kind
-		typed  []bool
+		ty     *Typing
 		rel    *Relation
 		row    = 0
 	)
@@ -42,7 +100,7 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Relation, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV record %d: %w", row, err)
+			return nil, nil, fmt.Errorf("relation: reading CSV record %d: %w", row, err)
 		}
 		row++
 		if schema == nil {
@@ -53,57 +111,73 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Relation, error) {
 				}
 				schema, err = NewSchema(names...)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
-				kinds = make([]values.Kind, len(rec))
-				typed = make([]bool, len(rec))
+				ty = &Typing{kinds: make([]values.Kind, len(rec)), typed: make([]bool, len(rec))}
 				rel = New(schema)
 				// fall through: rec is data
 			} else {
 				names := make([]string, len(rec))
-				kinds = make([]values.Kind, len(rec))
-				typed = make([]bool, len(rec))
+				ty = &Typing{kinds: make([]values.Kind, len(rec)), typed: make([]bool, len(rec))}
 				for i, h := range rec {
 					name, kindStr, found := strings.Cut(h, ":")
 					names[i] = strings.TrimSpace(name)
 					if found {
 						k, err := values.KindFromString(kindStr)
 						if err != nil {
-							return nil, fmt.Errorf("relation: header %q: %w", h, err)
+							return nil, nil, fmt.Errorf("relation: header %q: %w", h, err)
 						}
-						kinds[i] = k
-						typed[i] = true
+						ty.kinds[i] = k
+						ty.typed[i] = true
 					}
 				}
 				schema, err = NewSchema(names...)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				rel = New(schema)
+			}
+			// The caller's typing, when given, overrides the header's.
+			if opts.Typing != nil {
+				if len(opts.Typing.typed) != schema.Len() {
+					return nil, nil, fmt.Errorf("%w: typing covers %d columns, CSV has %d",
+						ErrTypingMismatch, len(opts.Typing.typed), schema.Len())
+				}
+				ty = opts.Typing
+			}
+			if !opts.NoHeader {
 				continue
 			}
 		}
 		if len(rec) != schema.Len() {
-			return nil, fmt.Errorf("relation: CSV record %d has %d fields, want %d", row, len(rec), schema.Len())
+			return nil, nil, fmt.Errorf("relation: CSV record %d has %d fields, want %d", row, len(rec), schema.Len())
 		}
 		t := make(Tuple, len(rec))
 		for i, cell := range rec {
-			if typed[i] {
-				v, err := values.ParseAs(cell, kinds[i])
-				if err != nil {
-					return nil, fmt.Errorf("relation: CSV record %d column %q: %w", row, schema.Name(i), err)
-				}
-				t[i] = v
-			} else {
-				t[i] = values.Parse(cell)
+			v, err := ty.ParseCell(i, cell)
+			if err != nil {
+				return nil, nil, fmt.Errorf("relation: CSV record %d column %q: %w", row, schema.Name(i), err)
 			}
+			t[i] = v
 		}
 		rel.tuples = append(rel.tuples, t)
 	}
 	if schema == nil {
-		return nil, fmt.Errorf("relation: empty CSV input")
+		return nil, nil, fmt.Errorf("relation: empty CSV input")
 	}
-	return rel, nil
+	return rel, ty, nil
+}
+
+// EncodeCell renders one cell the way WriteCSV does: the literal
+// "NULL" for nulls, v.String() otherwise — the spelling ReadCSV and
+// Typing.ParseCell read back to an equal value. Callers streaming raw
+// rows alongside a CSV-created relation use it so both encodings stay
+// in lockstep.
+func EncodeCell(v values.Value) string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	return v.String()
 }
 
 // WriteCSV writes the relation as CSV with a plain header. NULLs are
@@ -118,11 +192,7 @@ func WriteCSV(w io.Writer, r *Relation) error {
 	rec := make([]string, r.schema.Len())
 	for _, t := range r.tuples {
 		for i, v := range t {
-			if v.IsNull() {
-				rec[i] = "NULL"
-			} else {
-				rec[i] = v.String()
-			}
+			rec[i] = EncodeCell(v)
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("relation: writing CSV record: %w", err)

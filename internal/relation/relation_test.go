@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -288,5 +289,33 @@ func TestCSVSemicolonSeparator(t *testing.T) {
 	}
 	if r.Schema().Len() != 2 || r.Len() != 1 {
 		t.Errorf("semicolon CSV parsed wrong: %v", r)
+	}
+}
+
+// TestReadCSVTypedForcedTyping: a caller-supplied Typing overrides the
+// input's own header annotations, and a column-count mismatch between
+// the forced typing and the input is ErrTypingMismatch.
+func TestReadCSVTypedForcedTyping(t *testing.T) {
+	_, typing, err := ReadCSVTyped(strings.NewReader("a:string,b\n01,01\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typing.Empty() {
+		t.Fatal("annotated header read as untyped")
+	}
+	// Re-read a plain-header input under the forced typing: column a
+	// stays a string, column b still infers to int.
+	rel, _, err := ReadCSVTyped(strings.NewReader("a,b\n01,01\n"), CSVOptions{Typing: typing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Tuple(0)[0].Kind(); got != values.KindString {
+		t.Errorf("forced-typed column parsed as %v, want string", got)
+	}
+	if got := rel.Tuple(0)[1].Kind(); got != values.KindInt {
+		t.Errorf("inferred column parsed as %v, want int", got)
+	}
+	if _, _, err := ReadCSVTyped(strings.NewReader("a,b,c\n1,2,3\n"), CSVOptions{Typing: typing}); !errors.Is(err, ErrTypingMismatch) {
+		t.Errorf("column-count drift error = %v, want ErrTypingMismatch", err)
 	}
 }

@@ -77,13 +77,16 @@ type endpointMetrics struct {
 }
 
 // metrics is the server-wide instrumentation: per-endpoint latency
-// plus label throughput. Endpoint slots live in a sync.Map so the
-// steady state (slot exists) is a lock-free load and everything after
-// is atomics — no global serialization point on the request path.
+// plus label and ingestion throughput. Endpoint slots live in a
+// sync.Map so the steady state (slot exists) is a lock-free load and
+// everything after is atomics — no global serialization point on the
+// request path.
 type metrics struct {
-	endpoints sync.Map     // pattern string -> *endpointMetrics
-	labels    atomic.Int64 // successful label applications
-	startedAt time.Time
+	endpoints      sync.Map     // pattern string -> *endpointMetrics
+	labels         atomic.Int64 // successful label applications
+	appends        atomic.Int64 // successful append batches
+	tuplesAppended atomic.Int64 // tuples streamed in via append
+	startedAt      time.Time
 }
 
 func newMetrics(now time.Time) *metrics {
@@ -142,6 +145,7 @@ type statsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Sessions      sessionStats             `json:"sessions"`
 	Labels        labelStats               `json:"labels"`
+	Ingest        ingestStats              `json:"ingest"`
 	Endpoints     map[string]endpointStats `json:"endpoints"`
 	EndpointOrder []string                 `json:"endpoint_order"`
 }
@@ -160,6 +164,14 @@ type labelStats struct {
 	PerSecond float64 `json:"per_second"`
 }
 
+// ingestStats reports streaming-ingestion throughput: how many append
+// batches landed and how many tuples they carried.
+type ingestStats struct {
+	Appends        int64   `json:"appends"`
+	TuplesAppended int64   `json:"tuples_appended"`
+	PerSecond      float64 `json:"tuples_per_second"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	uptime := s.now().Sub(m.startedAt).Seconds()
@@ -173,11 +185,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected: s.store.rejected.Load(),
 			Max:      s.cfg.MaxSessions,
 		},
-		Labels:    labelStats{Total: m.labels.Load()},
+		Labels: labelStats{Total: m.labels.Load()},
+		Ingest: ingestStats{
+			Appends:        m.appends.Load(),
+			TuplesAppended: m.tuplesAppended.Load(),
+		},
 		Endpoints: make(map[string]endpointStats),
 	}
 	if uptime > 0 {
 		resp.Labels.PerSecond = float64(resp.Labels.Total) / uptime
+		resp.Ingest.PerSecond = float64(resp.Ingest.TuplesAppended) / uptime
 	}
 	m.endpoints.Range(func(key, value any) bool {
 		em := value.(*endpointMetrics)

@@ -39,6 +39,11 @@ type Config struct {
 	// IdleTTL evicts sessions not accessed for this long. <= 0 disables
 	// eviction.
 	IdleTTL time.Duration
+	// MaxBodyBytes caps the request body of the ingestion endpoints
+	// (create, import, append); larger bodies fail with 413 Request
+	// Entity Too Large instead of buffering an arbitrarily large
+	// CSV/JSON payload in memory. <= 0 means unlimited.
+	MaxBodyBytes int64
 	// Now is the clock; nil means time.Now. Injectable for tests.
 	Now func() time.Time
 }
@@ -66,7 +71,12 @@ type liveSession struct {
 	st           *core.State
 	strategyName string
 	createdAt    time.Time
-	lastAccess   atomic.Int64 // unix nanos; maintained by touch
+	// typing preserves the creation-time per-column parsing rules so
+	// appended tuples parse identically whatever header their body
+	// carries; always non-nil (all-inference when the session had no
+	// typed CSV header).
+	typing     *relation.Typing
+	lastAccess atomic.Int64 // unix nanos; maintained by touch
 
 	pickMu   sync.Mutex
 	picker   core.KPicker
@@ -100,6 +110,7 @@ func NewWith(cfg Config) *Server {
 //	GET    /sessions/{id}/next    next proposed tuple (or done)
 //	GET    /sessions/{id}/topk    k most informative tuples (?k=3)
 //	POST   /sessions/{id}/label   {"index": i, "label": "+"|"-"|"skip"}
+//	POST   /sessions/{id}/tuples  stream new tuples into the instance
 //	GET    /sessions/{id}/result  inferred predicate, SQL, certainty
 //	GET    /sessions/{id}/export  persistable session file
 //	GET    /stats                 service counters and latency quantiles
@@ -114,9 +125,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/next", s.readSession(s.handleNext))
 	mux.HandleFunc("GET /sessions/{id}/topk", s.readSession(s.handleTopK))
 	mux.HandleFunc("POST /sessions/{id}/label", s.writeSession(s.handleLabel))
+	mux.HandleFunc("POST /sessions/{id}/tuples", s.writeSession(s.handleAppend))
 	mux.HandleFunc("GET /sessions/{id}/result", s.readSession(s.handleResult))
 	mux.HandleFunc("GET /sessions/{id}/export", s.readSession(s.handleExport))
 	return s.instrument(mux)
+}
+
+// limitBody applies Config.MaxBodyBytes to an ingestion request. The
+// returned reader fails with *http.MaxBytesError once the cap is hit;
+// bodyError maps that onto 413.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+}
+
+// bodyError writes the right status for a request-body read failure:
+// 413 when the body cap was exceeded, 400 with the error otherwise.
+// It is the single classification site for body-limit handling.
+func bodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", tooLarge.Limit)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
 }
 
 type createRequest struct {
@@ -126,21 +160,26 @@ type createRequest struct {
 }
 
 type sessionSummary struct {
-	ID          string    `json:"id"`
-	Strategy    string    `json:"strategy"`
-	CreatedAt   time.Time `json:"created_at"`
-	Tuples      int       `json:"tuples"`
-	Attributes  []string  `json:"attributes"`
-	Labels      int       `json:"labels"`
-	Implied     int       `json:"implied"`
-	Informative int       `json:"informative"`
-	Done        bool      `json:"done"`
+	ID        string    `json:"id"`
+	Strategy  string    `json:"strategy"`
+	CreatedAt time.Time `json:"created_at"`
+	Tuples    int       `json:"tuples"`
+	// BaseTuples is the instance size at creation; AppendedTuples
+	// counts arrivals streamed in afterwards (Tuples = base + appended).
+	BaseTuples     int      `json:"base_tuples"`
+	AppendedTuples int      `json:"appended_tuples"`
+	Attributes     []string `json:"attributes"`
+	Labels         int      `json:"labels"`
+	Implied        int      `json:"implied"`
+	Informative    int      `json:"informative"`
+	Done           bool     `json:"done"`
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		bodyError(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.Strategy == "" {
@@ -151,7 +190,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rel, err := readCSVString(req.CSV)
+	rel, typing, err := readCSVStringTyped(req.CSV, nil)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -161,16 +200,26 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The creation typing is always retained — an all-inference typing
+	// included — so arrival parsing never honors an append body's own
+	// header annotations; the same cells must parse the same way
+	// whatever encoding or header they arrive with.
 	s.create(w, &liveSession{
-		st: st, picker: picker, strategyName: req.Strategy,
+		st: st, picker: picker, strategyName: req.Strategy, typing: typing,
 		createdAt: s.now(), deferred: map[int]bool{},
 	})
 }
 
+// handleImport restores a session from an exported file. Session
+// files carry exact tagged values rather than a CSV header, so an
+// imported session has no creation typing: arrivals appended to it
+// parse with per-cell inference, pinned (like every session) so an
+// append body's own header annotations are ignored.
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	st, meta, err := session.Load(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		bodyError(w, err)
 		return
 	}
 	name := meta.Strategy
@@ -184,6 +233,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	}
 	s.create(w, &liveSession{
 		st: st, picker: picker, strategyName: name,
+		typing:    relation.InferenceTyping(st.Relation().Schema().Len()),
 		createdAt: s.now(), deferred: map[int]bool{},
 	})
 }
@@ -273,15 +323,17 @@ func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 func (s *Server) summary(id string, ls *liveSession) sessionSummary {
 	p := ls.st.Progress()
 	return sessionSummary{
-		ID:          id,
-		Strategy:    ls.strategyName,
-		CreatedAt:   ls.createdAt,
-		Tuples:      p.Total,
-		Attributes:  ls.st.Relation().Schema().Names(),
-		Labels:      p.Explicit,
-		Implied:     p.Implied,
-		Informative: p.Informative,
-		Done:        ls.st.Done(),
+		ID:             id,
+		Strategy:       ls.strategyName,
+		CreatedAt:      ls.createdAt,
+		Tuples:         p.Total,
+		BaseTuples:     ls.st.BaseLen(),
+		AppendedTuples: ls.st.Appended(),
+		Attributes:     ls.st.Relation().Schema().Names(),
+		Labels:         p.Explicit,
+		Implied:        p.Implied,
+		Informative:    p.Informative,
+		Done:           ls.st.Done(),
 	}
 }
 
@@ -424,6 +476,123 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 	})
 }
 
+// appendRequest carries arrival tuples in one of two encodings:
+// CSV with a header that must match the session schema exactly, or
+// raw string rows parsed cell-by-cell (values.Parse inference, same
+// as untyped CSV columns). Exactly one of the two must be set.
+type appendRequest struct {
+	CSV  string     `json:"csv,omitempty"`
+	Rows [][]string `json:"rows,omitempty"`
+}
+
+type appendResponse struct {
+	Appended     int    `json:"appended"`
+	Tuples       int    `json:"tuples"`
+	NewlyImplied []int  `json:"newly_implied"`
+	Informative  int    `json:"informative"`
+	Done         bool   `json:"done"`
+	Progress     string `json:"progress"`
+}
+
+// handleAppend streams new tuples into a live session — the write-path
+// counterpart of create for instances that grow while the user labels.
+// Arrivals whose schema does not match the session's fail with 409
+// Conflict and leave the session untouched.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	s.limitBody(w, r)
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		bodyError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	tuples, status, err := decodeArrivals(&req, ls.st.Relation().Schema(), ls.typing)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	if len(tuples) == 0 {
+		// A header-only CSV carries no arrivals: same contract as an
+		// empty rows list, and no metric or deferred-state side effects.
+		httpError(w, http.StatusBadRequest, "server: empty append: no tuples in body")
+		return
+	}
+	newly, err := ls.st.Append(tuples)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.metrics.appends.Add(1)
+	s.metrics.tuplesAppended.Add(int64(len(tuples)))
+	// Arrivals may make deferred classes worth re-asking about.
+	ls.pickMu.Lock()
+	ls.deferred = map[int]bool{}
+	ls.pickMu.Unlock()
+	if newly == nil {
+		newly = []int{}
+	}
+	writeJSON(w, http.StatusOK, appendResponse{
+		Appended:     len(tuples),
+		Tuples:       ls.st.Relation().Len(),
+		NewlyImplied: newly,
+		Informative:  ls.st.InformativeCount(),
+		Done:         ls.st.Done(),
+		Progress:     ls.st.Progress().String(),
+	})
+}
+
+// decodeArrivals converts an append request into tuples, validating
+// the encoding (400) and the schema (409) without touching the state.
+// Cells parse under the session's creation-time typing, so a column
+// declared "price:float" at create keeps its parsing rules for
+// arrivals — otherwise a cell like "01" would flip kind (and thus Eq
+// signature) between creation and append.
+func decodeArrivals(req *appendRequest, schema *relation.Schema, typing *relation.Typing) ([]relation.Tuple, int, error) {
+	switch {
+	case req.CSV != "" && req.Rows != nil:
+		return nil, http.StatusBadRequest, fmt.Errorf("server: pass csv or rows, not both")
+	case req.CSV != "":
+		arrivals, _, err := readCSVStringTyped(req.CSV, typing)
+		if errors.Is(err, relation.ErrTypingMismatch) {
+			// Column-count drift from the session schema: same contract
+			// as any other schema mismatch.
+			return nil, http.StatusConflict, err
+		}
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if !arrivals.Schema().Equal(schema) {
+			return nil, http.StatusConflict, fmt.Errorf(
+				"server: arrival schema %v does not match session schema %v", arrivals.Schema(), schema)
+		}
+		tuples := make([]relation.Tuple, 0, arrivals.Len())
+		for i := 0; i < arrivals.Len(); i++ {
+			tuples = append(tuples, arrivals.Tuple(i))
+		}
+		return tuples, 0, nil
+	case len(req.Rows) > 0:
+		tuples := make([]relation.Tuple, 0, len(req.Rows))
+		for ri, row := range req.Rows {
+			if len(row) != schema.Len() {
+				return nil, http.StatusConflict, fmt.Errorf(
+					"server: arrival row %d has %d cells, session schema %v has %d",
+					ri, len(row), schema, schema.Len())
+			}
+			t := make(relation.Tuple, len(row))
+			for ci, cell := range row {
+				v, err := typing.ParseCell(ci, cell)
+				if err != nil {
+					return nil, http.StatusBadRequest, fmt.Errorf(
+						"server: arrival row %d column %q: %w", ri, schema.Name(ci), err)
+				}
+				t[ci] = v
+			}
+			tuples = append(tuples, t)
+		}
+		return tuples, 0, nil
+	}
+	return nil, http.StatusBadRequest, fmt.Errorf("server: empty append: pass csv or rows")
+}
+
 type resultResponse struct {
 	Done       bool   `json:"done"`
 	Predicate  string `json:"predicate"`
@@ -466,11 +635,14 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, id string,
 	}
 }
 
-func readCSVString(csv string) (*relation.Relation, error) {
+// readCSVStringTyped parses a CSV payload, forcing the given typing
+// when non-nil (append paths) and returning the header's own typing
+// otherwise (create path).
+func readCSVStringTyped(csv string, typing *relation.Typing) (*relation.Relation, *relation.Typing, error) {
 	if strings.TrimSpace(csv) == "" {
-		return nil, fmt.Errorf("server: empty csv")
+		return nil, nil, fmt.Errorf("server: empty csv")
 	}
-	return relation.ReadCSV(strings.NewReader(csv), relation.CSVOptions{})
+	return relation.ReadCSVTyped(strings.NewReader(csv), relation.CSVOptions{Typing: typing})
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -17,8 +17,15 @@ import (
 	"repro/internal/values"
 )
 
-// FormatVersion identifies the session file layout.
-const FormatVersion = 1
+// FormatVersion identifies the session file layout being written.
+// Version 2 adds BaseRows, recording how much of the instance was
+// present at session creation versus streamed in afterwards via
+// State.Append. Load accepts both versions: v1 files read as sessions
+// whose whole instance was present at creation.
+const FormatVersion = 2
+
+// minFormatVersion is the oldest layout Load still accepts.
+const minFormatVersion = 1
 
 // Meta carries run metadata that is not part of the inference state.
 type Meta struct {
@@ -40,10 +47,17 @@ type LabelEntry struct {
 // value encoding (values.Tag) so reloading never re-infers cell kinds
 // and Eq signatures survive the round trip exactly.
 type File struct {
-	Version int        `json:"version"`
-	Meta    Meta       `json:"meta"`
-	Schema  []string   `json:"schema"`
-	Rows    [][]string `json:"rows"`
+	Version int      `json:"version"`
+	Meta    Meta     `json:"meta"`
+	Schema  []string `json:"schema"`
+	// BaseRows is how many leading Rows were present at session
+	// creation; the rest arrived via streaming appends and are replayed
+	// through State.Append on load. In a v2 file, 0 (the omitted
+	// default) means the session was created over an empty instance
+	// and every row streamed in; v1 files have no appends, so the
+	// whole instance reads as present at creation.
+	BaseRows int        `json:"base_rows,omitempty"`
+	Rows     [][]string `json:"rows"`
 	// Labels holds explicit labels (implied labels are recomputed on
 	// load).
 	Labels []LabelEntry `json:"labels"`
@@ -52,13 +66,16 @@ type File struct {
 // Save writes the state and metadata as a session file. Only explicit
 // labels are stored; replay order is by tuple index, which yields an
 // identical state because explicit-label application commutes for
-// consistent label sets.
+// consistent label sets. Sessions whose instance grew after creation
+// round-trip: BaseRows records the creation-time prefix, and Load
+// streams the remainder back in through State.Append.
 func Save(w io.Writer, st *core.State, meta Meta) error {
 	rel := st.Relation()
 	f := File{
-		Version: FormatVersion,
-		Meta:    meta,
-		Schema:  rel.Schema().Names(),
+		Version:  FormatVersion,
+		Meta:     meta,
+		Schema:   rel.Schema().Names(),
+		BaseRows: st.BaseLen(),
 	}
 	f.Rows = make([][]string, rel.Len())
 	for i := 0; i < rel.Len(); i++ {
@@ -83,22 +100,25 @@ func Save(w io.Writer, st *core.State, meta Meta) error {
 	return nil
 }
 
-// Load reads a session file and reconstructs the inference state by
-// replaying the explicit labels.
+// Load reads a session file (format v1 or v2) and reconstructs the
+// inference state: the creation-time prefix rebuilds through NewState,
+// rows that arrived later stream back in through State.Append, and the
+// explicit labels replay on top.
 func Load(r io.Reader) (*core.State, Meta, error) {
 	var f File
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
 		return nil, Meta{}, fmt.Errorf("session: decoding: %w", err)
 	}
-	if f.Version != FormatVersion {
-		return nil, Meta{}, fmt.Errorf("session: unsupported format version %d (want %d)", f.Version, FormatVersion)
+	if f.Version < minFormatVersion || f.Version > FormatVersion {
+		return nil, Meta{}, fmt.Errorf("session: unsupported format version %d (want %d..%d)",
+			f.Version, minFormatVersion, FormatVersion)
 	}
 	schema, err := relation.NewSchema(f.Schema...)
 	if err != nil {
 		return nil, Meta{}, fmt.Errorf("session: decoding schema: %w", err)
 	}
-	rel := relation.New(schema)
+	tuples := make([]relation.Tuple, 0, len(f.Rows))
 	for ri, row := range f.Rows {
 		if len(row) != schema.Len() {
 			return nil, Meta{}, fmt.Errorf("session: row %d has %d cells, schema has %d", ri, len(row), schema.Len())
@@ -111,11 +131,25 @@ func Load(r io.Reader) (*core.State, Meta, error) {
 			}
 			t[c] = v
 		}
+		tuples = append(tuples, t)
+	}
+	base := f.BaseRows
+	if f.Version < 2 {
+		base = len(tuples) // v1 file: the whole instance was present at creation
+	}
+	if base < 0 || base > len(tuples) {
+		return nil, Meta{}, fmt.Errorf("session: base_rows %d out of range [0,%d]", f.BaseRows, len(tuples))
+	}
+	rel := relation.New(schema)
+	for _, t := range tuples[:base] {
 		rel.MustAppend(t)
 	}
 	st, err := core.NewState(rel)
 	if err != nil {
 		return nil, Meta{}, err
+	}
+	if _, err := st.Append(tuples[base:]); err != nil {
+		return nil, Meta{}, fmt.Errorf("session: replaying appended rows: %w", err)
 	}
 	for _, e := range f.Labels {
 		var l core.Label

@@ -171,3 +171,109 @@ func TestLoadRejectsInconsistentLabels(t *testing.T) {
 		t.Error("inconsistent session accepted")
 	}
 }
+
+// TestGrownSessionRoundTripV2 saves a session whose instance grew
+// after creation (appended rows, labels on both old and new tuples)
+// and requires the reload to reproduce the full state including the
+// base/appended split.
+func TestGrownSessionRoundTripV2(t *testing.T) {
+	rel := relation.MustBuild(relation.MustSchema("a", "b", "c", "d"),
+		[]any{1, 1, 2, 2},
+		[]any{3, 4, 5, 6},
+	)
+	st, err := core.NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(0, core.Positive); err != nil {
+		t.Fatal(err)
+	}
+	// Grow mid-session, then label an arrival explicitly.
+	if _, err := st.Append([]relation.Tuple{
+		{values.Int(7), values.Int(7), values.Int(8), values.Int(9)}, // a=b only: informative
+		{values.Int(9), values.Int(9), values.Int(9), values.Int(9)}, // implied + on arrival
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(2, core.Negative); err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseLen() != 2 || st.Appended() != 2 {
+		t.Fatalf("precondition: base/appended = %d/%d", st.BaseLen(), st.Appended())
+	}
+
+	var buf bytes.Buffer
+	if err := session.Save(&buf, st, session.Meta{Strategy: "random"}); err != nil {
+		t.Fatal(err)
+	}
+	var f session.File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != session.FormatVersion || f.BaseRows != 2 {
+		t.Fatalf("file version/base_rows = %d/%d, want %d/2", f.Version, f.BaseRows, session.FormatVersion)
+	}
+
+	st2, _, err := session.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.BaseLen() != 2 || st2.Appended() != 2 {
+		t.Fatalf("reload base/appended = %d/%d, want 2/2", st2.BaseLen(), st2.Appended())
+	}
+	if st2.Relation().Len() != st.Relation().Len() {
+		t.Fatalf("reload has %d tuples, want %d", st2.Relation().Len(), st.Relation().Len())
+	}
+	for i := 0; i < st.Relation().Len(); i++ {
+		if st2.Label(i) != st.Label(i) {
+			t.Errorf("tuple %d label %v, want %v", i, st2.Label(i), st.Label(i))
+		}
+	}
+	if !st2.MP().Equal(st.MP()) {
+		t.Errorf("M_P = %v, want %v", st2.MP(), st.MP())
+	}
+	if err := st2.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoadAcceptsV1Files pins backward compatibility: a version-1 file
+// (no base_rows) loads as a session whose whole instance was present
+// at creation.
+func TestLoadAcceptsV1Files(t *testing.T) {
+	v1 := `{
+		"version": 1,
+		"meta": {"strategy": "lookahead-maxmin"},
+		"schema": ["a", "b"],
+		"rows": [["i:1", "i:1"], ["i:2", "i:3"]],
+		"labels": [{"index": 0, "label": "+"}]
+	}`
+	st, meta, err := session.Load(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if meta.Strategy != "lookahead-maxmin" {
+		t.Errorf("meta = %+v", meta)
+	}
+	if st.BaseLen() != 2 || st.Appended() != 0 {
+		t.Errorf("v1 base/appended = %d/%d, want 2/0", st.BaseLen(), st.Appended())
+	}
+	if st.Label(0) != core.Positive {
+		t.Errorf("label 0 = %v, want +", st.Label(0))
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoadRejectsBadBaseRows extends the corrupt-file cases for v2.
+func TestLoadRejectsBadBaseRows(t *testing.T) {
+	for name, body := range map[string]string{
+		"base beyond rows": `{"version": 2, "schema":["a"], "base_rows": 5, "rows":[["i:1"]], "labels":[]}`,
+		"negative base":    `{"version": 2, "schema":["a"], "base_rows": -1, "rows":[["i:1"]], "labels":[]}`,
+	} {
+		if _, _, err := session.Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: corrupt session accepted", name)
+		}
+	}
+}

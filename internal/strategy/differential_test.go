@@ -125,6 +125,115 @@ func TestIncrementalMatchesNaivePickForPick(t *testing.T) {
 	}
 }
 
+// TestStreamingMatchesRebuildPickForPick is the safety net under
+// streaming ingestion: a session whose instance arrives in Append
+// batches, scored by the incremental path, must pick tuple for tuple
+// exactly what a session that rebuilds from scratch after every batch
+// (strategy.RebuildFromScratch + the naive rescorer) picks, across
+// every heuristic strategy, with appends interleaved into the label
+// sequence mid-session.
+func TestStreamingMatchesRebuildPickForPick(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		for _, wl := range []string{"zipf", "star"} {
+			stream, err := workload.NewStream(wl, workload.StreamConfig{
+				Tuples: 90, Initial: 20, Batches: 6, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range HeuristicNames() {
+				fast, err := ByName(name, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				naive, err := Naive(name, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stInc, err := core.NewState(stream.Initial.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				stRef, err := RebuildFromScratch(stInc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nextBatch := 0
+				total := stream.TotalTuples()
+				for step := 0; ; step++ {
+					if step > 2*total {
+						t.Fatalf("%s/%s seed %d: no convergence", name, wl, seed)
+					}
+					// Drip a batch into the live session every few labels;
+					// the reference path rebuilds from scratch instead.
+					if nextBatch < len(stream.Batches) && step%3 == 0 {
+						if _, err := stInc.Append(stream.Batches[nextBatch]); err != nil {
+							t.Fatalf("%s/%s seed %d step %d: Append: %v", name, wl, seed, step, err)
+						}
+						nextBatch++
+						if stRef, err = RebuildFromScratch(stInc); err != nil {
+							t.Fatalf("%s/%s seed %d step %d: rebuild: %v", name, wl, seed, step, err)
+						}
+					}
+					if step%4 == 0 {
+						for _, k := range []int{1, 3, stInc.InformativeGroupCount() + 2} {
+							kf := fast.PickK(stInc, k)
+							kn := naive.PickK(stRef, k)
+							if len(kf) != len(kn) {
+								t.Fatalf("%s/%s seed %d step %d: PickK(%d) lengths %d vs %d",
+									name, wl, seed, step, k, len(kf), len(kn))
+							}
+							for j := range kf {
+								if kf[j] != kn[j] {
+									t.Fatalf("%s/%s seed %d step %d: PickK(%d)[%d] = %d, rebuild %d",
+										name, wl, seed, step, k, j, kf[j], kn[j])
+								}
+							}
+						}
+					}
+					iF, okF := fast.Pick(stInc)
+					iN, okN := naive.Pick(stRef)
+					if okF != okN {
+						t.Fatalf("%s/%s seed %d step %d: ok %v vs rebuild %v", name, wl, seed, step, okF, okN)
+					}
+					if !okF {
+						if nextBatch < len(stream.Batches) {
+							continue // converged early; more arrivals pending
+						}
+						break
+					}
+					if iF != iN {
+						t.Fatalf("%s/%s seed %d step %d: picked %d, rebuild picked %d", name, wl, seed, step, iF, iN)
+					}
+					l := core.Negative
+					if core.Selects(stream.Goal, stInc.Relation().Tuple(iF)) {
+						l = core.Positive
+					}
+					if _, err := stInc.Apply(iF, l); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := stRef.Apply(iN, l); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !stInc.Done() || !stRef.Done() {
+					t.Fatalf("%s/%s seed %d: inc done=%v rebuild done=%v", name, wl, seed, stInc.Done(), stRef.Done())
+				}
+				if stInc.Relation().Len() != total {
+					t.Fatalf("%s/%s seed %d: streamed %d tuples, want %d", name, wl, seed, stInc.Relation().Len(), total)
+				}
+				if !stInc.Result().Equal(stRef.Result()) {
+					t.Fatalf("%s/%s seed %d: results diverged: %v vs %v",
+						name, wl, seed, stInc.Result(), stRef.Result())
+				}
+				if err := stInc.CheckInvariants(); err != nil {
+					t.Fatalf("%s/%s seed %d: %v", name, wl, seed, err)
+				}
+			}
+		}
+	}
+}
+
 // TestIncrementalMatchesNaiveUnderParallel repeats a lookahead
 // differential with the parallel fan-out forced on, so chunked
 // concurrent scoring is covered by the same safety net.

@@ -30,10 +30,13 @@ func Lookahead2() core.KPicker {
 
 // l2cache memoizes the per-state one-step scores and beam membership,
 // indexed by class position. A cache entry is valid for one
-// (state, version) pair.
+// (state, version, structure version) triple — Append bumps both
+// counters, but the structure version is checked explicitly so the
+// cache contract matches ranked's.
 type l2cache struct {
-	st      *core.State
-	version int
+	st            *core.State
+	version       int
+	structVersion int
 
 	hypo    core.Hypo
 	groups  []core.GroupCount
@@ -43,11 +46,12 @@ type l2cache struct {
 }
 
 func (c *l2cache) refresh(st *core.State) {
-	if c.st == st && c.version == st.Version() {
+	if c.st == st && c.version == st.Version() && c.structVersion == st.StructureVersion() {
 		return
 	}
 	c.st = st
 	c.version = st.Version()
+	c.structVersion = st.StructureVersion()
 	c.hypo = st.Hypo()
 	c.groups = st.GroupCounts()
 	c.infBuf = st.AppendInformativeGroups(c.infBuf[:0])

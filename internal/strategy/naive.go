@@ -83,6 +83,28 @@ func MustNaive(name string, seed int64) core.KPicker {
 	return s
 }
 
+// RebuildFromScratch is the from-scratch equivalent of streaming
+// ingestion (core.State.Append): a fresh NewState over a deep copy of
+// the full current instance with every explicit label replayed — what
+// a non-incremental stack would do on each arrival batch. The
+// streaming differential tests and the append benchmarks use it as the
+// definitional baseline the incremental registration path must match
+// pick for pick (and beat on cost).
+func RebuildFromScratch(st *core.State) (*core.State, error) {
+	rebuilt, err := core.NewState(st.Relation().Clone())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < st.Relation().Len(); i++ {
+		if l := st.Label(i); l.IsExplicit() {
+			if _, err := rebuilt.Apply(i, l); err != nil {
+				return nil, fmt.Errorf("strategy: replaying label %d (%v): %w", i, l, err)
+			}
+		}
+	}
+	return rebuilt, nil
+}
+
 // naiveRanked is the pre-refactor ranked scaffolding: fresh candidate
 // list and fresh scores on every call, selection by repeated scan.
 type naiveRanked struct {

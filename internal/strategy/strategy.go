@@ -70,26 +70,33 @@ type ranked struct {
 	// distribution and its seeded sequences).
 	volatile bool
 
-	cst        *core.State // state the cache belongs to
-	cversion   int         // State.Version the scores were computed at
-	cmpVersion int         // State.MPVersion likewise
-	cvalid     bool
-	scores     []float64        // score per class position
-	infBuf     []*core.SigGroup // reusable informative-class list
+	cst            *core.State // state the cache belongs to
+	cversion       int         // State.Version the scores were computed at
+	cmpVersion     int         // State.MPVersion likewise
+	cstructVersion int         // State.StructureVersion likewise
+	cvalid         bool
+	scores         []float64        // score per class position
+	infBuf         []*core.SigGroup // reusable informative-class list
 }
 
 func (s *ranked) Name() string { return s.name }
 
 // refresh returns the informative classes with s.scores valid for
-// them, rescoring only when the cached version no longer matches.
+// them, rescoring only when the cached version no longer matches. The
+// cache key is the triple (Version, MPVersion, StructureVersion):
+// Version catches labels, StructureVersion catches Appends — which
+// add classes, grow class sizes, and shift unlabeled populations, so
+// rankings conditioned on the old class set invalidate exactly when
+// the structure changes.
 func (s *ranked) refresh(st *core.State) []*core.SigGroup {
-	if s.cvalid && s.cst == st && !s.volatile {
+	if s.cvalid && s.cst == st && !s.volatile && s.cstructVersion == st.StructureVersion() {
 		if s.cversion == st.Version() {
 			return s.infBuf
 		}
 		if s.mpOnly && s.cmpVersion == st.MPVersion() {
 			// Scores depend only on (M_P, signature) pairs that did not
-			// move; only the candidate list shrank.
+			// move; only the candidate list shrank. (Appends are excluded
+			// above: they change class sizes, which the tiebreak reads.)
 			s.infBuf = st.AppendInformativeGroups(s.infBuf[:0])
 			s.cversion = st.Version()
 			return s.infBuf
@@ -101,7 +108,8 @@ func (s *ranked) refresh(st *core.State) []*core.SigGroup {
 	}
 	s.scores = s.scores[:len(st.Groups())]
 	s.rescore(st, s.infBuf)
-	s.cst, s.cversion, s.cmpVersion, s.cvalid = st, st.Version(), st.MPVersion(), true
+	s.cst, s.cversion, s.cmpVersion, s.cstructVersion, s.cvalid =
+		st, st.Version(), st.MPVersion(), st.StructureVersion(), true
 	return s.infBuf
 }
 

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// StreamConfig sizes a streaming benchmark instance: one workload
+// instance carved into an initial prefix plus append batches that
+// arrive while the user labels.
+type StreamConfig struct {
+	// Tuples is the final instance size; 0 picks the workload default.
+	Tuples int
+	// Initial is the tuple count present at session creation (default
+	// a quarter of the final size, at least one tuple).
+	Initial int
+	// Batches is how many append batches the remainder is split into
+	// (default 8; batches are as even as the remainder allows).
+	Batches int
+	// Seed drives generation and the goal draw.
+	Seed int64
+}
+
+// Stream is a workload instance prepared for streaming ingestion. The
+// concatenation Initial ++ Batches... is exactly the instance that
+// Instance(name, cfg) generates, so a session that streams the batches
+// ends on the same denormalized relation a build-once session starts
+// from — the property the differential tests lean on.
+type Stream struct {
+	// Initial holds the tuples present at session creation.
+	Initial *relation.Relation
+	// Batches are the arrival batches, in ingestion order.
+	Batches [][]relation.Tuple
+	// Goal is the inference target the oracle answers by.
+	Goal partition.P
+}
+
+// TotalTuples returns the final instance size after every batch lands.
+func (s *Stream) TotalTuples() int {
+	n := s.Initial.Len()
+	for _, b := range s.Batches {
+		n += len(b)
+	}
+	return n
+}
+
+// NewStream builds a named workload instance (any Instance name) and
+// carves it into an initial prefix plus append batches. Carving
+// preserves generation order, so signatures and multiplicities match
+// the build-once instance exactly.
+func NewStream(name string, cfg StreamConfig) (*Stream, error) {
+	rel, goal, err := Instance(name, InstanceConfig{Tuples: cfg.Tuples, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	initial := cfg.Initial
+	if initial <= 0 {
+		initial = rel.Len() / 4
+	}
+	if initial < 1 {
+		initial = 1
+	}
+	if initial > rel.Len() {
+		return nil, fmt.Errorf("workload: initial size %d exceeds instance size %d", initial, rel.Len())
+	}
+	batches := cfg.Batches
+	if batches <= 0 {
+		batches = 8
+	}
+	rest := rel.Len() - initial
+	if rest < batches {
+		batches = rest // never emit empty batches
+	}
+
+	s := &Stream{Initial: relation.New(rel.Schema()), Goal: goal}
+	for i := 0; i < initial; i++ {
+		s.Initial.MustAppend(rel.Tuple(i))
+	}
+	if batches == 0 {
+		return s, nil
+	}
+	per, extra := rest/batches, rest%batches
+	at := initial
+	for b := 0; b < batches; b++ {
+		n := per
+		if b < extra {
+			n++
+		}
+		batch := make([]relation.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			batch = append(batch, rel.Tuple(at))
+			at++
+		}
+		s.Batches = append(s.Batches, batch)
+	}
+	return s, nil
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestStreamCarvesInstanceExactly checks that initial ++ batches
+// reassembles the build-once instance tuple for tuple, for every
+// workload name and a spread of sizes.
+func TestStreamCarvesInstanceExactly(t *testing.T) {
+	for _, name := range InstanceNames() {
+		for _, cfg := range []StreamConfig{
+			{Seed: 3},
+			{Tuples: 97, Initial: 10, Batches: 4, Seed: 7},
+			{Tuples: 240, Batches: 16, Seed: 11},
+		} {
+			s, err := NewStream(name, cfg)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			full, goal, err := Instance(name, InstanceConfig{Tuples: cfg.Tuples, Seed: cfg.Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Goal.Equal(goal) {
+				t.Fatalf("%s: stream goal %v, instance goal %v", name, s.Goal, goal)
+			}
+			if got := s.TotalTuples(); got != full.Len() {
+				t.Fatalf("%s: stream totals %d tuples, instance has %d", name, got, full.Len())
+			}
+			reassembled := relation.New(s.Initial.Schema())
+			s.Initial.Each(func(i int, tu relation.Tuple) { reassembled.MustAppend(tu) })
+			for _, b := range s.Batches {
+				if len(b) == 0 {
+					t.Fatalf("%s: empty batch", name)
+				}
+				for _, tu := range b {
+					reassembled.MustAppend(tu)
+				}
+			}
+			for i := 0; i < full.Len(); i++ {
+				if !reassembled.Tuple(i).Identical(full.Tuple(i)) {
+					t.Fatalf("%s: tuple %d diverged: %v vs %v", name, i, reassembled.Tuple(i), full.Tuple(i))
+				}
+			}
+		}
+	}
+}
+
+func TestStreamRejectsOversizedInitial(t *testing.T) {
+	if _, err := NewStream("zipf", StreamConfig{Tuples: 10, Initial: 11}); err == nil {
+		t.Fatal("NewStream accepted initial > tuples")
+	}
+}

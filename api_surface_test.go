@@ -1,0 +1,204 @@
+package jim_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// updateSurface regenerates the golden API-surface file:
+//
+//	go test -run TestAPISurface -update-api-surface .
+var updateSurface = flag.Bool("update-api-surface", false, "rewrite testdata/api_surface.golden")
+
+const surfaceGolden = "testdata/api_surface.golden"
+
+// TestAPISurface snapshots the exported surface of package jim — every
+// exported const, var, type, function, and method signature — against
+// a reviewed golden file. It fails on any drift, so breaking changes
+// to the public API (removals, signature changes) cannot land without
+// an explicit, reviewed update of the golden file. Run with
+// -update-api-surface after an intentional change.
+func TestAPISurface(t *testing.T) {
+	got, err := exportedSurface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateSurface {
+		if err := os.MkdirAll(filepath.Dir(surfaceGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(surfaceGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", surfaceGolden)
+		return
+	}
+	want, err := os.ReadFile(surfaceGolden)
+	if err != nil {
+		t.Fatalf("missing API-surface golden (run with -update-api-surface to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	gotSet := toSet(gotLines)
+	wantSet := toSet(wantLines)
+	for _, l := range wantLines {
+		if l != "" && !gotSet[l] {
+			t.Errorf("removed or changed: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if l != "" && !wantSet[l] {
+			t.Errorf("added or changed: %s", l)
+		}
+	}
+	t.Error("public API surface drifted from testdata/api_surface.golden; " +
+		"if the change is intentional and reviewed, regenerate with: go test -run TestAPISurface -update-api-surface .")
+}
+
+func toSet(lines []string) map[string]bool {
+	m := make(map[string]bool, len(lines))
+	for _, l := range lines {
+		if l != "" {
+			m[l] = true
+		}
+	}
+	return m
+}
+
+// exportedSurface renders one line per exported declaration of the
+// non-test package in dir, sorted, in a stable go/printer rendering.
+func exportedSurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declSurface(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func declSurface(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := exprString(fset, d.Recv.List[0].Type)
+			base := strings.TrimPrefix(recv, "*")
+			if !ast.IsExported(base) {
+				return nil
+			}
+			out = append(out, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, funcSig(fset, d.Type)))
+		} else {
+			out = append(out, fmt.Sprintf("func %s%s", d.Name.Name, funcSig(fset, d.Type)))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				kind := "type"
+				if s.Assign != 0 {
+					kind = "type-alias"
+				}
+				out = append(out, fmt.Sprintf("%s %s %s", kind, s.Name.Name, typeSurface(fset, s.Type)))
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, fmt.Sprintf("%s %s", kw, name.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// typeSurface renders a type declaration's shape. Struct and interface
+// bodies are elided to their exported field/method names so internal
+// reshuffles don't churn the golden, but removing an exported field
+// does.
+func typeSurface(fset *token.FileSet, expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StructType:
+		var fields []string
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				fields = append(fields, exprString(fset, f.Type))
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					fields = append(fields, n.Name+" "+exprString(fset, f.Type))
+				}
+			}
+		}
+		sort.Strings(fields)
+		return "struct{" + strings.Join(fields, "; ") + "}"
+	case *ast.InterfaceType:
+		var methods []string
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				methods = append(methods, exprString(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						methods = append(methods, n.Name+funcSig(fset, ft))
+					} else {
+						methods = append(methods, n.Name)
+					}
+				}
+			}
+		}
+		sort.Strings(methods)
+		return "interface{" + strings.Join(methods, "; ") + "}"
+	default:
+		return exprString(fset, expr)
+	}
+}
+
+func funcSig(fset *token.FileSet, ft *ast.FuncType) string {
+	s := exprString(fset, ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+func exprString(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return buf.String()
+}

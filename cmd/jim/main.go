@@ -24,15 +24,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/oracle"
-	"repro/internal/partition"
-	"repro/internal/relation"
-	"repro/internal/session"
+	jim "repro"
 	"repro/internal/setgame"
-	"repro/internal/sqlgen"
 	"repro/internal/stats"
-	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
@@ -53,7 +47,7 @@ func main() {
 	flag.Parse()
 
 	if *listS {
-		for _, n := range strategy.Names() {
+		for _, n := range jim.Strategies() {
 			fmt.Println(n)
 		}
 		return
@@ -63,7 +57,13 @@ func main() {
 		mode: *mode, k: *k, seed: *seed, compare: *compare,
 		savePath: *savePath, loadPath: *loadPath,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "jim:", err)
+		// API failures carry a stable taxonomy code; surface it so
+		// scripted callers can match on it.
+		if code := jim.CodeOf(err); code != "" {
+			fmt.Fprintf(os.Stderr, "jim: [%s] %v\n", code, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "jim:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -76,7 +76,7 @@ type options struct {
 	savePath, loadPath             string
 }
 
-func loadInstance(csvPath, demo string, seed int64) (*relation.Relation, error) {
+func loadInstance(csvPath, demo string, seed int64) (*jim.Relation, error) {
 	switch {
 	case csvPath != "" && demo != "":
 		return nil, fmt.Errorf("pass either -csv or -demo, not both")
@@ -86,7 +86,7 @@ func loadInstance(csvPath, demo string, seed int64) (*relation.Relation, error) 
 			return nil, err
 		}
 		defer f.Close()
-		return relation.ReadCSV(f, relation.CSVOptions{})
+		return jim.ReadCSVWith(f, jim.CSVOptions{})
 	case demo == "travel", demo == "":
 		return workload.Travel(), nil
 	case demo == "setgame":
@@ -106,7 +106,7 @@ func loadInstance(csvPath, demo string, seed int64) (*relation.Relation, error) 
 }
 
 // parseGoal parses "A=B,C=D" against the schema.
-func parseGoal(schema *relation.Schema, spec string) (partition.P, error) {
+func parseGoal(schema *jim.Schema, spec string) (jim.Predicate, error) {
 	var pairs [][2]int
 	for _, atom := range strings.Split(spec, ",") {
 		atom = strings.TrimSpace(atom)
@@ -115,20 +115,20 @@ func parseGoal(schema *relation.Schema, spec string) (partition.P, error) {
 		}
 		lhs, rhs, ok := strings.Cut(atom, "=")
 		if !ok {
-			return partition.P{}, fmt.Errorf("goal atom %q is not of the form A=B", atom)
+			return jim.Predicate{}, fmt.Errorf("goal atom %q is not of the form A=B", atom)
 		}
 		idx, err := schema.Indexes(strings.TrimSpace(lhs), strings.TrimSpace(rhs))
 		if err != nil {
-			return partition.P{}, err
+			return jim.Predicate{}, err
 		}
 		pairs = append(pairs, [2]int{idx[0], idx[1]})
 	}
-	return partition.FromPairs(schema.Len(), pairs)
+	return jim.PredicateFromPairs(schema.Len(), pairs)
 }
 
 func run(opt options) error {
 	var (
-		st  *core.State
+		st  *jim.State
 		err error
 	)
 	if opt.loadPath != "" {
@@ -136,7 +136,7 @@ func run(opt options) error {
 		if err != nil {
 			return err
 		}
-		loaded, meta, err := session.Load(f)
+		loaded, meta, err := jim.LoadSession(f)
 		f.Close()
 		if err != nil {
 			return err
@@ -151,33 +151,33 @@ func run(opt options) error {
 		if err != nil {
 			return err
 		}
-		st, err = core.NewState(rel)
+		st, err = jim.NewState(rel)
 		if err != nil {
 			return err
 		}
 	}
 	rel := st.Relation()
-	picker, err := strategy.ByName(opt.strat, opt.seed)
+	picker, err := jim.Strategy(opt.strat, opt.seed)
 	if err != nil {
 		return err
 	}
-	var labeler core.Labeler
+	var labeler jim.Labeler
 	if opt.goalSpec != "" {
 		goal, err := parseGoal(rel.Schema(), opt.goalSpec)
 		if err != nil {
 			return err
 		}
-		labeler = oracle.Goal(goal)
+		labeler = jim.GoalOracle(goal)
 		fmt.Printf("simulating user with goal: %s\n", goal.FormatAtoms(rel.Schema().Names()))
 	} else {
-		labeler = oracle.Interactive(os.Stdin, os.Stdout)
+		labeler = jim.InteractiveUser(os.Stdin, os.Stdout)
 	}
 
-	eng := core.NewEngine(st, picker, labeler)
+	eng := jim.NewEngine(st, picker, labeler)
 	fmt.Printf("instance: %d tuples over %s\n", rel.Len(), rel.Schema())
 	fmt.Printf("strategy: %s, interaction mode %d\n\n", picker.Name(), opt.mode)
 
-	var res core.RunResult
+	var res jim.RunResult
 	switch opt.mode {
 	case 1, 2:
 		order := make([]int, rel.Len())
@@ -204,7 +204,7 @@ func run(opt options) error {
 		fmt.Println("inferred join predicate:")
 	}
 	fmt.Printf("  %s\n", res.Query.FormatAtoms(names))
-	if sql, err := sqlgen.SelectSQL("instance", rel.Schema(), res.Query); err == nil {
+	if sql, err := jim.SelectSQL("instance", rel.Schema(), res.Query); err == nil {
 		fmt.Println("\nas SQL:")
 		fmt.Println(indent(sql, "  "))
 	}
@@ -214,10 +214,10 @@ func run(opt options) error {
 
 	// Certainty panel (demo statistics): which atoms are settled?
 	if vs, err := st.VersionSpace(100_000); err == nil && !st.Done() {
-		if certain := core.FormatPairs(vs.CertainPairs(), names); certain != "" {
+		if certain := jim.FormatPairs(vs.CertainPairs(), names); certain != "" {
 			fmt.Printf("certain so far:  %s\n", certain)
 		}
-		if undecided := core.FormatPairs(vs.UndecidedPairs(), names); undecided != "" {
+		if undecided := jim.FormatPairs(vs.UndecidedPairs(), names); undecided != "" {
 			fmt.Printf("still undecided: %s\n", undecided)
 		}
 	}
@@ -227,8 +227,8 @@ func run(opt options) error {
 		if err != nil {
 			return err
 		}
-		meta := session.Meta{Strategy: picker.Name(), CreatedAt: time.Now()}
-		if err := session.Save(f, st, meta); err != nil {
+		meta := jim.SessionMeta{Strategy: picker.Name(), CreatedAt: time.Now()}
+		if err := jim.SaveSession(f, st, meta); err != nil {
 			f.Close()
 			return err
 		}
@@ -248,22 +248,13 @@ func run(opt options) error {
 // compareStrategies replays the session's inferred query against every
 // strategy — the demo's "how many interactions she would have done if
 // she had used a strategy" panel (Figure 4).
-func compareStrategies(rel *relation.Relation, goal partition.P, yours int, yourStrategy string, seed int64) string {
+func compareStrategies(rel *jim.Relation, goal jim.Predicate, yours int, yourStrategy string, seed int64) string {
 	items := []stats.BarItem{{Label: "your session (" + yourStrategy + ")", Value: float64(yours)}}
-	for _, name := range strategy.Names() {
+	for _, name := range jim.Strategies() {
 		if name == "optimal" && rel.Len() > 64 {
 			continue // exponential; skip on big instances
 		}
-		s, err := strategy.ByName(name, seed)
-		if err != nil {
-			continue
-		}
-		st, err := core.NewState(rel)
-		if err != nil {
-			continue
-		}
-		eng := core.NewEngine(st, s, oracle.Goal(goal))
-		res, err := eng.Run()
+		res, err := jim.Infer(rel, goal, name, seed)
 		if err != nil || !res.Converged {
 			continue
 		}

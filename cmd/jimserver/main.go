@@ -5,15 +5,20 @@
 //
 //	jimserver -addr :8080 -max-sessions 10000 -session-ttl 30m
 //
-// Endpoints (see internal/server for the full contract):
+// The API is versioned under /v1 with a structured error envelope
+// {"error":{"code","message"}}; the unversioned routes of earlier
+// releases still answer, marked with a Deprecation header. Endpoints
+// (see API.md for the full contract):
 //
-//	POST   /sessions              {"csv": "...", "strategy": "lookahead-maxmin"}
-//	GET    /sessions/{id}/next    next proposed tuple
-//	POST   /sessions/{id}/label   {"index": 3, "label": "+"}
-//	POST   /sessions/{id}/tuples  stream new tuples into the instance
-//	GET    /sessions/{id}/result  inferred predicate + SQL
-//	GET    /sessions/{id}/export  persistable session file
-//	GET    /stats                 session counts, label/ingest throughput, latency
+//	POST   /v1/sessions              {"csv": "...", "strategy": "lookahead-maxmin"}
+//	GET    /v1/sessions              paginated session list (?limit=, ?offset=)
+//	GET    /v1/strategies            strategy discovery
+//	GET    /v1/sessions/{id}/next    next proposed tuple
+//	POST   /v1/sessions/{id}/label   {"index": 3, "label": "+"}
+//	POST   /v1/sessions/{id}/tuples  stream new tuples into the instance
+//	GET    /v1/sessions/{id}/result  inferred predicate + SQL
+//	GET    /v1/sessions/{id}/export  persistable session file
+//	GET    /v1/stats                 session counts, label/ingest throughput, latency
 package main
 
 import (

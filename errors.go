@@ -1,0 +1,155 @@
+package jim
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/strategy"
+)
+
+// ErrorCode is a stable, machine-readable identifier for every failure
+// the JIM API can report. Codes — not messages — are the contract:
+// they name the wire values of the versioned HTTP error envelope
+// ({"error":{"code","message"}}) and the cases a library caller can
+// switch on, so messages may be reworded without breaking clients.
+type ErrorCode string
+
+// Library error codes, raised by Session methods.
+const (
+	// CodeInconsistent: the label contradicts earlier labels — no join
+	// predicate is consistent with the combined set.
+	CodeInconsistent ErrorCode = "inconsistent_label"
+	// CodeAlreadyLabeled: the tuple already carries an explicit label.
+	CodeAlreadyLabeled ErrorCode = "already_labeled"
+	// CodeSchemaMismatch: tuples do not match the session's schema.
+	CodeSchemaMismatch ErrorCode = "schema_mismatch"
+	// CodeUnknownStrategy: no strategy registered under that name.
+	CodeUnknownStrategy ErrorCode = "unknown_strategy"
+	// CodeSessionDone: the session has converged; nothing to answer.
+	CodeSessionDone ErrorCode = "session_done"
+	// CodeOutOfRange: a tuple index outside the instance.
+	CodeOutOfRange ErrorCode = "out_of_range"
+	// CodeBadInput: malformed input (unparsable CSV, bad label string,
+	// invalid option value).
+	CodeBadInput ErrorCode = "bad_input"
+)
+
+// Transport error codes, raised only by the HTTP service but defined
+// here so one taxonomy covers the whole wire contract.
+const (
+	// CodeNotFound: no session with that id.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeTooManySessions: the server's live-session cap was hit.
+	CodeTooManySessions ErrorCode = "too_many_sessions"
+	// CodeBodyTooLarge: the request body exceeded the configured cap.
+	CodeBodyTooLarge ErrorCode = "body_too_large"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// HTTPStatus maps the code onto the status the /v1 API serves it with.
+// Unknown codes map to 500.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeInconsistent, CodeSchemaMismatch, CodeSessionDone:
+		return http.StatusConflict // 409
+	case CodeAlreadyLabeled:
+		return http.StatusUnprocessableEntity // 422
+	case CodeUnknownStrategy, CodeOutOfRange, CodeBadInput:
+		return http.StatusBadRequest // 400
+	case CodeNotFound:
+		return http.StatusNotFound // 404
+	case CodeTooManySessions:
+		return http.StatusTooManyRequests // 429
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge // 413
+	}
+	return http.StatusInternalServerError
+}
+
+// Error is the typed error of the JIM API: a stable code, a
+// human-readable message, and the underlying cause when one exists.
+// Errors compare by code: errors.Is(err, jim.ErrInconsistent) holds
+// for any Error carrying CodeInconsistent, however deeply wrapped.
+type Error struct {
+	Code    ErrorCode
+	Message string
+	cause   error
+}
+
+// Error renders "jim: <code>: <message>".
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("jim: %s", e.Code)
+	}
+	return fmt.Sprintf("jim: %s: %s", e.Code, e.Message)
+}
+
+// Unwrap exposes the underlying cause (possibly nil) so errors.Is
+// also matches the low-level sentinels of the internal packages.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Is makes two Errors equivalent when their codes agree, so the
+// package-level sentinels below work with errors.Is.
+func (e *Error) Is(target error) bool {
+	var t *Error
+	return errors.As(target, &t) && t.Code == e.Code
+}
+
+// Sentinel errors, one per library code, for errors.Is dispatch.
+var (
+	// ErrInconsistent reports a label contradicting previous labels.
+	ErrInconsistent = &Error{Code: CodeInconsistent, Message: "label is inconsistent with previous labels"}
+	// ErrAlreadyLabeled reports relabeling an explicitly labeled tuple.
+	ErrAlreadyLabeled = &Error{Code: CodeAlreadyLabeled, Message: "tuple already labeled explicitly"}
+	// ErrSchemaMismatch reports tuples that do not fit the session schema.
+	ErrSchemaMismatch = &Error{Code: CodeSchemaMismatch, Message: "tuples do not match the session schema"}
+	// ErrUnknownStrategy reports an unrecognized strategy name.
+	ErrUnknownStrategy = &Error{Code: CodeUnknownStrategy, Message: "unknown strategy"}
+	// ErrSessionDone reports interaction with a converged session.
+	ErrSessionDone = &Error{Code: CodeSessionDone, Message: "session has converged"}
+	// ErrOutOfRange reports a tuple index outside the instance.
+	ErrOutOfRange = &Error{Code: CodeOutOfRange, Message: "tuple index out of range"}
+)
+
+// newError builds a typed error with a formatted message.
+func newError(code ErrorCode, cause error, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), cause: cause}
+}
+
+// CodeOf extracts the ErrorCode carried anywhere in err's chain, or ""
+// when err carries none.
+func CodeOf(err error) ErrorCode {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}
+
+// wrapCoreErr lifts an error from the internal engine layers into the
+// taxonomy, preserving the cause chain. nil passes through; errors
+// with no taxonomy mapping come back as CodeBadInput.
+func wrapCoreErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	code := CodeBadInput
+	switch {
+	case errors.Is(err, core.ErrInconsistent):
+		code = CodeInconsistent
+	case errors.Is(err, core.ErrAlreadyLabeled):
+		code = CodeAlreadyLabeled
+	case errors.Is(err, core.ErrSchemaMismatch):
+		code = CodeSchemaMismatch
+	case errors.Is(err, core.ErrSessionDone):
+		code = CodeSessionDone
+	case errors.Is(err, core.ErrOutOfRange):
+		code = CodeOutOfRange
+	case errors.Is(err, strategy.ErrUnknown):
+		code = CodeUnknownStrategy
+	}
+	return &Error{Code: code, Message: err.Error(), cause: err}
+}

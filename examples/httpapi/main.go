@@ -1,7 +1,10 @@
 // Httpapi: JIM as a service. Starts the HTTP server on a loopback
-// port, creates a session over the paper's Figure 1 table, answers the
-// proposed membership queries like a user wanting Q2, and reads back
-// the inferred predicate — the demonstration's web tool end to end.
+// port, discovers the strategies, creates a session over the paper's
+// Figure 1 table via the versioned /v1 API, answers the proposed
+// membership queries like a user wanting Q2, and reads back the
+// inferred predicate — the demonstration's web tool end to end. All
+// failures arrive as the structured envelope
+// {"error":{"code","message"}}, decoded by this client.
 //
 //	go run ./examples/httpapi
 package main
@@ -25,6 +28,14 @@ func main() {
 	ts := httptest.NewServer(server.New().Handler())
 	defer ts.Close()
 	fmt.Printf("jimserver running at %s\n\n", ts.URL)
+	v1 := ts.URL + "/v1"
+
+	// 0. Discover the strategies instead of hardcoding the registry.
+	var strategies struct {
+		Default string `json:"default"`
+	}
+	get(v1+"/strategies", &strategies)
+	fmt.Printf("server default strategy: %s\n\n", strategies.Default)
 
 	// 1. Create a session from CSV.
 	var csv bytes.Buffer
@@ -35,9 +46,9 @@ func main() {
 		ID     string `json:"id"`
 		Tuples int    `json:"tuples"`
 	}
-	post(ts.URL+"/sessions", map[string]any{
+	post(v1+"/sessions", map[string]any{
 		"csv":      csv.String(),
-		"strategy": "lookahead-maxmin",
+		"strategy": strategies.Default,
 	}, &created)
 	fmt.Printf("created session %s over %d tuples\n\n", created.ID, created.Tuples)
 
@@ -52,7 +63,7 @@ func main() {
 				Values map[string]string `json:"values"`
 			} `json:"tuple"`
 		}
-		get(ts.URL+"/sessions/"+created.ID+"/next", &next)
+		get(v1+"/sessions/"+created.ID+"/next", &next)
 		if next.Done {
 			break
 		}
@@ -64,7 +75,7 @@ func main() {
 			NewlyImplied []int  `json:"newly_implied"`
 			Progress     string `json:"progress"`
 		}
-		post(ts.URL+"/sessions/"+created.ID+"/label",
+		post(v1+"/sessions/"+created.ID+"/label",
 			map[string]any{"index": next.Tuple.Index, "label": label}, &lr)
 		fmt.Printf("%d. tuple %2d -> %s   grayed out %d   (%s)\n",
 			round, next.Tuple.Index+1, label, len(lr.NewlyImplied), lr.Progress)
@@ -75,11 +86,25 @@ func main() {
 		Atoms string `json:"atoms"`
 		SQL   string `json:"sql"`
 	}
-	get(ts.URL+"/sessions/"+created.ID+"/result", &res)
+	get(v1+"/sessions/"+created.ID+"/result", &res)
 	fmt.Printf("\ninferred: %s\n\n%s\n", res.Atoms, res.SQL)
 
-	// 4. Export the session for later resumption.
-	resp, err := http.Get(ts.URL + "/sessions/" + created.ID + "/export")
+	// 4. Typed failures: a contradicting label now comes back as a
+	//    structured envelope with a taxonomy code, not free text.
+	data, _ := json.Marshal(map[string]any{"index": 0, "label": "+"})
+	resp, err := http.Post(v1+"/sessions/"+created.ID+"/label", "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if e, ok := decodeError(resp.StatusCode, body); ok {
+		fmt.Printf("\ncontradicting label rejected: HTTP %d, code=%s\n  %s\n",
+			resp.StatusCode, e.Code, e.Message)
+	}
+
+	// 5. Export the session for later resumption.
+	resp, err = http.Get(v1 + "/sessions/" + created.ID + "/export")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,6 +115,26 @@ func main() {
 	}
 	fmt.Printf("\nexported session file: %d bytes, %d lines of JSON\n",
 		len(exported), strings.Count(string(exported), "\n"))
+}
+
+// wireError mirrors the /v1 error envelope.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// decodeError extracts the structured envelope from an error response.
+func decodeError(status int, body []byte) (wireError, bool) {
+	if status < 300 {
+		return wireError{}, false
+	}
+	var envelope struct {
+		Error wireError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code == "" {
+		return wireError{}, false
+	}
+	return envelope.Error, true
 }
 
 func post(url string, body any, out any) {
@@ -117,6 +162,9 @@ func decode(resp *http.Response, out any) {
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if e, ok := decodeError(resp.StatusCode, data); ok {
+		log.Fatalf("HTTP %d: %s: %s", resp.StatusCode, e.Code, e.Message)
 	}
 	if resp.StatusCode >= 300 {
 		log.Fatalf("HTTP %d: %s", resp.StatusCode, data)

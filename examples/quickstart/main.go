@@ -1,10 +1,11 @@
 // Quickstart: infer a join predicate over a small denormalized table
-// with a simulated user, then print it as SQL.
+// through the pull-based jim.Session dialogue, then print it as SQL.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -44,19 +45,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Run the interactive loop with a goal oracle standing in for
-	//    the user (swap in jim.InteractiveUser(os.Stdin, os.Stdout) for
-	//    a real session).
-	res, err := jim.Infer(rel, goal, "lookahead-maxmin", 1)
+	// 3. Open a pull-based session: it proposes the most informative
+	//    tuple, we answer, until nothing informative remains. Here a
+	//    goal predicate stands in for the user; an interactive client
+	//    would render the tuple and ask.
+	sess, err := jim.NewSession(rel, jim.WithStrategy("lookahead-maxmin"))
 	if err != nil {
 		log.Fatal(err)
 	}
+	questions, implied := 0, 0
+	for {
+		i, ok := sess.Propose()
+		if !ok {
+			break
+		}
+		label := jim.Negative
+		if jim.Selects(goal, sess.Relation().Tuple(i)) {
+			label = jim.Positive
+		}
+		out, err := sess.Answer(i, label)
+		if err != nil {
+			// Every API failure carries a stable code; a real client
+			// would switch on jim.CodeOf(err) or the sentinels.
+			if errors.Is(err, jim.ErrInconsistent) {
+				log.Fatalf("oracle contradicted itself: %v", err)
+			}
+			log.Fatal(err)
+		}
+		questions++
+		implied += len(out.NewlyImplied)
+		fmt.Printf("%2d. tuple %2d -> %v   grayed out %d   (%s)\n",
+			questions, i+1, label, len(out.NewlyImplied), sess.Progress())
+	}
 
-	fmt.Printf("converged after %d membership queries (%d tuples grayed out automatically)\n",
-		res.UserLabels, res.ImpliedLabels)
-	fmt.Printf("inferred predicate: %s\n\n", res.Query.FormatAtoms(rel.Schema().Names()))
+	fmt.Printf("\nconverged after %d membership queries (%d tuples grayed out automatically)\n",
+		questions, implied)
+	fmt.Printf("inferred predicate: %s\n\n", sess.Result().FormatAtoms(rel.Schema().Names()))
 
-	sql, err := jim.SelectSQL("packages", rel.Schema(), res.Query)
+	sql, err := jim.SelectSQL("packages", rel.Schema(), sess.Result())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,8 +34,8 @@ type Labeler interface {
 	Name() string
 	// Label returns Positive or Negative for tuple i, ErrStopped if
 	// the user quits, or Unlabeled with a nil error to abstain ("I
-	// don't know") — the engine then defers the tuple's signature
-	// class and proposes something else until new labels arrive.
+	// don't know") — the engine then skips the tuple's signature class
+	// and proposes something else until new labels arrive.
 	Label(st *State, i int) (Label, error)
 }
 
@@ -43,7 +43,7 @@ type Labeler interface {
 // before convergence; Run returns the partial result without error.
 var ErrStopped = errors.New("core: labeling stopped by user")
 
-// ConflictPolicy decides what the engine does when a label contradicts
+// ConflictPolicy decides what a session does when a label contradicts
 // earlier labels (possible only with noisy labelers).
 type ConflictPolicy int8
 
@@ -55,44 +55,31 @@ const (
 	SkipOnConflict
 )
 
-// Engine drives the interactive scenario of the paper's Figure 2: pick
-// an informative tuple, ask for its label, propagate, repeat.
+// Engine drives the interactive scenario of the paper's Figure 2 by
+// pushing a Labeler's answers through a pull-based Session: propose,
+// ask, answer, repeat. All proposal routing (skipped classes,
+// re-offers), conflict handling, and the OnConflict/RedeferLimit
+// policy knobs live on the embedded Session — there is exactly one
+// copy of that state, so callers may freely mix engine runs with
+// direct session interaction. The engine only loops, times, and
+// accounts.
 type Engine struct {
-	st      *State
-	picker  Picker
+	*Session
 	labeler Labeler
 
-	// OnConflict selects the conflict policy (default FailOnConflict).
-	OnConflict ConflictPolicy
 	// MaxSteps bounds the number of questions (0 = unbounded). Runs
 	// that hit the bound report Converged=false.
 	MaxSteps int
 	// Trace, when non-nil, receives a human-readable line per
 	// interaction (the demo's progress panel).
 	Trace io.Writer
-
-	// RedeferLimit bounds how many times the engine re-offers tuples
-	// the user abstained on when nothing else is left to ask (0 means
-	// the default of 3). An answered question resets the budget; once
-	// exhausted the run stops unconverged.
-	RedeferLimit int
-
-	// deferred holds signature classes the user abstained on; cleared
-	// whenever a new label arrives (fresh context may help the user
-	// decide) or when a re-offer round starts.
-	deferred    map[*SigGroup]bool
-	redeferrals int
-	infBuf      []int // reusable buffer for deferred-routing scans
 }
 
 // NewEngine builds an engine over an existing state, so callers may
 // pre-seed labels before handing over control.
 func NewEngine(st *State, picker Picker, labeler Labeler) *Engine {
-	return &Engine{st: st, picker: picker, labeler: labeler}
+	return &Engine{Session: NewSession(st, picker), labeler: labeler}
 }
-
-// State exposes the engine's inference state.
-func (e *Engine) State() *State { return e.st }
 
 // StepStat records one user interaction.
 type StepStat struct {
@@ -134,7 +121,7 @@ type RunResult struct {
 }
 
 // Strategy returns the picker's name.
-func (e *Engine) Strategy() string { return e.picker.Name() }
+func (e *Engine) Strategy() string { return e.Session.Strategy() }
 
 // Run executes interaction mode 4 — the core loop of the paper's
 // Figure 2: repeatedly present the most informative tuple according to
@@ -144,18 +131,18 @@ func (e *Engine) Run() (RunResult, error) {
 	start := time.Now()
 	defer func() { res.Duration = time.Since(start) }()
 	for {
-		if e.st.Done() {
+		if e.Session.Done() {
 			res.Converged = true
 			break
 		}
 		if e.MaxSteps > 0 && res.UserLabels >= e.MaxSteps {
 			break
 		}
-		i, ok := e.pick()
+		i, ok := e.Session.Propose()
 		if !ok {
-			// Either converged, or every remaining class was deferred
+			// Either converged, or every remaining class was skipped
 			// by abstentions and no new label can unblock them.
-			res.Converged = e.st.Done()
+			res.Converged = e.Session.Done()
 			break
 		}
 		stop, err := e.ask(i, &res)
@@ -166,60 +153,16 @@ func (e *Engine) Run() (RunResult, error) {
 			break
 		}
 	}
-	res.Query = e.st.Result()
+	res.Query = e.Session.Result()
 	return res, nil
-}
-
-// pick chooses the next tuple, routing around deferred classes: the
-// strategy's choice is honored unless the user abstained on its class,
-// in which case the ranked alternatives (KPicker) or the remaining
-// informative tuples are scanned for an un-deferred one. When every
-// informative class is deferred, the defer set is cleared and the
-// tuples re-offered, up to RedeferLimit rounds between answers.
-func (e *Engine) pick() (int, bool) {
-	i, ok := e.picker.Pick(e.st)
-	if !ok {
-		return 0, false
-	}
-	if len(e.deferred) == 0 || !e.deferred[e.st.GroupOf(i)] {
-		return i, true
-	}
-	if kp, isKP := e.picker.(KPicker); isKP {
-		// Ask for exactly the informative-class count: ranking can never
-		// return more than one tuple per class, so requesting the total
-		// class count only made the ranker chew on settled classes.
-		for _, j := range kp.PickK(e.st, e.st.InformativeGroupCount()) {
-			if !e.deferred[e.st.GroupOf(j)] {
-				return j, true
-			}
-		}
-	}
-	e.infBuf = e.st.AppendInformativeIndices(e.infBuf[:0])
-	for _, j := range e.infBuf {
-		if !e.deferred[e.st.GroupOf(j)] {
-			return j, true
-		}
-	}
-	// Everything informative is deferred: re-offer, within budget.
-	limit := e.RedeferLimit
-	if limit == 0 {
-		limit = 3
-	}
-	if e.redeferrals >= limit {
-		return 0, false
-	}
-	e.redeferrals++
-	e.deferred = nil
-	return i, true
 }
 
 // RunTopK executes interaction mode 3: per round, propose the k most
 // informative tuples and ask for labels on each that is still
 // informative when its turn comes.
 func (e *Engine) RunTopK(k int) (RunResult, error) {
-	kp, ok := e.picker.(KPicker)
-	if !ok {
-		return RunResult{}, fmt.Errorf("core: strategy %q cannot rank top-k tuples", e.picker.Name())
+	if _, ok := e.Session.picker.(KPicker); !ok {
+		return RunResult{}, fmt.Errorf("core: strategy %q cannot rank top-k tuples", e.Session.Strategy())
 	}
 	if k < 1 {
 		return RunResult{}, fmt.Errorf("core: RunTopK requires k >= 1, got %d", k)
@@ -227,17 +170,20 @@ func (e *Engine) RunTopK(k int) (RunResult, error) {
 	var res RunResult
 	start := time.Now()
 	defer func() { res.Duration = time.Since(start) }()
-	for !e.st.Done() {
+	for !e.Session.Done() {
 		if e.MaxSteps > 0 && res.UserLabels >= e.MaxSteps {
-			res.Query = e.st.Result()
+			res.Query = e.Session.Result()
 			return res, nil
 		}
-		batch := kp.PickK(e.st, k)
+		batch, err := e.Session.TopK(k)
+		if err != nil {
+			return res, err
+		}
 		if len(batch) == 0 {
 			break
 		}
 		for _, i := range batch {
-			if e.st.Label(i) != Unlabeled {
+			if e.State().Label(i) != Unlabeled {
 				continue // grayed out mid-round
 			}
 			stop, err := e.ask(i, &res)
@@ -245,13 +191,13 @@ func (e *Engine) RunTopK(k int) (RunResult, error) {
 				return res, err
 			}
 			if stop {
-				res.Query = e.st.Result()
+				res.Query = e.Session.Result()
 				return res, nil
 			}
 		}
 	}
-	res.Converged = e.st.Done()
-	res.Query = e.st.Result()
+	res.Converged = e.Session.Done()
+	res.Query = e.Session.Result()
 	return res, nil
 }
 
@@ -265,16 +211,16 @@ func (e *Engine) RunUserOrder(order []int, grayOut bool) (RunResult, error) {
 	start := time.Now()
 	defer func() { res.Duration = time.Since(start) }()
 	for _, i := range order {
-		if e.st.Done() {
+		if e.Session.Done() {
 			break
 		}
 		if e.MaxSteps > 0 && res.UserLabels >= e.MaxSteps {
 			break
 		}
-		if e.st.Label(i).IsExplicit() {
+		if e.State().Label(i).IsExplicit() {
 			continue
 		}
-		if grayOut && e.st.Label(i) != Unlabeled {
+		if grayOut && e.State().Label(i) != Unlabeled {
 			continue
 		}
 		stop, err := e.ask(i, &res)
@@ -285,19 +231,19 @@ func (e *Engine) RunUserOrder(order []int, grayOut bool) (RunResult, error) {
 			break
 		}
 	}
-	res.Converged = e.st.Done()
-	res.Query = e.st.Result()
+	res.Converged = e.Session.Done()
+	res.Query = e.Session.Result()
 	return res, nil
 }
 
-// ask poses one membership query and applies the answer. It returns
-// stop=true when the labeler ended the session.
+// ask poses one membership query and routes the answer into the
+// session. It returns stop=true when the labeler ended the session.
 func (e *Engine) ask(i int, res *RunResult) (stop bool, err error) {
-	before := e.st.InformativeCount()
-	wasInformative := e.st.Label(i) == Unlabeled
+	st := e.State()
+	before := st.InformativeCount()
 	stepStart := time.Now()
 
-	l, err := e.labeler.Label(e.st, i)
+	l, err := e.labeler.Label(st, i)
 	if errors.Is(err, ErrStopped) {
 		res.Stopped = true
 		return true, nil
@@ -306,26 +252,25 @@ func (e *Engine) ask(i int, res *RunResult) (stop bool, err error) {
 		return false, fmt.Errorf("core: labeling tuple %d: %w", i, err)
 	}
 	if l == Unlabeled {
-		// Abstention: defer this signature class and move on.
-		if e.deferred == nil {
-			e.deferred = make(map[*SigGroup]bool)
+		// Abstention: skip this signature class and move on.
+		if err := e.Session.Skip(i); err != nil {
+			return false, err
 		}
-		e.deferred[e.st.GroupOf(i)] = true
 		res.Abstentions++
 		res.Steps = append(res.Steps, StepStat{
 			TupleIndex:        i,
 			Label:             Unlabeled,
 			InformativeBefore: before,
-			InformativeAfter:  e.st.InformativeCount(),
+			InformativeAfter:  st.InformativeCount(),
 			Elapsed:           time.Since(stepStart),
 		})
 		if e.Trace != nil {
-			fmt.Fprintf(e.Trace, "ask t%-4d abstained        %s\n", i, e.st.Progress())
+			fmt.Fprintf(e.Trace, "ask t%-4d abstained        %s\n", i, st.Progress())
 		}
 		return false, nil
 	}
 
-	newly, err := e.st.Apply(i, l)
+	out, err := e.Session.Answer(i, l)
 	step := StepStat{
 		TupleIndex:        i,
 		Label:             l,
@@ -333,30 +278,25 @@ func (e *Engine) ask(i int, res *RunResult) (stop bool, err error) {
 		Elapsed:           time.Since(stepStart),
 	}
 	switch {
-	case errors.Is(err, ErrInconsistent) && e.OnConflict == SkipOnConflict:
-		step.Conflict = true
-		res.Conflicts++
 	case err != nil:
 		return false, err
+	case out.Conflict:
+		step.Conflict = true
+		res.Conflicts++
 	default:
 		res.UserLabels++
-		if !wasInformative {
+		if out.Wasted {
 			res.WastedLabels++
 		}
-		res.ImpliedLabels += len(newly)
-		step.NewlyImplied = len(newly)
-		// New information arrived: give deferred classes another
-		// chance (some may now be implied anyway) and reset the
-		// re-offer budget.
-		e.deferred = nil
-		e.redeferrals = 0
+		res.ImpliedLabels += len(out.NewlyImplied)
+		step.NewlyImplied = len(out.NewlyImplied)
 	}
-	step.InformativeAfter = e.st.InformativeCount()
+	step.InformativeAfter = st.InformativeCount()
 	res.Steps = append(res.Steps, step)
 
 	if e.Trace != nil {
 		fmt.Fprintf(e.Trace, "ask t%-4d %-3v pruned %3d  %s\n",
-			i, l, step.NewlyImplied, e.st.Progress())
+			i, l, step.NewlyImplied, st.Progress())
 	}
 	return false, nil
 }

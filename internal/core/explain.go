@@ -34,7 +34,7 @@ type Explanation struct {
 // Explain justifies the current label of tuple i.
 func (st *State) Explain(i int) (Explanation, error) {
 	if i < 0 || i >= len(st.labels) {
-		return Explanation{}, fmt.Errorf("core: tuple index %d out of range [0,%d)", i, len(st.labels))
+		return Explanation{}, fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, i, len(st.labels))
 	}
 	e := Explanation{Index: i, Label: st.labels[i], WitnessIndex: -1}
 	switch st.labels[i] {

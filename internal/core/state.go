@@ -112,7 +112,7 @@ func (st *State) Append(tuples []relation.Tuple) (newlyImplied []int, err error)
 	}
 	for k, t := range tuples {
 		if len(t) != st.n {
-			return nil, fmt.Errorf("core: appended tuple %d has arity %d, want %d", k, len(t), st.n)
+			return nil, fmt.Errorf("%w: appended tuple %d has arity %d, want %d", ErrSchemaMismatch, k, len(t), st.n)
 		}
 	}
 	prevClasses := len(st.groups)
@@ -359,7 +359,7 @@ func (st *State) IsConsistent() bool {
 // converts its implied label to an explicit one.
 func (st *State) Apply(i int, l Label) (newlyImplied []int, err error) {
 	if i < 0 || i >= len(st.labels) {
-		return nil, fmt.Errorf("core: tuple index %d out of range [0,%d)", i, len(st.labels))
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, i, len(st.labels))
 	}
 	if !l.IsExplicit() {
 		return nil, fmt.Errorf("core: Apply requires an explicit label, got %v", l)

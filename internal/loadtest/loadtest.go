@@ -250,12 +250,12 @@ func (r *userResult) driveSession(client *http.Client, baseURL string, inst *ins
 	var created struct {
 		ID string `json:"id"`
 	}
-	if err := r.call(client, "POST", baseURL+"/sessions",
+	if err := r.call(client, "POST", baseURL+"/v1/sessions",
 		map[string]any{"csv": inst.csv, "strategy": strategyName},
 		http.StatusCreated, &created); err != nil {
 		return err
 	}
-	base := baseURL + "/sessions/" + created.ID
+	base := baseURL + "/v1/sessions/" + created.ID
 	if err := r.runSession(client, base, inst); err != nil {
 		// Best-effort cleanup so failed sessions don't accumulate in
 		// the target server across a long run.
@@ -358,6 +358,19 @@ func (r *userResult) call(client *http.Client, method, url string, body any, wan
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != wantStatus {
+		// Unexpected statuses carry the /v1 structured envelope
+		// {"error":{"code","message"}}; surface the code so failures
+		// diagnose themselves without a packet capture.
+		var envelope struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if decErr := json.NewDecoder(resp.Body).Decode(&envelope); decErr == nil && envelope.Error.Code != "" {
+			return fmt.Errorf("loadtest: %s %s: status %d (want %d), error %s: %s",
+				method, url, resp.StatusCode, wantStatus, envelope.Error.Code, envelope.Error.Message)
+		}
 		return fmt.Errorf("loadtest: %s %s: status %d, want %d", method, url, resp.StatusCode, wantStatus)
 	}
 	if out != nil {

@@ -35,7 +35,7 @@ type growableSummary struct {
 func createGrowable(t *testing.T, ts *httptest.Server, csv, strategy string) growableSummary {
 	t.Helper()
 	var s growableSummary
-	doJSON(t, "POST", ts.URL+"/sessions", map[string]any{"csv": csv, "strategy": strategy},
+	doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{"csv": csv, "strategy": strategy},
 		http.StatusCreated, &s)
 	return s
 }
@@ -51,7 +51,7 @@ func TestAppendTuplesRowsAndSummary(t *testing.T) {
 	if s.BaseTuples != 2 || s.AppendedTuples != 0 {
 		t.Fatalf("create summary base/appended = %d/%d, want 2/0", s.BaseTuples, s.AppendedTuples)
 	}
-	base := ts.URL + "/sessions/" + s.ID
+	base := ts.URL + "/v1/sessions/" + s.ID
 
 	// Converge: label (1,1,2,2) positive and (3,4,5,6) negative.
 	doJSON(t, "POST", base+"/label", map[string]any{"index": 0, "label": "+"}, http.StatusOK, nil)
@@ -103,7 +103,7 @@ func TestAppendTuplesRowsAndSummary(t *testing.T) {
 			TuplesAppended int64 `json:"tuples_appended"`
 		} `json:"ingest"`
 	}
-	doJSON(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &stats)
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
 	if stats.Ingest.Appends != 2 || stats.Ingest.TuplesAppended != 3 {
 		t.Fatalf("stats ingest = %+v, want 2 appends / 3 tuples", stats.Ingest)
 	}
@@ -112,7 +112,7 @@ func TestAppendTuplesRowsAndSummary(t *testing.T) {
 func TestAppendTuplesCSVAndSchemaMismatch(t *testing.T) {
 	ts := newTestServer(t)
 	s := createGrowable(t, ts, streamBaseCSV, "lookahead-maxmin")
-	base := ts.URL + "/sessions/" + s.ID
+	base := ts.URL + "/v1/sessions/" + s.ID
 
 	var ar appendResp
 	doJSON(t, "POST", base+"/tuples", map[string]any{
@@ -139,7 +139,7 @@ func TestAppendTuplesCSVAndSchemaMismatch(t *testing.T) {
 	// on metrics or the deferred set.
 	doJSON(t, "POST", base+"/tuples", map[string]any{"csv": "a,b,c,d\n"}, http.StatusBadRequest, nil)
 	// Unknown session is a 404.
-	doJSON(t, "POST", ts.URL+"/sessions/s9999/tuples", map[string]any{
+	doJSON(t, "POST", ts.URL+"/v1/sessions/s9999/tuples", map[string]any{
 		"rows": [][]string{{"1", "2", "3", "4"}},
 	}, http.StatusNotFound, nil)
 
@@ -160,7 +160,7 @@ func TestBodyLimit413(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	big := strings.Repeat("x", 8192)
-	for _, ep := range []string{"/sessions", "/sessions/import"} {
+	for _, ep := range []string{"/v1/sessions", "/v1/sessions/import"} {
 		resp, err := http.Post(ts.URL+ep, "application/json",
 			bytes.NewReader([]byte(fmt.Sprintf(`{"csv": %q}`, big))))
 		if err != nil {
@@ -173,7 +173,7 @@ func TestBodyLimit413(t *testing.T) {
 	}
 
 	s := createGrowable(t, ts, streamBaseCSV, "lookahead-maxmin")
-	resp, err := http.Post(ts.URL+"/sessions/"+s.ID+"/tuples", "application/json",
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+s.ID+"/tuples", "application/json",
 		bytes.NewReader([]byte(fmt.Sprintf(`{"csv": %q}`, big))))
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestBodyLimit413(t *testing.T) {
 
 	// Within-limit traffic is unaffected.
 	var ar appendResp
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/tuples", map[string]any{
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/tuples", map[string]any{
 		"rows": [][]string{{"7", "7", "8", "8"}},
 	}, http.StatusOK, &ar)
 	if ar.Appended != 1 {
@@ -223,7 +223,7 @@ func TestStreamedSessionMatchesBuildOnce(t *testing.T) {
 	}
 
 	runToResult := func(id string, batches [][]relation.Tuple) string {
-		base := ts.URL + "/sessions/" + id
+		base := ts.URL + "/v1/sessions/" + id
 		nextBatch := 0
 		for step := 0; ; step++ {
 			if step > 4*full.Len() {
@@ -277,7 +277,7 @@ func TestStreamedSessionMatchesBuildOnce(t *testing.T) {
 	}
 
 	var sum growableSummary
-	doJSON(t, "GET", ts.URL+"/sessions/"+streamed.ID, nil, http.StatusOK, &sum)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+streamed.ID, nil, http.StatusOK, &sum)
 	if sum.Tuples != full.Len() || sum.BaseTuples != stream.Initial.Len() {
 		t.Fatalf("streamed summary %+v, want %d tuples (%d base)", sum, full.Len(), stream.Initial.Len())
 	}
@@ -291,7 +291,7 @@ func TestStreamedSessionMatchesBuildOnce(t *testing.T) {
 func TestAppendPreservesCreationTyping(t *testing.T) {
 	ts := newTestServer(t)
 	s := createGrowable(t, ts, "a:string,b:string\n1,1\n", "lookahead-maxmin")
-	base := ts.URL + "/sessions/" + s.ID
+	base := ts.URL + "/v1/sessions/" + s.ID
 	doJSON(t, "POST", base+"/label", map[string]any{"index": 0, "label": "+"}, http.StatusOK, nil)
 
 	// Under string typing "01" != "1": the arrival's signature is
@@ -323,7 +323,7 @@ func TestAppendPreservesCreationTyping(t *testing.T) {
 func TestAppendIgnoresArrivalHeaderTyping(t *testing.T) {
 	ts := newTestServer(t)
 	s := createGrowable(t, ts, "a,b\n1,1\n2,3\n", "lookahead-maxmin")
-	base := ts.URL + "/sessions/" + s.ID
+	base := ts.URL + "/v1/sessions/" + s.ID
 	doJSON(t, "POST", base+"/label", map[string]any{"index": 0, "label": "+"}, http.StatusOK, nil)
 
 	// Under the session's inference parsing "01" and "1" are both

@@ -81,13 +81,13 @@ func TestDifferentialConvergence(t *testing.T) {
 			}
 			ts := newTestServer(t)
 			var s summary
-			doJSON(t, "POST", ts.URL+"/sessions",
+			doJSON(t, "POST", ts.URL+"/v1/sessions",
 				map[string]any{"csv": csv.String(), "strategy": tc.strategy, "seed": 1},
 				http.StatusCreated, &s)
 			questions := 0
 			for {
 				var n next
-				doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
+				doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
 				if n.Done {
 					break
 				}
@@ -102,7 +102,7 @@ func TestDifferentialConvergence(t *testing.T) {
 					label = "+"
 				}
 				var lr labelResp
-				doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+				doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 					map[string]any{"index": n.Tuple.Index, "label": label},
 					http.StatusOK, &lr)
 			}
@@ -110,7 +110,7 @@ func TestDifferentialConvergence(t *testing.T) {
 				Done      bool   `json:"done"`
 				Predicate string `json:"predicate"`
 			}
-			doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+			doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
 			if !res.Done {
 				t.Error("HTTP session did not converge")
 			}
@@ -122,4 +122,182 @@ func TestDifferentialConvergence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestDifferentialFullProtocol is the streaming protocol differential
+// the /v1 redesign is held to: for every shipped strategy, a /v1
+// HTTP session and an in-process core.Session configured identically
+// must agree tuple-for-tuple through the whole dialogue — create,
+// next, label, periodic skips, topk rankings, and streamed-in arrival
+// batches — and infer the same predicate. The HTTP layer must be pure
+// plumbing over the session: any divergence is a transport bug.
+func TestDifferentialFullProtocol(t *testing.T) {
+	for _, name := range strategy.Names() {
+		t.Run(name, func(t *testing.T) {
+			var (
+				initial *relation.Relation
+				batches [][]relation.Tuple
+				goal    partition.P
+			)
+			if name == "optimal" {
+				// Exponential strategy: tiny fixed instance, no streaming.
+				initial, goal = workload.Travel(), workload.TravelQ2()
+			} else {
+				stream, err := workload.NewStream("synthetic", workload.StreamConfig{Batches: 3, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				initial, batches, goal = stream.Initial, stream.Batches, stream.Goal
+			}
+
+			// Reference: a core.Session over a copy of the initial
+			// instance (the state takes ownership and grows it).
+			refRel := relation.New(initial.Schema())
+			initial.Each(func(i int, tu relation.Tuple) { refRel.MustAppend(tu) })
+			refSt, err := core.NewState(refRel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			picker, err := strategy.ByName(name, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := core.NewSession(refSt, picker)
+			ref.RedeferLimit = -1
+
+			// The same session over /v1.
+			var csv bytes.Buffer
+			if err := relation.WriteCSV(&csv, initial); err != nil {
+				t.Fatal(err)
+			}
+			ts := newTestServer(t)
+			var s summary
+			doJSON(t, "POST", ts.URL+"/v1/sessions",
+				map[string]any{"csv": csv.String(), "strategy": name, "seed": 7},
+				http.StatusCreated, &s)
+			base := ts.URL + "/v1/sessions/" + s.ID
+
+			label := func(i int) string {
+				if core.Selects(goal, refSt.Relation().Tuple(i)) {
+					return "+"
+				}
+				return "-"
+			}
+			nextBatch := 0
+			questions := 0
+			for step := 0; ; step++ {
+				if step > 4*refSt.Relation().Len() {
+					t.Fatal("protocol did not converge")
+				}
+				// Drip arrival batches into both sides.
+				if nextBatch < len(batches) && step%4 == 3 {
+					batch := batches[nextBatch]
+					rows := make([][]string, len(batch))
+					for bi, tu := range batch {
+						row := make([]string, len(tu))
+						for c, v := range tu {
+							row[c] = relation.EncodeCell(v)
+						}
+						rows[bi] = row
+					}
+					var ar appendResp
+					doJSON(t, "POST", base+"/tuples", map[string]any{"rows": rows}, http.StatusOK, &ar)
+					refNewly, err := ref.Append(batch)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(refNewly) != len(ar.NewlyImplied) {
+						t.Fatalf("step %d: append implied %d over HTTP, %d in-process",
+							step, len(ar.NewlyImplied), len(refNewly))
+					}
+					nextBatch++
+					continue
+				}
+				// Compare a topk ranking every few steps (KPickers only).
+				if step%5 == 4 {
+					if _, isKP := picker.(core.KPicker); isKP && !ref.Done() {
+						var out struct {
+							Tuples []struct {
+								Index int `json:"index"`
+							} `json:"tuples"`
+						}
+						doJSON(t, "GET", base+"/topk?k=3", nil, http.StatusOK, &out)
+						refTop, err := ref.TopK(3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(out.Tuples) != len(refTop) {
+							t.Fatalf("step %d: topk %d over HTTP, %d in-process", step, len(out.Tuples), len(refTop))
+						}
+						for k := range refTop {
+							if out.Tuples[k].Index != refTop[k] {
+								t.Fatalf("step %d: topk[%d] = %d over HTTP, %d in-process",
+									step, k, out.Tuples[k].Index, refTop[k])
+							}
+						}
+					}
+					continue
+				}
+				var n next
+				doJSON(t, "GET", base+"/next", nil, http.StatusOK, &n)
+				refIdx, refOK := ref.Propose()
+				if n.Done != !refOK {
+					t.Fatalf("step %d: done=%v over HTTP, propose ok=%v in-process", step, n.Done, refOK)
+				}
+				if n.Done {
+					if nextBatch < len(batches) {
+						continue // converged early; arrivals still pending
+					}
+					break
+				}
+				if n.Tuple.Index != refIdx {
+					t.Fatalf("step %d: HTTP proposed tuple %d, session proposed %d", step, n.Tuple.Index, refIdx)
+				}
+				// Skip every 7th question on both sides; label otherwise.
+				if questions%7 == 6 {
+					var lr labelResp
+					doJSON(t, "POST", base+"/label",
+						map[string]any{"index": n.Tuple.Index, "label": "skip"}, http.StatusOK, &lr)
+					if err := ref.Skip(refIdx); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					var lr labelResp
+					doJSON(t, "POST", base+"/label",
+						map[string]any{"index": n.Tuple.Index, "label": label(n.Tuple.Index)},
+						http.StatusOK, &lr)
+					out, err := ref.Answer(refIdx, parseLabel(label(refIdx)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(lr.NewlyImplied) != len(out.NewlyImplied) {
+						t.Fatalf("step %d: label implied %d over HTTP, %d in-process",
+							step, len(lr.NewlyImplied), len(out.NewlyImplied))
+					}
+				}
+				questions++
+			}
+			if !ref.Done() {
+				t.Fatal("reference session did not converge with the HTTP session")
+			}
+			var res struct {
+				Done      bool   `json:"done"`
+				Predicate string `json:"predicate"`
+			}
+			doJSON(t, "GET", base+"/result", nil, http.StatusOK, &res)
+			if !res.Done {
+				t.Error("HTTP session not done")
+			}
+			if res.Predicate != ref.Result().String() {
+				t.Errorf("M_P over HTTP = %s, in-process = %s", res.Predicate, ref.Result().String())
+			}
+		})
+	}
+}
+
+func parseLabel(s string) core.Label {
+	if s == "+" {
+		return core.Positive
+	}
+	return core.Negative
 }

@@ -29,7 +29,7 @@ func lifecycleServer(cfg server.Config) (*server.Server, *httptest.Server, *fake
 func postSession(t *testing.T, url string) (string, int) {
 	t.Helper()
 	data, _ := json.Marshal(map[string]any{"csv": travelCSV})
-	resp, err := http.Post(url+"/sessions", "application/json", bytes.NewReader(data))
+	resp, err := http.Post(url+"/v1/sessions", "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func postSession(t *testing.T, url string) (string, int) {
 
 func sessionStatus(t *testing.T, url, id string) int {
 	t.Helper()
-	resp, err := http.Get(url + "/sessions/" + id)
+	resp, err := http.Get(url + "/v1/sessions/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestSessionCap(t *testing.T) {
 				t.Errorf("ok=%d rejected=%d, want ok=%d rejected=%d", ok, rejected, tc.wantOK, tc.wantReject)
 			}
 			if tc.deleteOne {
-				req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/"+ids[0], nil)
+				req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/"+ids[0], nil)
 				resp, err := http.DefaultClient.Do(req)
 				if err != nil {
 					t.Fatal(err)
@@ -240,14 +240,18 @@ func TestJanitorEvicts(t *testing.T) {
 	defer stop()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		var list []summary
-		resp, err := http.Get(ts.URL + "/sessions")
+		var list struct {
+			Total int `json:"total"`
+		}
+		resp, err := http.Get(ts.URL + "/v1/sessions")
 		if err != nil {
 			t.Fatal(err)
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&list)
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
 		resp.Body.Close()
-		if len(list) == 0 {
+		if list.Total == 0 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

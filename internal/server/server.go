@@ -2,32 +2,55 @@
 // CSV instance, the client fetches the next proposed tuple, posts
 // yes/no/skip answers, and reads the inferred predicate — the
 // demonstration's web tool as a JSON API, hardened for concurrent
-// service. Sessions live in a sharded in-memory table; each session
-// carries its own RWMutex so read endpoints (/next, /topk, /result,
-// summaries) run concurrently and a slow request on one session never
-// blocks another. Lifecycle is managed: idle sessions are evicted
-// after a configurable TTL, a session cap rejects overload with 429,
-// and GET /stats reports session counts, label throughput, and
-// per-endpoint latency. The export/import endpoints round-trip the
-// session-file format of package session for persistence.
+// service.
+//
+// The wire contract is versioned: every endpoint lives under /v1/ and
+// failures are a structured envelope {"error":{"code","message"}}
+// whose codes come from the public jim error taxonomy (jim.ErrorCode).
+// The original unversioned routes remain as aliases of the /v1
+// handlers; they answer identically but carry a Deprecation header and
+// a Link to their successor. See API.md for the endpoint reference.
+//
+// All inference behavior — proposal routing around skipped classes,
+// conflict handling, arrival parsing under the creation-time typing —
+// lives in jim.Session; this package is only routing, locks, and JSON
+// codecs over it. Sessions live in a sharded in-memory table; each
+// session carries its own RWMutex so read endpoints (/next, /topk,
+// /result, summaries) run concurrently and a slow request on one
+// session never blocks another. Lifecycle is managed: idle sessions
+// are evicted after a configurable TTL, a session cap rejects overload
+// with 429, and GET /v1/stats reports session counts, label
+// throughput, and per-endpoint latency.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	jim "repro"
 	"repro/internal/relation"
 	"repro/internal/session"
 	"repro/internal/sqlgen"
 	"repro/internal/strategy"
+)
+
+// APIVersion is the version segment of the current wire contract.
+const APIVersion = "v1"
+
+// DefaultListLimit is the page size GET /v1/sessions serves when the
+// request names none; MaxListLimit caps what a client may ask for.
+const (
+	DefaultListLimit = 50
+	MaxListLimit     = 500
 )
 
 // Config tunes the service. The zero value means no cap, no eviction,
@@ -59,28 +82,21 @@ type Server struct {
 	now func() time.Time
 }
 
-// liveSession is one inference session. mu guards the mutable
-// inference state: Apply goes through the write lock; pure reads
-// (summaries, result, export) share the read lock. The picker and the
-// deferred set are mutable even on read paths (stateful strategies
-// memoize per state version, skips defer classes), so they get their
-// own innermost mutex, letting /next and /topk still run under the
-// read lock concurrently with /result. Lock order: mu before pickMu.
+// liveSession is one inference session: a jim.Session plus the locks
+// and lifecycle bookkeeping the service needs. mu guards the mutable
+// inference state: answers and appends go through the write lock; pure
+// reads (summaries, result, export) share the read lock. Proposal
+// paths (Propose/TopK) mutate strategy caches and the skip set even on
+// read paths, so they get their own innermost mutex, letting /next and
+// /topk still run under the read lock concurrently with /result. Lock
+// order: mu before pickMu.
 type liveSession struct {
-	mu           sync.RWMutex
-	st           *core.State
-	strategyName string
-	createdAt    time.Time
-	// typing preserves the creation-time per-column parsing rules so
-	// appended tuples parse identically whatever header their body
-	// carries; always non-nil (all-inference when the session had no
-	// typed CSV header).
-	typing     *relation.Typing
+	mu         sync.RWMutex
+	sess       *jim.Session
+	createdAt  time.Time
 	lastAccess atomic.Int64 // unix nanos; maintained by touch
 
-	pickMu   sync.Mutex
-	picker   core.KPicker
-	deferred map[int]bool // group head index -> deferred (skip answers)
+	pickMu sync.Mutex
 }
 
 // New returns an empty server with demo defaults (no cap, no TTL).
@@ -100,35 +116,56 @@ func NewWith(cfg Config) *Server {
 	}
 }
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API. Versioned routes:
 //
-//	POST   /sessions              create from {"csv": ..., "strategy": ...}
-//	GET    /sessions              list session summaries
-//	POST   /sessions/import       create from an exported session file
-//	GET    /sessions/{id}         session summary
-//	DELETE /sessions/{id}         drop the session
-//	GET    /sessions/{id}/next    next proposed tuple (or done)
-//	GET    /sessions/{id}/topk    k most informative tuples (?k=3)
-//	POST   /sessions/{id}/label   {"index": i, "label": "+"|"-"|"skip"}
-//	POST   /sessions/{id}/tuples  stream new tuples into the instance
-//	GET    /sessions/{id}/result  inferred predicate, SQL, certainty
-//	GET    /sessions/{id}/export  persistable session file
-//	GET    /stats                 service counters and latency quantiles
+//	POST   /v1/sessions              create from {"csv": ..., "strategy": ...}
+//	GET    /v1/sessions              list session summaries (?limit=, ?offset=)
+//	POST   /v1/sessions/import       create from an exported session file
+//	GET    /v1/strategies            available strategies and the default
+//	GET    /v1/sessions/{id}         session summary
+//	DELETE /v1/sessions/{id}         drop the session
+//	GET    /v1/sessions/{id}/next    next proposed tuple (or done)
+//	GET    /v1/sessions/{id}/topk    k most informative tuples (?k=3)
+//	POST   /v1/sessions/{id}/label   {"index": i, "label": "+"|"-"|"skip"}
+//	POST   /v1/sessions/{id}/tuples  stream new tuples into the instance
+//	GET    /v1/sessions/{id}/result  inferred predicate, SQL, certainty
+//	GET    /v1/sessions/{id}/export  persistable session file
+//	GET    /v1/stats                 service counters and latency quantiles
+//
+// Every pre-versioning route (the same paths without the /v1 prefix)
+// still answers, delegating to the same handler, with a
+// "Deprecation: true" header and a Link to the /v1 successor.
+// GET /v1/strategies is new in v1 and has no legacy alias.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.handleCreate)
-	mux.HandleFunc("GET /sessions", s.handleList)
-	mux.HandleFunc("POST /sessions/import", s.handleImport)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /sessions/{id}", s.readSession(s.handleSummary))
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /sessions/{id}/next", s.readSession(s.handleNext))
-	mux.HandleFunc("GET /sessions/{id}/topk", s.readSession(s.handleTopK))
-	mux.HandleFunc("POST /sessions/{id}/label", s.writeSession(s.handleLabel))
-	mux.HandleFunc("POST /sessions/{id}/tuples", s.writeSession(s.handleAppend))
-	mux.HandleFunc("GET /sessions/{id}/result", s.readSession(s.handleResult))
-	mux.HandleFunc("GET /sessions/{id}/export", s.readSession(s.handleExport))
+	alias := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /"+APIVersion+path, h)
+		mux.HandleFunc(method+" "+path, deprecated(h))
+	}
+	alias("POST", "/sessions", s.handleCreate)
+	alias("GET", "/sessions", s.handleList)
+	alias("POST", "/sessions/import", s.handleImport)
+	alias("GET", "/stats", s.handleStats)
+	alias("GET", "/sessions/{id}", s.readSession(s.handleSummary))
+	alias("DELETE", "/sessions/{id}", s.handleDelete)
+	alias("GET", "/sessions/{id}/next", s.readSession(s.handleNext))
+	alias("GET", "/sessions/{id}/topk", s.readSession(s.handleTopK))
+	alias("POST", "/sessions/{id}/label", s.writeSession(s.handleLabel))
+	alias("POST", "/sessions/{id}/tuples", s.writeSession(s.handleAppend))
+	alias("GET", "/sessions/{id}/result", s.readSession(s.handleResult))
+	alias("GET", "/sessions/{id}/export", s.readSession(s.handleExport))
+	mux.HandleFunc("GET /"+APIVersion+"/strategies", s.handleStrategies)
 	return s.instrument(mux)
+}
+
+// deprecated marks a legacy unversioned route: same behavior, plus the
+// Deprecation header (RFC 8594 style) and a pointer to the successor.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</%s%s>; rel=\"successor-version\"", APIVersion, r.URL.Path))
+		h(w, r)
+	}
 }
 
 // limitBody applies Config.MaxBodyBytes to an ingestion request. The
@@ -140,17 +177,17 @@ func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// bodyError writes the right status for a request-body read failure:
-// 413 when the body cap was exceeded, 400 with the error otherwise.
-// It is the single classification site for body-limit handling.
+// bodyError writes the right envelope for a request-body read failure:
+// body_too_large (413) when the cap was exceeded, bad_input (400) with
+// the error otherwise. It is the single classification site for
+// body-limit handling.
 func bodyError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			"request body exceeds %d bytes", tooLarge.Limit)
+		writeError(w, jim.CodeBodyTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
 		return
 	}
-	httpError(w, http.StatusBadRequest, "%v", err)
+	writeError(w, jim.CodeBadInput, "%v", err)
 }
 
 type createRequest struct {
@@ -183,31 +220,27 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Strategy == "" {
-		req.Strategy = "lookahead-maxmin"
+		req.Strategy = jim.DefaultStrategy
 	}
-	picker, err := strategy.ByName(req.Strategy, req.Seed)
+	rel, typing, err := readCSVStringTyped(req.CSV)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	rel, typing, err := readCSVStringTyped(req.CSV, nil)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	st, err := core.NewState(rel)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, jim.CodeBadInput, "%v", err)
 		return
 	}
 	// The creation typing is always retained — an all-inference typing
 	// included — so arrival parsing never honors an append body's own
 	// header annotations; the same cells must parse the same way
 	// whatever encoding or header they arrive with.
-	s.create(w, &liveSession{
-		st: st, picker: picker, strategyName: req.Strategy, typing: typing,
-		createdAt: s.now(), deferred: map[int]bool{},
-	})
+	sess, err := jim.NewSession(rel,
+		jim.WithStrategy(req.Strategy),
+		jim.WithSeed(req.Seed),
+		jim.WithTyping(typing),
+		jim.WithRedeferLimit(-1))
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	s.create(w, &liveSession{sess: sess, createdAt: s.now()})
 }
 
 // handleImport restores a session from an exported file. Session
@@ -224,18 +257,16 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	}
 	name := meta.Strategy
 	if name == "" {
-		name = "lookahead-maxmin"
+		name = jim.DefaultStrategy
 	}
-	picker, err := strategy.ByName(name, 0)
+	sess, err := jim.ResumeSession(st,
+		jim.WithStrategy(name),
+		jim.WithRedeferLimit(-1))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeTypedError(w, err)
 		return
 	}
-	s.create(w, &liveSession{
-		st: st, picker: picker, strategyName: name,
-		typing:    relation.InferenceTyping(st.Relation().Schema().Len()),
-		createdAt: s.now(), deferred: map[int]bool{},
-	})
+	s.create(w, &liveSession{sess: sess, createdAt: s.now()})
 }
 
 // create registers a fresh session, enforcing the cap. When at the
@@ -246,40 +277,119 @@ func (s *Server) create(w http.ResponseWriter, ls *liveSession) {
 	id := fmt.Sprintf("s%04d", s.nextID.Add(1))
 	// Snapshot the summary before put publishes the session: ids are
 	// predictable, so a concurrent writer could mutate it immediately.
-	summary := s.summary(id, ls)
+	summary := summarize(id, ls)
 	err := s.store.put(id, ls, s.cfg.MaxSessions)
 	if errors.Is(err, errSessionCap) && s.Sweep() > 0 {
 		err = s.store.put(id, ls, s.cfg.MaxSessions)
 	}
 	if err != nil {
 		s.store.rejected.Add(1)
-		httpError(w, http.StatusTooManyRequests,
+		writeError(w, jim.CodeTooManySessions,
 			"%v (%d active, max %d)", err, s.store.active.Load(), s.cfg.MaxSessions)
 		return
 	}
 	writeJSON(w, http.StatusCreated, summary)
 }
 
+// listResponse is one page of session summaries, ordered by id.
+type listResponse struct {
+	Sessions []sessionSummary `json:"sessions"`
+	Total    int              `json:"total"`
+	Limit    int              `json:"limit"`
+	Offset   int              `json:"offset"`
+}
+
+// handleList serves a stable page of session summaries: sessions are
+// ordered by id, so pages do not shuffle between requests, and the
+// page size is capped so a table of a million sessions cannot be
+// serialized in one response.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	out := []sessionSummary{}
-	s.store.forEach(func(id string, ls *liveSession) {
-		ls.mu.RLock()
-		out = append(out, s.summary(id, ls))
-		ls.mu.RUnlock()
-	})
-	// Stable order for clients.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	limit, err := queryInt(r, "limit", DefaultListLimit, 1, MaxListLimit)
+	if err != nil {
+		writeError(w, jim.CodeBadInput, "%v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	offset, err := queryInt(r, "offset", 0, 0, int(^uint(0)>>1))
+	if err != nil {
+		writeError(w, jim.CodeBadInput, "%v", err)
+		return
+	}
+	type entry struct {
+		id string
+		ls *liveSession
+	}
+	var all []entry
+	s.store.forEach(func(id string, ls *liveSession) {
+		all = append(all, entry{id, ls})
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	resp := listResponse{
+		Sessions: []sessionSummary{},
+		Total:    len(all),
+		Limit:    limit,
+		Offset:   offset,
+	}
+	for i := offset; i < len(all) && i < offset+limit; i++ {
+		e := all[i]
+		e.ls.mu.RLock()
+		resp.Sessions = append(resp.Sessions, summarize(e.id, e.ls))
+		e.ls.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInt parses an optional integer query parameter with bounds.
+// Values above max clamp for limit-style knobs; below min is an error.
+func queryInt(r *http.Request, name string, def, min, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	if v < min {
+		return 0, fmt.Errorf("%s must be >= %d, got %d", name, min, v)
+	}
+	if v > max {
+		v = max
+	}
+	return v, nil
+}
+
+// strategyInfo describes one entry of GET /v1/strategies.
+type strategyInfo struct {
+	Name string `json:"name"`
+	// Heuristic marks the polynomial-time strategies; the one
+	// non-heuristic entry (optimal) is exponential and only usable on
+	// tiny instances.
+	Heuristic bool `json:"heuristic"`
+}
+
+type strategiesResponse struct {
+	Strategies []strategyInfo `json:"strategies"`
+	Default    string         `json:"default"`
+}
+
+// handleStrategies serves the strategy discovery endpoint, so clients
+// can populate pickers without hardcoding the registry.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	heuristic := make(map[string]bool)
+	for _, n := range strategy.HeuristicNames() {
+		heuristic[n] = true
+	}
+	resp := strategiesResponse{Default: jim.DefaultStrategy}
+	for _, n := range strategy.Names() {
+		resp.Strategies = append(resp.Strategies, strategyInfo{Name: n, Heuristic: heuristic[n]})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.store.delete(id) {
-		httpError(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, jim.CodeNotFound, "no session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -304,7 +414,7 @@ func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 		id := r.PathValue("id")
 		ls, ok := s.store.get(id)
 		if !ok {
-			httpError(w, http.StatusNotFound, "no session %q", id)
+			writeError(w, jim.CodeNotFound, "no session %q", id)
 			return
 		}
 		ls.touch(s.now())
@@ -319,26 +429,27 @@ func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 	}
 }
 
-// summary builds a summary. Caller holds ls.mu (either mode).
-func (s *Server) summary(id string, ls *liveSession) sessionSummary {
-	p := ls.st.Progress()
+// summarize builds a summary. Caller holds ls.mu (either mode).
+func summarize(id string, ls *liveSession) sessionSummary {
+	st := ls.sess.State()
+	p := st.Progress()
 	return sessionSummary{
 		ID:             id,
-		Strategy:       ls.strategyName,
+		Strategy:       ls.sess.Strategy(),
 		CreatedAt:      ls.createdAt,
 		Tuples:         p.Total,
-		BaseTuples:     ls.st.BaseLen(),
-		AppendedTuples: ls.st.Appended(),
-		Attributes:     ls.st.Relation().Schema().Names(),
+		BaseTuples:     st.BaseLen(),
+		AppendedTuples: st.Appended(),
+		Attributes:     st.Relation().Schema().Names(),
 		Labels:         p.Explicit,
 		Implied:        p.Implied,
 		Informative:    p.Informative,
-		Done:           ls.st.Done(),
+		Done:           st.Done(),
 	}
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	writeJSON(w, http.StatusOK, s.summary(id, ls))
+	writeJSON(w, http.StatusOK, summarize(id, ls))
 }
 
 type tupleView struct {
@@ -347,7 +458,7 @@ type tupleView struct {
 }
 
 func viewTuple(ls *liveSession, i int) tupleView {
-	rel := ls.st.Relation()
+	rel := ls.sess.Relation()
 	vals := make(map[string]string, rel.Schema().Len())
 	for c, name := range rel.Schema().Names() {
 		vals[name] = rel.Tuple(i)[c].String()
@@ -361,36 +472,15 @@ type nextResponse struct {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	i, ok := ls.next()
+	ls.pickMu.Lock()
+	i, ok := ls.sess.Propose()
+	ls.pickMu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusOK, nextResponse{Done: ls.st.Done()})
+		writeJSON(w, http.StatusOK, nextResponse{Done: ls.sess.Done()})
 		return
 	}
 	tv := viewTuple(ls, i)
 	writeJSON(w, http.StatusOK, nextResponse{Done: false, Tuple: &tv})
-}
-
-// next picks the next informative non-deferred tuple. Caller holds
-// ls.mu; picker and deferred access is serialized under pickMu.
-func (ls *liveSession) next() (int, bool) {
-	ls.pickMu.Lock()
-	defer ls.pickMu.Unlock()
-	i, ok := ls.picker.Pick(ls.st)
-	if !ok {
-		return 0, false
-	}
-	if !ls.deferred[ls.st.GroupOf(i).Indices[0]] {
-		return i, true
-	}
-	for _, j := range ls.picker.PickK(ls.st, ls.st.InformativeGroupCount()) {
-		if !ls.deferred[ls.st.GroupOf(j).Indices[0]] {
-			return j, true
-		}
-	}
-	// Everything deferred: re-offer (the client explicitly skipped, so
-	// looping back is the only option left).
-	ls.deferred = map[int]bool{}
-	return i, true
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
@@ -398,19 +488,23 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, id string, l
 	if kq := r.URL.Query().Get("k"); kq != "" {
 		parsed, err := strconv.Atoi(kq)
 		if err != nil || parsed < 1 {
-			httpError(w, http.StatusBadRequest, "bad k %q", kq)
+			writeError(w, jim.CodeBadInput, "bad k %q", kq)
 			return
 		}
 		k = parsed
 	}
 	ls.pickMu.Lock()
-	indices := ls.picker.PickK(ls.st, k)
+	indices, err := ls.sess.TopK(k)
 	ls.pickMu.Unlock()
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
 	out := make([]tupleView, 0, len(indices))
 	for _, i := range indices {
 		out = append(out, viewTuple(ls, i))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tuples": out, "done": ls.st.Done()})
+	writeJSON(w, http.StatusOK, map[string]any{"tuples": out, "done": ls.sess.Done()})
 }
 
 type labelRequest struct {
@@ -425,55 +519,49 @@ type labelResponse struct {
 	Progress     string `json:"progress"`
 }
 
-func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	var req labelRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
-	}
-	if req.Index < 0 || req.Index >= ls.st.Relation().Len() {
-		httpError(w, http.StatusBadRequest, "index %d out of range", req.Index)
-		return
-	}
-	var l core.Label
-	switch req.Label {
-	case "+", "yes", "y":
-		l = core.Positive
-	case "-", "no", "n":
-		l = core.Negative
-	case "skip", "s", "?":
-		ls.pickMu.Lock()
-		ls.deferred[ls.st.GroupOf(req.Index).Indices[0]] = true
-		ls.pickMu.Unlock()
-		writeJSON(w, http.StatusOK, labelResponse{
-			Informative: ls.st.InformativeCount(),
-			Done:        ls.st.Done(),
-			Progress:    ls.st.Progress().String(),
-		})
-		return
-	default:
-		httpError(w, http.StatusBadRequest, "unknown label %q (want +, -, or skip)", req.Label)
-		return
-	}
-	newly, err := ls.st.Apply(req.Index, l)
-	if err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
-		return
-	}
-	s.metrics.labels.Add(1)
-	// A new label may unblock deferred classes.
-	ls.pickMu.Lock()
-	ls.deferred = map[int]bool{}
-	ls.pickMu.Unlock()
+func (ls *liveSession) labelResponse(newly []int) labelResponse {
 	if newly == nil {
 		newly = []int{}
 	}
-	writeJSON(w, http.StatusOK, labelResponse{
+	p := ls.sess.Progress()
+	return labelResponse{
 		NewlyImplied: newly,
-		Informative:  ls.st.InformativeCount(),
-		Done:         ls.st.Done(),
-		Progress:     ls.st.Progress().String(),
-	})
+		Informative:  p.Informative,
+		Done:         ls.sess.Done(),
+		Progress:     p.String(),
+	}
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	var req labelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, jim.CodeBadInput, "decoding request: %v", err)
+		return
+	}
+	var l jim.Label
+	switch req.Label {
+	case "+", "yes", "y":
+		l = jim.Positive
+	case "-", "no", "n":
+		l = jim.Negative
+	case "skip", "s", "?":
+		if err := ls.sess.Skip(req.Index); err != nil {
+			writeTypedError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ls.labelResponse(nil))
+		return
+	default:
+		writeError(w, jim.CodeBadInput, "unknown label %q (want +, -, or skip)", req.Label)
+		return
+	}
+	out, err := ls.sess.Answer(req.Index, l)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	s.metrics.labels.Add(1)
+	writeJSON(w, http.StatusOK, ls.labelResponse(out.NewlyImplied))
 }
 
 // appendRequest carries arrival tuples in one of two encodings:
@@ -505,92 +593,51 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, id string,
 		bodyError(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	tuples, status, err := decodeArrivals(&req, ls.st.Relation().Schema(), ls.typing)
+	var (
+		tuples []jim.Tuple
+		err    error
+	)
+	switch {
+	case req.CSV != "" && req.Rows != nil:
+		writeError(w, jim.CodeBadInput, "pass csv or rows, not both")
+		return
+	case req.CSV != "":
+		tuples, err = ls.sess.ParseCSV(req.CSV)
+	case len(req.Rows) > 0:
+		tuples, err = ls.sess.ParseRows(req.Rows)
+	default:
+		writeError(w, jim.CodeBadInput, "empty append: pass csv or rows")
+		return
+	}
 	if err != nil {
-		httpError(w, status, "%v", err)
+		writeTypedError(w, err)
 		return
 	}
 	if len(tuples) == 0 {
 		// A header-only CSV carries no arrivals: same contract as an
-		// empty rows list, and no metric or deferred-state side effects.
-		httpError(w, http.StatusBadRequest, "server: empty append: no tuples in body")
+		// empty rows list, and no metric or skip-state side effects.
+		writeError(w, jim.CodeBadInput, "empty append: no tuples in body")
 		return
 	}
-	newly, err := ls.st.Append(tuples)
+	newly, err := ls.sess.Append(tuples)
 	if err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+		writeTypedError(w, err)
 		return
 	}
 	s.metrics.appends.Add(1)
 	s.metrics.tuplesAppended.Add(int64(len(tuples)))
-	// Arrivals may make deferred classes worth re-asking about.
-	ls.pickMu.Lock()
-	ls.deferred = map[int]bool{}
-	ls.pickMu.Unlock()
 	if newly == nil {
 		newly = []int{}
 	}
+	p := ls.sess.Progress()
 	writeJSON(w, http.StatusOK, appendResponse{
 		Appended:     len(tuples),
-		Tuples:       ls.st.Relation().Len(),
+		Tuples:       p.Total,
 		NewlyImplied: newly,
-		Informative:  ls.st.InformativeCount(),
-		Done:         ls.st.Done(),
-		Progress:     ls.st.Progress().String(),
+		Informative:  p.Informative,
+		Done:         ls.sess.Done(),
+		Progress:     p.String(),
 	})
-}
-
-// decodeArrivals converts an append request into tuples, validating
-// the encoding (400) and the schema (409) without touching the state.
-// Cells parse under the session's creation-time typing, so a column
-// declared "price:float" at create keeps its parsing rules for
-// arrivals — otherwise a cell like "01" would flip kind (and thus Eq
-// signature) between creation and append.
-func decodeArrivals(req *appendRequest, schema *relation.Schema, typing *relation.Typing) ([]relation.Tuple, int, error) {
-	switch {
-	case req.CSV != "" && req.Rows != nil:
-		return nil, http.StatusBadRequest, fmt.Errorf("server: pass csv or rows, not both")
-	case req.CSV != "":
-		arrivals, _, err := readCSVStringTyped(req.CSV, typing)
-		if errors.Is(err, relation.ErrTypingMismatch) {
-			// Column-count drift from the session schema: same contract
-			// as any other schema mismatch.
-			return nil, http.StatusConflict, err
-		}
-		if err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-		if !arrivals.Schema().Equal(schema) {
-			return nil, http.StatusConflict, fmt.Errorf(
-				"server: arrival schema %v does not match session schema %v", arrivals.Schema(), schema)
-		}
-		tuples := make([]relation.Tuple, 0, arrivals.Len())
-		for i := 0; i < arrivals.Len(); i++ {
-			tuples = append(tuples, arrivals.Tuple(i))
-		}
-		return tuples, 0, nil
-	case len(req.Rows) > 0:
-		tuples := make([]relation.Tuple, 0, len(req.Rows))
-		for ri, row := range req.Rows {
-			if len(row) != schema.Len() {
-				return nil, http.StatusConflict, fmt.Errorf(
-					"server: arrival row %d has %d cells, session schema %v has %d",
-					ri, len(row), schema, schema.Len())
-			}
-			t := make(relation.Tuple, len(row))
-			for ci, cell := range row {
-				v, err := typing.ParseCell(ci, cell)
-				if err != nil {
-					return nil, http.StatusBadRequest, fmt.Errorf(
-						"server: arrival row %d column %q: %w", ri, schema.Name(ci), err)
-				}
-				t[ci] = v
-			}
-			tuples = append(tuples, t)
-		}
-		return tuples, 0, nil
-	}
-	return nil, http.StatusBadRequest, fmt.Errorf("server: empty append: pass csv or rows")
 }
 
 type resultResponse struct {
@@ -604,49 +651,84 @@ type resultResponse struct {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	names := ls.st.Relation().Schema().Names()
-	q := ls.st.Result()
-	sql, err := sqlgen.SelectSQL("instance", ls.st.Relation().Schema(), q)
+	st := ls.sess.State()
+	names := st.Relation().Schema().Names()
+	q := ls.sess.Result()
+	sql, err := sqlgen.SelectSQL("instance", st.Relation().Schema(), q)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, jim.CodeInternal, "%v", err)
 		return
 	}
 	resp := resultResponse{
-		Done:      ls.st.Done(),
+		Done:      ls.sess.Done(),
 		Predicate: q.String(),
 		Atoms:     q.FormatAtoms(names),
 		SQL:       sql,
 	}
 	// Certainty panel for demo-scale instances only.
-	if vs, err := ls.st.VersionSpace(100_000); err == nil {
-		resp.Certain = core.FormatPairs(vs.CertainPairs(), names)
-		resp.Undecided = core.FormatPairs(vs.UndecidedPairs(), names)
-		resp.Consistent = ls.st.CountConsistent()
+	if vs, err := st.VersionSpace(100_000); err == nil {
+		resp.Certain = jim.FormatPairs(vs.CertainPairs(), names)
+		resp.Undecided = jim.FormatPairs(vs.UndecidedPairs(), names)
+		resp.Consistent = st.CountConsistent()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleExport buffers the session file before writing, so a Save
+// failure still yields a clean error envelope instead of a committed
+// 200 with a truncated body (session files are demo-scale; buffering
+// one is cheap next to streaming invalid JSON).
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	w.Header().Set("Content-Type", "application/json")
-	meta := session.Meta{Strategy: ls.strategyName, CreatedAt: ls.createdAt}
-	if err := session.Save(w, ls.st, meta); err != nil {
-		// Headers already sent; best effort.
-		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	meta := session.Meta{Strategy: ls.sess.Strategy(), CreatedAt: ls.createdAt}
+	var buf bytes.Buffer
+	if err := session.Save(&buf, ls.sess.State(), meta); err != nil {
+		writeError(w, jim.CodeInternal, "%v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = buf.WriteTo(w)
 }
 
-// readCSVStringTyped parses a CSV payload, forcing the given typing
-// when non-nil (append paths) and returning the header's own typing
-// otherwise (create path).
-func readCSVStringTyped(csv string, typing *relation.Typing) (*relation.Relation, *relation.Typing, error) {
+// readCSVStringTyped parses the create-time CSV payload, returning the
+// header's typing for the session to pin.
+func readCSVStringTyped(csv string) (*relation.Relation, *relation.Typing, error) {
 	if strings.TrimSpace(csv) == "" {
 		return nil, nil, fmt.Errorf("server: empty csv")
 	}
-	return relation.ReadCSVTyped(strings.NewReader(csv), relation.CSVOptions{Typing: typing})
+	return relation.ReadCSVTyped(strings.NewReader(csv), relation.CSVOptions{})
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// wireError is the structured error envelope of the versioned API:
+// {"error":{"code":"...","message":"..."}}. Codes come from the public
+// jim taxonomy; the HTTP status is derived from the code, so the two
+// can never disagree.
+type wireError struct {
+	Code    jim.ErrorCode `json:"code"`
+	Message string        `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error wireError `json:"error"`
+}
+
+// writeError writes an envelope for a code with a formatted message.
+func writeError(w http.ResponseWriter, code jim.ErrorCode, format string, args ...any) {
+	writeJSON(w, code.HTTPStatus(), errorEnvelope{Error: wireError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeTypedError maps an error from the jim layer onto the envelope.
+// Errors outside the taxonomy become code "internal".
+func writeTypedError(w http.ResponseWriter, err error) {
+	if code := jim.CodeOf(err); code != "" {
+		var je *jim.Error
+		errors.As(err, &je)
+		writeJSON(w, code.HTTPStatus(), errorEnvelope{Error: wireError{Code: code, Message: je.Message}})
+		return
+	}
+	writeError(w, jim.CodeInternal, "%v", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -70,6 +70,37 @@ func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any)
 	}
 }
 
+// errBody is the structured error envelope of the /v1 contract.
+type errBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// wantError performs a request expected to fail and asserts the
+// envelope carries the given code (the status is derived from it).
+func wantError(t *testing.T, method, url string, body any, wantStatus int, wantCode string) errBody {
+	t.Helper()
+	var e errBody
+	doJSON(t, method, url, body, wantStatus, &e)
+	if e.Error.Code != wantCode {
+		t.Errorf("%s %s: error code %q, want %q (message %q)", method, url, e.Error.Code, wantCode, e.Error.Message)
+	}
+	if e.Error.Message == "" {
+		t.Errorf("%s %s: error envelope missing message", method, url)
+	}
+	return e
+}
+
+// listBody is one page of GET /v1/sessions.
+type listBody struct {
+	Sessions []summary `json:"sessions"`
+	Total    int       `json:"total"`
+	Limit    int       `json:"limit"`
+	Offset   int       `json:"offset"`
+}
+
 type summary struct {
 	ID          string   `json:"id"`
 	Strategy    string   `json:"strategy"`
@@ -108,7 +139,7 @@ type result struct {
 func createSession(t *testing.T, ts *httptest.Server, strategy string) summary {
 	t.Helper()
 	var s summary
-	doJSON(t, "POST", ts.URL+"/sessions",
+	doJSON(t, "POST", ts.URL+"/v1/sessions",
 		map[string]any{"csv": travelCSV, "strategy": strategy},
 		http.StatusCreated, &s)
 	return s
@@ -130,15 +161,12 @@ func TestCreateSession(t *testing.T) {
 
 func TestCreateErrors(t *testing.T) {
 	ts := newTestServer(t)
-	var e map[string]string
-	doJSON(t, "POST", ts.URL+"/sessions", map[string]any{"csv": ""}, http.StatusBadRequest, &e)
-	doJSON(t, "POST", ts.URL+"/sessions", map[string]any{"csv": travelCSV, "strategy": "bogus"},
-		http.StatusBadRequest, &e)
-	if e["error"] == "" {
-		t.Error("error body missing")
-	}
+	wantError(t, "POST", ts.URL+"/v1/sessions", map[string]any{"csv": ""},
+		http.StatusBadRequest, "bad_input")
+	wantError(t, "POST", ts.URL+"/v1/sessions", map[string]any{"csv": travelCSV, "strategy": "bogus"},
+		http.StatusBadRequest, "unknown_strategy")
 	// Malformed JSON body.
-	resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader("{"))
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +178,9 @@ func TestCreateErrors(t *testing.T) {
 
 func TestUnknownSession(t *testing.T) {
 	ts := newTestServer(t)
-	var e map[string]string
-	doJSON(t, "GET", ts.URL+"/sessions/zzz", nil, http.StatusNotFound, &e)
-	doJSON(t, "GET", ts.URL+"/sessions/zzz/next", nil, http.StatusNotFound, &e)
-	req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/zzz", nil)
+	wantError(t, "GET", ts.URL+"/v1/sessions/zzz", nil, http.StatusNotFound, "not_found")
+	wantError(t, "GET", ts.URL+"/v1/sessions/zzz/next", nil, http.StatusNotFound, "not_found")
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/zzz", nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +202,7 @@ func TestDriveToConvergence(t *testing.T) {
 	questions := 0
 	for {
 		var n next
-		doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
+		doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
 		if n.Done {
 			break
 		}
@@ -191,12 +218,12 @@ func TestDriveToConvergence(t *testing.T) {
 			label = "+"
 		}
 		var lr labelResp
-		doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 			map[string]any{"index": n.Tuple.Index, "label": label},
 			http.StatusOK, &lr)
 	}
 	var res result
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
 	if !res.Done {
 		t.Error("result not done")
 	}
@@ -220,32 +247,34 @@ func TestDriveToConvergence(t *testing.T) {
 func TestLabelValidation(t *testing.T) {
 	ts := newTestServer(t)
 	s := createSession(t, ts, "")
-	var e map[string]string
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
-		map[string]any{"index": 99, "label": "+"}, http.StatusBadRequest, &e)
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
-		map[string]any{"index": 0, "label": "maybe"}, http.StatusBadRequest, &e)
+	wantError(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
+		map[string]any{"index": 99, "label": "+"}, http.StatusBadRequest, "out_of_range")
+	wantError(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
+		map[string]any{"index": 0, "label": "maybe"}, http.StatusBadRequest, "bad_input")
 	// Conflicting label: (12)+ implies (3)+; labeling (3)- conflicts.
 	var lr labelResp
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 		map[string]any{"index": 11, "label": "+"}, http.StatusOK, &lr)
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
-		map[string]any{"index": 2, "label": "-"}, http.StatusConflict, &e)
-	if !strings.Contains(e["error"], "inconsistent") {
-		t.Errorf("conflict error = %q", e["error"])
+	e := wantError(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
+		map[string]any{"index": 2, "label": "-"}, http.StatusConflict, "inconsistent_label")
+	if !strings.Contains(e.Error.Message, "inconsistent") {
+		t.Errorf("conflict message = %q", e.Error.Message)
 	}
+	// Relabeling an explicit label is its own failure mode: 422.
+	wantError(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
+		map[string]any{"index": 11, "label": "-"}, http.StatusUnprocessableEntity, "already_labeled")
 }
 
 func TestSkipDefersTuple(t *testing.T) {
 	ts := newTestServer(t)
 	s := createSession(t, ts, "lookahead-maxmin")
 	var n1 next
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n1)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/next", nil, http.StatusOK, &n1)
 	var lr labelResp
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 		map[string]any{"index": n1.Tuple.Index, "label": "skip"}, http.StatusOK, &lr)
 	var n2 next
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n2)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/next", nil, http.StatusOK, &n2)
 	if n2.Tuple == nil {
 		t.Fatal("no alternative proposed after skip")
 	}
@@ -262,7 +291,7 @@ func TestTopK(t *testing.T) {
 			Index int `json:"index"`
 		} `json:"tuples"`
 	}
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/topk?k=4", nil, http.StatusOK, &out)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/topk?k=4", nil, http.StatusOK, &out)
 	if len(out.Tuples) != 4 {
 		t.Errorf("topk returned %d", len(out.Tuples))
 	}
@@ -273,21 +302,20 @@ func TestTopK(t *testing.T) {
 		}
 		seen[tv.Index] = true
 	}
-	var e map[string]string
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/topk?k=0", nil, http.StatusBadRequest, &e)
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/topk?k=x", nil, http.StatusBadRequest, &e)
+	wantError(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/topk?k=0", nil, http.StatusBadRequest, "bad_input")
+	wantError(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/topk?k=x", nil, http.StatusBadRequest, "bad_input")
 }
 
 func TestListAndDelete(t *testing.T) {
 	ts := newTestServer(t)
 	a := createSession(t, ts, "")
 	b := createSession(t, ts, "random")
-	var list []summary
-	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
-	if len(list) != 2 || list[0].ID > list[1].ID {
+	var list listBody
+	doJSON(t, "GET", ts.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if list.Total != 2 || len(list.Sessions) != 2 || list.Sessions[0].ID > list.Sessions[1].ID {
 		t.Errorf("list = %+v", list)
 	}
-	req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/"+a.ID, nil)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/"+a.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -296,8 +324,8 @@ func TestListAndDelete(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Errorf("delete status = %d", resp.StatusCode)
 	}
-	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
-	if len(list) != 1 || list[0].ID != b.ID {
+	doJSON(t, "GET", ts.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if list.Total != 1 || len(list.Sessions) != 1 || list.Sessions[0].ID != b.ID {
 		t.Errorf("after delete list = %+v", list)
 	}
 }
@@ -306,10 +334,10 @@ func TestExportImportRoundTrip(t *testing.T) {
 	ts := newTestServer(t)
 	s := createSession(t, ts, "lookahead-maxmin")
 	var lr labelResp
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 		map[string]any{"index": 2, "label": "+"}, http.StatusOK, &lr)
 
-	resp, err := http.Get(ts.URL + "/sessions/" + s.ID + "/export")
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + s.ID + "/export")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +347,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err = http.Post(ts.URL+"/sessions/import", "application/json", bytes.NewReader(exported))
+	resp, err = http.Post(ts.URL+"/v1/sessions/import", "application/json", bytes.NewReader(exported))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +367,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 		t.Errorf("imported strategy = %q", imported.Strategy)
 	}
 	// Corrupt import rejected.
-	resp, err = http.Post(ts.URL+"/sessions/import", "application/json", strings.NewReader("junk"))
+	resp, err = http.Post(ts.URL+"/v1/sessions/import", "application/json", strings.NewReader("junk"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,10 +381,10 @@ func TestResultMidSession(t *testing.T) {
 	ts := newTestServer(t)
 	s := createSession(t, ts, "")
 	var lr labelResp
-	doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 		map[string]any{"index": 2, "label": "+"}, http.StatusOK, &lr)
 	var res result
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
 	if res.Done {
 		t.Error("one label should not converge")
 	}
@@ -391,12 +419,13 @@ func TestConcurrentRequestsOneSession(t *testing.T) {
 					label = "+"
 				}
 				data, _ := json.Marshal(map[string]any{"index": i, "label": label})
-				resp, err := http.Post(ts.URL+"/sessions/"+s.ID+"/label", "application/json", bytes.NewReader(data))
+				resp, err := http.Post(ts.URL+"/v1/sessions/"+s.ID+"/label", "application/json", bytes.NewReader(data))
 				if err != nil {
 					return err
 				}
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict &&
+					resp.StatusCode != http.StatusUnprocessableEntity {
 					return fmt.Errorf("tuple %d: status %d", i, resp.StatusCode)
 				}
 				return nil
@@ -409,7 +438,7 @@ func TestConcurrentRequestsOneSession(t *testing.T) {
 		}
 	}
 	var res result
-	doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
 	if !res.Done {
 		t.Error("session not converged after labeling every tuple")
 	}
@@ -427,7 +456,7 @@ func TestConcurrentSessions(t *testing.T) {
 			errs <- func() error {
 				var s summary
 				data, _ := json.Marshal(map[string]any{"csv": travelCSV})
-				resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(data))
+				resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(data))
 				if err != nil {
 					return err
 				}
@@ -441,7 +470,7 @@ func TestConcurrentSessions(t *testing.T) {
 				}
 				// Label tuple (3) in each session concurrently.
 				data, _ = json.Marshal(map[string]any{"index": 2, "label": "+"})
-				resp, err = http.Post(ts.URL+"/sessions/"+s.ID+"/label", "application/json", bytes.NewReader(data))
+				resp, err = http.Post(ts.URL+"/v1/sessions/"+s.ID+"/label", "application/json", bytes.NewReader(data))
 				if err != nil {
 					return err
 				}
@@ -458,9 +487,9 @@ func TestConcurrentSessions(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	var list []summary
-	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
-	if len(list) != n {
-		t.Errorf("sessions after concurrent creates = %d, want %d", len(list), n)
+	var list listBody
+	doJSON(t, "GET", ts.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if list.Total != n {
+		t.Errorf("sessions after concurrent creates = %d, want %d", list.Total, n)
 	}
 }

@@ -41,7 +41,7 @@ func TestStatsEndpoint(t *testing.T) {
 	labels := 0
 	for {
 		var n next
-		doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
+		doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/next", nil, http.StatusOK, &n)
 		if n.Done {
 			break
 		}
@@ -50,16 +50,15 @@ func TestStatsEndpoint(t *testing.T) {
 			label = "+"
 		}
 		var lr labelResp
-		doJSON(t, "POST", ts.URL+"/sessions/"+s.ID+"/label",
+		doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.ID+"/label",
 			map[string]any{"index": n.Tuple.Index, "label": label}, http.StatusOK, &lr)
 		labels++
 	}
 	// One bad request for the error counter.
-	var e map[string]string
-	doJSON(t, "GET", ts.URL+"/sessions/nope", nil, http.StatusNotFound, &e)
+	wantError(t, "GET", ts.URL+"/v1/sessions/nope", nil, http.StatusNotFound, "not_found")
 
 	var st statsView
-	doJSON(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &st)
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
 
 	if st.Sessions.Active != 2 || st.Sessions.Created != 2 {
 		t.Errorf("sessions = %+v", st.Sessions)
@@ -67,18 +66,18 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Labels.Total != int64(labels) {
 		t.Errorf("labels.total = %d, want %d", st.Labels.Total, labels)
 	}
-	label := st.Endpoints["POST /sessions/{id}/label"]
+	label := st.Endpoints["POST /v1/sessions/{id}/label"]
 	if label.Count != int64(labels) {
 		t.Errorf("label endpoint count = %d, want %d", label.Count, labels)
 	}
 	if label.P50MS <= 0 || label.P95MS < label.P50MS || label.P99MS < label.P95MS {
 		t.Errorf("label latency quantiles not monotone positive: %+v", label)
 	}
-	get := st.Endpoints["GET /sessions/{id}"]
+	get := st.Endpoints["GET /v1/sessions/{id}"]
 	if get.Errors != 1 {
 		t.Errorf("summary endpoint errors = %d, want 1 (the 404)", get.Errors)
 	}
-	if create := st.Endpoints["POST /sessions"]; create.Count != 2 {
+	if create := st.Endpoints["POST /v1/sessions"]; create.Count != 2 {
 		t.Errorf("create endpoint count = %d, want 2", create.Count)
 	}
 }

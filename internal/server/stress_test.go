@@ -34,13 +34,14 @@ func TestStressOverlappingSessions(t *testing.T) {
 	}
 
 	allowed := map[int]bool{
-		http.StatusOK:              true,
-		http.StatusCreated:         true,
-		http.StatusNoContent:       true,
-		http.StatusBadRequest:      true, // label index out of range after races
-		http.StatusNotFound:        true, // session deleted by a peer
-		http.StatusConflict:        true, // contradictory label
-		http.StatusTooManyRequests: true,
+		http.StatusOK:                  true,
+		http.StatusCreated:             true,
+		http.StatusNoContent:           true,
+		http.StatusBadRequest:          true, // label index out of range after races
+		http.StatusNotFound:            true, // session deleted by a peer
+		http.StatusConflict:            true, // contradictory label, or skip after done
+		http.StatusUnprocessableEntity: true, // relabeling a tuple a peer labeled
+		http.StatusTooManyRequests:     true,
 	}
 
 	var wg sync.WaitGroup
@@ -58,26 +59,26 @@ func TestStressOverlappingSessions(t *testing.T) {
 				)
 				switch rng.Intn(10) {
 				case 0: // delete, then recreate so the pool stays busy
-					req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/"+id, nil)
+					req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/"+id, nil)
 					resp, err = client.Do(req)
 					if err == nil {
 						resp.Body.Close()
 						data, _ := json.Marshal(map[string]any{"csv": travelCSV})
-						resp, err = client.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(data))
+						resp, err = client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(data))
 					}
 				case 1, 2, 3: // label a random tuple with a random answer
 					label := [3]string{"+", "-", "skip"}[rng.Intn(3)]
 					data, _ := json.Marshal(map[string]any{"index": rng.Intn(12), "label": label})
-					resp, err = client.Post(ts.URL+"/sessions/"+id+"/label", "application/json", bytes.NewReader(data))
+					resp, err = client.Post(ts.URL+"/v1/sessions/"+id+"/label", "application/json", bytes.NewReader(data))
 				case 4, 5, 6: // next
-					resp, err = client.Get(ts.URL + "/sessions/" + id + "/next")
+					resp, err = client.Get(ts.URL + "/v1/sessions/" + id + "/next")
 				case 7, 8: // topk
 					resp, err = client.Get(fmt.Sprintf("%s/sessions/%s/topk?k=%d", ts.URL, id, 1+rng.Intn(5)))
 				default: // result / summary readers
 					if rng.Intn(2) == 0 {
-						resp, err = client.Get(ts.URL + "/sessions/" + id + "/result")
+						resp, err = client.Get(ts.URL + "/v1/sessions/" + id + "/result")
 					} else {
-						resp, err = client.Get(ts.URL + "/sessions/" + id)
+						resp, err = client.Get(ts.URL + "/v1/sessions/" + id)
 					}
 				}
 				if err != nil {
@@ -100,11 +101,11 @@ func TestStressOverlappingSessions(t *testing.T) {
 	}
 
 	// The service must still answer coherently after the storm.
-	var list []summary
-	doJSON(t, "GET", ts.URL+"/sessions", nil, http.StatusOK, &list)
-	for _, s := range list {
+	var list listBody
+	doJSON(t, "GET", ts.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	for _, s := range list.Sessions {
 		var res result
-		doJSON(t, "GET", ts.URL+"/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
+		doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.ID+"/result", nil, http.StatusOK, &res)
 		if res.SQL == "" {
 			t.Errorf("session %s: empty SQL after stress", s.ID)
 		}
@@ -116,9 +117,9 @@ func TestStressOverlappingSessions(t *testing.T) {
 			Deleted int64 `json:"deleted"`
 		} `json:"sessions"`
 	}
-	doJSON(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &stats)
-	if int(stats.Sessions.Active) != len(list) {
-		t.Errorf("stats active = %d, list length = %d", stats.Sessions.Active, len(list))
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
+	if int(stats.Sessions.Active) != list.Total {
+		t.Errorf("stats active = %d, list total = %d", stats.Sessions.Active, list.Total)
 	}
 	if stats.Sessions.Created-stats.Sessions.Deleted != stats.Sessions.Active {
 		t.Errorf("created-deleted=%d, active=%d",

@@ -22,6 +22,7 @@
 package strategy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -360,6 +361,9 @@ func entropy(q float64) float64 {
 	return -(q*math.Log2(q) + (1-q)*math.Log2(1-q))
 }
 
+// ErrUnknown reports a strategy name ByName does not recognize.
+var ErrUnknown = errors.New("strategy: unknown strategy")
+
 // ByName builds a strategy from its report name. Seed feeds the random
 // strategy and is ignored by the deterministic ones.
 func ByName(name string, seed int64) (core.KPicker, error) {
@@ -381,7 +385,7 @@ func ByName(name string, seed int64) (core.KPicker, error) {
 	case "optimal":
 		return Optimal(DefaultOptimalBudget), nil
 	}
-	return nil, fmt.Errorf("strategy: unknown strategy %q (want one of %v)", name, Names())
+	return nil, fmt.Errorf("%w %q (want one of %v)", ErrUnknown, name, Names())
 }
 
 // Names lists the report names accepted by ByName, heuristics first.

@@ -79,6 +79,17 @@ type (
 	Labeler = core.Labeler
 	// CSVOptions controls CSV import.
 	CSVOptions = relation.CSVOptions
+	// Typing records per-column parsing rules of a typed CSV header;
+	// sessions pin it so streamed-in cells parse like creation cells.
+	Typing = relation.Typing
+	// Explanation justifies a tuple's current label ("why is this
+	// grayed out?").
+	Explanation = core.Explanation
+	// AnswerOutcome reports what one accepted Session answer did.
+	AnswerOutcome = core.AnswerOutcome
+	// ConflictPolicy decides what a session does with a label that
+	// contradicts earlier labels.
+	ConflictPolicy = core.ConflictPolicy
 	// JoinOn is an equality condition for EquiJoin.
 	JoinOn = relalg.JoinOn
 )
@@ -92,15 +103,11 @@ const (
 	ImpliedNegative = core.ImpliedNegative
 )
 
-// Errors.
-var (
-	// ErrInconsistent reports a label contradicting previous labels.
-	ErrInconsistent = core.ErrInconsistent
-	// ErrAlreadyLabeled reports relabeling an explicitly labeled tuple.
-	ErrAlreadyLabeled = core.ErrAlreadyLabeled
-	// ErrStopped is returned by labelers when the user quits.
-	ErrStopped = core.ErrStopped
-)
+// ErrStopped is returned by labelers when the user quits; engine runs
+// report it as RunResult.Stopped rather than an error. The taxonomy of
+// API failures lives in errors.go (Error, ErrorCode, and the
+// per-code sentinels such as ErrInconsistent).
+var ErrStopped = core.ErrStopped
 
 // Conflict policies for engines driven by noisy labelers.
 const (
@@ -121,11 +128,24 @@ func ReadCSV(r io.Reader) (*Relation, error) { return relation.ReadCSV(r, relati
 // ReadCSVWith reads a relation from CSV with explicit options.
 func ReadCSVWith(r io.Reader, opts CSVOptions) (*Relation, error) { return relation.ReadCSV(r, opts) }
 
+// ReadCSVTyped reads a relation from CSV and returns the per-column
+// typing its header established — hand it to WithTyping so tuples
+// streamed into the session later parse exactly like creation cells.
+func ReadCSVTyped(r io.Reader, opts CSVOptions) (*Relation, *Typing, error) {
+	return relation.ReadCSVTyped(r, opts)
+}
+
 // WriteCSV writes a relation as CSV.
 func WriteCSV(w io.Writer, rel *Relation) error { return relation.WriteCSV(w, rel) }
 
 // NewState indexes a denormalized instance for inference.
-func NewState(rel *Relation) (*State, error) { return core.NewState(rel) }
+func NewState(rel *Relation) (*State, error) {
+	st, err := core.NewState(rel)
+	if err != nil {
+		return nil, wrapCoreErr(err)
+	}
+	return st, nil
+}
 
 // NewEngine builds an interactive engine over a state, a strategy, and
 // a labeler.
@@ -139,7 +159,14 @@ func Strategies() []string { return strategy.Names() }
 // Strategy builds a strategy by name ("random", "local-most-specific",
 // "local-least-specific", "lookahead-maxmin", "lookahead-expected",
 // "lookahead-entropy", "optimal"). The seed feeds the random strategy.
-func Strategy(name string, seed int64) (KPicker, error) { return strategy.ByName(name, seed) }
+// Unrecognized names fail with CodeUnknownStrategy.
+func Strategy(name string, seed int64) (KPicker, error) {
+	s, err := strategy.ByName(name, seed)
+	if err != nil {
+		return nil, wrapCoreErr(err)
+	}
+	return s, nil
+}
 
 // MustStrategy is Strategy that panics on an unknown name.
 func MustStrategy(name string, seed int64) KPicker {
@@ -251,11 +278,11 @@ func EquiJoin(a, b *Relation, on []JoinOn) (*Relation, error) { return relalg.Eq
 // and returns the session result. It is the one-call entry point used
 // by experiments and examples.
 func Infer(rel *Relation, goal Predicate, strategyName string, seed int64) (RunResult, error) {
-	s, err := strategy.ByName(strategyName, seed)
+	s, err := Strategy(strategyName, seed)
 	if err != nil {
 		return RunResult{}, err
 	}
-	st, err := core.NewState(rel)
+	st, err := NewState(rel)
 	if err != nil {
 		return RunResult{}, err
 	}

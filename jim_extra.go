@@ -19,6 +19,10 @@ type Source = relalg.Source
 // hypotheses; see core.VersionSpace.
 type VersionSpace = core.VersionSpace
 
+// FormatPairs renders attribute-position pairs as equality atoms
+// ("A=B ∧ C=D") against the schema's names.
+func FormatPairs(pairs [][2]int, names []string) string { return core.FormatPairs(pairs, names) }
+
 // SessionMeta carries metadata saved with a session file.
 type SessionMeta = session.Meta
 

@@ -12,9 +12,13 @@
 //	jimbench -core [-tuples 10000] [-workloads zipf,synthetic,star] [-runs 4] [-stream 16] [-out BENCH_core.json]
 //
 // -server also runs streaming variants (users label while the
-// instance arrives in -stream append batches) for zipf and star;
-// -core times every State.Append against the rebuild-from-scratch
-// alternative. -stream -1 disables both.
+// instance arrives in -stream append batches) for zipf and star,
+// durability-on variants (disk session store with fsynced WAL) for
+// travel and zipf, and a crash-recovery scenario (label, kill,
+// recover, verify proposals resume identically); -core times every
+// State.Append against the rebuild-from-scratch alternative.
+// -stream -1 disables the streaming variants, -no-disk the
+// durability ones.
 package main
 
 import (
@@ -52,6 +56,7 @@ type options struct {
 	strategies string
 	noBaseline bool
 	stream     int
+	noDisk     bool
 }
 
 func main() {
@@ -74,6 +79,7 @@ func main() {
 	flag.StringVar(&o.strategies, "strategies", "", "comma-separated strategies (with -core; default the lookahead family)")
 	flag.BoolVar(&o.noBaseline, "no-baseline", false, "skip the naive reference measurement (with -core)")
 	flag.IntVar(&o.stream, "stream", 0, "streaming-ingestion batches: 0 = mode default (16 with -core; 6 with -server), negative disables")
+	flag.BoolVar(&o.noDisk, "no-disk", false, "skip the durability-on (disk store) runs and the restart scenario (with -server)")
 	flag.Parse()
 	o.expOpts = experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
 	if o.workloads == "" {
@@ -126,7 +132,9 @@ func run(w io.Writer, o options) error {
 }
 
 // serverBench is the BENCH_server.json payload: one loadtest report
-// per workload plus run-wide totals, for the perf trajectory.
+// per workload (including durability-on disk-store runs) plus the
+// crash-recovery scenario and run-wide totals, for the perf
+// trajectory.
 type serverBench struct {
 	Benchmark       string             `json:"benchmark"`
 	GoVersion       string             `json:"go_version"`
@@ -135,7 +143,10 @@ type serverBench struct {
 	SessionsPerUser int                `json:"sessions_per_user"`
 	Strategy        string             `json:"strategy"`
 	Workloads       []*loadtest.Report `json:"workloads"`
-	Totals          benchTotals        `json:"totals"`
+	// Restart is the kill/recover scenario: labeled work before the
+	// kill, recovery wall time, and the proposal-verification outcome.
+	Restart *loadtest.RestartReport `json:"restart,omitempty"`
+	Totals  benchTotals             `json:"totals"`
 }
 
 type benchTotals struct {
@@ -157,10 +168,13 @@ func runServerBench(w io.Writer, o options) error {
 	}
 	// One classic run per workload, plus streaming runs (users label
 	// while the instance grows in append batches) for the generators
-	// that scale.
+	// that scale, plus durability-on runs (disk store, fsynced WAL) so
+	// the trajectory tracks what crash safety costs.
 	type benchRun struct {
 		workload string
 		stream   int
+		store    string
+		fsync    bool
 	}
 	classic := splitList(o.workloads)
 	if len(classic) == 0 {
@@ -178,6 +192,18 @@ func runServerBench(w io.Writer, o options) error {
 			runs = append(runs, benchRun{workload: wl, stream: stream})
 		}
 	}
+	if !o.noDisk {
+		// Durability on: the disk store's WAL rides the OS page cache,
+		// which is what the kill/recover scenario exercises (a process
+		// crash loses nothing). The fsync variant additionally waits for
+		// stable storage per event — machine-crash durability — and is
+		// reported separately because its cost is the disk's flush
+		// latency, not the store's.
+		for _, wl := range []string{"travel", "zipf"} {
+			runs = append(runs, benchRun{workload: wl, store: "disk"})
+		}
+		runs = append(runs, benchRun{workload: "travel", store: "disk", fsync: true})
+	}
 	for _, br := range runs {
 		rep, err := loadtest.Run(loadtest.Config{
 			Users:           o.users,
@@ -185,6 +211,8 @@ func runServerBench(w io.Writer, o options) error {
 			Workload:        br.workload,
 			Strategy:        o.strategy,
 			StreamBatches:   br.stream,
+			Store:           br.store,
+			Fsync:           br.fsync,
 			Seed:            o.expOpts.Seed,
 		})
 		if err != nil {
@@ -200,9 +228,35 @@ func runServerBench(w io.Writer, o options) error {
 		if br.stream > 0 {
 			name = fmt.Sprintf("%s+stream%d", br.workload, br.stream)
 		}
+		if br.store != "" {
+			name = fmt.Sprintf("%s+%s", name, br.store)
+			if br.fsync {
+				name += "+fsync"
+			}
+		}
 		fmt.Fprintf(w, "%-14s %4d/%d sessions  %8.1f req/s  %7.1f sessions/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
 			name, rep.Completed, rep.Sessions, rep.RequestsPerSec, rep.SessionsPerSec,
 			rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+	}
+	if !o.noDisk {
+		rr, err := loadtest.RunRestart(loadtest.Config{
+			Users:    o.users,
+			Workload: "travel",
+			Strategy: o.strategy,
+			Fsync:    true,
+			Seed:     o.expOpts.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		if rr.Mismatches > 0 || rr.RecoveredSessions != rr.Sessions {
+			return fmt.Errorf("restart scenario: recovered %d/%d sessions, %d proposal mismatches (%s)",
+				rr.RecoveredSessions, rr.Sessions, rr.Mismatches, rr.FirstError)
+		}
+		bench.Restart = rr
+		fmt.Fprintf(w, "%-14s %4d/%d recovered in %.1fms  %d labels preserved  %d/%d proposals verified\n",
+			"restart", rr.RecoveredSessions, rr.Sessions, rr.RecoveryMS,
+			rr.LabelsBeforeKill, rr.VerifiedProposals-rr.Mismatches, rr.VerifiedProposals)
 	}
 	if len(bench.Workloads) == 0 {
 		return fmt.Errorf("no workloads selected")

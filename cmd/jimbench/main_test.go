@@ -65,6 +65,7 @@ func TestRunServerBench(t *testing.T) {
 		workloads: "travel,zipf",
 		strategy:  "lookahead-maxmin",
 		stream:    -1, // classic runs only; streaming covered separately
+		noDisk:    true,
 		out:       out,
 		expOpts:   quickOpts(),
 	}
@@ -157,7 +158,7 @@ func TestRunCoreBench(t *testing.T) {
 
 func TestRunServerBenchStdout(t *testing.T) {
 	var buf bytes.Buffer
-	o := options{server: true, users: 2, sessions: 1, workloads: "travel", stream: -1, out: "-"}
+	o := options{server: true, users: 2, sessions: 1, workloads: "travel", stream: -1, noDisk: true, out: "-"}
 	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +180,7 @@ func TestRunServerBenchStreaming(t *testing.T) {
 		workloads: "travel",
 		strategy:  "lookahead-maxmin",
 		stream:    3,
+		noDisk:    true,
 		out:       out,
 		expOpts:   quickOpts(),
 	}
@@ -210,5 +212,60 @@ func TestRunServerBenchStreaming(t *testing.T) {
 	}
 	if bench.Totals.Errors != 0 {
 		t.Errorf("streaming bench errors: %+v", bench.Totals)
+	}
+}
+
+// TestRunServerBenchDurability: the default -server run appends
+// durability-on entries (disk store, fsynced WAL) and the restart
+// scenario, so BENCH_server.json tracks what crash safety costs and
+// proves recovery is exact under load.
+func TestRunServerBenchDurability(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var buf bytes.Buffer
+	o := options{
+		server:    true,
+		users:     2,
+		sessions:  1,
+		workloads: "travel",
+		strategy:  "lookahead-maxmin",
+		stream:    -1,
+		out:       out,
+		expOpts:   quickOpts(),
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench serverBench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	disk, fsynced := 0, 0
+	for _, rep := range bench.Workloads {
+		if rep.Store == "disk" {
+			disk++
+			if rep.Fsync {
+				fsynced++
+			}
+			if rep.Errors != 0 {
+				t.Errorf("%s disk run errors: %s", rep.Workload, rep.FirstError)
+			}
+		}
+	}
+	if disk != 3 || fsynced != 1 {
+		t.Fatalf("disk entries = %d (%d fsynced), want 3 with 1 fsynced", disk, fsynced)
+	}
+	rr := bench.Restart
+	if rr == nil {
+		t.Fatal("restart scenario missing from BENCH_server.json")
+	}
+	if rr.RecoveredSessions != rr.Sessions || rr.Mismatches != 0 {
+		t.Fatalf("restart = %+v", rr)
+	}
+	if rr.LabelsBeforeKill == 0 || rr.Completed != rr.Sessions {
+		t.Fatalf("restart did not preserve and finish work: %+v", rr)
 	}
 }

@@ -1,9 +1,17 @@
 // Command jimserver serves the JIM inference API over HTTP — the
 // demonstration's interactive tool as a JSON service, with production
-// lifecycle controls: a session cap, idle-session eviction, and a
-// /stats endpoint for monitoring.
+// lifecycle controls: a session cap, idle-session eviction, a /stats
+// endpoint for monitoring, and an optional durable session store so
+// labeled work survives restarts.
 //
-//	jimserver -addr :8080 -max-sessions 10000 -session-ttl 30m
+//	jimserver -addr :8080 -max-sessions 10000 -session-ttl 30m \
+//	          -store disk -data-dir /var/lib/jim
+//
+// With -store disk, every accepted label, skip, and tuple batch is
+// appended to a per-session write-ahead log before the response goes
+// out, state is periodically folded into snapshots, and startup
+// replays the store to resume every session exactly where it stood
+// (see OPERATIONS.md for the operator guide).
 //
 // The API is versioned under /v1 with a structured error envelope
 // {"error":{"code","message"}}; the unversioned routes of earlier
@@ -18,7 +26,7 @@
 //	POST   /v1/sessions/{id}/tuples  stream new tuples into the instance
 //	GET    /v1/sessions/{id}/result  inferred predicate + SQL
 //	GET    /v1/sessions/{id}/export  persistable session file
-//	GET    /v1/stats                 session counts, label/ingest throughput, latency
+//	GET    /v1/stats                 session counts, throughput, latency, store health
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // config is everything main parses; newServer is kept separate so
@@ -42,6 +51,12 @@ type config struct {
 	sessionTTL   time.Duration
 	sweepEvery   time.Duration
 	maxBodyBytes int64
+
+	storeBackend   string
+	dataDir        string
+	fsync          bool
+	snapshotEvery  int
+	snapshotMaxAge time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
@@ -52,6 +67,11 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.sessionTTL, "session-ttl", 0, "evict sessions idle for this long (0 = never)")
 	fs.DurationVar(&cfg.sweepEvery, "sweep-every", time.Minute, "how often the janitor scans for expired sessions")
 	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 32<<20, "cap on create/import/append request bodies; larger get 413 (0 = unlimited)")
+	fs.StringVar(&cfg.storeBackend, "store", "mem", "session store backend: mem (no durability) or disk (WAL + snapshots under -data-dir)")
+	fs.StringVar(&cfg.dataDir, "data-dir", "jim-data", "data directory for -store disk")
+	fs.BoolVar(&cfg.fsync, "fsync", true, "fsync WAL appends and snapshots (group-committed); off trades machine-crash durability for latency")
+	fs.IntVar(&cfg.snapshotEvery, "snapshot-every", server.DefaultSnapshotEvery, "fold a session's WAL into a snapshot after this many events")
+	fs.DurationVar(&cfg.snapshotMaxAge, "snapshot-max-age", 5*time.Minute, "re-snapshot sessions whose WAL has grown for this long (0 = size policy only)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -64,14 +84,39 @@ func parseFlags(args []string) (config, error) {
 	if cfg.maxBodyBytes < 0 {
 		return cfg, fmt.Errorf("-max-body-bytes must be >= 0, got %d", cfg.maxBodyBytes)
 	}
+	switch cfg.storeBackend {
+	case "mem", "disk":
+	default:
+		return cfg, fmt.Errorf("-store must be mem or disk, got %q", cfg.storeBackend)
+	}
+	if cfg.storeBackend == "disk" && cfg.dataDir == "" {
+		return cfg, fmt.Errorf("-store disk requires -data-dir")
+	}
+	if cfg.snapshotEvery < 1 {
+		return cfg, fmt.Errorf("-snapshot-every must be >= 1, got %d", cfg.snapshotEvery)
+	}
+	if cfg.snapshotMaxAge < 0 {
+		return cfg, fmt.Errorf("-snapshot-max-age must be >= 0, got %v", cfg.snapshotMaxAge)
+	}
 	return cfg, nil
 }
 
-func newServer(cfg config) *server.Server {
+// newStore builds the session store the flags describe.
+func newStore(cfg config) (store.Store, error) {
+	if cfg.storeBackend == "disk" {
+		return store.NewDisk(store.DiskOptions{Dir: cfg.dataDir, Fsync: cfg.fsync})
+	}
+	return store.NewMem(), nil
+}
+
+func newServer(cfg config, st store.Store) *server.Server {
 	return server.NewWith(server.Config{
-		MaxSessions:  cfg.maxSessions,
-		IdleTTL:      cfg.sessionTTL,
-		MaxBodyBytes: cfg.maxBodyBytes,
+		MaxSessions:    cfg.maxSessions,
+		IdleTTL:        cfg.sessionTTL,
+		MaxBodyBytes:   cfg.maxBodyBytes,
+		Store:          st,
+		SnapshotEvery:  cfg.snapshotEvery,
+		SnapshotMaxAge: cfg.snapshotMaxAge,
 	})
 }
 
@@ -85,8 +130,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := newServer(cfg)
-	if cfg.sessionTTL > 0 {
+	st, err := newStore(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jimserver:", err)
+		os.Exit(1)
+	}
+	svc := newServer(cfg, st)
+	restored, err := svc.Restore()
+	if err != nil {
+		// Partial restores are survivable — the failed sessions are
+		// named and everything else is live — but the operator must see
+		// it.
+		fmt.Fprintln(os.Stderr, "jimserver: restore:", err)
+	}
+	if cfg.storeBackend != "mem" {
+		fmt.Printf("jimserver restored %d sessions from %s\n", restored, cfg.dataDir)
+	}
+	// The janitor has work only when sessions expire or when a durable
+	// store's age-based snapshot policy is on; a mem-store server with
+	// no TTL would tick for nothing.
+	if cfg.sessionTTL > 0 || (cfg.storeBackend != "mem" && cfg.snapshotMaxAge > 0) {
 		stop := svc.StartJanitor(cfg.sweepEvery)
 		defer stop()
 	}
@@ -108,13 +171,23 @@ func main() {
 		done <- srv.Shutdown(ctx)
 	}()
 
-	fmt.Printf("jimserver listening on %s (max-sessions=%d, session-ttl=%v)\n",
-		cfg.addr, cfg.maxSessions, cfg.sessionTTL)
+	fmt.Printf("jimserver listening on %s (max-sessions=%d, session-ttl=%v, store=%s)\n",
+		cfg.addr, cfg.maxSessions, cfg.sessionTTL, cfg.storeBackend)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "jimserver:", err)
 		os.Exit(1)
 	}
-	if err := <-done; err != nil {
+	err = <-done
+	// Graceful shutdown: requests have drained; fold every dirty
+	// session into a final snapshot so the next start replays no WAL,
+	// then let the store flush.
+	if snapErr := svc.SnapshotAll(); snapErr != nil {
+		fmt.Fprintln(os.Stderr, "jimserver: shutdown snapshot:", snapErr)
+	}
+	if closeErr := st.Close(); closeErr != nil {
+		fmt.Fprintln(os.Stderr, "jimserver: closing store:", closeErr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "jimserver: shutdown:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,51 @@
+package jim_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks is the docs half of the CI docs-consistency step:
+// every relative link in the repository's markdown files must point at
+// a file that exists, so renames and deletions cannot leave the
+// operator guide, README, or API reference pointing into the void.
+// External links (http/https) and pure in-page anchors are skipped —
+// this is a reference-integrity check, not a crawler.
+func TestMarkdownLinks(t *testing.T) {
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown files found at the repository root")
+	}
+	// [text](target) — inline links only; reference-style links are not
+	// used in this repository.
+	link := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range link.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-file anchor; the file part must exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s links to %q, which does not exist", doc, m[1])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -49,7 +50,12 @@ type Session struct {
 	// decide) or when a re-offer round starts.
 	deferred    map[*SigGroup]bool
 	redeferrals int
-	infBuf      []int // reusable buffer for deferred-routing scans
+	// skipClears counts re-offer rounds: Propose clearing a fully
+	// skipped set. Observable via SkipClears so transports that log
+	// mutations (the durable session store) can record that a proposal
+	// mutated the skip set — the one state change a read path makes.
+	skipClears int
+	infBuf     []int // reusable buffer for deferred-routing scans
 }
 
 // NewSession opens a pull-based session over an existing state, so
@@ -118,8 +124,23 @@ func (s *Session) Propose() (i int, ok bool) {
 		return 0, false
 	}
 	s.redeferrals++
+	s.skipClears++
 	s.deferred = nil
 	return i, true
+}
+
+// SkipClears counts the re-offer rounds so far: each time Propose
+// found every informative class skipped and cleared the set. A caller
+// that must persist every skip-set mutation (the durable store's WAL)
+// compares it around Propose and records a clear event when it moved.
+func (s *Session) SkipClears() int { return s.skipClears }
+
+// ClearSkips replays one re-offer round: the WAL-replay counterpart of
+// the clear Propose performs when everything informative is skipped.
+func (s *Session) ClearSkips() {
+	s.redeferrals++
+	s.skipClears++
+	s.deferred = nil
 }
 
 // TopK returns the k most informative tuples, best first — interaction
@@ -195,6 +216,30 @@ func (s *Session) Skip(i int) error {
 	}
 	s.deferred[s.st.GroupOf(i)] = true
 	return nil
+}
+
+// Skips returns one representative unlabeled tuple index per
+// signature class currently skipped, ascending — the serializable form
+// of the skip set. Replaying Skip on each index over an equal state
+// reproduces the skip set exactly, which is how the durable session
+// store carries deferred classes across a restart. Classes that became
+// fully labeled since they were skipped are omitted: they no longer
+// influence proposal routing.
+func (s *Session) Skips() []int {
+	if len(s.deferred) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(s.deferred))
+	for g := range s.deferred {
+		for _, i := range g.Indices {
+			if s.st.Label(i) == Unlabeled {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Append streams new tuples into the live session (State.Append) and

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -45,6 +47,14 @@ type Config struct {
 	// POST /tuples batches interleaved with the labeling loop — users
 	// label while the instance grows.
 	StreamBatches int
+	// Store selects the session store of the in-process target server:
+	// "" or "mem" for the RAM-only default, "disk" for the durable
+	// backend (WAL + snapshots in a temporary directory) — the
+	// durability-on configuration BENCH_server.json tracks.
+	Store string
+	// Fsync, with Store "disk", makes every logged event wait for
+	// stable storage (group-committed).
+	Fsync bool
 	// Seed drives instance generation and goal choice.
 	Seed int64
 }
@@ -61,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Strategy == "" {
 		c.Strategy = "lookahead-maxmin"
+	}
+	if c.Store == "mem" {
+		c.Store = "" // normalized: reports omit the default backend
 	}
 	return c
 }
@@ -79,7 +92,12 @@ type Report struct {
 	Strategy string `json:"strategy"`
 	// StreamBatches > 0 marks a streaming run: sessions ingested their
 	// instance in this many append batches while users labeled.
-	StreamBatches   int     `json:"stream_batches,omitempty"`
+	StreamBatches int `json:"stream_batches,omitempty"`
+	// Store marks the session store backend of the target server
+	// ("disk" = durability on); empty means the in-RAM default.
+	Store string `json:"store,omitempty"`
+	// Fsync marks a disk run whose WAL waited for stable storage.
+	Fsync           bool    `json:"fsync,omitempty"`
 	Users           int     `json:"users"`
 	Sessions        int     `json:"sessions"`
 	Completed       int     `json:"completed"`
@@ -152,9 +170,40 @@ func makeInstance(wl string, seed int64, streamBatches int) (*instance, error) {
 	return inst, nil
 }
 
+// newTarget builds the in-process server a run drives: the RAM-only
+// default, or a disk-backed one in a temporary data directory when
+// cfg.Store is "disk". cleanup closes the store and removes the data.
+func newTarget(cfg Config) (srv *server.Server, cleanup func(), err error) {
+	if cfg.Store == "" || cfg.Store == "mem" {
+		return server.New(), func() {}, nil
+	}
+	if cfg.Store != "disk" {
+		return nil, nil, fmt.Errorf("loadtest: unknown store %q (want mem or disk)", cfg.Store)
+	}
+	dir, err := os.MkdirTemp("", "jim-loadtest-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := store.NewDisk(store.DiskOptions{Dir: dir, Fsync: cfg.Fsync})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	srv = server.NewWith(server.Config{Store: ds})
+	return srv, func() {
+		ds.Close()
+		os.RemoveAll(dir)
+	}, nil
+}
+
 // Run spins up an in-process server and drives it; see RunAgainst.
 func Run(cfg Config) (*Report, error) {
-	ts := httptest.NewServer(server.New().Handler())
+	srv, cleanup, err := newTarget(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := ts.Client()
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
@@ -196,6 +245,8 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 		Workload:      cfg.Workload,
 		Strategy:      cfg.Strategy,
 		StreamBatches: cfg.StreamBatches,
+		Store:         cfg.Store,
+		Fsync:         cfg.Fsync,
 		Users:         cfg.Users,
 		Sessions:      cfg.Users * cfg.SessionsPerUser,
 	}
@@ -226,8 +277,12 @@ type userResult struct {
 	questions int
 	appends   int
 	errors    int
-	firstErr  error
-	latencies []time.Duration
+	// verified and mismatches are the restart scenario's
+	// proposal-verification counters (see restart.go).
+	verified   int
+	mismatches int
+	firstErr   error
+	latencies  []time.Duration
 }
 
 // driveUser completes cfg.SessionsPerUser full sessions in sequence.

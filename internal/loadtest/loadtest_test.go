@@ -141,3 +141,49 @@ func TestStreamingRunCompletes(t *testing.T) {
 		t.Fatal("streaming run labeled nothing")
 	}
 }
+
+// TestDiskStoreRunCompletes drives the ordinary protocol against a
+// disk-backed server: durability on must not change a single result.
+func TestDiskStoreRunCompletes(t *testing.T) {
+	rep, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "travel", Store: "disk", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 || rep.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d: %s", rep.Completed, rep.Errors, rep.FirstError)
+	}
+	if rep.Store != "disk" {
+		t.Errorf("report store = %q, want disk", rep.Store)
+	}
+}
+
+// TestRestartScenario runs the kill/recover harness end to end: every
+// session must come back, every recovered proposal must match the
+// uninterrupted control, and every dialogue must then converge.
+func TestRestartScenario(t *testing.T) {
+	for _, fsync := range []bool{false, true} {
+		rep, err := loadtest.RunRestart(loadtest.Config{
+			Users: 4, Workload: "synthetic", Fsync: fsync, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.RecoveredSessions != 4 {
+			t.Fatalf("fsync=%v: recovered %d sessions, want 4 (%s)", fsync, rep.RecoveredSessions, rep.FirstError)
+		}
+		if rep.Mismatches != 0 {
+			t.Fatalf("fsync=%v: %d proposal mismatches after recovery: %s", fsync, rep.Mismatches, rep.FirstError)
+		}
+		if rep.VerifiedProposals != 4 || rep.Completed != 4 {
+			t.Fatalf("fsync=%v: verified=%d completed=%d: %s", fsync, rep.VerifiedProposals, rep.Completed, rep.FirstError)
+		}
+		if rep.LabelsBeforeKill == 0 {
+			t.Error("no labeled work before the kill — the scenario tested nothing")
+		}
+		if rep.RecoveryMS < 0 {
+			t.Errorf("negative recovery time %v", rep.RecoveryMS)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package loadtest
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	jim "repro"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// RestartReport is the machine-readable outcome of the crash-recovery
+// scenario: N users label halfway, the server is killed without any
+// graceful shutdown, a fresh server recovers from the same data
+// directory, and every recovered session is verified against an
+// uninterrupted in-process control before the dialogues run to
+// completion.
+type RestartReport struct {
+	Workload string `json:"workload"`
+	Strategy string `json:"strategy"`
+	Store    string `json:"store"`
+	Fsync    bool   `json:"fsync,omitempty"`
+	Sessions int    `json:"sessions"`
+	// LabelsBeforeKill is the total labeled work at the kill point —
+	// what a RAM-only server would have lost.
+	LabelsBeforeKill int `json:"labels_before_kill"`
+	// RecoveredSessions must equal Sessions for a healthy store.
+	RecoveredSessions int `json:"recovered_sessions"`
+	// RecoveryMS is the wall time of Server.Restore: load every
+	// snapshot, replay every WAL suffix.
+	RecoveryMS float64 `json:"recovery_ms"`
+	// VerifiedProposals counts post-recovery next-proposals compared
+	// against the uninterrupted control; Mismatches counts differences
+	// (0 = recovery is exact).
+	VerifiedProposals int `json:"verified_proposals"`
+	Mismatches        int `json:"mismatches"`
+	// Completed counts sessions driven to convergence after recovery.
+	Completed      int     `json:"completed"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Latency covers every HTTP request of both phases.
+	Latency    Quantiles `json:"latency"`
+	FirstError string    `json:"first_error,omitempty"`
+}
+
+// appliedLabel is one accepted (index, label) pair from the pre-kill
+// phase, replayed into the control session for verification.
+type appliedLabel struct {
+	index int
+	label string
+}
+
+// restartUser is one user's state across the kill: the instance, the
+// session id, and the exact labels applied before the crash.
+type restartUser struct {
+	inst    *instance
+	id      string
+	applied []appliedLabel
+	r       userResult
+	err     error
+}
+
+// RunRestart runs the crash-recovery scenario on a disk-backed server.
+// SessionsPerUser and StreamBatches are ignored: each user owns one
+// session, labels only (the server-level differential tests cover
+// skips and appends across a crash; this scenario measures recovery at
+// load).
+func RunRestart(cfg Config) (*RestartReport, error) {
+	cfg = cfg.withDefaults()
+	dir, err := os.MkdirTemp("", "jim-restart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	open := func() (*server.Server, store.Store, error) {
+		ds, err := store.NewDisk(store.DiskOptions{Dir: dir, Fsync: cfg.Fsync})
+		if err != nil {
+			return nil, nil, err
+		}
+		return server.NewWith(server.Config{Store: ds}), ds, nil
+	}
+
+	users := make([]*restartUser, cfg.Users)
+	for u := range users {
+		inst, err := makeInstance(cfg.Workload, cfg.Seed+int64(u), 0)
+		if err != nil {
+			return nil, err
+		}
+		users[u] = &restartUser{inst: inst}
+	}
+
+	rep := &RestartReport{
+		Workload: cfg.Workload,
+		Strategy: cfg.Strategy,
+		Store:    "disk",
+		Fsync:    cfg.Fsync,
+		Sessions: cfg.Users,
+	}
+	start := time.Now()
+
+	// Phase 1: everyone creates a session and labels half the expected
+	// dialogue, recording exactly what was applied.
+	srv1, st1, err := open()
+	if err != nil {
+		return nil, err
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	client := ts1.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
+	var wg sync.WaitGroup
+	for _, ru := range users {
+		wg.Add(1)
+		go func(ru *restartUser) {
+			defer wg.Done()
+			ru.err = ru.labelHalf(client, ts1.URL, cfg.Strategy)
+		}(ru)
+	}
+	wg.Wait()
+	// Kill: no SnapshotAll, no drain beyond in-flight requests — every
+	// acknowledged request must already be durable.
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		return nil, err
+	}
+	for _, ru := range users {
+		rep.LabelsBeforeKill += len(ru.applied)
+		if ru.err != nil && rep.FirstError == "" {
+			rep.FirstError = ru.err.Error()
+		}
+	}
+
+	// Phase 2: recover and verify, then finish the dialogues.
+	srv2, st2, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer st2.Close()
+	t0 := time.Now()
+	recovered, err := srv2.Restore()
+	rep.RecoveryMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	rep.RecoveredSessions = recovered
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: restore: %w", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client = ts2.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
+	for _, ru := range users {
+		wg.Add(1)
+		go func(ru *restartUser) {
+			defer wg.Done()
+			if ru.err != nil {
+				return
+			}
+			ru.err = ru.verifyAndFinish(client, ts2.URL, cfg)
+		}(ru)
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	for _, ru := range users {
+		rep.VerifiedProposals += ru.r.verified
+		rep.Mismatches += ru.r.mismatches
+		rep.Completed += ru.r.completed
+		all = append(all, ru.r.latencies...)
+		if ru.err != nil && rep.FirstError == "" {
+			rep.FirstError = ru.err.Error()
+		}
+	}
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+	rep.Latency = quantiles(all)
+	return rep, nil
+}
+
+// labelHalf creates the session and answers proposals until half the
+// instance's tuples carry explicit or implied labels, recording every
+// applied (index, label) pair.
+func (ru *restartUser) labelHalf(client *http.Client, baseURL, strategyName string) error {
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := ru.r.call(client, "POST", baseURL+"/v1/sessions",
+		map[string]any{"csv": ru.inst.csv, "strategy": strategyName},
+		http.StatusCreated, &created); err != nil {
+		return err
+	}
+	ru.id = created.ID
+	base := baseURL + "/v1/sessions/" + created.ID
+	target := ru.inst.rel.Len() / 2
+	for len(ru.applied) < target {
+		var n struct {
+			Done  bool `json:"done"`
+			Tuple *struct {
+				Index int `json:"index"`
+			} `json:"tuple"`
+		}
+		if err := ru.r.call(client, "GET", base+"/next", nil, http.StatusOK, &n); err != nil {
+			return err
+		}
+		if n.Done || n.Tuple == nil {
+			return nil // converged before the kill point; still recovered below
+		}
+		label := "-"
+		if core.Selects(ru.inst.goal, ru.inst.rel.Tuple(n.Tuple.Index)) {
+			label = "+"
+		}
+		if err := ru.r.call(client, "POST", base+"/label",
+			map[string]any{"index": n.Tuple.Index, "label": label},
+			http.StatusOK, nil); err != nil {
+			return err
+		}
+		ru.applied = append(ru.applied, appliedLabel{index: n.Tuple.Index, label: label})
+		ru.r.questions++
+	}
+	return nil
+}
+
+// verifyAndFinish rebuilds the uninterrupted control — a fresh
+// in-process session given the identical label sequence, never
+// crashed — compares the recovered server's next proposal against it,
+// then drives the session to convergence.
+func (ru *restartUser) verifyAndFinish(client *http.Client, baseURL string, cfg Config) error {
+	control, err := jim.NewSession(ru.inst.rel.Clone(),
+		jim.WithStrategy(cfg.Strategy), jim.WithRedeferLimit(-1))
+	if err != nil {
+		return err
+	}
+	for _, a := range ru.applied {
+		l := jim.Negative
+		if a.label == "+" {
+			l = jim.Positive
+		}
+		if _, err := control.Answer(a.index, l); err != nil {
+			return fmt.Errorf("loadtest: control replay: %w", err)
+		}
+	}
+	base := baseURL + "/v1/sessions/" + ru.id
+	var n struct {
+		Done  bool `json:"done"`
+		Tuple *struct {
+			Index int `json:"index"`
+		} `json:"tuple"`
+	}
+	if err := ru.r.call(client, "GET", base+"/next", nil, http.StatusOK, &n); err != nil {
+		return err
+	}
+	ctrlIdx, ctrlOK := control.Propose()
+	ru.r.verified++
+	switch {
+	case n.Done == ctrlOK:
+		ru.r.mismatches++
+		return fmt.Errorf("loadtest: session %s: recovered done=%v, control ok=%v", ru.id, n.Done, ctrlOK)
+	case n.Tuple != nil && n.Tuple.Index != ctrlIdx:
+		ru.r.mismatches++
+		return fmt.Errorf("loadtest: session %s: recovered proposed %d, control %d", ru.id, n.Tuple.Index, ctrlIdx)
+	}
+	// Finish the dialogue against the recovered server.
+	if err := ru.r.runSession(client, base, ru.inst); err != nil {
+		return err
+	}
+	ru.r.completed++
+	return ru.r.call(client, "DELETE", base, nil, http.StatusNoContent, nil)
+}

@@ -60,6 +60,46 @@ func (ty *Typing) Empty() bool {
 	return true
 }
 
+// Annotations renders the typing as per-column annotation strings —
+// the kind name for annotated columns ("float"), "" for inference
+// columns — the serializable form the durable session store records
+// so a recovered session parses arrivals exactly like the original.
+// An all-inference typing (nil included) returns nil.
+func (ty *Typing) Annotations() []string {
+	if ty.Empty() {
+		return nil
+	}
+	out := make([]string, len(ty.typed))
+	for i, typed := range ty.typed {
+		if typed {
+			out[i] = ty.kinds[i].String()
+		}
+	}
+	return out
+}
+
+// TypingFromAnnotations rebuilds a Typing from Annotations output: a
+// kind name pins the column, "" leaves it on inference. An empty or
+// nil slice yields nil (all-inference), matching Annotations.
+func TypingFromAnnotations(ann []string) (*Typing, error) {
+	if len(ann) == 0 {
+		return nil, nil
+	}
+	ty := &Typing{kinds: make([]values.Kind, len(ann)), typed: make([]bool, len(ann))}
+	for i, a := range ann {
+		if a == "" {
+			continue
+		}
+		k, err := values.KindFromString(a)
+		if err != nil {
+			return nil, fmt.Errorf("relation: column %d: %w", i, err)
+		}
+		ty.kinds[i] = k
+		ty.typed[i] = true
+	}
+	return ty, nil
+}
+
 // InferenceTyping returns an all-inference typing over n columns.
 // Forcing it through CSVOptions.Typing pins every column to
 // values.Parse even when the input's own header carries annotations —

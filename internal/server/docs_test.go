@@ -1,0 +1,56 @@
+package server_test
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestAPIDocsMatchRoutes holds API.md to the mux: every endpoint
+// heading in the reference must name a registered /v1 route, and every
+// registered route must have a heading — so the document cannot
+// silently rot as the wire contract grows. Endpoint headings look like
+//
+//	### `POST /v1/sessions` — create a session
+//
+// (an optional illustrative query string after the path is ignored).
+func TestAPIDocsMatchRoutes(t *testing.T) {
+	data, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heading := regexp.MustCompile("(?m)^###+ `([A-Z]+) (/v1[^`?]*)[^`]*`")
+	documented := map[string]bool{}
+	for _, m := range heading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no endpoint headings found in API.md — did the heading format change?")
+	}
+	registered := map[string]bool{}
+	for _, rt := range server.New().Routes() {
+		registered[rt] = true
+	}
+	var missing, stale []string
+	for rt := range registered {
+		if !documented[rt] {
+			missing = append(missing, rt)
+		}
+	}
+	for rt := range documented {
+		if !registered[rt] {
+			stale = append(stale, rt)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, rt := range missing {
+		t.Errorf("route %q is registered but undocumented in API.md", rt)
+	}
+	for _, rt := range stale {
+		t.Errorf("API.md documents %q, which is not a registered route", rt)
+	}
+}

@@ -21,10 +21,11 @@ type shard struct {
 	sessions map[string]*liveSession
 }
 
-// store is the sharded session table plus the counters the cap and the
-// /stats endpoint need. Counters are atomics so hot paths never take a
-// global lock.
-type store struct {
+// table is the sharded in-RAM session table plus the counters the cap
+// and the /stats endpoint need. Counters are atomics so hot paths
+// never take a global lock. Durability is not its job: the configured
+// store.Store persists sessions; the table only serves requests.
+type table struct {
 	shards  [numShards]shard
 	active  atomic.Int64 // current session count, maintained across shards
 	created atomic.Int64
@@ -32,71 +33,102 @@ type store struct {
 	deleted atomic.Int64
 	// rejected counts creates refused by the session cap.
 	rejected atomic.Int64
+	// restored counts sessions rebuilt from the durable store at
+	// startup; they are not "created" (the client did that once,
+	// possibly in a previous process).
+	restored atomic.Int64
 }
 
-func newStore() *store {
-	st := &store{}
-	for i := range st.shards {
-		st.shards[i].sessions = make(map[string]*liveSession)
+func newTable() *table {
+	tb := &table{}
+	for i := range tb.shards {
+		tb.shards[i].sessions = make(map[string]*liveSession)
 	}
-	return st
+	return tb
 }
 
-func (st *store) shardFor(id string) *shard {
+func (tb *table) shardFor(id string) *shard {
 	// Inline FNV-1a: a hash.Hash32 would heap-allocate per request.
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h = (h ^ uint32(id[i])) * 16777619
 	}
-	return &st.shards[h&(numShards-1)]
+	return &tb.shards[h&(numShards-1)]
 }
 
 // put inserts a new session, enforcing the cap (maxSessions <= 0 means
 // unlimited). The active counter is reserved before insertion so
 // concurrent creates cannot overshoot the cap. The caller counts
 // rejections: a cap bounce here may still succeed after a sweep.
-func (st *store) put(id string, ls *liveSession, maxSessions int) error {
-	if maxSessions > 0 && st.active.Add(1) > int64(maxSessions) {
-		st.active.Add(-1)
+func (tb *table) put(id string, ls *liveSession, maxSessions int) error {
+	if maxSessions > 0 && tb.active.Add(1) > int64(maxSessions) {
+		tb.active.Add(-1)
 		return errSessionCap
 	}
 	if maxSessions <= 0 {
-		st.active.Add(1)
+		tb.active.Add(1)
 	}
-	st.created.Add(1)
-	sh := st.shardFor(id)
+	tb.created.Add(1)
+	sh := tb.shardFor(id)
 	sh.mu.Lock()
 	sh.sessions[id] = ls
 	sh.mu.Unlock()
 	return nil
 }
 
-func (st *store) get(id string) (*liveSession, bool) {
-	sh := st.shardFor(id)
+// putRestored inserts a session rebuilt from the durable store. It
+// bypasses the cap — these sessions were admitted once, before the
+// restart — and counts as restored, not created.
+func (tb *table) putRestored(id string, ls *liveSession) {
+	tb.active.Add(1)
+	tb.restored.Add(1)
+	sh := tb.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = ls
+	sh.mu.Unlock()
+}
+
+// rollback removes a session whose create failed after put published
+// it: from the client's view the create never happened, so neither
+// the created nor the deleted counter may keep it.
+func (tb *table) rollback(id string) {
+	sh := tb.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		tb.active.Add(-1)
+		tb.created.Add(-1)
+	}
+}
+
+func (tb *table) get(id string) (*liveSession, bool) {
+	sh := tb.shardFor(id)
 	sh.mu.RLock()
 	ls, ok := sh.sessions[id]
 	sh.mu.RUnlock()
 	return ls, ok
 }
 
-func (st *store) delete(id string) bool {
-	sh := st.shardFor(id)
+func (tb *table) delete(id string) bool {
+	sh := tb.shardFor(id)
 	sh.mu.Lock()
 	_, ok := sh.sessions[id]
 	delete(sh.sessions, id)
 	sh.mu.Unlock()
 	if ok {
-		st.active.Add(-1)
-		st.deleted.Add(1)
+		tb.active.Add(-1)
+		tb.deleted.Add(1)
 	}
 	return ok
 }
 
 // forEach visits a consistent snapshot of each shard in turn. The
 // callback runs outside the shard lock so it may lock the session.
-func (st *store) forEach(f func(id string, ls *liveSession)) {
-	for i := range st.shards {
-		sh := &st.shards[i]
+func (tb *table) forEach(f func(id string, ls *liveSession)) {
+	for i := range tb.shards {
+		sh := &tb.shards[i]
 		sh.mu.RLock()
 		ids := make([]string, 0, len(sh.sessions))
 		lss := make([]*liveSession, 0, len(sh.sessions))
@@ -123,31 +155,109 @@ func (ls *liveSession) touch(now time.Time) {
 // zero. The server calls it opportunistically on session creation and
 // from the janitor started by StartJanitor; tests drive it directly
 // with an injected clock.
-func (s *Server) Sweep() int {
+//
+// With a durable store configured, eviction is a demotion, not a
+// deletion: each victim's state is folded into a final snapshot before
+// it leaves RAM, so an idle session survives the restart that follows
+// and its WAL is already compact when it reloads. Victims are
+// registered in Server.demoting for the duration, so a DELETE landing
+// between table removal and the demotion snapshot can still fence the
+// session instead of losing the race and watching it resurrect.
+func (s *Server) Sweep() int { return s.sweep(true) }
+
+// sweepQuick is the create path's cap-relief sweep: eviction without
+// the per-victim demotion snapshots, so a client request that bounced
+// off the session cap never stalls behind snapshot IO. Skipping the
+// snapshot loses nothing — every victim's snapshot + WAL on disk is
+// already complete, just less compact than a demotion snapshot would
+// leave it.
+func (s *Server) sweepQuick() int { return s.sweep(false) }
+
+func (s *Server) sweep(withSnapshots bool) int {
 	if s.cfg.IdleTTL <= 0 {
 		return 0
 	}
+	type victim struct {
+		id string
+		ls *liveSession
+	}
+	var evict []victim
 	deadline := s.now().Add(-s.cfg.IdleTTL).UnixNano()
-	n := 0
-	for i := range s.store.shards {
-		sh := &s.store.shards[i]
+	for i := range s.sessions.shards {
+		sh := &s.sessions.shards[i]
 		sh.mu.Lock()
 		for id, ls := range sh.sessions {
 			if ls.lastAccess.Load() <= deadline {
+				if s.durable && withSnapshots {
+					// Registered before the table entry disappears, so
+					// there is no instant where the session is in
+					// neither structure.
+					s.demoting.Store(id, ls)
+				}
 				delete(sh.sessions, id)
-				s.store.active.Add(-1)
-				s.store.evicted.Add(1)
-				n++
+				s.sessions.active.Add(-1)
+				s.sessions.evicted.Add(1)
+				evict = append(evict, victim{id, ls})
 			}
 		}
 		sh.mu.Unlock()
 	}
+	// Demotion snapshots happen outside the shard locks: they take the
+	// session lock and do IO. An evicted session is unreachable through
+	// the table, so its final snapshot cannot race new writes; a
+	// concurrent DELETE goes through the demoting registry and the
+	// deleted fence.
+	if s.durable && withSnapshots {
+		for _, v := range evict {
+			if v.ls.walEvents.Load() > 0 {
+				if err := s.snapshotSession(v.id, v.ls); err != nil {
+					s.persist.errors.Add(1)
+				}
+			}
+			s.demoting.Delete(v.id)
+		}
+	}
+	return len(evict)
+}
+
+// SnapshotAged enforces the age half of the snapshot policy: every
+// session whose WAL has been accumulating for longer than
+// Config.SnapshotMaxAge is folded into a fresh snapshot. It returns
+// how many sessions were snapshotted. The janitor calls it on its
+// tick; it is deliberately NOT part of Sweep, which runs inline on the
+// create path when the session cap is hit — a client request must not
+// stall behind a fleet-wide re-snapshot that is pure background
+// hygiene.
+func (s *Server) SnapshotAged() int {
+	if !s.durable || s.cfg.SnapshotMaxAge <= 0 {
+		return 0
+	}
+	deadline := s.now().Add(-s.cfg.SnapshotMaxAge).UnixNano()
+	type victim struct {
+		id string
+		ls *liveSession
+	}
+	var stale []victim
+	s.sessions.forEach(func(id string, ls *liveSession) {
+		if ls.walEvents.Load() > 0 && ls.lastSnapshot.Load() <= deadline {
+			stale = append(stale, victim{id, ls})
+		}
+	})
+	n := 0
+	for _, v := range stale {
+		if err := s.snapshotSession(v.id, v.ls); err != nil {
+			s.persist.errors.Add(1)
+			continue
+		}
+		n++
+	}
 	return n
 }
 
-// StartJanitor sweeps idle sessions every interval until the returned
-// stop function is called. cmd/jimserver runs one; tests and embedded
-// users may prefer calling Sweep directly.
+// StartJanitor sweeps idle sessions and ages WAL snapshots every
+// interval until the returned stop function is called. cmd/jimserver
+// runs one; tests and embedded users may prefer calling Sweep and
+// SnapshotAged directly.
 func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = time.Minute
@@ -163,6 +273,7 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				s.Sweep()
+				s.SnapshotAged()
 			}
 		}
 	}()

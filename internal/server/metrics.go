@@ -146,6 +146,7 @@ type statsResponse struct {
 	Sessions      sessionStats             `json:"sessions"`
 	Labels        labelStats               `json:"labels"`
 	Ingest        ingestStats              `json:"ingest"`
+	Store         storeStats               `json:"store"`
 	Endpoints     map[string]endpointStats `json:"endpoints"`
 	EndpointOrder []string                 `json:"endpoint_order"`
 }
@@ -153,10 +154,42 @@ type statsResponse struct {
 type sessionStats struct {
 	Active   int64 `json:"active"`
 	Created  int64 `json:"created"`
+	Restored int64 `json:"restored"`
 	Deleted  int64 `json:"deleted"`
 	Evicted  int64 `json:"evicted"`
 	Rejected int64 `json:"rejected"`
 	Max      int   `json:"max,omitempty"`
+}
+
+// storeStats is the durability block of /stats and GET /v1/sessions:
+// which backend holds the sessions, how many live sessions were
+// replayed from it at startup, how much WAL/snapshot traffic it has
+// absorbed, and how stale the newest snapshot is.
+type storeStats struct {
+	Backend          string `json:"backend"`
+	RestoredSessions int64  `json:"restored_sessions"`
+	EventsLogged     int64  `json:"events_logged"`
+	Snapshots        int64  `json:"snapshots"`
+	PersistErrors    int64  `json:"persist_errors"`
+	// LastSnapshotAgeSeconds is the age of the most recent snapshot
+	// write; -1 when no snapshot has been written this process.
+	LastSnapshotAgeSeconds float64 `json:"last_snapshot_age_seconds"`
+}
+
+// storeStats assembles the durability block.
+func (s *Server) storeStats() storeStats {
+	st := storeStats{
+		Backend:                s.cfg.Store.Name(),
+		RestoredSessions:       s.sessions.restored.Load(),
+		EventsLogged:           s.persist.events.Load(),
+		Snapshots:              s.persist.snapshots.Load(),
+		PersistErrors:          s.persist.errors.Load(),
+		LastSnapshotAgeSeconds: -1,
+	}
+	if last := s.persist.lastSnapshot.Load(); last > 0 {
+		st.LastSnapshotAgeSeconds = time.Duration(s.now().UnixNano() - last).Seconds()
+	}
+	return st
 }
 
 type labelStats struct {
@@ -178,11 +211,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: uptime,
 		Sessions: sessionStats{
-			Active:   s.store.active.Load(),
-			Created:  s.store.created.Load(),
-			Deleted:  s.store.deleted.Load(),
-			Evicted:  s.store.evicted.Load(),
-			Rejected: s.store.rejected.Load(),
+			Active:   s.sessions.active.Load(),
+			Created:  s.sessions.created.Load(),
+			Restored: s.sessions.restored.Load(),
+			Deleted:  s.sessions.deleted.Load(),
+			Evicted:  s.sessions.evicted.Load(),
+			Rejected: s.sessions.rejected.Load(),
 			Max:      s.cfg.MaxSessions,
 		},
 		Labels: labelStats{Total: m.labels.Load()},
@@ -190,6 +224,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Appends:        m.appends.Load(),
 			TuplesAppended: m.tuplesAppended.Load(),
 		},
+		Store:     s.storeStats(),
 		Endpoints: make(map[string]endpointStats),
 	}
 	if uptime > 0 {

@@ -1,26 +1,3 @@
-// Package server exposes JIM over HTTP: sessions are created from a
-// CSV instance, the client fetches the next proposed tuple, posts
-// yes/no/skip answers, and reads the inferred predicate — the
-// demonstration's web tool as a JSON API, hardened for concurrent
-// service.
-//
-// The wire contract is versioned: every endpoint lives under /v1/ and
-// failures are a structured envelope {"error":{"code","message"}}
-// whose codes come from the public jim error taxonomy (jim.ErrorCode).
-// The original unversioned routes remain as aliases of the /v1
-// handlers; they answer identically but carry a Deprecation header and
-// a Link to their successor. See API.md for the endpoint reference.
-//
-// All inference behavior — proposal routing around skipped classes,
-// conflict handling, arrival parsing under the creation-time typing —
-// lives in jim.Session; this package is only routing, locks, and JSON
-// codecs over it. Sessions live in a sharded in-memory table; each
-// session carries its own RWMutex so read endpoints (/next, /topk,
-// /result, summaries) run concurrently and a slow request on one
-// session never blocks another. Lifecycle is managed: idle sessions
-// are evicted after a configurable TTL, a session cap rejects overload
-// with 429, and GET /v1/stats reports session counts, label
-// throughput, and per-endpoint latency.
 package server
 
 import (
@@ -40,6 +17,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/session"
 	"repro/internal/sqlgen"
+	"repro/internal/store"
 	"repro/internal/strategy"
 )
 
@@ -67,19 +45,61 @@ type Config struct {
 	// Entity Too Large instead of buffering an arbitrarily large
 	// CSV/JSON payload in memory. <= 0 means unlimited.
 	MaxBodyBytes int64
+	// Store persists sessions across restarts. nil (and store.NewMem())
+	// means no durability — the pre-durability in-RAM behavior. With a
+	// durable backend, every mutating request appends a WAL event after
+	// its in-memory apply, and Restore rebuilds the table at startup.
+	Store store.Store
+	// SnapshotEvery folds a session's WAL into a fresh snapshot after
+	// this many events (the size half of the snapshot policy). <= 0
+	// means DefaultSnapshotEvery. Ignored without a durable store.
+	SnapshotEvery int
+	// SnapshotMaxAge is the age half of the snapshot policy: Sweep
+	// re-snapshots sessions whose WAL has been accumulating for longer
+	// than this. <= 0 disables age-based snapshots.
+	SnapshotMaxAge time.Duration
 	// Now is the clock; nil means time.Now. Injectable for tests.
 	Now func() time.Time
 }
 
-// Server is an in-memory multi-session JIM service. The zero value is
-// not usable; call New or NewWith.
+// DefaultSnapshotEvery is the WAL length at which a session's state is
+// folded into a fresh snapshot: large enough that snapshot encoding is
+// rare next to event appends, small enough that recovery replays at
+// most a few hundred events per session.
+const DefaultSnapshotEvery = 256
+
+// Server is a multi-session JIM service: a sharded in-RAM session
+// table serving requests, with an optional durable store underneath
+// it. The zero value is not usable; call New or NewWith, and — with a
+// durable store — Restore before serving traffic.
 type Server struct {
-	cfg     Config
-	store   *store
-	metrics *metrics
-	nextID  atomic.Int64
+	cfg      Config
+	sessions *table
+	metrics  *metrics
+	nextID   atomic.Int64
+	// durable is true when cfg.Store is a real (non-mem) backend; it
+	// gates every persistence hook so the memstore path stays free.
+	durable bool
+	// snapshotEvery is the normalized Config.SnapshotEvery.
+	snapshotEvery int
+	// persist aggregates durability counters for /stats.
+	persist persistStats
+	// demoting tracks sessions between their removal from the table by
+	// Sweep and the completion of their demotion snapshot, so a DELETE
+	// landing in that window can still fence them (id → *liveSession).
+	demoting sync.Map
 	// now is the injectable clock (cfg.Now or time.Now).
 	now func() time.Time
+}
+
+// persistStats counts durable-store activity since process start.
+type persistStats struct {
+	events    atomic.Int64 // WAL events appended
+	snapshots atomic.Int64 // snapshots written
+	errors    atomic.Int64 // failed persistence operations
+	// lastSnapshot is the unix-nano time of the most recent snapshot
+	// write, 0 when none happened yet.
+	lastSnapshot atomic.Int64
 }
 
 // liveSession is one inference session: a jim.Session plus the locks
@@ -97,22 +117,52 @@ type liveSession struct {
 	lastAccess atomic.Int64 // unix nanos; maintained by touch
 
 	pickMu sync.Mutex
+
+	// Durability bookkeeping (meaningful only with a durable store).
+	// seed is the strategy seed from creation, recorded in snapshots so
+	// a recovered randomized session draws identically.
+	seed int64
+	// walEvents counts events logged since the last snapshot; the
+	// snapshot policy (size and age) keys off it.
+	walEvents atomic.Int64
+	// snapInFlight limits the session to one asynchronous size-policy
+	// snapshot at a time.
+	snapInFlight atomic.Bool
+	// lastSnapshot is the unix-nano time of this session's last
+	// snapshot.
+	lastSnapshot atomic.Int64
+	// deleted marks an explicitly deleted session (guarded by mu). It
+	// fences late persistence: a request that resolved the session
+	// before DELETE removed it must not re-create on-disk state the
+	// delete just compacted away.
+	deleted bool
 }
 
-// New returns an empty server with demo defaults (no cap, no TTL).
+// New returns an empty server with demo defaults (no cap, no TTL, no
+// durability).
 func New() *Server { return NewWith(Config{}) }
 
 // NewWith returns an empty server with the given lifecycle config.
+// With a durable store configured, call Restore next to reload
+// persisted sessions before serving traffic.
 func NewWith(cfg Config) *Server {
 	now := cfg.Now
 	if now == nil {
 		now = time.Now
 	}
+	if cfg.Store == nil {
+		cfg.Store = store.NewMem()
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
 	return &Server{
-		cfg:     cfg,
-		store:   newStore(),
-		metrics: newMetrics(now()),
-		now:     now,
+		cfg:           cfg,
+		sessions:      newTable(),
+		metrics:       newMetrics(now()),
+		durable:       cfg.Store.Name() != "mem",
+		snapshotEvery: cfg.SnapshotEvery,
+		now:           now,
 	}
 }
 
@@ -138,24 +188,59 @@ func NewWith(cfg Config) *Server {
 // GET /v1/strategies is new in v1 and has no legacy alias.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	alias := func(method, path string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" /"+APIVersion+path, h)
-		mux.HandleFunc(method+" "+path, deprecated(h))
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.method+" /"+APIVersion+rt.path, rt.handler)
+		if !rt.v1Only {
+			mux.HandleFunc(rt.method+" "+rt.path, deprecated(rt.handler))
+		}
 	}
-	alias("POST", "/sessions", s.handleCreate)
-	alias("GET", "/sessions", s.handleList)
-	alias("POST", "/sessions/import", s.handleImport)
-	alias("GET", "/stats", s.handleStats)
-	alias("GET", "/sessions/{id}", s.readSession(s.handleSummary))
-	alias("DELETE", "/sessions/{id}", s.handleDelete)
-	alias("GET", "/sessions/{id}/next", s.readSession(s.handleNext))
-	alias("GET", "/sessions/{id}/topk", s.readSession(s.handleTopK))
-	alias("POST", "/sessions/{id}/label", s.writeSession(s.handleLabel))
-	alias("POST", "/sessions/{id}/tuples", s.writeSession(s.handleAppend))
-	alias("GET", "/sessions/{id}/result", s.readSession(s.handleResult))
-	alias("GET", "/sessions/{id}/export", s.readSession(s.handleExport))
-	mux.HandleFunc("GET /"+APIVersion+"/strategies", s.handleStrategies)
 	return s.instrument(mux)
+}
+
+// route is one entry of the wire contract: a versioned endpoint and
+// whether its pre-versioning alias still answers.
+type route struct {
+	method string
+	// path is the route pattern without the version prefix, e.g.
+	// "/sessions/{id}/next".
+	path    string
+	handler http.HandlerFunc
+	// v1Only marks endpoints added after versioning: no legacy alias.
+	v1Only bool
+}
+
+// routes is the single registration table Handler builds the mux from
+// and Routes exposes — the documentation test in docs_test.go holds
+// API.md to exactly this list, so the reference cannot drift from the
+// code.
+func (s *Server) routes() []route {
+	return []route{
+		{"POST", "/sessions", s.handleCreate, false},
+		{"GET", "/sessions", s.handleList, false},
+		{"POST", "/sessions/import", s.handleImport, false},
+		{"GET", "/stats", s.handleStats, false},
+		{"GET", "/sessions/{id}", s.readSession(s.handleSummary), false},
+		{"DELETE", "/sessions/{id}", s.handleDelete, false},
+		{"GET", "/sessions/{id}/next", s.readSession(s.handleNext), false},
+		{"GET", "/sessions/{id}/topk", s.readSession(s.handleTopK), false},
+		{"POST", "/sessions/{id}/label", s.writeSession(s.handleLabel), false},
+		{"POST", "/sessions/{id}/tuples", s.writeSession(s.handleAppend), false},
+		{"GET", "/sessions/{id}/result", s.readSession(s.handleResult), false},
+		{"GET", "/sessions/{id}/export", s.readSession(s.handleExport), false},
+		{"GET", "/strategies", s.handleStrategies, true},
+	}
+}
+
+// Routes returns every versioned endpoint as "METHOD /v1/path", sorted
+// — the machine-readable wire contract, used by the docs-consistency
+// test.
+func (s *Server) Routes() []string {
+	var out []string
+	for _, rt := range s.routes() {
+		out = append(out, rt.method+" /"+APIVersion+rt.path)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // deprecated marks a legacy unversioned route: same behavior, plus the
@@ -240,7 +325,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeTypedError(w, err)
 		return
 	}
-	s.create(w, &liveSession{sess: sess, createdAt: s.now()})
+	s.create(w, &liveSession{sess: sess, createdAt: s.now(), seed: req.Seed})
 }
 
 // handleImport restores a session from an exported file. Session
@@ -271,32 +356,53 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 
 // create registers a fresh session, enforcing the cap. When at the
 // cap, expired sessions are swept first so a full table of abandoned
-// sessions does not lock out live users.
+// sessions does not lock out live users. With a durable store, the
+// session's initial snapshot is written before the 201 goes out — a
+// created session is a recoverable session.
 func (s *Server) create(w http.ResponseWriter, ls *liveSession) {
 	ls.touch(s.now())
 	id := fmt.Sprintf("s%04d", s.nextID.Add(1))
 	// Snapshot the summary before put publishes the session: ids are
 	// predictable, so a concurrent writer could mutate it immediately.
 	summary := summarize(id, ls)
-	err := s.store.put(id, ls, s.cfg.MaxSessions)
-	if errors.Is(err, errSessionCap) && s.Sweep() > 0 {
-		err = s.store.put(id, ls, s.cfg.MaxSessions)
+	err := s.sessions.put(id, ls, s.cfg.MaxSessions)
+	if errors.Is(err, errSessionCap) && s.sweepQuick() > 0 {
+		err = s.sessions.put(id, ls, s.cfg.MaxSessions)
 	}
 	if err != nil {
-		s.store.rejected.Add(1)
+		s.sessions.rejected.Add(1)
 		writeError(w, jim.CodeTooManySessions,
-			"%v (%d active, max %d)", err, s.store.active.Load(), s.cfg.MaxSessions)
+			"%v (%d active, max %d)", err, s.sessions.active.Load(), s.cfg.MaxSessions)
 		return
+	}
+	if s.durable {
+		if err := s.snapshotSession(id, ls); err != nil {
+			// A session the store cannot hold must not exist: undo the
+			// insert (rollback, so a failed create never reads as
+			// created+deleted churn in /stats), and purge — ids are
+			// predictable, so a concurrent request may already have
+			// logged an event into what would otherwise survive as a
+			// WAL-only remnant poisoning every future Restore.
+			s.sessions.rollback(id)
+			_ = s.purge(id, ls)
+			s.persist.errors.Add(1)
+			writeError(w, jim.CodeInternal, "persisting session: %v", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusCreated, summary)
 }
 
-// listResponse is one page of session summaries, ordered by id.
+// listResponse is one page of session summaries, ordered by id, plus
+// the durability block operators poll: which backend is holding the
+// sessions, how many of the live ones were replayed from it at
+// startup, and how stale the newest snapshot is.
 type listResponse struct {
 	Sessions []sessionSummary `json:"sessions"`
 	Total    int              `json:"total"`
 	Limit    int              `json:"limit"`
 	Offset   int              `json:"offset"`
+	Store    storeStats       `json:"store"`
 }
 
 // handleList serves a stable page of session summaries: sessions are
@@ -319,7 +425,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		ls *liveSession
 	}
 	var all []entry
-	s.store.forEach(func(id string, ls *liveSession) {
+	s.sessions.forEach(func(id string, ls *liveSession) {
 		all = append(all, entry{id, ls})
 	})
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
@@ -328,6 +434,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Total:    len(all),
 		Limit:    limit,
 		Offset:   offset,
+		Store:    s.storeStats(),
 	}
 	for i := offset; i < len(all) && i < offset+limit; i++ {
 		e := all[i]
@@ -388,8 +495,39 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.delete(id) {
+	ls, ok := s.sessions.get(id)
+	if !ok || !s.sessions.delete(id) {
+		// Not in RAM — but with a durable store the id may name a
+		// TTL-demoted session: mid-demotion (fence it so the pending
+		// demotion snapshot cannot re-create what we are about to
+		// discard) or fully parked on disk. DELETE means gone either
+		// way; garbage ids (not the server's own shape) have nothing
+		// to purge. The response stays 404 — the session was already
+		// unreachable — and purge failures surface via persist_errors.
+		if s.durable {
+			switch {
+			case ok:
+				// get saw it but a sweep raced the delete; we still
+				// hold the liveSession, so fence it — an async
+				// size-policy snapshot may be in flight.
+				_ = s.purge(id, ls)
+			default:
+				if v, mid := s.demoting.Load(id); mid {
+					_ = s.purge(id, v.(*liveSession))
+				} else if _, serverID := numericID(id); serverID {
+					_ = s.purge(id, nil)
+				}
+			}
+		}
 		writeError(w, jim.CodeNotFound, "no session %q", id)
+		return
+	}
+	// An explicit delete discards the durable copy too — unlike
+	// eviction, which demotes the session to disk. A failure here
+	// leaves an orphan that would resurrect on restart, so it is
+	// reported rather than swallowed.
+	if err := s.purge(id, ls); err != nil {
+		writeError(w, jim.CodeInternal, "discarding persisted session: %v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -412,7 +550,7 @@ func (s *Server) writeSession(h sessionHandler) http.HandlerFunc {
 func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		ls, ok := s.store.get(id)
+		ls, ok := s.sessions.get(id)
 		if !ok {
 			writeError(w, jim.CodeNotFound, "no session %q", id)
 			return
@@ -472,9 +610,26 @@ type nextResponse struct {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	// A proposal that starts a re-offer round mutates the skip set —
+	// the one state change a read path makes — and must reach the WAL,
+	// or replayed skips would accumulate onto a set the live session
+	// had cleared and recovery would propose different tuples. The
+	// clear and its event are logged under pickMu as one unit, so a
+	// concurrent snapshot (which holds pickMu across capture and
+	// sequence stamping) sees either neither or both; skip events
+	// themselves take the write lock, which this handler's read lock
+	// excludes.
 	ls.pickMu.Lock()
+	clearsBefore := ls.sess.Core().SkipClears()
 	i, ok := ls.sess.Propose()
+	persisted := true
+	if ls.sess.Core().SkipClears() != clearsBefore {
+		persisted = s.persistEvent(w, id, ls, clearEvent())
+	}
 	ls.pickMu.Unlock()
+	if !persisted {
+		return
+	}
 	if !ok {
 		writeJSON(w, http.StatusOK, nextResponse{Done: ls.sess.Done()})
 		return
@@ -549,6 +704,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 			writeTypedError(w, err)
 			return
 		}
+		if !s.persistEvent(w, id, ls, skipEvent(req.Index)) {
+			return
+		}
 		writeJSON(w, http.StatusOK, ls.labelResponse(nil))
 		return
 	default:
@@ -558,6 +716,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 	out, err := ls.sess.Answer(req.Index, l)
 	if err != nil {
 		writeTypedError(w, err)
+		return
+	}
+	if !s.persistEvent(w, id, ls, labelEvent(req.Index, l)) {
 		return
 	}
 	s.metrics.labels.Add(1)
@@ -622,6 +783,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, id string,
 	newly, err := ls.sess.Append(tuples)
 	if err != nil {
 		writeTypedError(w, err)
+		return
+	}
+	if !s.persistEvent(w, id, ls, appendEvent(tuples)) {
 		return
 	}
 	s.metrics.appends.Add(1)

@@ -1,0 +1,21 @@
+// Package session persists JIM inference sessions: the instance, the
+// explicit labels given so far, and run metadata, as a versioned JSON
+// document. A session can be saved mid-run and resumed later — implied
+// labels and the hypothesis summary are re-derived by replaying the
+// explicit labels, so files stay small and cannot desynchronize from
+// the inference logic.
+//
+// The document ("session format") is the repository's one canonical
+// serialization of inference state. It is what GET /v1/sessions/{id}/export
+// serves and POST /v1/sessions/import accepts, what jim.SaveSession
+// and jim.LoadSession read and write, and — wrapped in an envelope
+// carrying run configuration — what the durable session store
+// (internal/store) uses as its snapshot format.
+//
+// Format version 2 adds base_rows, recording how much of the instance
+// was present at session creation versus streamed in afterwards via
+// State.Append; v1 files still load, reading as sessions whose whole
+// instance was present at creation. Cells are stored in tagged-value
+// encoding (values.Tag), so reloading never re-infers cell kinds and
+// Eq signatures survive the round trip exactly.
+package session

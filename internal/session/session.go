@@ -1,9 +1,3 @@
-// Package session persists JIM inference sessions: the instance, the
-// explicit labels given so far, and run metadata, as a versioned JSON
-// document. A session can be saved mid-run and resumed later — implied
-// labels and the hypothesis summary are re-derived by replaying the
-// explicit labels, so files stay small and cannot desynchronize from
-// the inference logic.
 package session
 
 import (

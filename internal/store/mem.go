@@ -1,0 +1,27 @@
+package store
+
+// Mem is the no-op backend: sessions live only in the server's RAM,
+// exactly the pre-durability behavior. It is the default store, and
+// what benchmarks compare the disk backend against.
+type Mem struct{}
+
+// NewMem returns the in-memory (no-op) store.
+func NewMem() *Mem { return &Mem{} }
+
+// Name reports "mem".
+func (*Mem) Name() string { return "mem" }
+
+// AppendEvent discards the event.
+func (*Mem) AppendEvent(id string, ev Event) error { return validID(id) }
+
+// Snapshot discards the snapshot.
+func (*Mem) Snapshot(id string, snap Snapshot) error { return validID(id) }
+
+// LoadAll finds nothing: nothing survives a restart.
+func (*Mem) LoadAll() ([]Saved, error) { return nil, nil }
+
+// Compact has nothing to discard.
+func (*Mem) Compact(id string) error { return validID(id) }
+
+// Close is a no-op.
+func (*Mem) Close() error { return nil }

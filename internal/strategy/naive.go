@@ -3,7 +3,6 @@ package strategy
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/partition"
@@ -34,9 +33,8 @@ import (
 func Naive(name string, seed int64) (core.KPicker, error) {
 	switch name {
 	case "random":
-		r := rand.New(rand.NewSource(seed))
 		return &naiveRanked{name: "random", score: func(st *core.State, g *core.SigGroup) float64 {
-			return math.Pow(r.Float64(), 1/float64(len(g.Indices)))
+			return randomScore(seed, st, g)
 		}}, nil
 	case "local-most-specific":
 		return &naiveRanked{name: name, score: func(st *core.State, g *core.SigGroup) float64 {

@@ -89,15 +89,23 @@ func TestParallelPickKMatchesSequential(t *testing.T) {
 }
 
 func TestNonParallelStrategiesStaySequential(t *testing.T) {
-	// Random (shared RNG) and lookahead-2 (shared cache) must never fan
-	// out; this is encoded in their construction.
-	for _, s := range []core.KPicker{Random(1), Lookahead2()} {
-		r, ok := s.(*ranked)
+	// Lookahead-2 (shared cache) must never fan out; this is encoded in
+	// its construction. Random became parallel-safe when its draws
+	// turned into a pure hash of (seed, state version, class) — assert
+	// that too, so a regression back to a shared RNG is caught.
+	for _, tc := range []struct {
+		s        core.KPicker
+		parallel bool
+	}{
+		{Lookahead2(), false},
+		{Random(1), true},
+	} {
+		r, ok := tc.s.(*ranked)
 		if !ok {
-			t.Fatalf("%s is not ranked-based", s.Name())
+			t.Fatalf("%s is not ranked-based", tc.s.Name())
 		}
-		if r.parallel {
-			t.Errorf("%s marked parallel-safe", s.Name())
+		if r.parallel != tc.parallel {
+			t.Errorf("%s parallel = %v, want %v", tc.s.Name(), r.parallel, tc.parallel)
 		}
 	}
 }

@@ -49,7 +49,7 @@ func TestPickKHeapMatchesSelectionSort(t *testing.T) {
 			frozen[g.Pos] = fn(st, g)
 		}
 		score := func(st *core.State, g *core.SigGroup) float64 { return frozen[g.Pos] }
-		fast := &ranked{name: "test", score: score, volatile: true}
+		fast := &ranked{name: "test", score: score}
 		slow := &naiveRanked{name: "test", score: score}
 		for _, k := range []int{0, 1, 2, 3, classes - 1, classes, classes + 10, 10 * classes} {
 			got := fast.PickK(st, k)
@@ -75,9 +75,8 @@ func TestPickKHeapMatchesSelectionSort(t *testing.T) {
 func TestPickKTiesPreferEarlierClass(t *testing.T) {
 	st := newTestState(t, 9)
 	tied := &ranked{
-		name:     "tied",
-		volatile: true,
-		score:    func(st *core.State, g *core.SigGroup) float64 { return 42 },
+		name:  "tied",
+		score: func(st *core.State, g *core.SigGroup) float64 { return 42 },
 	}
 	groups := st.InformativeGroups()
 	got := tied.PickK(st, 4)

@@ -1,31 +1,9 @@
-// Package strategy implements JIM's tuple-presentation strategies Υ: a
-// strategy maps the current inference state to the next informative
-// tuple to show the user. The paper classifies strategies as local
-// (simple fixed orders), lookahead (score by the quantity of
-// information a label would contribute, via a generalized notion of
-// entropy), and random for comparison; an exponential optimal strategy
-// exists but is impractical (implemented in this package for tiny
-// instances as an ablation).
-//
-// All strategies operate on signature classes (core.SigGroup): tuples
-// with the same Eq signature are interchangeable for every hypothesis,
-// so scoring classes instead of tuples is an exact optimization.
-//
-// Scoring is incremental: ranked keeps its per-class scores keyed on
-// core.State.Version, so a pick after no new label reuses them
-// outright, and the local strategies — whose scores depend only on
-// M_P and the class signature — additionally survive every Apply that
-// leaves M_P in place (in particular, every negative label) via
-// core.State.MPVersion. naive.go holds the from-scratch reference
-// implementations that the differential tests and benchmarks compare
-// against.
 package strategy
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -66,10 +44,6 @@ type ranked struct {
 	// mpOnly marks score as a function of M_P and the class signature
 	// alone: cached scores stay valid while State.MPVersion stands.
 	mpOnly bool
-	// volatile disables caching entirely (the random strategy draws a
-	// fresh score per evaluation; reusing draws would change its
-	// distribution and its seeded sequences).
-	volatile bool
 
 	cst            *core.State // state the cache belongs to
 	cversion       int         // State.Version the scores were computed at
@@ -90,7 +64,7 @@ func (s *ranked) Name() string { return s.name }
 // rankings conditioned on the old class set invalidate exactly when
 // the structure changes.
 func (s *ranked) refresh(st *core.State) []*core.SigGroup {
-	if s.cvalid && s.cst == st && !s.volatile && s.cstructVersion == st.StructureVersion() {
+	if s.cvalid && s.cst == st && s.cstructVersion == st.StructureVersion() {
 		if s.cversion == st.Version() {
 			return s.infBuf
 		}
@@ -257,15 +231,52 @@ func firstUnlabeled(st *core.State, g *core.SigGroup) int {
 // to their size (the weighted-sampling key u^(1/w)), which is exactly
 // a uniform draw over informative tuples. Seeded for reproducible
 // experiments.
+//
+// Each class's draw u is a hash of (seed, explicit-label count,
+// instance size, class position) rather than a step of a mutable RNG:
+// every labeling step and every arrival batch gets a fresh
+// independent draw,
+// but the draw is a pure function of the state. That keeps
+// re-proposing without new information stable, makes scoring
+// parallel-safe, and — the property the durable session store relies
+// on — lets a session recovered from a snapshot + WAL replay propose
+// exactly the tuples the uninterrupted run would have. naive.go
+// mirrors the formula.
 func Random(seed int64) core.KPicker {
-	r := rand.New(rand.NewSource(seed))
 	return &ranked{
 		name:     "random",
-		volatile: true,
+		parallel: true,
 		score: func(st *core.State, g *core.SigGroup) float64 {
-			return math.Pow(r.Float64(), 1/float64(len(g.Indices)))
+			return randomScore(seed, st, g)
 		},
 	}
+}
+
+// randomScore is the shared weighted-sampling key of the incremental
+// and naive random strategies. The hash is keyed on logical state —
+// explicit-label count and instance size — rather than the state's
+// version counters, which depend on the construction path: a state
+// rebuilt from a snapshot (one big Append) must draw exactly like the
+// live state it mirrors (many small ones).
+func randomScore(seed int64, st *core.State, g *core.SigGroup) float64 {
+	p := st.Progress()
+	u := hashUnit(uint64(seed), uint64(p.Explicit), uint64(p.Total), uint64(g.Pos))
+	return math.Pow(u, 1/float64(len(g.Indices)))
+}
+
+// hashUnit mixes its words through SplitMix64 finalizers into a
+// uniform float64 in (0,1).
+func hashUnit(words ...uint64) float64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h += w
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return (float64(h>>11) + 0.5) / (1 << 53)
 }
 
 // LocalMostSpecific returns the local strategy preferring tuples whose

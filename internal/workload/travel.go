@@ -1,7 +1,3 @@
-// Package workload builds the instances JIM is evaluated on: the
-// paper's flight&hotel motivating example (Figure 1), synthetic
-// instances with planted goal queries, and a star-schema generator
-// standing in for the benchmark datasets of the companion paper.
 package workload
 
 import (

@@ -57,6 +57,7 @@ type options struct {
 	noBaseline bool
 	stream     int
 	noDisk     bool
+	procs      []int
 }
 
 func main() {
@@ -80,7 +81,13 @@ func main() {
 	flag.BoolVar(&o.noBaseline, "no-baseline", false, "skip the naive reference measurement (with -core)")
 	flag.IntVar(&o.stream, "stream", 0, "streaming-ingestion batches: 0 = mode default (16 with -core; 6 with -server), negative disables")
 	flag.BoolVar(&o.noDisk, "no-disk", false, "skip the durability-on (disk store) runs and the restart scenario (with -server)")
+	procs := flag.String("procs", "auto", "GOMAXPROCS sweep for the scaling entries: comma-separated counts, auto = 1, half, and all cores, empty disables (with -core and -server)")
 	flag.Parse()
+	var err error
+	if o.procs, err = parseProcs(*procs); err != nil {
+		fmt.Fprintln(os.Stderr, "jimbench:", err)
+		os.Exit(2)
+	}
 	o.expOpts = experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
 	if o.workloads == "" {
 		if o.core {
@@ -146,7 +153,16 @@ type serverBench struct {
 	// Restart is the kill/recover scenario: labeled work before the
 	// kill, recovery wall time, and the proposal-verification outcome.
 	Restart *loadtest.RestartReport `json:"restart,omitempty"`
-	Totals  benchTotals             `json:"totals"`
+	// ProcsSweep re-runs the one-round-trip /step scenario at each
+	// requested GOMAXPROCS — the service-layer scaling curve.
+	ProcsSweep []serverProcsRun `json:"procs_sweep,omitempty"`
+	Totals     benchTotals      `json:"totals"`
+}
+
+// serverProcsRun is one point of the server-side GOMAXPROCS sweep.
+type serverProcsRun struct {
+	Procs  int              `json:"procs"`
+	Report *loadtest.Report `json:"report"`
 }
 
 type benchTotals struct {
@@ -175,6 +191,7 @@ func runServerBench(w io.Writer, o options) error {
 		stream   int
 		store    string
 		fsync    bool
+		step     bool
 	}
 	classic := splitList(o.workloads)
 	if len(classic) == 0 {
@@ -183,6 +200,11 @@ func runServerBench(w io.Writer, o options) error {
 	var runs []benchRun
 	for _, wl := range classic {
 		runs = append(runs, benchRun{workload: wl})
+	}
+	// One-round-trip /step variants: same dialogues, half the requests
+	// per question — the report tracks what the combined endpoint buys.
+	for _, wl := range []string{"travel", "zipf"} {
+		runs = append(runs, benchRun{workload: wl, step: true})
 	}
 	if stream := o.stream; stream >= 0 {
 		if stream == 0 {
@@ -213,6 +235,7 @@ func runServerBench(w io.Writer, o options) error {
 			StreamBatches:   br.stream,
 			Store:           br.store,
 			Fsync:           br.fsync,
+			UseStep:         br.step,
 			Seed:            o.expOpts.Seed,
 		})
 		if err != nil {
@@ -227,6 +250,9 @@ func runServerBench(w io.Writer, o options) error {
 		name := br.workload
 		if br.stream > 0 {
 			name = fmt.Sprintf("%s+stream%d", br.workload, br.stream)
+		}
+		if br.step {
+			name += "+step"
 		}
 		if br.store != "" {
 			name = fmt.Sprintf("%s+%s", name, br.store)
@@ -258,6 +284,32 @@ func runServerBench(w io.Writer, o options) error {
 			"restart", rr.RecoveredSessions, rr.Sessions, rr.RecoveryMS,
 			rr.LabelsBeforeKill, rr.VerifiedProposals-rr.Mismatches, rr.VerifiedProposals)
 	}
+	// GOMAXPROCS sweep over the /step scenario: the same one-round-trip
+	// dialogue load at each processor count, so the artifact records how
+	// the service scales with cores on this machine.
+	if len(o.procs) > 0 {
+		prev := runtime.GOMAXPROCS(0)
+		for _, p := range o.procs {
+			runtime.GOMAXPROCS(p)
+			rep, err := loadtest.Run(loadtest.Config{
+				Users:           o.users,
+				SessionsPerUser: o.sessions,
+				Workload:        "travel",
+				Strategy:        o.strategy,
+				UseStep:         true,
+				Seed:            o.expOpts.Seed,
+			})
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return err
+			}
+			bench.ProcsSweep = append(bench.ProcsSweep, serverProcsRun{Procs: p, Report: rep})
+			fmt.Fprintf(w, "%-14s %4d/%d sessions  %8.1f req/s  %7.1f sessions/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+				fmt.Sprintf("procs=%d+step", p), rep.Completed, rep.Sessions, rep.RequestsPerSec, rep.SessionsPerSec,
+				rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
 	if len(bench.Workloads) == 0 {
 		return fmt.Errorf("no workloads selected")
 	}
@@ -287,6 +339,7 @@ func runCoreBench(w io.Writer, o options) error {
 		Sessions:      o.runs,
 		Baseline:      !o.noBaseline,
 		StreamBatches: o.stream, // 0 = corebench default, negative disables
+		Procs:         o.procs,
 		Seed:          o.expOpts.Seed,
 	}
 	if o.strategies != "" {
@@ -311,6 +364,35 @@ func runCoreBench(w io.Writer, o options) error {
 	fmt.Fprintf(w, "wrote %s: %d workloads at %d tuples, %d timed picks\n",
 		o.out, len(rep.Workloads), rep.Tuples, picks)
 	return nil
+}
+
+// parseProcs resolves the -procs flag: "" disables the sweep, "auto"
+// picks 1, half the cores, and all cores (deduplicated — a single-core
+// machine sweeps just [1]), and anything else is a comma-separated list
+// of processor counts.
+func parseProcs(s string) ([]int, error) {
+	switch s {
+	case "":
+		return nil, nil
+	case "auto":
+		n := runtime.NumCPU()
+		var out []int
+		for _, p := range []int{1, n / 2, n} {
+			if p >= 1 && (len(out) == 0 || out[len(out)-1] != p) {
+				out = append(out, p)
+			}
+		}
+		return out, nil
+	}
+	var out []int
+	for _, e := range splitList(s) {
+		var p int
+		if _, err := fmt.Sscanf(e, "%d", &p); err != nil || p < 1 {
+			return nil, fmt.Errorf("-procs wants positive counts or auto, got %q", e)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

@@ -66,6 +66,7 @@ func TestRunServerBench(t *testing.T) {
 		strategy:  "lookahead-maxmin",
 		stream:    -1, // classic runs only; streaming covered separately
 		noDisk:    true,
+		procs:     []int{1},
 		out:       out,
 		expOpts:   quickOpts(),
 	}
@@ -83,10 +84,27 @@ func TestRunServerBench(t *testing.T) {
 	if bench.Benchmark != "jim-server-loadtest" || bench.Users != 8 {
 		t.Errorf("bench header = %+v", bench)
 	}
-	if len(bench.Workloads) != 2 {
-		t.Fatalf("workloads = %d, want 2", len(bench.Workloads))
+	// travel + zipf classic, plus the /step variants of both.
+	if len(bench.Workloads) != 4 {
+		t.Fatalf("workloads = %d, want 4", len(bench.Workloads))
 	}
-	if bench.Totals.Sessions != 16 || bench.Totals.Completed != 16 || bench.Totals.Errors != 0 {
+	stepRuns := 0
+	for _, rep := range bench.Workloads {
+		if rep.UseStep {
+			stepRuns++
+			if rep.Errors != 0 {
+				t.Errorf("%s step run errors: %s", rep.Workload, rep.FirstError)
+			}
+		}
+	}
+	if stepRuns != 2 {
+		t.Fatalf("step entries = %d, want 2", stepRuns)
+	}
+	if len(bench.ProcsSweep) != 1 || bench.ProcsSweep[0].Procs != 1 ||
+		bench.ProcsSweep[0].Report == nil || !bench.ProcsSweep[0].Report.UseStep {
+		t.Fatalf("procs sweep = %+v, want one 1-proc /step entry", bench.ProcsSweep)
+	}
+	if bench.Totals.Sessions != 32 || bench.Totals.Completed != 32 || bench.Totals.Errors != 0 {
 		t.Errorf("totals = %+v", bench.Totals)
 	}
 	for _, rep := range bench.Workloads {
@@ -111,6 +129,7 @@ func TestRunCoreBench(t *testing.T) {
 		runs:       1,
 		workloads:  "zipf,star",
 		strategies: "lookahead-maxmin",
+		procs:      []int{1},
 		out:        out,
 		expOpts:    quickOpts(),
 	}
@@ -138,6 +157,17 @@ func TestRunCoreBench(t *testing.T) {
 		sr := wl.Results[0]
 		if sr.Incremental.Picks == 0 || sr.Naive == nil || sr.PickSpeedup <= 0 {
 			t.Errorf("%s: incomplete comparison %+v", wl.Workload, sr)
+		}
+	}
+	if len(bench.ProcsSweep) != 2 { // one entry per workload at 1 proc
+		t.Fatalf("procs sweep = %+v, want 2 entries", bench.ProcsSweep)
+	}
+	for _, e := range bench.ProcsSweep {
+		if e.Procs != 1 || e.Strategy != "lookahead-maxmin" || e.PicksPerSec <= 0 {
+			t.Errorf("sweep entry incomplete: %+v", e)
+		}
+		if e.SpeedupVs1 != 1 {
+			t.Errorf("1-proc entry speedup = %v, want 1 (it is its own baseline)", e.SpeedupVs1)
 		}
 	}
 	if !strings.Contains(buf.String(), "wrote "+out) {
@@ -195,8 +225,8 @@ func TestRunServerBenchStreaming(t *testing.T) {
 	if err := json.Unmarshal(data, &bench); err != nil {
 		t.Fatal(err)
 	}
-	if len(bench.Workloads) != 3 { // travel classic + zipf/star streaming
-		t.Fatalf("workloads = %d, want 3", len(bench.Workloads))
+	if len(bench.Workloads) != 5 { // travel classic + travel/zipf step + zipf/star streaming
+		t.Fatalf("workloads = %d, want 5", len(bench.Workloads))
 	}
 	streaming := 0
 	for _, rep := range bench.Workloads {

@@ -23,6 +23,7 @@
 //	GET    /v1/strategies            strategy discovery
 //	GET    /v1/sessions/{id}/next    next proposed tuple
 //	POST   /v1/sessions/{id}/label   {"index": 3, "label": "+"}
+//	POST   /v1/sessions/{id}/step    answer + next proposal in one round trip
 //	POST   /v1/sessions/{id}/tuples  stream new tuples into the instance
 //	GET    /v1/sessions/{id}/result  inferred predicate + SQL
 //	GET    /v1/sessions/{id}/export  persistable session file
@@ -41,6 +42,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/strategy"
 )
 
 // config is everything main parses; newServer is kept separate so
@@ -51,6 +53,11 @@ type config struct {
 	sessionTTL   time.Duration
 	sweepEvery   time.Duration
 	maxBodyBytes int64
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+	scoreWorkers int
 
 	storeBackend   string
 	dataDir        string
@@ -67,6 +74,10 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.sessionTTL, "session-ttl", 0, "evict sessions idle for this long (0 = never)")
 	fs.DurationVar(&cfg.sweepEvery, "sweep-every", time.Minute, "how often the janitor scans for expired sessions")
 	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 32<<20, "cap on create/import/append request bodies; larger get 413 (0 = unlimited)")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "max duration for reading an entire request, body included (0 = unlimited)")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "max duration for writing a response (0 = unlimited)")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection is closed (0 = unlimited)")
+	fs.IntVar(&cfg.scoreWorkers, "score-workers", 0, "cap on background scoring workers shared by all sessions (0 = GOMAXPROCS-1)")
 	fs.StringVar(&cfg.storeBackend, "store", "mem", "session store backend: mem (no durability) or disk (WAL + snapshots under -data-dir)")
 	fs.StringVar(&cfg.dataDir, "data-dir", "jim-data", "data directory for -store disk")
 	fs.BoolVar(&cfg.fsync, "fsync", true, "fsync WAL appends and snapshots (group-committed); off trades machine-crash durability for latency")
@@ -83,6 +94,13 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.maxBodyBytes < 0 {
 		return cfg, fmt.Errorf("-max-body-bytes must be >= 0, got %d", cfg.maxBodyBytes)
+	}
+	if cfg.readTimeout < 0 || cfg.writeTimeout < 0 || cfg.idleTimeout < 0 {
+		return cfg, fmt.Errorf("timeouts must be >= 0, got read=%v write=%v idle=%v",
+			cfg.readTimeout, cfg.writeTimeout, cfg.idleTimeout)
+	}
+	if cfg.scoreWorkers < 0 {
+		return cfg, fmt.Errorf("-score-workers must be >= 0, got %d", cfg.scoreWorkers)
 	}
 	switch cfg.storeBackend {
 	case "mem", "disk":
@@ -154,10 +172,17 @@ func main() {
 		defer stop()
 	}
 
+	// Bound the pool of scoring helpers all sessions share; 0 keeps the
+	// GOMAXPROCS-1 default.
+	strategy.SetMaxWorkers(cfg.scoreWorkers)
+
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
 	}
 
 	// Drain in-flight requests on SIGINT/SIGTERM.

@@ -18,6 +18,9 @@ func base() config {
 		addr:           "127.0.0.1:8080",
 		sweepEvery:     time.Minute,
 		maxBodyBytes:   32 << 20,
+		readTimeout:    30 * time.Second,
+		writeTimeout:   30 * time.Second,
+		idleTimeout:    2 * time.Minute,
 		storeBackend:   "mem",
 		dataDir:        "jim-data",
 		fsync:          true,
@@ -33,6 +36,10 @@ func TestParseFlags(t *testing.T) {
 	full.sessionTTL = 30 * time.Minute
 	full.sweepEvery = 10 * time.Second
 	full.maxBodyBytes = 1024
+	full.readTimeout = time.Minute
+	full.writeTimeout = 45 * time.Second
+	full.idleTimeout = 5 * time.Minute
+	full.scoreWorkers = 2
 	disk := base()
 	disk.storeBackend = "disk"
 	disk.dataDir = "/var/lib/jim"
@@ -52,7 +59,7 @@ func TestParseFlags(t *testing.T) {
 		},
 		{
 			name: "full",
-			args: []string{"-addr", ":9090", "-max-sessions", "100", "-session-ttl", "30m", "-sweep-every", "10s", "-max-body-bytes", "1024"},
+			args: []string{"-addr", ":9090", "-max-sessions", "100", "-session-ttl", "30m", "-sweep-every", "10s", "-max-body-bytes", "1024", "-read-timeout", "1m", "-write-timeout", "45s", "-idle-timeout", "5m", "-score-workers", "2"},
 			want: full,
 		},
 		{
@@ -63,6 +70,10 @@ func TestParseFlags(t *testing.T) {
 		{name: "negative cap", args: []string{"-max-sessions", "-1"}, wantErr: true},
 		{name: "negative ttl", args: []string{"-session-ttl", "-5s"}, wantErr: true},
 		{name: "negative body cap", args: []string{"-max-body-bytes", "-1"}, wantErr: true},
+		{name: "negative read timeout", args: []string{"-read-timeout", "-1s"}, wantErr: true},
+		{name: "negative write timeout", args: []string{"-write-timeout", "-1s"}, wantErr: true},
+		{name: "negative idle timeout", args: []string{"-idle-timeout", "-1s"}, wantErr: true},
+		{name: "negative score workers", args: []string{"-score-workers", "-1"}, wantErr: true},
 		{name: "unknown store", args: []string{"-store", "redis"}, wantErr: true},
 		{name: "disk without dir", args: []string{"-store", "disk", "-data-dir", ""}, wantErr: true},
 		{name: "zero snapshot-every", args: []string{"-snapshot-every", "0"}, wantErr: true},

@@ -22,7 +22,11 @@ type Picker interface {
 // KPicker ranks the k most informative tuples for interaction mode 3.
 type KPicker interface {
 	Picker
-	// PickK returns up to k informative tuple indices, best first.
+	// PickK returns up to k informative tuple indices, best first. The
+	// returned slice may alias a buffer the strategy reuses: it is valid
+	// until the next Pick or PickK on the same strategy, and callers that
+	// retain it longer must copy it. (This keeps the steady-state pick
+	// path allocation-free; the public facade copies at the boundary.)
 	PickK(st *State, k int) []int
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/partition"
@@ -45,6 +46,48 @@ type lattice struct {
 
 	rows      []atomic.Pointer[groupSet] // implied-positive rows, nil entries until demanded
 	rowsWords int                        // words per row
+
+	// rowFree recycles invalidated rows: every setMP (each positive
+	// label that moves the hypothesis) orphans up to rowCap filled rows,
+	// and without reuse the next scoring pass re-allocates them all —
+	// the per-class SimulatePrune working-set churn the zero-alloc pick
+	// path cannot afford. A mutex-guarded free list rather than a
+	// sync.Pool: the pool drops its contents on GC, which would make
+	// the steady-state 0 allocs/op guarantee flaky, and the lock is
+	// touched once per row fill, not per lattice test. Concurrent
+	// access comes only from parallel scoring workers filling rows;
+	// setMP runs with the state quiescent (the session write lock).
+	rowFreeMu sync.Mutex
+	rowFree   []*groupSet
+}
+
+// getRow returns a cleared row buffer, reusing a recycled one when
+// available. Rows are pooled as *groupSet — the same box the atomic
+// row slots hold — so a refill reuses both the bit array and its
+// heap-allocated header.
+func (lat *lattice) getRow() *groupSet {
+	lat.rowFreeMu.Lock()
+	n := len(lat.rowFree)
+	var row *groupSet
+	if n > 0 {
+		row = lat.rowFree[n-1]
+		lat.rowFree[n-1] = nil
+		lat.rowFree = lat.rowFree[:n-1]
+	}
+	lat.rowFreeMu.Unlock()
+	if row == nil {
+		r := make(groupSet, lat.rowsWords)
+		return &r
+	}
+	clear(*row)
+	return row
+}
+
+// putRow recycles a row buffer that is no longer referenced.
+func (lat *lattice) putRow(row *groupSet) {
+	lat.rowFreeMu.Lock()
+	lat.rowFree = append(lat.rowFree, row)
+	lat.rowFreeMu.Unlock()
 }
 
 func (lat *lattice) init(groups []*SigGroup, mp partition.P, negs []partition.P) {
@@ -79,18 +122,29 @@ func (lat *lattice) appendClasses(groups []*SigGroup) {
 	if len(lat.sigs) > latticeRowCap {
 		lat.rows = nil
 		lat.rowsWords = 0
+		lat.rowFree = nil
 		return
 	}
 	lat.rows = make([]atomic.Pointer[groupSet], len(lat.sigs))
-	lat.rowsWords = (len(lat.sigs) + 63) / 64
+	if w := (len(lat.sigs) + 63) / 64; w != lat.rowsWords {
+		// Rows widened: recycled buffers of the old width are useless.
+		lat.rowsWords = w
+		lat.rowFree = nil
+	}
 }
 
 // setMP installs a new hypothesis meet and invalidates the cached
-// rows, which are conditioned on it.
+// rows, which are conditioned on it. Invalidated rows go back to the
+// free list: no reader can still hold one (setMP runs only while the
+// state is quiescent), and the next scoring pass refills the same
+// buffers instead of allocating a fresh rowCap × rowsWords working
+// set.
 func (lat *lattice) setMP(mp partition.P) {
 	lat.mp = mp.PairSet()
 	for i := range lat.rows {
-		lat.rows[i].Store(nil)
+		if r := lat.rows[i].Swap(nil); r != nil {
+			lat.putRow(r)
+		}
 	}
 }
 
@@ -113,14 +167,20 @@ func (lat *lattice) posRow(gi int) groupSet {
 	if r := lat.rows[gi].Load(); r != nil {
 		return *r
 	}
-	row := make(groupSet, lat.rowsWords)
+	rp := lat.getRow()
+	row := *rp
 	g := lat.sigs[gi]
 	for hi, h := range lat.sigs {
 		if partition.IntersectSubset(lat.mp, g, h) {
 			row.set(hi)
 		}
 	}
-	lat.rows[gi].Store(&row)
+	if !lat.rows[gi].CompareAndSwap(nil, rp) {
+		// A parallel scoring worker published an identical row first;
+		// recycle ours (it was never visible) and serve the winner.
+		lat.putRow(rp)
+		return *lat.rows[gi].Load()
+	}
 	return row
 }
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// buildMidDialogue returns a state a few labels into a synthetic
+// dialogue, so the hypothesis has a refined meet and real negatives.
+func buildMidDialogue(t testing.TB, seed int64, steps int) *State {
+	t.Helper()
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 6, Tuples: 400, Seed: seed, ExtraMerges: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		if len(st.infGroups) == 0 {
+			break
+		}
+		gi := st.infGroups[0]
+		idx := firstUnlabeledIn(st, gi)
+		l := Negative
+		if goal.LessEq(st.Sig(idx)) {
+			l = Positive
+		}
+		if _, err := st.Apply(idx, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func firstUnlabeledIn(st *State, gi int) int {
+	for _, i := range st.groups[gi].Indices {
+		if st.labels[i] == Unlabeled {
+			return i
+		}
+	}
+	return -1
+}
+
+// fillAllRows demands the implied-positive row of every informative
+// class — what one lookahead rescore does.
+func fillAllRows(st *State) {
+	for _, gi := range st.infGroups {
+		st.lat.posRow(gi)
+	}
+}
+
+// TestLatticeRowRecycling pins the SimulatePrune working-set pooling:
+// once the row cache has been filled, a hypothesis move (setMP) must
+// recycle every invalidated row through the free list, and the next
+// fill must reuse those buffers — zero allocations per
+// invalidate-and-refill cycle in steady state — while still computing
+// rows identical to a from-scratch evaluation.
+func TestLatticeRowRecycling(t *testing.T) {
+	st := buildMidDialogue(t, 3, 5)
+	if st.lat.rows == nil {
+		t.Fatal("row cache unexpectedly disabled")
+	}
+	fillAllRows(st)
+
+	filled := 0
+	for i := range st.lat.rows {
+		if st.lat.rows[i].Load() != nil {
+			filled++
+		}
+	}
+	if filled == 0 {
+		t.Fatal("no rows were filled")
+	}
+
+	// Invalidate: every filled row must land on the free list.
+	st.lat.setMP(st.mp)
+	if got := len(st.lat.rowFree); got != filled {
+		t.Fatalf("setMP recycled %d rows, want %d", got, filled)
+	}
+
+	// Steady state: invalidate-and-refill cycles allocate nothing.
+	allocs := testing.AllocsPerRun(10, func() {
+		st.lat.setMP(st.mp)
+		fillAllRows(st)
+	})
+	if allocs != 0 {
+		t.Errorf("invalidate-and-refill allocates %.1f allocs/op, want 0", allocs)
+	}
+
+	// Recycled rows must be indistinguishable from fresh ones.
+	for _, gi := range st.infGroups {
+		row := st.lat.posRow(gi)
+		g := st.lat.sigs[gi]
+		for hi, h := range st.lat.sigs {
+			want := partition.IntersectSubset(st.lat.mp, g, h)
+			if row.has(hi) != want {
+				t.Fatalf("recycled row %d: entry %d = %v, want %v", gi, hi, row.has(hi), want)
+			}
+		}
+	}
+}
+
+// TestLatticeRowRecyclingAcrossLabels drives a real dialogue and
+// checks, via the state invariant checker plus a definitional
+// SimulatePrune cross-check, that pooled rows never leak stale bits
+// into scoring after the hypothesis moves.
+func TestLatticeRowRecyclingAcrossLabels(t *testing.T) {
+	rel, goal, err := workload.Synthetic(workload.SynthConfig{
+		Attrs: 5, Tuples: 200, Seed: 8, ExtraMerges: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(st.infGroups) > 0 {
+		fillAllRows(st)
+		for _, gi := range st.infGroups {
+			got := st.SimulatePruneGroup(gi, Positive)
+			want := st.Hypo().Apply(st.groups[gi].Sig, Positive)
+			cnt := 0
+			for _, hi := range st.infGroups {
+				if want.ImpliedLabel(st.groups[hi].Sig) != Unlabeled {
+					cnt += st.groupUnlabeled[hi]
+				}
+			}
+			if got != cnt {
+				t.Fatalf("class %d: SimulatePruneGroup(+) = %d, definitional %d", gi, got, cnt)
+			}
+		}
+		gi := st.infGroups[0]
+		idx := firstUnlabeledIn(st, gi)
+		l := Negative
+		if goal.LessEq(st.Sig(idx)) {
+			l = Positive
+		}
+		if _, err := st.Apply(idx, l); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -145,7 +145,9 @@ func (s *Session) ClearSkips() {
 
 // TopK returns the k most informative tuples, best first — interaction
 // mode 3's batch proposal. Strategies that cannot rank (plain Pickers)
-// and k < 1 are rejected.
+// and k < 1 are rejected. The returned slice follows the KPicker
+// ownership contract: it is valid until the session's next proposal
+// and must be copied to be retained.
 func (s *Session) TopK(k int) ([]int, error) {
 	kp, ok := s.picker.(KPicker)
 	if !ok {

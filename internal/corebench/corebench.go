@@ -47,6 +47,11 @@ type Config struct {
 	// State.Append against the rebuild-from-scratch alternative.
 	// 0 picks the default of 16; negative disables the measurement.
 	StreamBatches int
+	// Procs, when non-empty, adds a GOMAXPROCS sweep: the first
+	// configured strategy is re-measured on every workload at each
+	// listed processor count, so the report tracks how the parallel
+	// scorer scales with cores. GOMAXPROCS is restored afterwards.
+	Procs []int
 	// Seed drives instance generation and goal choice.
 	Seed int64
 }
@@ -81,6 +86,23 @@ type Report struct {
 	// Streams measures streaming ingestion per workload: the same
 	// instances dripped into live sessions batch by batch.
 	Streams []StreamReport `json:"streams,omitempty"`
+	// ProcsSweep re-measures the first strategy at each requested
+	// GOMAXPROCS, per workload — the scaling curve of the parallel
+	// scorer.
+	ProcsSweep []ProcsEntry `json:"procs_sweep,omitempty"`
+}
+
+// ProcsEntry is one point of the GOMAXPROCS scaling sweep.
+type ProcsEntry struct {
+	Procs          int     `json:"procs"`
+	Workload       string  `json:"workload"`
+	Strategy       string  `json:"strategy"`
+	PickMeanMicros float64 `json:"pick_mean_us"`
+	PickP95Micros  float64 `json:"pick_p95_us"`
+	PicksPerSec    float64 `json:"picks_per_sec"`
+	// SpeedupVs1 is the single-proc mean pick latency of the same
+	// workload over this entry's — present when the sweep includes 1.
+	SpeedupVs1 float64 `json:"speedup_vs_1proc,omitempty"`
 }
 
 // StreamReport measures streaming ingestion for one workload: the
@@ -215,7 +237,63 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 			rep.Streams = append(rep.Streams, *sr)
 		}
 	}
+	if len(cfg.Procs) > 0 {
+		sweep, err := measureProcs(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.ProcsSweep = sweep
+	}
 	return rep, nil
+}
+
+// measureProcs re-runs the pick measurement for the first configured
+// strategy at each requested GOMAXPROCS. The scorer's worker pool sizes
+// its dispatch to the live GOMAXPROCS, so lowering it measures the
+// sequential path and raising it the fan-out; the process value is
+// restored before returning.
+func measureProcs(w io.Writer, cfg Config) ([]ProcsEntry, error) {
+	name := cfg.Strategies[0]
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	baseline := make(map[string]float64) // workload -> 1-proc mean
+	var sweep []ProcsEntry
+	for _, procs := range cfg.Procs {
+		if procs < 1 {
+			return nil, fmt.Errorf("corebench: procs sweep values must be >= 1, got %d", procs)
+		}
+		runtime.GOMAXPROCS(procs)
+		for _, wl := range cfg.Workloads {
+			rel, goal, err := workload.Instance(wl, workload.InstanceConfig{Tuples: cfg.Tuples, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			stats, err := measure(rel, goal, cfg.Sessions, func() (core.Picker, error) {
+				return strategy.ByName(name, cfg.Seed)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("corebench: %s/%s at %d procs: %w", wl, name, procs, err)
+			}
+			e := ProcsEntry{
+				Procs:          procs,
+				Workload:       wl,
+				Strategy:       name,
+				PickMeanMicros: stats.PickMeanMicros,
+				PickP95Micros:  stats.PickP95Micros,
+				PicksPerSec:    stats.PicksPerSec,
+			}
+			if procs == 1 {
+				baseline[wl] = stats.PickMeanMicros
+			}
+			if base, ok := baseline[wl]; ok && stats.PickMeanMicros > 0 {
+				e.SpeedupVs1 = round2(base / stats.PickMeanMicros)
+			}
+			fmt.Fprintf(w, "%-10s %-19s %4d procs    pick p95 %8.1fµs  %8.0f picks/s  speedup %6.1fx\n",
+				wl, name, procs, e.PickP95Micros, e.PicksPerSec, e.SpeedupVs1)
+			sweep = append(sweep, e)
+		}
+	}
+	return sweep, nil
 }
 
 // measureStream drives one streaming session: the workload instance

@@ -41,6 +41,11 @@ type Config struct {
 	// Strategy is the server-side question strategy (default
 	// "lookahead-maxmin").
 	Strategy string
+	// UseStep switches users to the one-round-trip protocol: each
+	// dialogue step is a single POST /step that answers the previous
+	// proposal and carries back the next one, instead of the classic
+	// GET /next + POST /label pair. Halves the requests per question.
+	UseStep bool
 	// StreamBatches, when positive, switches users to the streaming
 	// protocol: each session is created from an initial prefix of the
 	// workload instance and the rest arrives in this many
@@ -93,6 +98,9 @@ type Report struct {
 	// StreamBatches > 0 marks a streaming run: sessions ingested their
 	// instance in this many append batches while users labeled.
 	StreamBatches int `json:"stream_batches,omitempty"`
+	// UseStep marks a run driven through POST /step (one round trip per
+	// dialogue step) instead of GET /next + POST /label.
+	UseStep bool `json:"use_step,omitempty"`
 	// Store marks the session store backend of the target server
 	// ("disk" = durability on); empty means the in-RAM default.
 	Store string `json:"store,omitempty"`
@@ -245,6 +253,7 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 		Workload:      cfg.Workload,
 		Strategy:      cfg.Strategy,
 		StreamBatches: cfg.StreamBatches,
+		UseStep:       cfg.UseStep,
 		Store:         cfg.Store,
 		Fsync:         cfg.Fsync,
 		Users:         cfg.Users,
@@ -289,7 +298,7 @@ type userResult struct {
 func driveUser(client *http.Client, baseURL string, inst *instance, cfg Config) userResult {
 	var r userResult
 	for s := 0; s < cfg.SessionsPerUser; s++ {
-		if err := r.driveSession(client, baseURL, inst, cfg.Strategy); err != nil {
+		if err := r.driveSession(client, baseURL, inst, cfg); err != nil {
 			r.errors++
 			if r.firstErr == nil {
 				r.firstErr = err
@@ -301,17 +310,21 @@ func driveUser(client *http.Client, baseURL string, inst *instance, cfg Config) 
 	return r
 }
 
-func (r *userResult) driveSession(client *http.Client, baseURL string, inst *instance, strategyName string) error {
+func (r *userResult) driveSession(client *http.Client, baseURL string, inst *instance, cfg Config) error {
 	var created struct {
 		ID string `json:"id"`
 	}
 	if err := r.call(client, "POST", baseURL+"/v1/sessions",
-		map[string]any{"csv": inst.csv, "strategy": strategyName},
+		map[string]any{"csv": inst.csv, "strategy": cfg.Strategy},
 		http.StatusCreated, &created); err != nil {
 		return err
 	}
 	base := baseURL + "/v1/sessions/" + created.ID
-	if err := r.runSession(client, base, inst); err != nil {
+	run := r.runSession
+	if cfg.UseStep {
+		run = r.runStepSession
+	}
+	if err := run(client, base, inst); err != nil {
 		// Best-effort cleanup so failed sessions don't accumulate in
 		// the target server across a long run.
 		_ = r.call(client, "DELETE", base, nil, http.StatusNoContent, nil)
@@ -368,6 +381,72 @@ func (r *userResult) runSession(client *http.Client, base string, inst *instance
 			return err
 		}
 		r.questions++
+	}
+	var res struct {
+		Done bool `json:"done"`
+	}
+	if err := r.call(client, "GET", base+"/result", nil, http.StatusOK, &res); err != nil {
+		return err
+	}
+	if !res.Done {
+		return fmt.Errorf("loadtest: session %s read result before convergence", base)
+	}
+	return nil
+}
+
+// runStepSession drives the same dialogue as runSession through the
+// one-round-trip protocol: every POST /step answers the pending
+// proposal (if any) and carries back the next one.
+func (r *userResult) runStepSession(client *http.Client, base string, inst *instance) error {
+	nextBatch := 0
+	pending := -1 // proposed tuple awaiting an answer; -1 = none
+	for step := 0; ; step++ {
+		if step > 2*inst.rel.Len()+len(inst.batches) {
+			return fmt.Errorf("loadtest: session %s asked more questions than tuples", base)
+		}
+		if nextBatch < len(inst.batches) && step%3 == 0 {
+			if err := r.call(client, "POST", base+"/tuples",
+				map[string]any{"rows": inst.batches[nextBatch]},
+				http.StatusOK, nil); err != nil {
+				return err
+			}
+			nextBatch++
+			r.appends++
+			continue
+		}
+		body := map[string]any{}
+		if pending >= 0 {
+			label := "-"
+			if core.Selects(inst.goal, inst.rel.Tuple(pending)) {
+				label = "+"
+			}
+			body = map[string]any{"index": pending, "label": label}
+		}
+		var sr struct {
+			Done  bool `json:"done"`
+			Tuple *struct {
+				Index int `json:"index"`
+			} `json:"tuple"`
+		}
+		if err := r.call(client, "POST", base+"/step", body, http.StatusOK, &sr); err != nil {
+			return err
+		}
+		if pending >= 0 {
+			r.questions++
+		}
+		pending = -1
+		if sr.Tuple != nil {
+			pending = sr.Tuple.Index
+		}
+		if sr.Done {
+			if nextBatch < len(inst.batches) {
+				continue // converged early; arrivals still pending
+			}
+			break
+		}
+		if sr.Tuple == nil {
+			return fmt.Errorf("loadtest: session %s: step returned neither done nor tuple", base)
+		}
 	}
 	var res struct {
 		Done bool `json:"done"`

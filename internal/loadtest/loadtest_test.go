@@ -142,6 +142,55 @@ func TestStreamingRunCompletes(t *testing.T) {
 	}
 }
 
+// TestStepRunCompletes drives the one-round-trip /step protocol and
+// cross-checks it against the classic next+label run: same dialogues
+// (question count), fewer requests, zero errors.
+func TestStepRunCompletes(t *testing.T) {
+	step, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "travel", UseStep: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Completed != 4 || step.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d: %s", step.Completed, step.Errors, step.FirstError)
+	}
+	if !step.UseStep {
+		t.Error("report does not mark the run as use_step")
+	}
+	classic, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "travel", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Questions != classic.Questions {
+		t.Errorf("step run asked %d questions, classic %d — /step changed the dialogue",
+			step.Questions, classic.Questions)
+	}
+	if step.Requests >= classic.Requests {
+		t.Errorf("step run issued %d requests, classic %d — expected fewer round trips",
+			step.Requests, classic.Requests)
+	}
+}
+
+// TestStepStreamingRunCompletes combines /step dialogues with streaming
+// ingestion: arrivals drip in while each answer+proposal round-trips.
+func TestStepStreamingRunCompletes(t *testing.T) {
+	rep, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "zipf", StreamBatches: 5, UseStep: true, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Completed != 4 {
+		t.Fatalf("completed=%d errors=%d: %s", rep.Completed, rep.Errors, rep.FirstError)
+	}
+	if want := 4 * 5; rep.Appends != want {
+		t.Fatalf("report appends = %d, want %d", rep.Appends, want)
+	}
+}
+
 // TestDiskStoreRunCompletes drives the ordinary protocol against a
 // disk-backed server: durability on must not change a single result.
 func TestDiskStoreRunCompletes(t *testing.T) {

@@ -74,6 +74,22 @@ func IntersectSubset3(a, b, c, d PairSet) bool {
 	return true
 }
 
+// IntersectInto writes a ∩ b into dst, reusing dst's backing array
+// when it is large enough, and returns the result — the materialized
+// form of Pairs(p ∧ q) for callers that probe the meet many times
+// (the two-step lookahead). The sets must come from partitions of the
+// same size.
+func IntersectInto(dst, a, b PairSet) PairSet {
+	if cap(dst) < len(a) {
+		dst = make(PairSet, len(a))
+	}
+	dst = dst[:len(a)]
+	for w, aw := range a {
+		dst[w] = aw & b[w]
+	}
+	return dst
+}
+
 // IntersectCount returns |a ∩ b| — the allocation-free form of
 // |Pairs(p ∧ q)|, the meet's pair count.
 func IntersectCount(a, b PairSet) int {

@@ -224,6 +224,7 @@ func (s *Server) routes() []route {
 		{"GET", "/sessions/{id}/next", s.readSession(s.handleNext), false},
 		{"GET", "/sessions/{id}/topk", s.readSession(s.handleTopK), false},
 		{"POST", "/sessions/{id}/label", s.writeSession(s.handleLabel), false},
+		{"POST", "/sessions/{id}/step", s.writeSession(s.handleStep), true},
 		{"POST", "/sessions/{id}/tuples", s.writeSession(s.handleAppend), false},
 		{"GET", "/sessions/{id}/result", s.readSession(s.handleResult), false},
 		{"GET", "/sessions/{id}/export", s.readSession(s.handleExport), false},
@@ -693,36 +694,139 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 		writeError(w, jim.CodeBadInput, "decoding request: %v", err)
 		return
 	}
+	resp, ok := s.applyLabel(w, id, ls, req.Index, req.Label)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyLabel applies one answer (or skip) to the session and persists
+// its event — the shared apply step of POST /label and POST /step.
+// ok=false means the error envelope has already been written. The
+// caller holds the session's write lock.
+func (s *Server) applyLabel(w http.ResponseWriter, id string, ls *liveSession, index int, label string) (labelResponse, bool) {
 	var l jim.Label
-	switch req.Label {
+	switch label {
 	case "+", "yes", "y":
 		l = jim.Positive
 	case "-", "no", "n":
 		l = jim.Negative
 	case "skip", "s", "?":
-		if err := ls.sess.Skip(req.Index); err != nil {
+		if err := ls.sess.Skip(index); err != nil {
+			writeTypedError(w, err)
+			return labelResponse{}, false
+		}
+		if !s.persistEvent(w, id, ls, skipEvent(index)) {
+			return labelResponse{}, false
+		}
+		return ls.labelResponse(nil), true
+	default:
+		writeError(w, jim.CodeBadInput, "unknown label %q (want +, -, or skip)", label)
+		return labelResponse{}, false
+	}
+	out, err := ls.sess.Answer(index, l)
+	if err != nil {
+		writeTypedError(w, err)
+		return labelResponse{}, false
+	}
+	if !s.persistEvent(w, id, ls, labelEvent(index, l)) {
+		return labelResponse{}, false
+	}
+	s.metrics.labels.Add(1)
+	return ls.labelResponse(out.NewlyImplied), true
+}
+
+// stepRequest drives one full dialogue step in a single round trip:
+// optionally answer the previous proposal, then return the next one.
+// label may be empty (propose only — the natural first call); when it
+// is set, index must be too. k asks for a ranked batch instead of a
+// single proposal.
+type stepRequest struct {
+	Index *int   `json:"index,omitempty"`
+	Label string `json:"label,omitempty"` // "+", "-", "skip", or empty
+	K     int    `json:"k,omitempty"`     // proposals wanted; 0 or 1 = single
+}
+
+// stepResponse is the combined answer/proposal result. applied is
+// absent on a propose-only call; tuple carries the single next
+// proposal, tuples the ranked batch when k > 1. done=true with no
+// proposal means the answer converged the session.
+type stepResponse struct {
+	Applied *labelResponse `json:"applied,omitempty"`
+	Done    bool           `json:"done"`
+	Tuple   *tupleView     `json:"tuple,omitempty"`
+	Tuples  []tupleView    `json:"tuples,omitempty"`
+}
+
+// handleStep atomically applies an answer and proposes what to ask
+// next — the one-round-trip form of POST /label followed by GET /next
+// (or /topk). The whole step runs under the session's write lock, so
+// the proposal is ranked against exactly the state the answer left
+// behind; an answer that fails leaves the session unchanged and
+// returns the same error envelope POST /label would. With k > 1 the
+// batch comes from the ranking path (like GET /topk, skips are not
+// routed around); the default single proposal routes around skipped
+// classes exactly like GET /next.
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
+	var req stepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, jim.CodeBadInput, "decoding request: %v", err)
+		return
+	}
+	if req.K < 0 {
+		writeError(w, jim.CodeBadInput, "bad k %d", req.K)
+		return
+	}
+	var applied *labelResponse
+	switch {
+	case req.Label != "" && req.Index == nil:
+		writeError(w, jim.CodeBadInput, "label %q without an index", req.Label)
+		return
+	case req.Label == "" && req.Index != nil:
+		writeError(w, jim.CodeBadInput, "index %d without a label", *req.Index)
+		return
+	case req.Label != "":
+		resp, ok := s.applyLabel(w, id, ls, *req.Index, req.Label)
+		if !ok {
+			return
+		}
+		applied = &resp
+	}
+	if req.K > 1 {
+		ls.pickMu.Lock()
+		indices, err := ls.sess.TopK(req.K)
+		ls.pickMu.Unlock()
+		if err != nil {
 			writeTypedError(w, err)
 			return
 		}
-		if !s.persistEvent(w, id, ls, skipEvent(req.Index)) {
-			return
+		out := make([]tupleView, 0, len(indices))
+		for _, i := range indices {
+			out = append(out, viewTuple(ls, i))
 		}
-		writeJSON(w, http.StatusOK, ls.labelResponse(nil))
-		return
-	default:
-		writeError(w, jim.CodeBadInput, "unknown label %q (want +, -, or skip)", req.Label)
+		writeJSON(w, http.StatusOK, stepResponse{Applied: applied, Done: ls.sess.Done(), Tuples: out})
 		return
 	}
-	out, err := ls.sess.Answer(req.Index, l)
-	if err != nil {
-		writeTypedError(w, err)
+	// Single proposal: same skip-routing and clear-event persistence as
+	// GET /next (see handleNext for why the clear must reach the WAL).
+	ls.pickMu.Lock()
+	clearsBefore := ls.sess.Core().SkipClears()
+	i, ok := ls.sess.Propose()
+	persisted := true
+	if ls.sess.Core().SkipClears() != clearsBefore {
+		persisted = s.persistEvent(w, id, ls, clearEvent())
+	}
+	ls.pickMu.Unlock()
+	if !persisted {
 		return
 	}
-	if !s.persistEvent(w, id, ls, labelEvent(req.Index, l)) {
+	if !ok {
+		writeJSON(w, http.StatusOK, stepResponse{Applied: applied, Done: ls.sess.Done()})
 		return
 	}
-	s.metrics.labels.Add(1)
-	writeJSON(w, http.StatusOK, ls.labelResponse(out.NewlyImplied))
+	tv := viewTuple(ls, i)
+	writeJSON(w, http.StatusOK, stepResponse{Applied: applied, Done: false, Tuple: &tv})
 }
 
 // appendRequest carries arrival tuples in one of two encodings:

@@ -41,6 +41,10 @@ type Disk struct {
 	dir   string
 	fsync bool
 
+	// syncWAL makes one WAL durable; (*os.File).Sync in production,
+	// swappable in tests to exercise the fsync-failure path.
+	syncWAL func(*os.File) error
+
 	reqs chan *diskReq
 
 	// lock holds the flock on Dir/LOCK for the store's lifetime, so a
@@ -98,11 +102,12 @@ func NewDisk(opts DiskOptions) (*Disk, error) {
 		return nil, fmt.Errorf("store: data directory %s is held by another process: %w", opts.Dir, err)
 	}
 	d := &Disk{
-		dir:   opts.Dir,
-		fsync: opts.Fsync,
-		reqs:  make(chan *diskReq, 256),
-		lock:  lock,
-		done:  make(chan struct{}),
+		dir:     opts.Dir,
+		fsync:   opts.Fsync,
+		syncWAL: (*os.File).Sync,
+		reqs:    make(chan *diskReq, 256),
+		lock:    lock,
+		done:    make(chan struct{}),
 	}
 	go d.run()
 	return d, nil
@@ -353,12 +358,26 @@ func (c *committer) commitSession(id string, reqs []*diskReq) {
 	}
 	var fsyncErr error
 	if dirty != nil {
-		if err := dirty.Sync(); err != nil {
+		if err := c.d.syncWAL(dirty); err != nil {
 			fsyncErr = fmt.Errorf("store: fsync wal: %w", err)
+			// After a failed fsync the kernel may have dropped the dirty
+			// pages, so the durable prefix of the log is unknown and a
+			// retried Sync could falsely succeed. Poison the WAL: appends
+			// are refused until a snapshot rebuilds it from scratch.
+			c.mu.Lock()
+			if c.broken == nil {
+				c.broken = make(map[string]bool)
+			}
+			c.broken[id] = true
+			c.mu.Unlock()
 		}
 	}
 	for i, req := range reqs {
-		if results[i] == nil && fsyncErr != nil && req.kind == reqAppend {
+		// A failed fsync fails the whole batch, not just the appends: the
+		// group commit deferred every waiter's durability to this one
+		// Sync, so a snapshot or compact acked out of the same batch
+		// would claim a durability the session no longer has.
+		if results[i] == nil && fsyncErr != nil {
 			results[i] = fsyncErr
 		}
 		req.err <- results[i]

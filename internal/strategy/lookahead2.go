@@ -1,8 +1,6 @@
 package strategy
 
 import (
-	"math"
-
 	"repro/internal/core"
 )
 
@@ -18,31 +16,34 @@ const lookahead2Beam = 8
 //	min over answer l of [ prune(g,l) + max_g' min_l' prune'(g',l') ].
 //
 // It is the natural deepening of lookahead-maxmin. One-step scores
-// come from the state's cached lattice (SimulatePruneGroup); only the
-// depth-two expansion builds hypothetical hypotheses, and those run on
-// memoized pair bitsets, so per-pick cost is O(beam · classes²) word
-// operations — the selection-time-vs-questions dial of the paper
-// turned one notch further, now cheap enough for thousands of tuples.
+// come from the state's cached lattice (SimulatePruneGroup); the
+// depth-two expansion runs through core.TwoStepWorst, which simulates
+// both answer branches on memoized pair bitsets with reused scratch —
+// per-pick cost is O(beam · classes²) word operations and, in steady
+// state, zero allocations. The selection-time-vs-questions dial of the
+// paper turned one notch further, now cheap enough for thousands of
+// tuples.
 func Lookahead2() core.KPicker {
 	c := &l2cache{}
 	return &ranked{name: "lookahead-2", score: c.score}
 }
 
 // l2cache memoizes the per-state one-step scores and beam membership,
-// indexed by class position. A cache entry is valid for one
-// (state, version, structure version) triple — Append bumps both
-// counters, but the structure version is checked explicitly so the
-// cache contract matches ranked's.
+// indexed by class position, plus the two-step scratch buffers. A
+// cache entry is valid for one (state, version, structure version)
+// triple — Append bumps both counters, but the structure version is
+// checked explicitly so the cache contract matches ranked's. The
+// shared scratch is why lookahead-2 stays off the parallel scoring
+// path.
 type l2cache struct {
 	st            *core.State
 	version       int
 	structVersion int
 
-	hypo    core.Hypo
-	groups  []core.GroupCount
 	oneStep []int  // class position -> min(p, n)
 	inBeam  []bool // class position -> beam membership
 	infBuf  []*core.SigGroup
+	scratch core.TwoStepScratch
 }
 
 func (c *l2cache) refresh(st *core.State) {
@@ -52,8 +53,6 @@ func (c *l2cache) refresh(st *core.State) {
 	c.st = st
 	c.version = st.Version()
 	c.structVersion = st.StructureVersion()
-	c.hypo = st.Hypo()
-	c.groups = st.GroupCounts()
 	c.infBuf = st.AppendInformativeGroups(c.infBuf[:0])
 
 	total := len(st.Groups())
@@ -93,33 +92,7 @@ func (c *l2cache) score(st *core.State, g *core.SigGroup) float64 {
 	if !c.inBeam[g.Pos] {
 		return base // outside the beam: one-step score only
 	}
-	worst := math.Inf(1)
-	for _, l := range []core.Label{core.Positive, core.Negative} {
-		immediate := st.SimulatePruneGroup(g.Pos, l)
-		next := c.hypo.Apply(g.Sig, l)
-		best := bestOneStep(next, c.groups)
-		if total := float64(immediate + best); total < worst {
-			worst = total
-		}
-	}
-	if math.IsInf(worst, 1) {
-		worst = base
-	}
+	worst := st.TwoStepWorst(g.Pos, &c.scratch)
 	// Two-step worst case dominates; one-step maxmin breaks ties.
-	return worst*1e3 + base
-}
-
-// bestOneStep returns the best guaranteed pruning of a single further
-// question under hypothesis h.
-func bestOneStep(h core.Hypo, groups []core.GroupCount) int {
-	remaining := h.Informative(groups)
-	best := 0
-	for _, g2 := range remaining {
-		p := h.PruneCount(remaining, g2.Sig, core.Positive)
-		n := h.PruneCount(remaining, g2.Sig, core.Negative)
-		if m := min(p, n); m > best {
-			best = m
-		}
-	}
-	return best
+	return float64(worst)*1e3 + base
 }

@@ -76,8 +76,9 @@ func TestParallelPickKMatchesSequential(t *testing.T) {
 	}
 	s := LookaheadMaxMin()
 	var seq, par []int
-	withThreshold(t, 1<<30, func() { seq = s.PickK(st, 5) })
-	withThreshold(t, 1, func() { par = s.PickK(st, 5) })
+	// PickK's result buffer is reused across calls; copy to compare.
+	withThreshold(t, 1<<30, func() { seq = append([]int(nil), s.PickK(st, 5)...) })
+	withThreshold(t, 1, func() { par = append([]int(nil), s.PickK(st, 5)...) })
 	if len(seq) != len(par) {
 		t.Fatalf("lengths differ: %v vs %v", seq, par)
 	}

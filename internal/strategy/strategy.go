@@ -4,10 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -52,6 +48,14 @@ type ranked struct {
 	cvalid         bool
 	scores         []float64        // score per class position
 	infBuf         []*core.SigGroup // reusable informative-class list
+
+	// Per-instance scratch, reused so the steady-state pick path is
+	// 0 allocs/op: the fan-out job handed to the scoring pool, the
+	// partial-sort heap of PickK, and PickK's result buffer (returned
+	// to the caller; see PickK for the ownership contract).
+	job    scoreJob
+	topBuf []*core.SigGroup
+	outBuf []int
 }
 
 func (s *ranked) Name() string { return s.name }
@@ -88,42 +92,30 @@ func (s *ranked) refresh(st *core.State) []*core.SigGroup {
 	return s.infBuf
 }
 
-// rescore evaluates every informative class into s.scores, fanning out
-// across CPUs in chunks when the strategy is parallel-safe and the
-// class count makes it worthwhile.
+// rescore evaluates every informative class into s.scores, borrowing
+// helpers from the shared scoring pool when the strategy is
+// parallel-safe and the class count makes it worthwhile. The caller
+// always scores too — helpers only shorten the tail — so a saturated
+// pool costs throughput, never progress. Nothing here allocates: the
+// job is a reused instance field and the workers are persistent.
 func (s *ranked) rescore(st *core.State, groups []*core.SigGroup) {
-	if !s.parallel || len(groups) < parallelThreshold {
+	helpers := 0
+	if s.parallel && len(groups) >= parallelThreshold {
+		helpers = (len(groups)+scoreChunk-1)/scoreChunk - 1 // caller takes one chunk
+	}
+	if helpers <= 0 {
 		for _, g := range groups {
 			s.scores[g.Pos] = s.score(st, g)
 		}
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if maxW := (len(groups) + scoreChunk - 1) / scoreChunk; workers > maxW {
-		workers = maxW
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(next.Add(scoreChunk)) - scoreChunk
-				if start >= len(groups) {
-					return
-				}
-				end := start + scoreChunk
-				if end > len(groups) {
-					end = len(groups)
-				}
-				for _, g := range groups[start:end] {
-					s.scores[g.Pos] = s.score(st, g)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	j := &s.job
+	j.st, j.groups, j.score, j.out = st, groups, s.score, s.scores
+	j.next.Store(0)
+	pool.dispatch(j, helpers)
+	j.run()
+	j.wg.Wait()
+	j.release()
 }
 
 // Pick returns the first tuple of the best-scoring informative class.
@@ -149,6 +141,11 @@ func (s *ranked) Pick(st *core.State) (int, bool) {
 // ranking costs O(C log k) instead of the old O(k·C) selection sort.
 // Order matches the full sort by (score descending, class position
 // ascending), i.e. ties go to the earlier class, exactly as before.
+//
+// The returned slice is owned by the strategy and valid until the next
+// Pick or PickK on it: callers that retain the proposal past that
+// point (the public facade does) must copy it. Engine loops and the
+// HTTP handlers consume it before picking again.
 func (s *ranked) PickK(st *core.State, k int) []int {
 	if k <= 0 {
 		return nil
@@ -157,63 +154,71 @@ func (s *ranked) PickK(st *core.State, k int) []int {
 	if len(groups) == 0 {
 		return nil
 	}
-	top := topKGroups(groups, s.scores, k)
-	out := make([]int, 0, len(top))
-	for _, g := range top {
-		out = append(out, firstUnlabeled(st, g))
+	s.topBuf = topKGroups(s.topBuf, groups, s.scores, k)
+	s.outBuf = s.outBuf[:0]
+	for _, g := range s.topBuf {
+		s.outBuf = append(s.outBuf, firstUnlabeled(st, g))
 	}
-	return out
+	return s.outBuf
 }
 
-// topKGroups selects the k best classes by (score desc, Pos asc).
-func topKGroups(groups []*core.SigGroup, scores []float64, k int) []*core.SigGroup {
-	better := func(a, b *core.SigGroup) bool {
-		sa, sb := scores[a.Pos], scores[b.Pos]
-		if sa != sb {
-			return sa > sb
-		}
-		return a.Pos < b.Pos
+// topKGroups selects the k best classes by (score desc, Pos asc) into
+// buf, reusing its backing array, and returns it. The heap comparator
+// is a strict total order (class positions are unique), so the
+// closure-free heapsort below reproduces the stable full sort exactly.
+func topKGroups(buf, groups []*core.SigGroup, scores []float64, k int) []*core.SigGroup {
+	if k > len(groups) {
+		k = len(groups)
 	}
-	if k >= len(groups) {
-		out := make([]*core.SigGroup, len(groups))
-		copy(out, groups)
-		sort.SliceStable(out, func(i, j int) bool { return better(out[i], out[j]) })
-		return out
-	}
-	// Min-heap of the k best so far: the worst kept candidate at the
-	// root, displaced whenever a better one arrives.
-	h := make([]*core.SigGroup, k)
-	copy(h, groups[:k])
-	worse := func(a, b *core.SigGroup) bool { return better(b, a) }
-	var siftDown func(i int)
-	siftDown = func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < k && worse(h[l], h[min]) {
-				min = l
-			}
-			if r < k && worse(h[r], h[min]) {
-				min = r
-			}
-			if min == i {
-				return
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-	}
+	h := append(buf[:0], groups[:k]...)
+	// Min-root heap of the k best so far: the worst kept candidate at
+	// the root, displaced whenever a better one arrives.
 	for i := k/2 - 1; i >= 0; i-- {
-		siftDown(i)
+		siftWorstDown(h, scores, i, k)
 	}
 	for _, g := range groups[k:] {
-		if better(g, h[0]) {
+		if groupBetter(scores, g, h[0]) {
 			h[0] = g
-			siftDown(0)
+			siftWorstDown(h, scores, 0, k)
 		}
 	}
-	sort.SliceStable(h, func(i, j int) bool { return better(h[i], h[j]) })
+	// Heapsort: repeatedly move the worst remaining candidate to the
+	// shrinking tail, leaving the array best-first.
+	for end := k - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftWorstDown(h, scores, 0, end)
+	}
 	return h
+}
+
+// groupBetter is the ranking order: score descending, ties to the
+// earlier class position.
+func groupBetter(scores []float64, a, b *core.SigGroup) bool {
+	sa, sb := scores[a.Pos], scores[b.Pos]
+	if sa != sb {
+		return sa > sb
+	}
+	return a.Pos < b.Pos
+}
+
+// siftWorstDown restores the min-root heap property (parent no better
+// than its children) for h[:n] starting at i.
+func siftWorstDown(h []*core.SigGroup, scores []float64, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && groupBetter(scores, h[worst], h[l]) {
+			worst = l
+		}
+		if r < n && groupBetter(scores, h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 func firstUnlabeled(st *core.State, g *core.SigGroup) int {

@@ -164,13 +164,16 @@ func (s *Session) Progress() Progress { return s.sess.Progress() }
 // re-offer budget with every remaining class skipped).
 func (s *Session) Propose() (index int, ok bool) { return s.sess.Propose() }
 
-// TopK returns the k most informative tuples, best first.
+// TopK returns the k most informative tuples, best first. The result
+// is the caller's to keep: the strategy-owned ranking buffer is copied
+// here, at the public boundary, so the hot path underneath stays
+// allocation-free.
 func (s *Session) TopK(k int) ([]int, error) {
 	out, err := s.sess.TopK(k)
 	if err != nil {
 		return nil, newError(CodeBadInput, err, "%v", err)
 	}
-	return out, nil
+	return append([]int(nil), out...), nil
 }
 
 // Answer records an explicit label for the tuple at index and returns

@@ -13,9 +13,12 @@
 //
 // -server also runs streaming variants (users label while the
 // instance arrives in -stream append batches) for zipf and star,
-// durability-on variants (disk session store with fsynced WAL) for
-// travel and zipf, and a crash-recovery scenario (label, kill,
-// recover, verify proposals resume identically); -core times every
+// binary wire-protocol variants (persistent pipelined connections,
+// fused answer+proposal frames) for travel and zipf with a
+// step-vs-wire transport comparison, durability-on variants (disk
+// session store with fsynced WAL) for travel and zipf, and a
+// crash-recovery scenario (label, kill, recover, verify proposals
+// resume identically); -core times every
 // State.Append against the rebuild-from-scratch alternative.
 // -stream -1 disables the streaming variants, -no-disk the
 // durability ones.
@@ -153,6 +156,10 @@ type serverBench struct {
 	// Restart is the kill/recover scenario: labeled work before the
 	// kill, recovery wall time, and the proposal-verification outcome.
 	Restart *loadtest.RestartReport `json:"restart,omitempty"`
+	// StepVsWire compares the one-round-trip HTTP /step dialogue
+	// against the binary wire protocol on the same workload — the
+	// transport speedup the wire codec exists to buy.
+	StepVsWire *stepVsWire `json:"step_vs_wire,omitempty"`
 	// ProcsSweep re-runs the one-round-trip /step scenario at each
 	// requested GOMAXPROCS — the service-layer scaling curve.
 	ProcsSweep []serverProcsRun `json:"procs_sweep,omitempty"`
@@ -163,6 +170,17 @@ type serverBench struct {
 type serverProcsRun struct {
 	Procs  int              `json:"procs"`
 	Report *loadtest.Report `json:"report"`
+}
+
+// stepVsWire is the HTTP-vs-wire transport comparison, derived from
+// the matching workload entries of the same bench run.
+type stepVsWire struct {
+	Workload           string  `json:"workload"`
+	StepSessionsPerSec float64 `json:"step_sessions_per_sec"`
+	WireSessionsPerSec float64 `json:"wire_sessions_per_sec"`
+	StepP99MS          float64 `json:"step_p99_ms"`
+	WireP99MS          float64 `json:"wire_p99_ms"`
+	Speedup            float64 `json:"speedup"`
 }
 
 type benchTotals struct {
@@ -192,6 +210,7 @@ func runServerBench(w io.Writer, o options) error {
 		store    string
 		fsync    bool
 		step     bool
+		wire     bool
 	}
 	classic := splitList(o.workloads)
 	if len(classic) == 0 {
@@ -205,6 +224,12 @@ func runServerBench(w io.Writer, o options) error {
 	// per question — the report tracks what the combined endpoint buys.
 	for _, wl := range []string{"travel", "zipf"} {
 		runs = append(runs, benchRun{workload: wl, step: true})
+	}
+	// Binary wire protocol variants: the same fused dialogue turn as
+	// /step, framed as varint-prefixed binary on persistent pipelined
+	// connections instead of HTTP+JSON.
+	for _, wl := range []string{"travel", "zipf"} {
+		runs = append(runs, benchRun{workload: wl, wire: true})
 	}
 	if stream := o.stream; stream >= 0 {
 		if stream == 0 {
@@ -225,6 +250,9 @@ func runServerBench(w io.Writer, o options) error {
 			runs = append(runs, benchRun{workload: wl, store: "disk"})
 		}
 		runs = append(runs, benchRun{workload: "travel", store: "disk", fsync: true})
+		// Wire over the durable backend: the p99 target the protocol is
+		// held to includes the WAL on the write path.
+		runs = append(runs, benchRun{workload: "travel", store: "disk", wire: true})
 	}
 	for _, br := range runs {
 		rep, err := loadtest.Run(loadtest.Config{
@@ -236,6 +264,7 @@ func runServerBench(w io.Writer, o options) error {
 			Store:           br.store,
 			Fsync:           br.fsync,
 			UseStep:         br.step,
+			UseWire:         br.wire,
 			Seed:            o.expOpts.Seed,
 		})
 		if err != nil {
@@ -254,6 +283,9 @@ func runServerBench(w io.Writer, o options) error {
 		if br.step {
 			name += "+step"
 		}
+		if br.wire {
+			name += "+wire"
+		}
 		if br.store != "" {
 			name = fmt.Sprintf("%s+%s", name, br.store)
 			if br.fsync {
@@ -263,6 +295,36 @@ func runServerBench(w io.Writer, o options) error {
 		fmt.Fprintf(w, "%-14s %4d/%d sessions  %8.1f req/s  %7.1f sessions/s  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
 			name, rep.Completed, rep.Sessions, rep.RequestsPerSec, rep.SessionsPerSec,
 			rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+	}
+	// Derive the transport comparison from the matching travel entries:
+	// same workload, same users, memory store — only the transport
+	// differs between the two reports.
+	var stepRep, wireRep *loadtest.Report
+	for _, rep := range bench.Workloads {
+		if rep.Workload != "travel" || rep.StreamBatches != 0 || rep.Store != "" {
+			continue
+		}
+		if rep.UseStep {
+			stepRep = rep
+		}
+		if rep.UseWire {
+			wireRep = rep
+		}
+	}
+	if stepRep != nil && wireRep != nil {
+		svw := &stepVsWire{
+			Workload:           "travel",
+			StepSessionsPerSec: stepRep.SessionsPerSec,
+			WireSessionsPerSec: wireRep.SessionsPerSec,
+			StepP99MS:          stepRep.Latency.P99,
+			WireP99MS:          wireRep.Latency.P99,
+		}
+		if stepRep.SessionsPerSec > 0 {
+			svw.Speedup = wireRep.SessionsPerSec / stepRep.SessionsPerSec
+		}
+		bench.StepVsWire = svw
+		fmt.Fprintf(w, "%-14s wire %.1f sessions/s vs /step %.1f — %.2fx\n",
+			"step_vs_wire", svw.WireSessionsPerSec, svw.StepSessionsPerSec, svw.Speedup)
 	}
 	if !o.noDisk {
 		rr, err := loadtest.RunRestart(loadtest.Config{

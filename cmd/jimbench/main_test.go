@@ -84,11 +84,11 @@ func TestRunServerBench(t *testing.T) {
 	if bench.Benchmark != "jim-server-loadtest" || bench.Users != 8 {
 		t.Errorf("bench header = %+v", bench)
 	}
-	// travel + zipf classic, plus the /step variants of both.
-	if len(bench.Workloads) != 4 {
-		t.Fatalf("workloads = %d, want 4", len(bench.Workloads))
+	// travel + zipf classic, plus the /step and wire variants of both.
+	if len(bench.Workloads) != 6 {
+		t.Fatalf("workloads = %d, want 6", len(bench.Workloads))
 	}
-	stepRuns := 0
+	stepRuns, wireRuns := 0, 0
 	for _, rep := range bench.Workloads {
 		if rep.UseStep {
 			stepRuns++
@@ -96,15 +96,30 @@ func TestRunServerBench(t *testing.T) {
 				t.Errorf("%s step run errors: %s", rep.Workload, rep.FirstError)
 			}
 		}
+		if rep.UseWire {
+			wireRuns++
+			if rep.Errors != 0 {
+				t.Errorf("%s wire run errors: %s", rep.Workload, rep.FirstError)
+			}
+			if rep.ConnsOpened != bench.Users {
+				t.Errorf("%s wire run opened %d conns, want one per user (%d)",
+					rep.Workload, rep.ConnsOpened, bench.Users)
+			}
+		}
 	}
-	if stepRuns != 2 {
-		t.Fatalf("step entries = %d, want 2", stepRuns)
+	if stepRuns != 2 || wireRuns != 2 {
+		t.Fatalf("step entries = %d, wire entries = %d, want 2 each", stepRuns, wireRuns)
+	}
+	svw := bench.StepVsWire
+	if svw == nil || svw.Workload != "travel" ||
+		svw.StepSessionsPerSec <= 0 || svw.WireSessionsPerSec <= 0 || svw.Speedup <= 0 {
+		t.Fatalf("step_vs_wire = %+v, want a populated travel comparison", svw)
 	}
 	if len(bench.ProcsSweep) != 1 || bench.ProcsSweep[0].Procs != 1 ||
 		bench.ProcsSweep[0].Report == nil || !bench.ProcsSweep[0].Report.UseStep {
 		t.Fatalf("procs sweep = %+v, want one 1-proc /step entry", bench.ProcsSweep)
 	}
-	if bench.Totals.Sessions != 32 || bench.Totals.Completed != 32 || bench.Totals.Errors != 0 {
+	if bench.Totals.Sessions != 48 || bench.Totals.Completed != 48 || bench.Totals.Errors != 0 {
 		t.Errorf("totals = %+v", bench.Totals)
 	}
 	for _, rep := range bench.Workloads {
@@ -225,8 +240,8 @@ func TestRunServerBenchStreaming(t *testing.T) {
 	if err := json.Unmarshal(data, &bench); err != nil {
 		t.Fatal(err)
 	}
-	if len(bench.Workloads) != 5 { // travel classic + travel/zipf step + zipf/star streaming
-		t.Fatalf("workloads = %d, want 5", len(bench.Workloads))
+	if len(bench.Workloads) != 7 { // travel classic + travel/zipf step + travel/zipf wire + zipf/star streaming
+		t.Fatalf("workloads = %d, want 7", len(bench.Workloads))
 	}
 	streaming := 0
 	for _, rep := range bench.Workloads {
@@ -273,20 +288,23 @@ func TestRunServerBenchDurability(t *testing.T) {
 	if err := json.Unmarshal(data, &bench); err != nil {
 		t.Fatal(err)
 	}
-	disk, fsynced := 0, 0
+	disk, fsynced, diskWire := 0, 0, 0
 	for _, rep := range bench.Workloads {
 		if rep.Store == "disk" {
 			disk++
 			if rep.Fsync {
 				fsynced++
 			}
+			if rep.UseWire {
+				diskWire++
+			}
 			if rep.Errors != 0 {
 				t.Errorf("%s disk run errors: %s", rep.Workload, rep.FirstError)
 			}
 		}
 	}
-	if disk != 3 || fsynced != 1 {
-		t.Fatalf("disk entries = %d (%d fsynced), want 3 with 1 fsynced", disk, fsynced)
+	if disk != 4 || fsynced != 1 || diskWire != 1 {
+		t.Fatalf("disk entries = %d (%d fsynced, %d wire), want 4 with 1 fsynced and 1 wire", disk, fsynced, diskWire)
 	}
 	rr := bench.Restart
 	if rr == nil {

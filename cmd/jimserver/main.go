@@ -7,6 +7,11 @@
 //	jimserver -addr :8080 -max-sessions 10000 -session-ttl 30m \
 //	          -store disk -data-dir /var/lib/jim
 //
+// With -wire-addr, the same sessions are also served over the compact
+// binary wire protocol (length-prefixed frames, persistent pipelined
+// connections — see the "Binary wire protocol" section of API.md) on a
+// second listener; both listeners drain gracefully on shutdown.
+//
 // With -store disk, every accepted label, skip, and tuple batch is
 // appended to a per-session write-ahead log before the response goes
 // out, state is periodically folded into snapshots, and startup
@@ -34,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,12 +49,14 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/strategy"
+	"repro/internal/wire"
 )
 
 // config is everything main parses; newServer is kept separate so
 // tests can exercise flag wiring without binding a socket.
 type config struct {
 	addr         string
+	wireAddr     string
 	maxSessions  int
 	sessionTTL   time.Duration
 	sweepEvery   time.Duration
@@ -70,6 +78,7 @@ func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("jimserver", flag.ContinueOnError)
 	cfg := config{}
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&cfg.wireAddr, "wire-addr", "", "also serve the binary wire protocol on this address (empty = HTTP only; see API.md)")
 	fs.IntVar(&cfg.maxSessions, "max-sessions", 0, "max live sessions; creates beyond this get 429 (0 = unlimited)")
 	fs.DurationVar(&cfg.sessionTTL, "session-ttl", 0, "evict sessions idle for this long (0 = never)")
 	fs.DurationVar(&cfg.sweepEvery, "sweep-every", time.Minute, "how often the janitor scans for expired sessions")
@@ -185,7 +194,28 @@ func main() {
 		IdleTimeout:       cfg.idleTimeout,
 	}
 
-	// Drain in-flight requests on SIGINT/SIGTERM.
+	// The optional wire listener shares the session table, store, and
+	// body cap with the HTTP mux — it is the same server, framed small.
+	var ws *wire.Server
+	wireDone := make(chan error, 1)
+	if cfg.wireAddr != "" {
+		ln, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jimserver:", err)
+			os.Exit(1)
+		}
+		ws = &wire.Server{
+			Backend:  svc,
+			MaxFrame: int(cfg.maxBodyBytes),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "jimserver: "+format+"\n", args...)
+			},
+		}
+		go func() { wireDone <- ws.Serve(ln) }()
+		fmt.Printf("jimserver wire protocol on %s\n", ln.Addr())
+	}
+
+	// Drain in-flight requests on SIGINT/SIGTERM — both listeners.
 	done := make(chan error, 1)
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -193,6 +223,11 @@ func main() {
 		<-sig
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if ws != nil {
+			if werr := ws.Shutdown(ctx); werr != nil {
+				fmt.Fprintln(os.Stderr, "jimserver: wire shutdown:", werr)
+			}
+		}
 		done <- srv.Shutdown(ctx)
 	}()
 
@@ -203,6 +238,11 @@ func main() {
 		os.Exit(1)
 	}
 	err = <-done
+	if ws != nil {
+		if werr := <-wireDone; werr != nil && werr != wire.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "jimserver: wire listener:", werr)
+		}
+	}
 	// Graceful shutdown: requests have drained; fold every dirty
 	// session into a final snapshot so the next start replays no WAL,
 	// then let the store flush.

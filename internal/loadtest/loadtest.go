@@ -10,11 +10,14 @@ package loadtest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httptrace"
 	"os"
 	"sort"
 	"sync"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -46,6 +50,16 @@ type Config struct {
 	// proposal and carries back the next one, instead of the classic
 	// GET /next + POST /label pair. Halves the requests per question.
 	UseStep bool
+	// UseWire switches users to the binary wire protocol: each user
+	// holds one persistent connection and every dialogue turn is a
+	// single fused frame (answer + next proposal), with appends and the
+	// result read framed on the same stream. Run starts the wire
+	// listener itself; RunAgainst needs WireAddr. Exclusive with
+	// UseStep — a wire turn already is the one-round-trip shape.
+	UseWire bool
+	// WireAddr is the wire listener to dial when UseWire is set and the
+	// target server is external (RunAgainst). Run fills it in.
+	WireAddr string
 	// StreamBatches, when positive, switches users to the streaming
 	// protocol: each session is created from an initial prefix of the
 	// workload instance and the rest arrives in this many
@@ -101,6 +115,9 @@ type Report struct {
 	// UseStep marks a run driven through POST /step (one round trip per
 	// dialogue step) instead of GET /next + POST /label.
 	UseStep bool `json:"use_step,omitempty"`
+	// UseWire marks a run driven over the binary wire protocol on a
+	// persistent connection per user.
+	UseWire bool `json:"use_wire,omitempty"`
 	// Store marks the session store backend of the target server
 	// ("disk" = durability on); empty means the in-RAM default.
 	Store string `json:"store,omitempty"`
@@ -117,7 +134,15 @@ type Report struct {
 	SessionsPerSec  float64 `json:"sessions_per_sec"`
 	RequestsPerSec  float64 `json:"requests_per_sec"`
 	QuestionsPerSec float64 `json:"questions_per_sec"`
-	// Latency covers every HTTP request the simulated users issued.
+	// ConnsOpened / ConnsReused account transport connections: how many
+	// times a request dialed a fresh connection versus riding an
+	// existing one. An HTTP run whose opened count tracks its request
+	// count is measuring the dialer, not the server; a wire run opens
+	// one connection per user and reuses it for every frame.
+	ConnsOpened int `json:"conns_opened"`
+	ConnsReused int `json:"conns_reused"`
+	// Latency covers every request (HTTP round trip or wire frame
+	// exchange) the simulated users issued.
 	Latency Quantiles `json:"latency"`
 	// FirstError carries one representative failure for diagnostics.
 	FirstError string `json:"first_error,omitempty"`
@@ -205,7 +230,10 @@ func newTarget(cfg Config) (srv *server.Server, cleanup func(), err error) {
 }
 
 // Run spins up an in-process server and drives it; see RunAgainst.
+// With UseWire it also serves the binary protocol on a loopback
+// listener next to the HTTP handler — the deployment shape.
 func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
 	srv, cleanup, err := newTarget(cfg)
 	if err != nil {
 		return nil, err
@@ -213,8 +241,29 @@ func Run(cfg Config) (*Report, error) {
 	defer cleanup()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	if cfg.UseWire {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		ws := &wire.Server{Backend: srv}
+		go ws.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			ws.Shutdown(ctx)
+		}()
+		cfg.WireAddr = ln.Addr().String()
+	}
 	client := ts.Client()
-	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
+	// Tune the transport for a keep-alive benchmark: enough idle slots
+	// that every user keeps its connection warm between requests, and
+	// HTTP/1.1 pinned — h2 would multiplex users onto one connection
+	// and serialize them in the framer, measuring the mux, not the
+	// server. (httptest is h1-only today; the pin makes it explicit.)
+	tr := client.Transport.(*http.Transport)
+	tr.MaxIdleConnsPerHost = cfg.Users + 8
+	tr.ForceAttemptHTTP2 = false
 	return RunAgainst(ts.URL, client, cfg)
 }
 
@@ -224,6 +273,14 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 	cfg = cfg.withDefaults()
 	if client == nil {
 		client = http.DefaultClient
+	}
+	if cfg.UseWire {
+		if cfg.UseStep {
+			return nil, fmt.Errorf("loadtest: UseWire and UseStep are exclusive (a wire turn is already fused)")
+		}
+		if cfg.WireAddr == "" {
+			return nil, fmt.Errorf("loadtest: UseWire needs WireAddr (Run starts its own listener)")
+		}
 	}
 
 	// Pre-build instances outside the timed region.
@@ -254,6 +311,7 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 		Strategy:      cfg.Strategy,
 		StreamBatches: cfg.StreamBatches,
 		UseStep:       cfg.UseStep,
+		UseWire:       cfg.UseWire,
 		Store:         cfg.Store,
 		Fsync:         cfg.Fsync,
 		Users:         cfg.Users,
@@ -265,6 +323,8 @@ func RunAgainst(baseURL string, client *http.Client, cfg Config) (*Report, error
 		rep.Questions += r.questions
 		rep.Appends += r.appends
 		rep.Errors += r.errors
+		rep.ConnsOpened += r.connsOpened
+		rep.ConnsReused += r.connsReused
 		all = append(all, r.latencies...)
 		if rep.FirstError == "" && r.firstErr != nil {
 			rep.FirstError = r.firstErr.Error()
@@ -288,14 +348,19 @@ type userResult struct {
 	errors    int
 	// verified and mismatches are the restart scenario's
 	// proposal-verification counters (see restart.go).
-	verified   int
-	mismatches int
-	firstErr   error
-	latencies  []time.Duration
+	verified    int
+	mismatches  int
+	connsOpened int
+	connsReused int
+	firstErr    error
+	latencies   []time.Duration
 }
 
 // driveUser completes cfg.SessionsPerUser full sessions in sequence.
 func driveUser(client *http.Client, baseURL string, inst *instance, cfg Config) userResult {
+	if cfg.UseWire {
+		return driveWireUser(inst, cfg)
+	}
 	var r userResult
 	for s := 0; s < cfg.SessionsPerUser; s++ {
 		if err := r.driveSession(client, baseURL, inst, cfg); err != nil {
@@ -308,6 +373,127 @@ func driveUser(client *http.Client, baseURL string, inst *instance, cfg Config) 
 		r.completed++
 	}
 	return r
+}
+
+// driveWireUser is driveUser over the binary protocol: one persistent
+// connection for the user's whole run, every frame exchange timed like
+// an HTTP request. A failed session redials — a wire protocol error
+// kills the connection by contract.
+func driveWireUser(inst *instance, cfg Config) userResult {
+	var r userResult
+	c, err := wire.Dial(cfg.WireAddr, 0)
+	if err != nil {
+		r.errors++
+		r.firstErr = err
+		return r
+	}
+	r.connsOpened++
+	defer func() { c.Close() }()
+	for s := 0; s < cfg.SessionsPerUser; s++ {
+		err := r.driveWireSession(c, inst, cfg)
+		if err == nil {
+			r.completed++
+			continue
+		}
+		r.errors++
+		if r.firstErr == nil {
+			r.firstErr = err
+		}
+		c.Close()
+		if c, err = wire.Dial(cfg.WireAddr, 0); err != nil {
+			if r.firstErr == nil {
+				r.firstErr = err
+			}
+			return r
+		}
+		r.connsOpened++
+	}
+	return r
+}
+
+// timed runs one wire exchange and records its latency; reused counts
+// every frame after the first on a connection.
+func (r *userResult) timed(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	r.latencies = append(r.latencies, time.Since(start))
+	r.connsReused++
+	return err
+}
+
+// driveWireSession completes one dialogue over the wire: create, fused
+// answer+propose frames (the runStepSession shape, minus HTTP), append
+// batches on the same stream, result, delete.
+func (r *userResult) driveWireSession(c *wire.Client, inst *instance, cfg Config) error {
+	var id string
+	if err := r.timed(func() (err error) {
+		id, err = c.Create(inst.csv, cfg.Strategy, 0)
+		return err
+	}); err != nil {
+		return err
+	}
+	nextBatch := 0
+	pending := -1 // proposed tuple awaiting an answer; -1 = none
+	ans := make([]wire.Answer, 0, 1)
+	for step := 0; ; step++ {
+		if step > 2*inst.rel.Len()+len(inst.batches) {
+			return fmt.Errorf("loadtest: wire session %s asked more questions than tuples", id)
+		}
+		if nextBatch < len(inst.batches) && step%3 == 0 {
+			batch := inst.batches[nextBatch]
+			if err := r.timed(func() error {
+				_, err := c.Append(id, batch)
+				return err
+			}); err != nil {
+				return err
+			}
+			nextBatch++
+			r.appends++
+			continue
+		}
+		ans = ans[:0]
+		if pending >= 0 {
+			label := wire.Negative
+			if core.Selects(inst.goal, inst.rel.Tuple(pending)) {
+				label = wire.Positive
+			}
+			ans = append(ans, wire.Answer{Index: pending, Label: label})
+		}
+		var res *wire.StepResult
+		if err := r.timed(func() (err error) {
+			res, err = c.Step(id, ans, 1)
+			return err
+		}); err != nil {
+			return err
+		}
+		if pending >= 0 {
+			r.questions++
+		}
+		pending = -1
+		if len(res.Proposals) == 1 {
+			pending = res.Proposals[0]
+		}
+		if res.Done {
+			if nextBatch < len(inst.batches) {
+				continue // converged early; arrivals still pending
+			}
+			break
+		}
+		if pending < 0 {
+			return fmt.Errorf("loadtest: wire session %s: step returned neither done nor proposal", id)
+		}
+	}
+	var rd wire.ResultData
+	if err := r.timed(func() (err error) {
+		rd, err = c.Result(id)
+		return err
+	}); err != nil {
+		return err
+	}
+	if !rd.Done {
+		return fmt.Errorf("loadtest: wire session %s read result before convergence", id)
+	}
+	return r.timed(func() error { return c.Delete(id) })
 }
 
 func (r *userResult) driveSession(client *http.Client, baseURL string, inst *instance, cfg Config) error {
@@ -478,6 +664,19 @@ func (r *userResult) call(client *http.Client, method, url string, body any, wan
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Account connection reuse per request: a healthy keep-alive run
+	// dials once per user and rides the idle pool afterwards. userResult
+	// is goroutine-local, so the callback needs no lock.
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				r.connsReused++
+			} else {
+				r.connsOpened++
+			}
+		},
+	}
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
 	start := time.Now()
 	resp, err := client.Do(req)
 	r.latencies = append(r.latencies, time.Since(start))

@@ -174,6 +174,81 @@ func TestStepRunCompletes(t *testing.T) {
 	}
 }
 
+// TestWireRunCompletes drives the binary wire protocol and cross-checks
+// it against the classic HTTP run: same dialogues (question count),
+// zero errors, and one persistent connection per user — the reuse
+// counters must show every frame after the dial riding that connection.
+func TestWireRunCompletes(t *testing.T) {
+	wireRep, err := loadtest.Run(loadtest.Config{
+		Users: 4, SessionsPerUser: 2, Workload: "travel", UseWire: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireRep.Completed != 8 || wireRep.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d: %s", wireRep.Completed, wireRep.Errors, wireRep.FirstError)
+	}
+	if !wireRep.UseWire {
+		t.Error("report does not mark the run as use_wire")
+	}
+	if wireRep.ConnsOpened != 4 {
+		t.Errorf("wire run opened %d connections, want 4 (one per user)", wireRep.ConnsOpened)
+	}
+	if wireRep.ConnsReused != wireRep.Requests {
+		t.Errorf("wire run reused %d of %d frame exchanges", wireRep.ConnsReused, wireRep.Requests)
+	}
+	classic, err := loadtest.Run(loadtest.Config{
+		Users: 4, SessionsPerUser: 2, Workload: "travel", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireRep.Questions != classic.Questions {
+		t.Errorf("wire run asked %d questions, classic %d — the transport changed the dialogue",
+			wireRep.Questions, classic.Questions)
+	}
+	if wireRep.Requests >= classic.Requests {
+		t.Errorf("wire run issued %d exchanges, classic %d requests — expected fewer round trips",
+			wireRep.Requests, classic.Requests)
+	}
+	// The tuned HTTP client must actually reuse connections too.
+	if classic.ConnsOpened == 0 || classic.ConnsReused < classic.Requests-classic.ConnsOpened {
+		t.Errorf("classic run conns: opened=%d reused=%d of %d requests",
+			classic.ConnsOpened, classic.ConnsReused, classic.Requests)
+	}
+}
+
+// TestWireStreamingRunCompletes combines wire dialogues with streaming
+// ingestion on the same persistent connections.
+func TestWireStreamingRunCompletes(t *testing.T) {
+	rep, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "zipf", StreamBatches: 5, UseWire: true, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Completed != 4 {
+		t.Fatalf("completed=%d errors=%d: %s", rep.Completed, rep.Errors, rep.FirstError)
+	}
+	if want := 4 * 5; rep.Appends != want {
+		t.Fatalf("report appends = %d, want %d", rep.Appends, want)
+	}
+}
+
+// TestWireDiskStoreRunCompletes drives the wire protocol against the
+// durable backend — the configuration the BENCH trajectory tracks.
+func TestWireDiskStoreRunCompletes(t *testing.T) {
+	rep, err := loadtest.Run(loadtest.Config{
+		Users: 4, Workload: "travel", Store: "disk", UseWire: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 || rep.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d: %s", rep.Completed, rep.Errors, rep.FirstError)
+	}
+}
+
 // TestStepStreamingRunCompletes combines /step dialogues with streaming
 // ingestion: arrivals drip in while each answer+proposal round-trips.
 func TestStepStreamingRunCompletes(t *testing.T) {

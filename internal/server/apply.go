@@ -1,0 +1,197 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	jim "repro"
+)
+
+// This file is the transport-agnostic session-apply layer: every
+// mutation and proposal the service performs, expressed as methods
+// returning typed errors from the jim taxonomy. The /v1 HTTP handlers
+// and the binary wire protocol (internal/wire) are both thin wrappers
+// over these — one code path, two encodings — so the transports cannot
+// drift: the differential tests hold them tuple-for-tuple equal, and
+// this layer is why that holds by construction for everything below
+// the codec.
+
+// lookup resolves a session id and touches its idle clock. The error
+// is CodeNotFound.
+func (s *Server) lookup(id string) (*liveSession, error) {
+	ls, ok := s.sessions.get(id)
+	if !ok {
+		return nil, &jim.Error{Code: jim.CodeNotFound, Message: fmt.Sprintf("no session %q", id)}
+	}
+	ls.touch(s.now())
+	return ls, nil
+}
+
+// register inserts a fresh session under a new id, enforcing the cap.
+// When at the cap, expired sessions are swept first so a full table of
+// abandoned sessions does not lock out live users. With a durable
+// store, the session's initial snapshot is written before the id is
+// returned — a created session is a recoverable session. The summary
+// is captured before the session is published: ids are predictable, so
+// a concurrent writer could mutate it immediately.
+func (s *Server) register(ls *liveSession) (string, sessionSummary, error) {
+	ls.touch(s.now())
+	id := fmt.Sprintf("s%04d", s.nextID.Add(1))
+	summary := summarize(id, ls)
+	err := s.sessions.put(id, ls, s.cfg.MaxSessions)
+	if errors.Is(err, errSessionCap) && s.sweepQuick() > 0 {
+		err = s.sessions.put(id, ls, s.cfg.MaxSessions)
+	}
+	if err != nil {
+		s.sessions.rejected.Add(1)
+		return "", sessionSummary{}, &jim.Error{
+			Code:    jim.CodeTooManySessions,
+			Message: fmt.Sprintf("%v (%d active, max %d)", err, s.sessions.active.Load(), s.cfg.MaxSessions),
+		}
+	}
+	if s.durable {
+		if err := s.snapshotSession(id, ls); err != nil {
+			// A session the store cannot hold must not exist: undo the
+			// insert (rollback, so a failed create never reads as
+			// created+deleted churn in /stats), and purge — ids are
+			// predictable, so a concurrent request may already have
+			// logged an event into what would otherwise survive as a
+			// WAL-only remnant poisoning every future Restore.
+			s.sessions.rollback(id)
+			_ = s.purge(id, ls)
+			s.persist.errors.Add(1)
+			return "", sessionSummary{}, &jim.Error{
+				Code:    jim.CodeInternal,
+				Message: fmt.Sprintf("persisting session: %v", err),
+			}
+		}
+	}
+	return id, summary, nil
+}
+
+// applyAnswer applies one answer or skip to the session and persists
+// its event — the shared apply step of POST /label, POST /step, and
+// the wire step op. It returns the newly implied tuple indices (nil
+// for a skip). The caller holds the session's write lock.
+func (s *Server) applyAnswer(id string, ls *liveSession, index int, label string) ([]int, error) {
+	var l jim.Label
+	switch label {
+	case "+", "yes", "y":
+		l = jim.Positive
+	case "-", "no", "n":
+		l = jim.Negative
+	case "skip", "s", "?":
+		if err := ls.sess.Skip(index); err != nil {
+			return nil, err
+		}
+		if err := s.persistEvent(id, ls, skipEvent(index)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, &jim.Error{
+			Code:    jim.CodeBadInput,
+			Message: fmt.Sprintf("unknown label %q (want +, -, or skip)", label),
+		}
+	}
+	out, err := ls.sess.Answer(index, l)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.persistEvent(id, ls, labelEvent(index, l)); err != nil {
+		return nil, err
+	}
+	s.metrics.labels.Add(1)
+	return out.NewlyImplied, nil
+}
+
+// proposeOne picks the next tuple to ask about, routing around skipped
+// classes. ok=false means the dialogue is over (or everything left is
+// deferred past the re-offer budget). The caller holds ls.mu in either
+// mode; pickMu is taken here.
+//
+// A proposal that starts a re-offer round mutates the skip set — the
+// one state change a read path makes — and must reach the WAL, or
+// replayed skips would accumulate onto a set the live session had
+// cleared and recovery would propose different tuples. The clear and
+// its event are logged under pickMu as one unit, so a concurrent
+// snapshot (which holds pickMu across capture and sequence stamping)
+// sees either neither or both; skip events themselves take the write
+// lock, which excludes read-locked callers.
+func (s *Server) proposeOne(id string, ls *liveSession) (int, bool, error) {
+	ls.pickMu.Lock()
+	defer ls.pickMu.Unlock()
+	clearsBefore := ls.sess.Core().SkipClears()
+	i, ok := ls.sess.Propose()
+	if ls.sess.Core().SkipClears() != clearsBefore {
+		if err := s.persistEvent(id, ls, clearEvent()); err != nil {
+			return 0, false, err
+		}
+	}
+	return i, ok, nil
+}
+
+// rankK returns the k most informative tuple indices from the ranking
+// path (unlike proposeOne, skips are not routed around). The caller
+// holds ls.mu in either mode; pickMu is taken here.
+func (s *Server) rankK(ls *liveSession, k int) ([]int, error) {
+	ls.pickMu.Lock()
+	defer ls.pickMu.Unlock()
+	return ls.sess.TopK(k)
+}
+
+// applyAppend streams parsed arrival tuples into the session and
+// persists the batch. The caller holds the session's write lock and
+// has already validated len(tuples) > 0.
+func (s *Server) applyAppend(id string, ls *liveSession, tuples []jim.Tuple) ([]int, error) {
+	newly, err := ls.sess.Append(tuples)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.persistEvent(id, ls, appendEvent(tuples)); err != nil {
+		return nil, err
+	}
+	s.metrics.appends.Add(1)
+	s.metrics.tuplesAppended.Add(int64(len(tuples)))
+	return newly, nil
+}
+
+// deleteSession drops a session and discards its durable copy. The
+// error is CodeNotFound when the id names nothing reachable, or
+// CodeInternal when the durable discard failed (an orphan that would
+// resurrect on restart — reported, not swallowed).
+func (s *Server) deleteSession(id string) error {
+	ls, ok := s.sessions.get(id)
+	if !ok || !s.sessions.delete(id) {
+		// Not in RAM — but with a durable store the id may name a
+		// TTL-demoted session: mid-demotion (fence it so the pending
+		// demotion snapshot cannot re-create what we are about to
+		// discard) or fully parked on disk. DELETE means gone either
+		// way; garbage ids (not the server's own shape) have nothing
+		// to purge. The result stays not_found — the session was
+		// already unreachable — and purge failures surface via
+		// persist_errors.
+		if s.durable {
+			switch {
+			case ok:
+				// get saw it but a sweep raced the delete; we still
+				// hold the liveSession, so fence it — an async
+				// size-policy snapshot may be in flight.
+				_ = s.purge(id, ls)
+			default:
+				if v, mid := s.demoting.Load(id); mid {
+					_ = s.purge(id, v.(*liveSession))
+				} else if _, serverID := numericID(id); serverID {
+					_ = s.purge(id, nil)
+				}
+			}
+		}
+		return &jim.Error{Code: jim.CodeNotFound, Message: fmt.Sprintf("no session %q", id)}
+	}
+	// An explicit delete discards the durable copy too — unlike
+	// eviction, which demotes the session to disk.
+	if err := s.purge(id, ls); err != nil {
+		return &jim.Error{Code: jim.CodeInternal, Message: fmt.Sprintf("discarding persisted session: %v", err)}
+	}
+	return nil
+}

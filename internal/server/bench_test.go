@@ -1,0 +1,127 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// The transport benchmarks time the same semantic operation — propose
+// the next tuple for a live session — over HTTP+JSON and over the
+// binary wire protocol, so `go test -bench Propose -benchmem` shows
+// what each request costs server-side on either path. The HTTP path
+// rides the pooled JSON encode buffers in writeJSON; the wire path the
+// zero-alloc codec.
+
+func benchHTTPSession(b *testing.B, ts *httptest.Server) string {
+	b.Helper()
+	body, err := json.Marshal(map[string]any{"csv": travelCSV, "strategy": "lookahead-maxmin"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var s struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		b.Fatal(err)
+	}
+	return s.ID
+}
+
+// BenchmarkHTTPStepPropose is one POST /step propose-only round trip:
+// routing, session lock, proposal, pooled JSON encode, full HTTP stack.
+func BenchmarkHTTPStepPropose(b *testing.B) {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/sessions/" + benchHTTPSession(b, ts) + "/step"
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("step: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkWireStepPropose is the same propose-only operation framed as
+// one wire step (k=1, no answers) on a persistent connection.
+func BenchmarkWireStepPropose(b *testing.B) {
+	srv := server.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := &wire.Server{Backend: srv}
+	go ws.Serve(ln)
+	defer ws.Shutdown(context.Background())
+	c, err := wire.Dial(ln.Addr().String(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Create(travelCSV, "lookahead-maxmin", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Step(id, nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Proposals) != 1 {
+			b.Fatalf("proposals = %v", res.Proposals)
+		}
+	}
+}
+
+// BenchmarkHTTPSummary is one GET /v1/sessions/{id}: the read-only
+// envelope whose encode path the writeJSON buffer pool serves.
+func BenchmarkHTTPSummary(b *testing.B) {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/sessions/" + benchHTTPSession(b, ts)
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("summary: status %d", resp.StatusCode)
+		}
+	}
+}

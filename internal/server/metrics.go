@@ -8,72 +8,83 @@ import (
 	"time"
 )
 
-// latencyHist is a fixed-size log-scale histogram of request
-// durations. Bucket i covers (2^(i-1), 2^i] microseconds, so quantile
-// estimates are exact to within a factor of two — plenty for a /stats
-// panel — while recording stays allocation-free and a single atomic
-// add per request.
-const histBuckets = 40
+// reservoirSize is the per-endpoint sample window: a power of two so
+// the ring index is a mask, large enough that p99 over the window
+// rests on ~10 samples.
+const reservoirSize = 1024
 
-type latencyHist struct {
-	counts [histBuckets]atomic.Int64
-	total  atomic.Int64
-	sumUS  atomic.Int64
+// latencyReservoir keeps the last reservoirSize request durations in a
+// fixed ring of atomics. Recording is two atomic ops — an index fetch
+// and a slot store — with no lock, no allocation, and no sharing with
+// the read side, so sampling can never perturb the benchmark being
+// measured. Quantiles are computed exactly (not bucket-rounded like
+// the log histogram this replaced) by copying and sorting the window
+// at /stats read time, where an allocation is harmless.
+type latencyReservoir struct {
+	n     atomic.Int64 // total observations ever
+	sumNS atomic.Int64
+	ring  [reservoirSize]atomic.Int64 // nanoseconds
 }
 
-func bucketOf(d time.Duration) int {
-	us := d.Microseconds()
-	b := 0
-	for us > 1 && b < histBuckets-1 {
-		us >>= 1
-		b++
+func (r *latencyReservoir) observe(d time.Duration) {
+	if d <= 0 {
+		// Keep zero as the "never written" sentinel and quantiles
+		// positive even under a frozen test clock.
+		d = 1
 	}
-	return b
+	i := r.n.Add(1) - 1
+	r.ring[i&(reservoirSize-1)].Store(int64(d))
+	r.sumNS.Add(int64(d))
 }
 
-func (h *latencyHist) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
+// window copies the filled portion of the ring, sorted ascending.
+// Slots are read without synchronization against concurrent stores —
+// a sample may be torn between two requests' values, which for a
+// stats panel is noise, not corruption.
+func (r *latencyReservoir) window() []int64 {
+	n := r.n.Load()
+	if n > reservoirSize {
+		n = reservoirSize
 	}
-	h.counts[bucketOf(d)].Add(1)
-	h.total.Add(1)
-	h.sumUS.Add(d.Microseconds())
+	out := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		if v := r.ring[i].Load(); v > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
-// quantile returns the upper bound (in milliseconds) of the bucket
-// containing the p-th percentile observation, or 0 with no data.
-func (h *latencyHist) quantile(p float64) float64 {
-	total := h.total.Load()
-	if total == 0 {
+// quantileMS reads the p-th percentile (in milliseconds) from a sorted
+// window, or 0 when empty.
+func quantileMS(window []int64, p float64) float64 {
+	if len(window) == 0 {
 		return 0
 	}
-	rank := int64(p*float64(total) + 0.5)
+	rank := int(p*float64(len(window)) + 0.5)
 	if rank < 1 {
 		rank = 1
 	}
-	var seen int64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			return float64(int64(1)<<uint(i)) / 1000 // 2^i µs in ms
-		}
+	if rank > len(window) {
+		rank = len(window)
 	}
-	return float64(int64(1)<<uint(histBuckets-1)) / 1000
+	return float64(window[rank-1]) / 1e6
 }
 
-func (h *latencyHist) meanMS() float64 {
-	total := h.total.Load()
+func (r *latencyReservoir) meanMS() float64 {
+	total := r.n.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(h.sumUS.Load()) / float64(total) / 1000
+	return float64(r.sumNS.Load()) / float64(total) / 1e6
 }
 
-// endpointMetrics aggregates one route pattern.
+// endpointMetrics aggregates one route pattern (or wire op).
 type endpointMetrics struct {
 	count  atomic.Int64
 	errors atomic.Int64 // responses with status >= 400
-	hist   latencyHist
+	res    latencyReservoir
 }
 
 // metrics is the server-wide instrumentation: per-endpoint latency
@@ -101,6 +112,19 @@ func (m *metrics) endpoint(pattern string) *endpointMetrics {
 	return em.(*endpointMetrics)
 }
 
+// record is the single accounting entry point for both transports:
+// the HTTP middleware calls it with the matched route pattern, the
+// wire connection handler (via Server.RecordWireOp) with the op's
+// "WIRE <op>" label.
+func (m *metrics) record(pattern string, d time.Duration, isErr bool) {
+	em := m.endpoint(pattern)
+	em.count.Add(1)
+	if isErr {
+		em.errors.Add(1)
+	}
+	em.res.observe(d)
+}
+
 // statusRecorder captures the response status for error accounting.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -123,12 +147,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if pattern == "" {
 			pattern = "unmatched"
 		}
-		em := s.metrics.endpoint(pattern)
-		em.count.Add(1)
-		if rec.status >= 400 {
-			em.errors.Add(1)
-		}
-		em.hist.observe(s.now().Sub(start))
+		s.metrics.record(pattern, s.now().Sub(start), rec.status >= 400)
 	})
 }
 
@@ -233,13 +252,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	m.endpoints.Range(func(key, value any) bool {
 		em := value.(*endpointMetrics)
+		win := em.res.window()
 		resp.Endpoints[key.(string)] = endpointStats{
 			Count:  em.count.Load(),
 			Errors: em.errors.Load(),
-			MeanMS: em.hist.meanMS(),
-			P50MS:  em.hist.quantile(0.50),
-			P95MS:  em.hist.quantile(0.95),
-			P99MS:  em.hist.quantile(0.99),
+			MeanMS: em.res.meanMS(),
+			P50MS:  quantileMS(win, 0.50),
+			P95MS:  quantileMS(win, 0.95),
+			P99MS:  quantileMS(win, 0.99),
 		}
 		return true
 	})

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
 	"strconv"
 	"strings"
 
@@ -33,25 +32,26 @@ import (
 // snapshot can never record a sequence number whose event is missing
 // from the state it captures.
 //
-// It returns false after writing an internal-error envelope when the
-// event could not be made durable — the in-memory apply stands, so the
-// client knows the answer was taken, but is told the service is
-// degraded rather than being handed a silent durability gap.
-func (s *Server) persistEvent(w http.ResponseWriter, id string, ls *liveSession, ev store.Event) bool {
+// A non-nil return is a CodeInternal *jim.Error: the event could not
+// be made durable. The in-memory apply stands, so the client knows the
+// answer was taken, but is told the service is degraded rather than
+// being handed a silent durability gap. Transport-agnostic — the HTTP
+// handlers map the error through writeTypedError, the wire handler
+// through its error frame.
+func (s *Server) persistEvent(id string, ls *liveSession, ev store.Event) error {
 	if !s.durable {
-		return true
+		return nil
 	}
 	if ls.deleted {
 		// The session was DELETEd while this request waited on the
 		// write lock; logging now would re-create the compacted
 		// directory. The in-memory apply hit a zombie that is about to
 		// be garbage collected — nothing to persist.
-		return true
+		return nil
 	}
 	if err := s.cfg.Store.AppendEvent(id, ev); err != nil {
 		s.persist.errors.Add(1)
-		writeError(w, jim.CodeInternal, "persisting event: %v", err)
-		return false
+		return &jim.Error{Code: jim.CodeInternal, Message: fmt.Sprintf("persisting event: %v", err)}
 	}
 	s.persist.events.Add(1)
 	if n := ls.walEvents.Add(1); n >= int64(s.snapshotEvery) {
@@ -73,7 +73,7 @@ func (s *Server) persistEvent(w http.ResponseWriter, id string, ls *liveSession,
 			}()
 		}
 	}
-	return true
+	return nil
 }
 
 // labelEvent builds the WAL record of one accepted explicit label.

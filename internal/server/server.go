@@ -355,41 +355,13 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	s.create(w, &liveSession{sess: sess, createdAt: s.now()})
 }
 
-// create registers a fresh session, enforcing the cap. When at the
-// cap, expired sessions are swept first so a full table of abandoned
-// sessions does not lock out live users. With a durable store, the
-// session's initial snapshot is written before the 201 goes out — a
-// created session is a recoverable session.
+// create registers a fresh session through the shared apply layer
+// (register in apply.go) and writes the HTTP envelope.
 func (s *Server) create(w http.ResponseWriter, ls *liveSession) {
-	ls.touch(s.now())
-	id := fmt.Sprintf("s%04d", s.nextID.Add(1))
-	// Snapshot the summary before put publishes the session: ids are
-	// predictable, so a concurrent writer could mutate it immediately.
-	summary := summarize(id, ls)
-	err := s.sessions.put(id, ls, s.cfg.MaxSessions)
-	if errors.Is(err, errSessionCap) && s.sweepQuick() > 0 {
-		err = s.sessions.put(id, ls, s.cfg.MaxSessions)
-	}
+	_, summary, err := s.register(ls)
 	if err != nil {
-		s.sessions.rejected.Add(1)
-		writeError(w, jim.CodeTooManySessions,
-			"%v (%d active, max %d)", err, s.sessions.active.Load(), s.cfg.MaxSessions)
+		writeTypedError(w, err)
 		return
-	}
-	if s.durable {
-		if err := s.snapshotSession(id, ls); err != nil {
-			// A session the store cannot hold must not exist: undo the
-			// insert (rollback, so a failed create never reads as
-			// created+deleted churn in /stats), and purge — ids are
-			// predictable, so a concurrent request may already have
-			// logged an event into what would otherwise survive as a
-			// WAL-only remnant poisoning every future Restore.
-			s.sessions.rollback(id)
-			_ = s.purge(id, ls)
-			s.persist.errors.Add(1)
-			writeError(w, jim.CodeInternal, "persisting session: %v", err)
-			return
-		}
 	}
 	writeJSON(w, http.StatusCreated, summary)
 }
@@ -495,40 +467,8 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	ls, ok := s.sessions.get(id)
-	if !ok || !s.sessions.delete(id) {
-		// Not in RAM — but with a durable store the id may name a
-		// TTL-demoted session: mid-demotion (fence it so the pending
-		// demotion snapshot cannot re-create what we are about to
-		// discard) or fully parked on disk. DELETE means gone either
-		// way; garbage ids (not the server's own shape) have nothing
-		// to purge. The response stays 404 — the session was already
-		// unreachable — and purge failures surface via persist_errors.
-		if s.durable {
-			switch {
-			case ok:
-				// get saw it but a sweep raced the delete; we still
-				// hold the liveSession, so fence it — an async
-				// size-policy snapshot may be in flight.
-				_ = s.purge(id, ls)
-			default:
-				if v, mid := s.demoting.Load(id); mid {
-					_ = s.purge(id, v.(*liveSession))
-				} else if _, serverID := numericID(id); serverID {
-					_ = s.purge(id, nil)
-				}
-			}
-		}
-		writeError(w, jim.CodeNotFound, "no session %q", id)
-		return
-	}
-	// An explicit delete discards the durable copy too — unlike
-	// eviction, which demotes the session to disk. A failure here
-	// leaves an orphan that would resurrect on restart, so it is
-	// reported rather than swallowed.
-	if err := s.purge(id, ls); err != nil {
-		writeError(w, jim.CodeInternal, "discarding persisted session: %v", err)
+	if err := s.deleteSession(r.PathValue("id")); err != nil {
+		writeTypedError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -551,12 +491,11 @@ func (s *Server) writeSession(h sessionHandler) http.HandlerFunc {
 func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		ls, ok := s.sessions.get(id)
-		if !ok {
-			writeError(w, jim.CodeNotFound, "no session %q", id)
+		ls, err := s.lookup(id)
+		if err != nil {
+			writeTypedError(w, err)
 			return
 		}
-		ls.touch(s.now())
 		if write {
 			ls.mu.Lock()
 			defer ls.mu.Unlock()
@@ -611,24 +550,9 @@ type nextResponse struct {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, ls *liveSession) {
-	// A proposal that starts a re-offer round mutates the skip set —
-	// the one state change a read path makes — and must reach the WAL,
-	// or replayed skips would accumulate onto a set the live session
-	// had cleared and recovery would propose different tuples. The
-	// clear and its event are logged under pickMu as one unit, so a
-	// concurrent snapshot (which holds pickMu across capture and
-	// sequence stamping) sees either neither or both; skip events
-	// themselves take the write lock, which this handler's read lock
-	// excludes.
-	ls.pickMu.Lock()
-	clearsBefore := ls.sess.Core().SkipClears()
-	i, ok := ls.sess.Propose()
-	persisted := true
-	if ls.sess.Core().SkipClears() != clearsBefore {
-		persisted = s.persistEvent(w, id, ls, clearEvent())
-	}
-	ls.pickMu.Unlock()
-	if !persisted {
+	i, ok, err := s.proposeOne(id, ls)
+	if err != nil {
+		writeTypedError(w, err)
 		return
 	}
 	if !ok {
@@ -649,9 +573,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, id string, l
 		}
 		k = parsed
 	}
-	ls.pickMu.Lock()
-	indices, err := ls.sess.TopK(k)
-	ls.pickMu.Unlock()
+	indices, err := s.rankK(ls, k)
 	if err != nil {
 		writeTypedError(w, err)
 		return
@@ -701,40 +623,17 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string, 
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// applyLabel applies one answer (or skip) to the session and persists
-// its event — the shared apply step of POST /label and POST /step.
-// ok=false means the error envelope has already been written. The
-// caller holds the session's write lock.
+// applyLabel is the HTTP wrapper over applyAnswer (apply.go): same
+// apply-and-persist step, envelope written on failure. ok=false means
+// the error envelope has already been written. The caller holds the
+// session's write lock.
 func (s *Server) applyLabel(w http.ResponseWriter, id string, ls *liveSession, index int, label string) (labelResponse, bool) {
-	var l jim.Label
-	switch label {
-	case "+", "yes", "y":
-		l = jim.Positive
-	case "-", "no", "n":
-		l = jim.Negative
-	case "skip", "s", "?":
-		if err := ls.sess.Skip(index); err != nil {
-			writeTypedError(w, err)
-			return labelResponse{}, false
-		}
-		if !s.persistEvent(w, id, ls, skipEvent(index)) {
-			return labelResponse{}, false
-		}
-		return ls.labelResponse(nil), true
-	default:
-		writeError(w, jim.CodeBadInput, "unknown label %q (want +, -, or skip)", label)
-		return labelResponse{}, false
-	}
-	out, err := ls.sess.Answer(index, l)
+	newly, err := s.applyAnswer(id, ls, index, label)
 	if err != nil {
 		writeTypedError(w, err)
 		return labelResponse{}, false
 	}
-	if !s.persistEvent(w, id, ls, labelEvent(index, l)) {
-		return labelResponse{}, false
-	}
-	s.metrics.labels.Add(1)
-	return ls.labelResponse(out.NewlyImplied), true
+	return ls.labelResponse(newly), true
 }
 
 // stepRequest drives one full dialogue step in a single round trip:
@@ -794,9 +693,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id string, l
 		applied = &resp
 	}
 	if req.K > 1 {
-		ls.pickMu.Lock()
-		indices, err := ls.sess.TopK(req.K)
-		ls.pickMu.Unlock()
+		indices, err := s.rankK(ls, req.K)
 		if err != nil {
 			writeTypedError(w, err)
 			return
@@ -809,16 +706,10 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request, id string, l
 		return
 	}
 	// Single proposal: same skip-routing and clear-event persistence as
-	// GET /next (see handleNext for why the clear must reach the WAL).
-	ls.pickMu.Lock()
-	clearsBefore := ls.sess.Core().SkipClears()
-	i, ok := ls.sess.Propose()
-	persisted := true
-	if ls.sess.Core().SkipClears() != clearsBefore {
-		persisted = s.persistEvent(w, id, ls, clearEvent())
-	}
-	ls.pickMu.Unlock()
-	if !persisted {
+	// GET /next (see proposeOne for why the clear must reach the WAL).
+	i, ok, err := s.proposeOne(id, ls)
+	if err != nil {
+		writeTypedError(w, err)
 		return
 	}
 	if !ok {
@@ -884,16 +775,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request, id string,
 		writeError(w, jim.CodeBadInput, "empty append: no tuples in body")
 		return
 	}
-	newly, err := ls.sess.Append(tuples)
+	newly, err := s.applyAppend(id, ls, tuples)
 	if err != nil {
 		writeTypedError(w, err)
 		return
 	}
-	if !s.persistEvent(w, id, ls, appendEvent(tuples)) {
-		return
-	}
-	s.metrics.appends.Add(1)
-	s.metrics.tuplesAppended.Add(int64(len(tuples)))
 	if newly == nil {
 		newly = []int{}
 	}
@@ -999,10 +885,42 @@ func writeTypedError(w http.ResponseWriter, err error) {
 	writeError(w, jim.CodeInternal, "%v", err)
 }
 
+// jsonBuf pairs a reusable encode buffer with a json.Encoder bound to
+// it, so the per-response cost of the HTTP path is one pool round trip
+// instead of a fresh encoder + growing buffer per call.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	b := &jsonBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	b.enc.SetIndent("", "  ")
+	return b
+}}
+
+// jsonBufMaxCap bounds what goes back into the pool: a rare huge
+// response (a big list page) must not pin its buffer forever.
+const jsonBufMaxCap = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b := jsonBufPool.Get().(*jsonBuf)
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		// Unreachable for the server's own response types; keep the
+		// envelope shape anyway rather than emitting a truncated body.
+		jsonBufPool.Put(b)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":{\"code\":%q,\"message\":\"encoding response\"}}\n", jim.CodeInternal)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(b.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(b.buf.Bytes())
+	if b.buf.Cap() <= jsonBufMaxCap {
+		jsonBufPool.Put(b)
+	}
 }

@@ -1,0 +1,588 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	jim "repro"
+)
+
+// The codec: hand-rolled encode/decode over length-prefixed frames,
+// allocation-free in steady state. A Reader owns one reusable frame
+// buffer and decodes requests into a caller-held Request whose slices
+// are reused; a Writer assembles each payload in one reusable scratch
+// slice. Strings that cross a call boundary (strategy, CSV, append
+// cells, error messages) are copied out of the frame buffer; hot-path
+// fields (session id, answers, proposals) never are. DESIGN.md §9
+// documents the ownership contract.
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Reader decodes frames from a byte stream. Not safe for concurrent
+// use; each connection owns one.
+type Reader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader wraps r with a frame cap (<= 0 means DefaultMaxFrame).
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{br: bufio.NewReader(r), max: maxFrame}
+}
+
+// Buffered reports how many undecoded bytes are already in memory —
+// the connection handler's flush heuristic: respond-and-flush when 0,
+// keep filling the write buffer while more pipelined frames wait.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// frame reads one length-prefixed payload into the reusable buffer.
+// The returned slice is valid until the next frame call. io.EOF is
+// returned only at a clean frame boundary; a stream ending mid-frame
+// is ErrTruncated. The declared length is checked against the cap
+// before any allocation, so a hostile length cannot balloon memory.
+func (r *Reader) frame() ([]byte, error) {
+	if _, err := r.br.Peek(1); err != nil {
+		return nil, err // clean EOF (or the transport's own error)
+	}
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: length varint cut short", ErrTruncated)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if n > uint64(r.max) {
+		return nil, fmt.Errorf("%w: %d bytes declared, cap %d", ErrFrameTooLarge, n, r.max)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	b := r.buf[:n]
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return nil, fmt.Errorf("%w: %d payload bytes declared, stream ended early", ErrTruncated, n)
+	}
+	return b, nil
+}
+
+// cursor walks one frame payload. Every inner length is validated
+// against the bytes actually present before it is trusted.
+type cursor struct{ b []byte }
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, varintErr(n)
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		return 0, varintErr(n)
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func varintErr(n int) error {
+	if n == 0 {
+		return fmt.Errorf("%w: varint cut short", ErrMalformed)
+	}
+	return fmt.Errorf("%w: varint overflows 64 bits", ErrMalformed)
+}
+
+// sint decodes a non-negative integer bounded to 32 bits — indices and
+// counts; anything larger is a corrupt frame, not a real instance.
+func (c *cursor) sint() (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: integer %d out of range", ErrMalformed, v)
+	}
+	return int(v), nil
+}
+
+// count decodes a collection length and bounds it by the bytes left in
+// the frame (each element needs at least minBytes), so a hostile count
+// can never drive an allocation larger than the frame itself.
+func (c *cursor) count(minBytes int) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(c.b)/minBytes) {
+		return 0, fmt.Errorf("%w: count %d exceeds frame size", ErrMalformed, v)
+	}
+	return int(v), nil
+}
+
+func (c *cursor) byte() (byte, error) {
+	if len(c.b) == 0 {
+		return 0, fmt.Errorf("%w: byte cut short", ErrMalformed)
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v, nil
+}
+
+// bytes decodes a length-prefixed slice as a view into the frame
+// buffer — zero-copy; valid until the next frame.
+func (c *cursor) bytes() ([]byte, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.b)) {
+		return nil, fmt.Errorf("%w: %d string bytes declared, %d left in frame", ErrMalformed, n, len(c.b))
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v, nil
+}
+
+// str decodes a length-prefixed string, copying out of the frame.
+func (c *cursor) str() (string, error) {
+	b, err := c.bytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// done requires the payload to be fully consumed.
+func (c *cursor) done() error {
+	if len(c.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(c.b))
+	}
+	return nil
+}
+
+// Request is one decoded request frame. A single Request is reused
+// across ReadRequest calls: ID aliases the frame buffer and Answers
+// reuses its backing array, so both are valid only until the next
+// read. Cold-path fields (Strategy, CSV, Rows) are copied and safe to
+// keep.
+type Request struct {
+	Op Op
+	// ID is the session id — a view into the frame buffer.
+	ID []byte
+	// Create fields.
+	Strategy string
+	Seed     int64
+	CSV      string
+	// Step fields.
+	K       int
+	Answers []Answer
+	// Append field.
+	Rows [][]string
+}
+
+// ReadRequest decodes the next request frame into req (reusing its
+// slices). io.EOF means the peer closed cleanly between frames.
+func (r *Reader) ReadRequest(req *Request) error {
+	b, err := r.frame()
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("%w: empty frame", ErrMalformed)
+	}
+	req.Op = Op(b[0])
+	req.ID = nil
+	req.Strategy, req.CSV = "", ""
+	req.Seed = 0
+	req.K = 0
+	req.Answers = req.Answers[:0]
+	req.Rows = nil
+	c := cursor{b[1:]}
+	switch req.Op {
+	case OpCreate:
+		if req.Strategy, err = c.str(); err != nil {
+			return err
+		}
+		if req.Seed, err = c.varint(); err != nil {
+			return err
+		}
+		if req.CSV, err = c.str(); err != nil {
+			return err
+		}
+	case OpStep:
+		if req.ID, err = c.bytes(); err != nil {
+			return err
+		}
+		if req.K, err = c.sint(); err != nil {
+			return err
+		}
+		n, err := c.count(2) // an answer is at least index varint + label byte
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			idx, err := c.sint()
+			if err != nil {
+				return err
+			}
+			lb, err := c.byte()
+			if err != nil {
+				return err
+			}
+			if !Label(lb).Valid() {
+				return fmt.Errorf("%w: unknown label byte %d", ErrMalformed, lb)
+			}
+			req.Answers = append(req.Answers, Answer{Index: idx, Label: Label(lb)})
+		}
+	case OpAppend:
+		if req.ID, err = c.bytes(); err != nil {
+			return err
+		}
+		nrows, err := c.count(1)
+		if err != nil {
+			return err
+		}
+		rows := make([][]string, 0, nrows)
+		for i := 0; i < nrows; i++ {
+			ncells, err := c.count(1)
+			if err != nil {
+				return err
+			}
+			row := make([]string, 0, ncells)
+			for j := 0; j < ncells; j++ {
+				cell, err := c.str()
+				if err != nil {
+					return err
+				}
+				row = append(row, cell)
+			}
+			rows = append(rows, row)
+		}
+		req.Rows = rows
+	case OpResult, OpDelete:
+		if req.ID, err = c.bytes(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrMalformed, byte(req.Op))
+	}
+	return c.done()
+}
+
+// Writer encodes frames onto a byte stream. Not safe for concurrent
+// use; each connection owns one. Frames are buffered: call Flush to
+// push them to the transport (the connection handler flushes once the
+// pipelined request backlog drains).
+type Writer struct {
+	bw      *bufio.Writer
+	max     int
+	scratch []byte
+	// hdr is the frame-length varint scratch. A field, not a local:
+	// a local array passed to bufio's Write escapes (the underlying
+	// io.Writer is an interface), costing one allocation per frame.
+	hdr [binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps w with a frame cap (<= 0 means DefaultMaxFrame).
+func NewWriter(w io.Writer, maxFrame int) *Writer {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Writer{bw: bufio.NewWriter(w), max: maxFrame}
+}
+
+// Flush pushes buffered frames to the transport.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// frame writes one length-prefixed payload.
+func (w *Writer) frame(payload []byte) error {
+	if len(payload) > w.max {
+		return fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, len(payload), w.max)
+	}
+	n := binary.PutUvarint(w.hdr[:], uint64(len(payload)))
+	if _, err := w.bw.Write(w.hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// WriteCreate encodes a create request.
+func (w *Writer) WriteCreate(csv, strategy string, seed int64) error {
+	b := append(w.scratch[:0], byte(OpCreate))
+	b = appendString(b, strategy)
+	b = binary.AppendVarint(b, seed)
+	b = appendString(b, csv)
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteStep encodes a step request: k proposals wanted, answers to
+// apply first. Negative indices or k are caller bugs, rejected here so
+// they can never reach the wire as huge uvarints.
+func (w *Writer) WriteStep(id string, answers []Answer, k int) error {
+	if k < 0 {
+		return fmt.Errorf("%w: negative k %d", ErrMalformed, k)
+	}
+	b := append(w.scratch[:0], byte(OpStep))
+	b = appendString(b, id)
+	b = binary.AppendUvarint(b, uint64(k))
+	b = binary.AppendUvarint(b, uint64(len(answers)))
+	for _, a := range answers {
+		if a.Index < 0 || !a.Label.Valid() {
+			w.scratch = b[:0]
+			return fmt.Errorf("%w: bad answer {%d %d}", ErrMalformed, a.Index, a.Label)
+		}
+		b = binary.AppendUvarint(b, uint64(a.Index))
+		b = append(b, byte(a.Label))
+	}
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteAppend encodes an append request.
+func (w *Writer) WriteAppend(id string, rows [][]string) error {
+	b := append(w.scratch[:0], byte(OpAppend))
+	b = appendString(b, id)
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	for _, row := range rows {
+		b = binary.AppendUvarint(b, uint64(len(row)))
+		for _, cell := range row {
+			b = appendString(b, cell)
+		}
+	}
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteSimple encodes an id-only request (result, delete).
+func (w *Writer) WriteSimple(op Op, id string) error {
+	b := append(w.scratch[:0], byte(op))
+	b = appendString(b, id)
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteError encodes an error response from the jim taxonomy.
+func (w *Writer) WriteError(code, msg string) error {
+	b := append(w.scratch[:0], statusErr)
+	b = appendString(b, code)
+	b = appendString(b, msg)
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteCreated encodes a create response.
+func (w *Writer) WriteCreated(id string) error {
+	b := append(w.scratch[:0], statusOK)
+	b = appendString(b, id)
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteStepResult encodes a step response.
+func (w *Writer) WriteStepResult(res *StepResult) error {
+	b := append(w.scratch[:0], statusOK)
+	b = append(b, boolByte(res.Done))
+	b = binary.AppendUvarint(b, uint64(len(res.Applied)))
+	for _, a := range res.Applied {
+		b = binary.AppendUvarint(b, uint64(a.NewlyImplied))
+		b = binary.AppendUvarint(b, uint64(a.Informative))
+	}
+	b = binary.AppendUvarint(b, uint64(len(res.Proposals)))
+	for _, p := range res.Proposals {
+		b = binary.AppendUvarint(b, uint64(p))
+	}
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteAppendResult encodes an append response.
+func (w *Writer) WriteAppendResult(res AppendResult) error {
+	b := append(w.scratch[:0], statusOK)
+	b = binary.AppendUvarint(b, uint64(res.Appended))
+	b = binary.AppendUvarint(b, uint64(res.NewlyImplied))
+	b = binary.AppendUvarint(b, uint64(res.Informative))
+	b = append(b, boolByte(res.Done))
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteResultData encodes a result response.
+func (w *Writer) WriteResultData(res ResultData) error {
+	b := append(w.scratch[:0], statusOK)
+	b = append(b, boolByte(res.Done))
+	b = appendString(b, res.Predicate)
+	b = appendString(b, res.SQL)
+	w.scratch = b
+	return w.frame(b)
+}
+
+// WriteOK encodes a bare success response (delete).
+func (w *Writer) WriteOK() error {
+	b := append(w.scratch[:0], statusOK)
+	w.scratch = b
+	return w.frame(b)
+}
+
+// response reads one response frame and splits the status byte: an
+// error frame is decoded into a *jim.Error; an ok frame returns its
+// body cursor.
+func (r *Reader) response() (cursor, error) {
+	b, err := r.frame()
+	if err != nil {
+		return cursor{}, err
+	}
+	if len(b) == 0 {
+		return cursor{}, fmt.Errorf("%w: empty frame", ErrMalformed)
+	}
+	c := cursor{b[1:]}
+	switch b[0] {
+	case statusOK:
+		return c, nil
+	case statusErr:
+		code, err := c.str()
+		if err != nil {
+			return cursor{}, err
+		}
+		msg, err := c.str()
+		if err != nil {
+			return cursor{}, err
+		}
+		if err := c.done(); err != nil {
+			return cursor{}, err
+		}
+		return cursor{}, &jim.Error{Code: jim.ErrorCode(code), Message: msg}
+	}
+	return cursor{}, fmt.Errorf("%w: unknown status %d", ErrMalformed, b[0])
+}
+
+// ReadCreated decodes a create response.
+func (r *Reader) ReadCreated() (string, error) {
+	c, err := r.response()
+	if err != nil {
+		return "", err
+	}
+	id, err := c.str()
+	if err != nil {
+		return "", err
+	}
+	return id, c.done()
+}
+
+// ReadStepResult decodes a step response into res, reusing its slices.
+func (r *Reader) ReadStepResult(res *StepResult) error {
+	c, err := r.response()
+	if err != nil {
+		return err
+	}
+	done, err := c.byte()
+	if err != nil {
+		return err
+	}
+	res.Done = done != 0
+	res.Applied = res.Applied[:0]
+	res.Proposals = res.Proposals[:0]
+	n, err := c.count(2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var a AnswerOutcome
+		if a.NewlyImplied, err = c.sint(); err != nil {
+			return err
+		}
+		if a.Informative, err = c.sint(); err != nil {
+			return err
+		}
+		res.Applied = append(res.Applied, a)
+	}
+	if n, err = c.count(1); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		p, err := c.sint()
+		if err != nil {
+			return err
+		}
+		res.Proposals = append(res.Proposals, p)
+	}
+	return c.done()
+}
+
+// ReadAppendResult decodes an append response.
+func (r *Reader) ReadAppendResult() (AppendResult, error) {
+	var res AppendResult
+	c, err := r.response()
+	if err != nil {
+		return res, err
+	}
+	if res.Appended, err = c.sint(); err != nil {
+		return res, err
+	}
+	if res.NewlyImplied, err = c.sint(); err != nil {
+		return res, err
+	}
+	if res.Informative, err = c.sint(); err != nil {
+		return res, err
+	}
+	done, err := c.byte()
+	if err != nil {
+		return res, err
+	}
+	res.Done = done != 0
+	return res, c.done()
+}
+
+// ReadResultData decodes a result response.
+func (r *Reader) ReadResultData() (ResultData, error) {
+	var res ResultData
+	c, err := r.response()
+	if err != nil {
+		return res, err
+	}
+	done, err := c.byte()
+	if err != nil {
+		return res, err
+	}
+	res.Done = done != 0
+	if res.Predicate, err = c.str(); err != nil {
+		return res, err
+	}
+	if res.SQL, err = c.str(); err != nil {
+		return res, err
+	}
+	return res, c.done()
+}
+
+// ReadOK decodes a bare success response.
+func (r *Reader) ReadOK() error {
+	c, err := r.response()
+	if err != nil {
+		return err
+	}
+	return c.done()
+}

@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	jim "repro"
+)
+
+// fakeBackend scripts Backend for transport tests: create hands out
+// sequential ids, step echoes the first answer index back as the
+// proposal (so ordering bugs surface), and a magic index triggers an
+// application error.
+type fakeBackend struct {
+	mu      sync.Mutex
+	nextID  int
+	steps   int
+	deletes []string
+	ops     []string // recorded op patterns (OpRecorder)
+}
+
+const failIndex = 666
+
+func (f *fakeBackend) WireCreate(csv, strategy string, seed int64) (string, error) {
+	if csv == "" {
+		return "", &jim.Error{Code: jim.CodeBadInput, Message: "empty csv"}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++
+	return fmt.Sprintf("s%04d", f.nextID), nil
+}
+
+func (f *fakeBackend) WireStep(id string, answers []Answer, k int, out *StepResult) error {
+	f.mu.Lock()
+	f.steps++
+	f.mu.Unlock()
+	out.Applied = out.Applied[:0]
+	out.Proposals = out.Proposals[:0]
+	out.Done = false
+	for _, a := range answers {
+		if a.Index == failIndex {
+			return &jim.Error{Code: jim.CodeOutOfRange, Message: "tuple index out of range"}
+		}
+		out.Applied = append(out.Applied, AnswerOutcome{NewlyImplied: a.Index, Informative: k})
+	}
+	if len(answers) > 0 {
+		out.Proposals = append(out.Proposals, answers[0].Index)
+	}
+	return nil
+}
+
+func (f *fakeBackend) WireAppend(id string, rows [][]string) (AppendResult, error) {
+	return AppendResult{Appended: len(rows), Informative: 3}, nil
+}
+
+func (f *fakeBackend) WireResult(id string) (ResultData, error) {
+	return ResultData{Done: true, Predicate: "{{0,1}}", SQL: "SELECT 1"}, nil
+}
+
+func (f *fakeBackend) WireDelete(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deletes = append(f.deletes, id)
+	return nil
+}
+
+func (f *fakeBackend) RecordWireOp(pattern string, d time.Duration, isErr bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, pattern)
+}
+
+// startServer serves a fakeBackend on a loopback listener.
+func startServer(t *testing.T, b Backend) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Backend: b}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func TestClientRoundTrips(t *testing.T) {
+	b := &fakeBackend{}
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	id, err := c.Create("a,b\n1,2\n", "random", 7)
+	if err != nil || id != "s0001" {
+		t.Fatalf("Create = %q, %v", id, err)
+	}
+	res, err := c.Step(id, []Answer{{4, Positive}, {2, Skip}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Applied) != 2 || res.Applied[0].NewlyImplied != 4 || res.Applied[1].NewlyImplied != 2 {
+		t.Errorf("Applied = %+v", res.Applied)
+	}
+	if len(res.Proposals) != 1 || res.Proposals[0] != 4 {
+		t.Errorf("Proposals = %v", res.Proposals)
+	}
+	ar, err := c.Append(id, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil || ar.Appended != 2 {
+		t.Fatalf("Append = %+v, %v", ar, err)
+	}
+	rd, err := c.Result(id)
+	if err != nil || !rd.Done || rd.Predicate != "{{0,1}}" || rd.SQL != "SELECT 1" {
+		t.Fatalf("Result = %+v, %v", rd, err)
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.deletes) != 1 || b.deletes[0] != "s0001" {
+		t.Errorf("deletes = %v", b.deletes)
+	}
+	want := []string{"WIRE create", "WIRE step", "WIRE append", "WIRE result", "WIRE delete"}
+	if len(b.ops) != len(want) {
+		t.Fatalf("recorded ops = %v, want %v", b.ops, want)
+	}
+	for i := range want {
+		if b.ops[i] != want[i] {
+			t.Errorf("ops[%d] = %q, want %q", i, b.ops[i], want[i])
+		}
+	}
+}
+
+// TestPipelining queues many step frames before reading any response:
+// responses must come back in request order, one per request.
+func TestPipelining(t *testing.T) {
+	b := &fakeBackend{}
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const depth = 32
+	for i := 0; i < depth; i++ {
+		if err := c.SendStep("s0001", []Answer{{i, Positive}}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var res StepResult
+	for i := 0; i < depth; i++ {
+		if err := c.RecvStep(&res); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if len(res.Proposals) != 1 || res.Proposals[0] != i {
+			t.Fatalf("response %d carried proposal %v — out of order", i, res.Proposals)
+		}
+	}
+}
+
+// TestApplicationErrorKeepsConnection: an app-level failure is a
+// per-request error frame; the connection must stay usable.
+func TestApplicationErrorKeepsConnection(t *testing.T) {
+	b := &fakeBackend{}
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Step("s0001", []Answer{{failIndex, Positive}}, 1)
+	var je *jim.Error
+	if !errors.As(err, &je) || je.Code != jim.CodeOutOfRange {
+		t.Fatalf("err = %v, want out_of_range", err)
+	}
+	// Same connection, next request succeeds.
+	res, err := c.Step("s0001", []Answer{{5, Positive}}, 1)
+	if err != nil || res.Proposals[0] != 5 {
+		t.Fatalf("after app error: %+v, %v", res, err)
+	}
+}
+
+// TestProtocolErrorClosesConnection: a malformed frame gets a
+// best-effort error frame and then the connection dies — there is no
+// resync point in a misframed stream.
+func TestProtocolErrorClosesConnection(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0x02, 0x63, 0x63}); err != nil { // unknown op 0x63
+		t.Fatal(err)
+	}
+	r := NewReader(conn, 0)
+	_, rerr := r.ReadCreated()
+	var je *jim.Error
+	if !errors.As(rerr, &je) || je.Code != jim.CodeBadInput {
+		t.Fatalf("error frame = %v, want bad_input", rerr)
+	}
+	// The server must have closed: the next read ends the stream.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.ReadCreated(); err == nil {
+		t.Fatal("connection still alive after protocol error")
+	}
+}
+
+// TestOversizedFrameRejected: a frame above the configured cap fails
+// with body_too_large before any payload is read.
+func TestOversizedFrameRejected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Backend: &fakeBackend{}, MaxFrame: 64}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	c, err := Dial(ln.Addr().String(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Create(string(make([]byte, 1024)), "random", 0)
+	var je *jim.Error
+	if !errors.As(err, &je) || je.Code != jim.CodeBodyTooLarge {
+		t.Fatalf("err = %v, want body_too_large", err)
+	}
+}
+
+// TestShutdownDrainsPipelinedRequests: requests already queued on the
+// connection when Shutdown begins still get answers.
+func TestShutdownDrainsPipelinedRequests(t *testing.T) {
+	b := &fakeBackend{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Backend: b}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	c, err := Dial(ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Prime the connection so the server has accepted it.
+	if _, err := c.Step("s0001", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	const depth = 8
+	for i := 0; i < depth; i++ {
+		if err := c.SendStep("s0001", []Answer{{i, Positive}}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// Every queued request was answered before the server exited. (The
+	// responses may race the shutdown flush, so tolerate a truncated
+	// tail only after at least one answer proves the drain started.)
+	var res StepResult
+	answered := 0
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < depth; i++ {
+		if err := c.RecvStep(&res); err != nil {
+			break
+		}
+		if res.Proposals[0] != answered {
+			t.Fatalf("answer %d carried proposal %v", answered, res.Proposals)
+		}
+		answered++
+	}
+	if answered != depth {
+		t.Errorf("drained %d of %d pipelined requests", answered, depth)
+	}
+}

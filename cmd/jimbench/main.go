@@ -46,12 +46,13 @@ type options struct {
 	all     bool
 	expOpts experiments.Options
 
-	server    bool
-	users     int
-	sessions  int
-	workloads string
-	strategy  string
-	out       string
+	server          bool
+	users           int
+	sessions        int
+	restartSessions int
+	workloads       string
+	strategy        string
+	out             string
 
 	core       bool
 	tuples     int
@@ -74,6 +75,7 @@ func main() {
 	flag.BoolVar(&o.server, "server", false, "load-test the HTTP service instead of running experiments")
 	flag.IntVar(&o.users, "users", 64, "concurrent simulated users (with -server)")
 	flag.IntVar(&o.sessions, "sessions", 1, "sessions each user completes (with -server)")
+	flag.IntVar(&o.restartSessions, "restart-sessions", 1024, "session fleet of the crash-recovery scenario and the restore microbench; -users bounds its concurrency (with -server)")
 	flag.StringVar(&o.workloads, "workloads", "", "comma-separated workloads (default travel,synthetic,zipf with -server; zipf,synthetic,star with -core)")
 	flag.StringVar(&o.strategy, "strategy", "lookahead-maxmin", "question strategy (with -server)")
 	flag.StringVar(&o.out, "out", "", "machine-readable output file (default BENCH_server.json / BENCH_core.json)")
@@ -154,8 +156,12 @@ type serverBench struct {
 	Strategy        string             `json:"strategy"`
 	Workloads       []*loadtest.Report `json:"workloads"`
 	// Restart is the kill/recover scenario: labeled work before the
-	// kill, recovery wall time, and the proposal-verification outcome.
+	// kill, recovery wall time, WAL bytes per event (v2 vs v1), and
+	// the proposal-verification outcome.
 	Restart *loadtest.RestartReport `json:"restart,omitempty"`
+	// RestoreBench times store-layer recovery (LoadAll) over the same
+	// logical content written in both on-disk formats.
+	RestoreBench *restoreBench `json:"restore_bench,omitempty"`
 	// StepVsWire compares the one-round-trip HTTP /step dialogue
 	// against the binary wire protocol on the same workload — the
 	// transport speedup the wire codec exists to buy.
@@ -328,11 +334,12 @@ func runServerBench(w io.Writer, o options) error {
 	}
 	if !o.noDisk {
 		rr, err := loadtest.RunRestart(loadtest.Config{
-			Users:    o.users,
-			Workload: "travel",
-			Strategy: o.strategy,
-			Fsync:    true,
-			Seed:     o.expOpts.Seed,
+			Users:           o.users,
+			RestartSessions: o.restartSessions,
+			Workload:        "travel",
+			Strategy:        o.strategy,
+			Fsync:           true,
+			Seed:            o.expOpts.Seed,
 		})
 		if err != nil {
 			return err
@@ -342,9 +349,18 @@ func runServerBench(w io.Writer, o options) error {
 				rr.RecoveredSessions, rr.Sessions, rr.Mismatches, rr.FirstError)
 		}
 		bench.Restart = rr
-		fmt.Fprintf(w, "%-14s %4d/%d recovered in %.1fms  %d labels preserved  %d/%d proposals verified\n",
+		fmt.Fprintf(w, "%-14s %4d/%d recovered in %.1fms  %d labels preserved  %d/%d proposals verified  %.1f B/event (v1 %.1f)\n",
 			"restart", rr.RecoveredSessions, rr.Sessions, rr.RecoveryMS,
-			rr.LabelsBeforeKill, rr.VerifiedProposals-rr.Mismatches, rr.VerifiedProposals)
+			rr.LabelsBeforeKill, rr.VerifiedProposals-rr.Mismatches, rr.VerifiedProposals,
+			rr.WALBytesPerEvent, rr.WALBytesPerEventV1)
+		rb, err := runRestoreBench(o.restartSessions, 32)
+		if err != nil {
+			return err
+		}
+		bench.RestoreBench = rb
+		fmt.Fprintf(w, "%-14s %d sessions x %d events: v2 %.1fms / %d B, v1 %.1fms / %d B — %.2fx\n",
+			"restore", rb.Sessions, rb.EventsPerSession,
+			rb.V2.LoadMS, rb.V2.WALBytes, rb.V1.LoadMS, rb.V1.WALBytes, rb.Speedup)
 	}
 	// GOMAXPROCS sweep over the /step scenario: the same one-round-trip
 	// dialogue load at each processor count, so the artifact records how

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/store"
+)
+
+// restoreBench is the store-layer recovery microbench: the same
+// logical content — sessions sessions, each one snapshot plus
+// eventsPerSession WAL events — written in the v2 binary format and
+// transcribed to the v1 JSON format, then each directory timed
+// through a cold LoadAll. It isolates decode cost from the session
+// replay the full restart scenario includes.
+type restoreBench struct {
+	Sessions         int         `json:"sessions"`
+	EventsPerSession int         `json:"events_per_session"`
+	V2               restoreSide `json:"v2"`
+	V1               restoreSide `json:"v1"`
+	// Speedup is v1 load time over v2 load time.
+	Speedup float64 `json:"speedup"`
+}
+
+type restoreSide struct {
+	WALBytes int64   `json:"wal_bytes"`
+	LoadMS   float64 `json:"load_ms"`
+}
+
+func runRestoreBench(sessions, eventsPerSession int) (*restoreBench, error) {
+	rb := &restoreBench{Sessions: sessions, EventsPerSession: eventsPerSession}
+
+	// The v2 directory is written through the store API itself.
+	v2dir, err := os.MkdirTemp("", "jim-restore-v2-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(v2dir)
+	d, err := store.NewDisk(store.DiskOptions{Dir: v2dir})
+	if err != nil {
+		return nil, err
+	}
+	session := json.RawMessage(`{"format":2,"note":"restore bench placeholder state"}`)
+	for s := 0; s < sessions; s++ {
+		id := fmt.Sprintf("s%05d", s+1)
+		if err := d.Snapshot(id, store.Snapshot{Strategy: "bench", Session: session}); err != nil {
+			d.Close()
+			return nil, err
+		}
+		for e := 0; e < eventsPerSession; e++ {
+			ev := store.Event{Op: store.OpLabel, Index: e, Label: "+"}
+			if e%2 == 1 {
+				ev.Label = "-"
+			}
+			if err := d.AppendEvent(id, ev); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	// The v1 directory carries the identical content transcribed to the
+	// JSON layout (json.Marshal of the store's exported envelope types
+	// IS the v1 format).
+	v1dir, err := os.MkdirTemp("", "jim-restore-v1-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(v1dir)
+	vd, err := store.NewDisk(store.DiskOptions{Dir: v2dir})
+	if err != nil {
+		return nil, err
+	}
+	saved, err := vd.LoadAll()
+	if cerr := vd.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, sv := range saved {
+		dir := filepath.Join(v1dir, "sessions", sv.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		snapJSON, err := json.Marshal(sv.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "snap.json"), snapJSON, 0o644); err != nil {
+			return nil, err
+		}
+		var wal bytes.Buffer
+		for _, ev := range sv.Events {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				return nil, err
+			}
+			wal.Write(line)
+			wal.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), wal.Bytes(), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	load := func(dir string) (restoreSide, error) {
+		var side restoreSide
+		wals, err := filepath.Glob(filepath.Join(dir, "sessions", "*", "wal.log"))
+		if err != nil {
+			return side, err
+		}
+		for _, w := range wals {
+			st, err := os.Stat(w)
+			if err != nil {
+				return side, err
+			}
+			side.WALBytes += st.Size()
+		}
+		d, err := store.NewDisk(store.DiskOptions{Dir: dir})
+		if err != nil {
+			return side, err
+		}
+		defer d.Close()
+		t0 := time.Now()
+		saved, err := d.LoadAll()
+		side.LoadMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		if err != nil {
+			return side, err
+		}
+		if len(saved) != sessions {
+			return side, fmt.Errorf("restore bench: loaded %d sessions from %s, want %d", len(saved), dir, sessions)
+		}
+		for _, sv := range saved {
+			if len(sv.Events) != eventsPerSession {
+				return side, fmt.Errorf("restore bench: session %s has %d events, want %d", sv.ID, len(sv.Events), eventsPerSession)
+			}
+		}
+		return side, nil
+	}
+	if rb.V2, err = load(v2dir); err != nil {
+		return nil, err
+	}
+	if rb.V1, err = load(v1dir); err != nil {
+		return nil, err
+	}
+	if rb.V2.LoadMS > 0 {
+		rb.Speedup = rb.V1.LoadMS / rb.V2.LoadMS
+	}
+	return rb, nil
+}

@@ -163,6 +163,7 @@ func main() {
 		os.Exit(1)
 	}
 	svc := newServer(cfg, st)
+	t0 := time.Now()
 	restored, err := svc.Restore()
 	if err != nil {
 		// Partial restores are survivable — the failed sessions are
@@ -171,7 +172,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jimserver: restore:", err)
 	}
 	if cfg.storeBackend != "mem" {
-		fmt.Printf("jimserver restored %d sessions from %s\n", restored, cfg.dataDir)
+		format := "v1"
+		if f, ok := st.(interface{ Format() string }); ok {
+			format = f.Format()
+		}
+		fmt.Printf("jimserver restored %d sessions from %s (format %s, %.1fms)\n",
+			restored, cfg.dataDir, format, float64(time.Since(t0))/float64(time.Millisecond))
 	}
 	// The janitor has work only when sessions expire or when a durable
 	// store's age-based snapshot policy is on; a mem-store server with

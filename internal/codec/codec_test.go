@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte{0xab}, 1000),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	rest := stream
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, rest, err = ReadFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, []byte("hello world"))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ReadFrame(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReadFrameChecksum(t *testing.T) {
+	full := AppendFrame(nil, []byte("hello world"))
+	// Flip one payload bit (the final byte is payload, not header).
+	full[len(full)-1] ^= 0x01
+	if _, _, err := ReadFrame(full); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestReadFrameHostileLength(t *testing.T) {
+	// A near-MaxUint64 declared length must not overflow the bounds
+	// check into a panic or a giant allocation.
+	hostile := binary.AppendUvarint(nil, ^uint64(0)-1)
+	if _, _, err := ReadFrame(hostile); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	overflow := bytes.Repeat([]byte{0xff}, 16)
+	if _, _, err := ReadFrame(overflow); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestCursorPrimitives(t *testing.T) {
+	var b []byte
+	b = binary.AppendUvarint(b, 300)
+	b = binary.AppendVarint(b, -7)
+	b = append(b, 0x2a)
+	b = AppendString(b, "abc")
+	c := Cursor{B: b}
+	if v, err := c.Uvarint(); err != nil || v != 300 {
+		t.Fatalf("Uvarint = %d, %v", v, err)
+	}
+	if v, err := c.Varint(); err != nil || v != -7 {
+		t.Fatalf("Varint = %d, %v", v, err)
+	}
+	if v, err := c.Byte(); err != nil || v != 0x2a {
+		t.Fatalf("Byte = %d, %v", v, err)
+	}
+	if s, err := c.Str(); err != nil || s != "abc" {
+		t.Fatalf("Str = %q, %v", s, err)
+	}
+	if err := c.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestCursorBounds(t *testing.T) {
+	// A count larger than the remaining bytes must be rejected before
+	// any allocation.
+	c := Cursor{B: binary.AppendUvarint(nil, 1<<20)}
+	if _, err := c.Count(1); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("Count err = %v, want ErrMalformed", err)
+	}
+	// A string length pointing past the payload end likewise.
+	c = Cursor{B: append(binary.AppendUvarint(nil, 50), 'x')}
+	if _, err := c.Str(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("Str err = %v, want ErrMalformed", err)
+	}
+	// A 33-bit "index" is corruption, not data.
+	c = Cursor{B: binary.AppendUvarint(nil, 1<<33)}
+	if _, err := c.Sint(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("Sint err = %v, want ErrMalformed", err)
+	}
+	// Trailing garbage fails Done.
+	c = Cursor{B: []byte{0x01}}
+	if err := c.Done(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("Done err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5a}, 256)
+	buf := make([]byte, 0, 512)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = AppendFrame(buf[:0], payload)
+	}); n != 0 {
+		t.Fatalf("AppendFrame allocates %.1f/op, want 0", n)
+	}
+}

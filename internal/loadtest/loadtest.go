@@ -66,6 +66,12 @@ type Config struct {
 	// POST /tuples batches interleaved with the labeling loop — users
 	// label while the instance grows.
 	StreamBatches int
+	// RestartSessions is how many sessions the restart scenario
+	// creates, kills, and recovers (default Users). Users stays the
+	// concurrency bound: with RestartSessions larger, each simulated
+	// user works through its share of the session fleet, so a
+	// 1024-session recovery run does not need 1024 live connections.
+	RestartSessions int
 	// Store selects the session store of the in-process target server:
 	// "" or "mem" for the RAM-only default, "disk" for the durable
 	// backend (WAL + snapshots in a temporary directory) — the
@@ -84,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionsPerUser <= 0 {
 		c.SessionsPerUser = 1
+	}
+	if c.RestartSessions <= 0 {
+		c.RestartSessions = c.Users
 	}
 	if c.Workload == "" {
 		c.Workload = "travel"

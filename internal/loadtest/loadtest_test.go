@@ -309,5 +309,33 @@ func TestRestartScenario(t *testing.T) {
 		if rep.RecoveryMS < 0 {
 			t.Errorf("negative recovery time %v", rep.RecoveryMS)
 		}
+		if rep.WALFormat != "v2" || rep.WALEvents == 0 || rep.WALBytes == 0 {
+			t.Errorf("fsync=%v: WAL metrics missing: %+v", fsync, rep)
+		}
+		if rep.WALBytesPerEvent >= rep.WALBytesPerEventV1 {
+			t.Errorf("fsync=%v: v2 wal bytes/event %.1f not below v1 %.1f",
+				fsync, rep.WALBytesPerEvent, rep.WALBytesPerEventV1)
+		}
+	}
+}
+
+// TestRestartFleetLargerThanConcurrency: RestartSessions sizes the
+// session fleet independently of Users, which only bounds concurrency
+// — the 1024-session benchmark shape, shrunk for CI.
+func TestRestartFleetLargerThanConcurrency(t *testing.T) {
+	rep, err := loadtest.RunRestart(loadtest.Config{
+		Users: 3, RestartSessions: 10, Workload: "travel", Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 10 || rep.Concurrency != 3 {
+		t.Fatalf("sessions=%d concurrency=%d, want 10/3", rep.Sessions, rep.Concurrency)
+	}
+	if rep.RecoveredSessions != 10 {
+		t.Fatalf("recovered %d sessions, want 10 (%s)", rep.RecoveredSessions, rep.FirstError)
+	}
+	if rep.Mismatches != 0 || rep.Completed != 10 {
+		t.Fatalf("mismatches=%d completed=%d: %s", rep.Mismatches, rep.Completed, rep.FirstError)
 	}
 }

@@ -1,11 +1,14 @@
 package loadtest
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	jim "repro"
@@ -15,7 +18,7 @@ import (
 )
 
 // RestartReport is the machine-readable outcome of the crash-recovery
-// scenario: N users label halfway, the server is killed without any
+// scenario: N sessions label halfway, the server is killed without any
 // graceful shutdown, a fresh server recovers from the same data
 // directory, and every recovered session is verified against an
 // uninterrupted in-process control before the dialogues run to
@@ -26,9 +29,23 @@ type RestartReport struct {
 	Store    string `json:"store"`
 	Fsync    bool   `json:"fsync,omitempty"`
 	Sessions int    `json:"sessions"`
+	// Concurrency is how many simulated users drove the session fleet
+	// (Config.Users); with Sessions larger, each user worked through
+	// its share sequentially.
+	Concurrency int `json:"concurrency"`
 	// LabelsBeforeKill is the total labeled work at the kill point —
 	// what a RAM-only server would have lost.
 	LabelsBeforeKill int `json:"labels_before_kill"`
+	// WALFormat is the store's on-disk format ("v2" = CRC-framed
+	// binary); WALBytes is the total WAL footprint at the kill point,
+	// WALEvents the events those bytes carry, and the per-event pair
+	// compares the on-disk cost against the same events re-encoded in
+	// the v1 JSON format.
+	WALFormat          string  `json:"wal_format,omitempty"`
+	WALBytes           int64   `json:"wal_bytes"`
+	WALEvents          int     `json:"wal_events"`
+	WALBytesPerEvent   float64 `json:"wal_bytes_per_event"`
+	WALBytesPerEventV1 float64 `json:"wal_bytes_per_event_v1"`
 	// RecoveredSessions must equal Sessions for a healthy store.
 	RecoveredSessions int `json:"recovered_sessions"`
 	// RecoveryMS is the wall time of Server.Restore: load every
@@ -54,8 +71,8 @@ type appliedLabel struct {
 	label string
 }
 
-// restartUser is one user's state across the kill: the instance, the
-// session id, and the exact labels applied before the crash.
+// restartUser is one session's state across the kill: the instance,
+// the session id, and the exact labels applied before the crash.
 type restartUser struct {
 	inst    *instance
 	id      string
@@ -64,11 +81,11 @@ type restartUser struct {
 	err     error
 }
 
-// RunRestart runs the crash-recovery scenario on a disk-backed server.
-// SessionsPerUser and StreamBatches are ignored: each user owns one
-// session, labels only (the server-level differential tests cover
-// skips and appends across a crash; this scenario measures recovery at
-// load).
+// RunRestart runs the crash-recovery scenario on a disk-backed server:
+// cfg.RestartSessions sessions driven by cfg.Users concurrent workers.
+// SessionsPerUser and StreamBatches are ignored: each session labels
+// only (the server-level differential tests cover skips and appends
+// across a crash; this scenario measures recovery at load).
 func RunRestart(cfg Config) (*RestartReport, error) {
 	cfg = cfg.withDefaults()
 	dir, err := os.MkdirTemp("", "jim-restart-*")
@@ -84,7 +101,7 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 		return server.NewWith(server.Config{Store: ds}), ds, nil
 	}
 
-	users := make([]*restartUser, cfg.Users)
+	users := make([]*restartUser, cfg.RestartSessions)
 	for u := range users {
 		inst, err := makeInstance(cfg.Workload, cfg.Seed+int64(u), 0)
 		if err != nil {
@@ -92,18 +109,43 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 		}
 		users[u] = &restartUser{inst: inst}
 	}
+	// pool fans the session fleet across cfg.Users workers — the
+	// concurrency the report labels, independent of the fleet size.
+	pool := func(fn func(ru *restartUser)) {
+		workers := cfg.Users
+		if workers > len(users) {
+			workers = len(users)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(users) {
+						return
+					}
+					fn(users[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 
 	rep := &RestartReport{
-		Workload: cfg.Workload,
-		Strategy: cfg.Strategy,
-		Store:    "disk",
-		Fsync:    cfg.Fsync,
-		Sessions: cfg.Users,
+		Workload:    cfg.Workload,
+		Strategy:    cfg.Strategy,
+		Store:       "disk",
+		Fsync:       cfg.Fsync,
+		Sessions:    cfg.RestartSessions,
+		Concurrency: cfg.Users,
 	}
 	start := time.Now()
 
-	// Phase 1: everyone creates a session and labels half the expected
-	// dialogue, recording exactly what was applied.
+	// Phase 1: every session is created and labeled through half the
+	// expected dialogue, recording exactly what was applied.
 	srv1, st1, err := open()
 	if err != nil {
 		return nil, err
@@ -111,15 +153,9 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 	ts1 := httptest.NewServer(srv1.Handler())
 	client := ts1.Client()
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
-	var wg sync.WaitGroup
-	for _, ru := range users {
-		wg.Add(1)
-		go func(ru *restartUser) {
-			defer wg.Done()
-			ru.err = ru.labelHalf(client, ts1.URL, cfg.Strategy)
-		}(ru)
-	}
-	wg.Wait()
+	pool(func(ru *restartUser) {
+		ru.err = ru.labelHalf(client, ts1.URL, cfg.Strategy)
+	})
 	// Kill: no SnapshotAll, no drain beyond in-flight requests — every
 	// acknowledged request must already be durable.
 	ts1.Close()
@@ -132,6 +168,9 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 			rep.FirstError = ru.err.Error()
 		}
 	}
+	if err := rep.measureWAL(dir); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: recover and verify, then finish the dialogues.
 	srv2, st2, err := open()
@@ -139,6 +178,9 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 		return nil, err
 	}
 	defer st2.Close()
+	if f, ok := st2.(interface{ Format() string }); ok {
+		rep.WALFormat = f.Format()
+	}
 	t0 := time.Now()
 	recovered, err := srv2.Restore()
 	rep.RecoveryMS = float64(time.Since(t0)) / float64(time.Millisecond)
@@ -150,17 +192,12 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 	defer ts2.Close()
 	client = ts2.Client()
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = cfg.Users + 8
-	for _, ru := range users {
-		wg.Add(1)
-		go func(ru *restartUser) {
-			defer wg.Done()
-			if ru.err != nil {
-				return
-			}
-			ru.err = ru.verifyAndFinish(client, ts2.URL, cfg)
-		}(ru)
-	}
-	wg.Wait()
+	pool(func(ru *restartUser) {
+		if ru.err != nil {
+			return
+		}
+		ru.err = ru.verifyAndFinish(client, ts2.URL, cfg)
+	})
 
 	var all []time.Duration
 	for _, ru := range users {
@@ -175,6 +212,50 @@ func RunRestart(cfg Config) (*RestartReport, error) {
 	rep.ElapsedSeconds = time.Since(start).Seconds()
 	rep.Latency = quantiles(all)
 	return rep, nil
+}
+
+// measureWAL records the durable WAL footprint at the kill point: raw
+// bytes on disk, the events those bytes carry, and the cost of the
+// same events re-encoded in the v1 JSON-lines format — the
+// bytes-per-event comparison BENCH_server.json tracks across formats.
+// Runs between the kill and the recovery, on its own store handle.
+func (rep *RestartReport) measureWAL(dir string) error {
+	wals, err := filepath.Glob(filepath.Join(dir, "sessions", "*", "wal.log"))
+	if err != nil {
+		return err
+	}
+	for _, w := range wals {
+		st, err := os.Stat(w)
+		if err != nil {
+			return err
+		}
+		rep.WALBytes += st.Size()
+	}
+	md, err := store.NewDisk(store.DiskOptions{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer md.Close()
+	saved, err := md.LoadAll()
+	if err != nil {
+		return fmt.Errorf("loadtest: measuring wal: %w", err)
+	}
+	var v1Bytes int64
+	for _, sv := range saved {
+		rep.WALEvents += len(sv.Events)
+		for _, ev := range sv.Events {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			v1Bytes += int64(len(line)) + 1 // the v1 record is line-framed
+		}
+	}
+	if rep.WALEvents > 0 {
+		rep.WALBytesPerEvent = float64(rep.WALBytes) / float64(rep.WALEvents)
+		rep.WALBytesPerEventV1 = float64(v1Bytes) / float64(rep.WALEvents)
+	}
+	return nil
 }
 
 // labelHalf creates the session and answers proposals until half the

@@ -1,0 +1,241 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// storeBlock is the durability block both /v1/stats and GET
+// /v1/sessions serve, as extended by format v2.
+type storeBlock struct {
+	Backend          string  `json:"backend"`
+	RestoredSessions int64   `json:"restored_sessions"`
+	WALFormat        string  `json:"wal_format"`
+	RestoreMS        float64 `json:"restore_ms"`
+}
+
+// TestStatsExposeRestoreAndFormat: operators watching a restart need
+// to see what format the store writes and what the startup replay
+// cost — on /v1/stats and on the session list's store block alike.
+func TestStatsExposeRestoreAndFormat(t *testing.T) {
+	dir := t.TempDir()
+	cfg, ds := diskConfig(t, dir)
+	srv := server.NewWith(cfg)
+	ts := httptest.NewServer(srv.Handler())
+
+	var s summary
+	doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{"csv": travelCSV}, http.StatusCreated, &s)
+	var st struct {
+		Store storeBlock `json:"store"`
+	}
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Store.WALFormat != store.FormatV2 {
+		t.Fatalf("wal_format = %q, want %q", st.Store.WALFormat, store.FormatV2)
+	}
+	if st.Store.RestoreMS != 0 {
+		t.Fatalf("restore_ms = %v before any restore, want 0", st.Store.RestoreMS)
+	}
+	ts.Close()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2, ds2 := diskConfig(t, dir)
+	defer ds2.Close()
+	srv2 := server.NewWith(cfg2)
+	if n, err := srv2.Restore(); err != nil || n != 1 {
+		t.Fatalf("restore = %d, %v", n, err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	doJSON(t, "GET", ts2.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Store.RestoreMS <= 0 {
+		t.Fatalf("restore_ms = %v after a restore, want > 0", st.Store.RestoreMS)
+	}
+	if st.Store.WALFormat != store.FormatV2 || st.Store.RestoredSessions != 1 {
+		t.Fatalf("post-restore store block: %+v", st.Store)
+	}
+	var list struct {
+		Store storeBlock `json:"store"`
+	}
+	doJSON(t, "GET", ts2.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if list.Store.WALFormat != store.FormatV2 || list.Store.RestoreMS != st.Store.RestoreMS {
+		t.Fatalf("list store block %+v does not match stats %+v", list.Store, st.Store)
+	}
+}
+
+// TestMemStoreHasNoWALFormat: the inert backend reports no format.
+func TestMemStoreHasNoWALFormat(t *testing.T) {
+	srv := server.NewWith(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var st struct {
+		Store storeBlock `json:"store"`
+	}
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Store.WALFormat != "" {
+		t.Fatalf("mem store wal_format = %q, want empty", st.Store.WALFormat)
+	}
+}
+
+// TestV1DirectoryCrashDifferential is the upgrade acceptance test: a
+// session written by this build is transcribed to the v1 JSON layout
+// (json.Marshal of the store's exported envelope types IS the v1
+// format), then restored by the v2 binary — and from the crash point
+// to convergence every proposal must match an uninterrupted in-process
+// reference. The first snapshot after restore must upgrade the
+// directory to v2.
+func TestV1DirectoryCrashDifferential(t *testing.T) {
+	initial, goal := workload.Travel(), workload.TravelQ2()
+	refRel := relation.New(initial.Schema())
+	initial.Each(func(i int, tu relation.Tuple) { refRel.MustAppend(tu) })
+	refSt, err := core.NewState(refRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picker, err := strategy.ByName("lookahead-maxmin", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewSession(refSt, picker)
+	ref.RedeferLimit = -1
+
+	dir := t.TempDir()
+	cfg, ds := diskConfig(t, dir)
+	srv := server.NewWith(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	var csv bytes.Buffer
+	if err := relation.WriteCSV(&csv, initial); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	doJSON(t, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"csv": csv.String(), "strategy": "lookahead-maxmin", "seed": 7},
+		http.StatusCreated, &s)
+	base := ts.URL + "/v1/sessions/" + s.ID
+
+	label := func(i int) string {
+		if core.Selects(goal, refRel.Tuple(i)) {
+			return "+"
+		}
+		return "-"
+	}
+	step := func(base string) bool {
+		var n next
+		doJSON(t, "GET", base+"/next", nil, http.StatusOK, &n)
+		refIdx, refOK := ref.Propose()
+		if n.Done != !refOK {
+			t.Fatalf("done=%v over HTTP, propose ok=%v in-process", n.Done, refOK)
+		}
+		if n.Done {
+			return false
+		}
+		if n.Tuple.Index != refIdx {
+			t.Fatalf("HTTP proposed tuple %d, reference %d", n.Tuple.Index, refIdx)
+		}
+		doJSON(t, "POST", base+"/label",
+			map[string]any{"index": n.Tuple.Index, "label": label(n.Tuple.Index)}, http.StatusOK, nil)
+		if _, err := ref.Answer(refIdx, parseLabel(label(refIdx))); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	// SnapshotEvery is 3: four labels leave a snapshot plus a WAL
+	// suffix, so the transcription below covers both v1 files.
+	for i := 0; i < 4; i++ {
+		if !step(base) {
+			t.Fatal("converged before the crash point")
+		}
+	}
+	ts.Close()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transcribe the directory to v1: snapshot as one JSON document,
+	// WAL as one JSON event per line, no v2 files left behind.
+	rd, err := store.NewDisk(store.DiskOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := rd.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) != 1 || saved[0].Snapshot == nil || len(saved[0].Events) == 0 {
+		t.Fatalf("crash state not snapshot+suffix: %+v", saved)
+	}
+	sess := filepath.Join(dir, "sessions", saved[0].ID)
+	snapJSON, err := json.Marshal(saved[0].Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wal bytes.Buffer
+	for _, ev := range saved[0].Events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal.Write(line)
+		wal.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(sess, "snap.json"), snapJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sess, "wal.log"), wal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(sess, "snap.bin")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the v1 directory with the v2 binary and finish the
+	// dialogue in lockstep.
+	cfg2, ds2 := diskConfig(t, dir)
+	defer ds2.Close()
+	srv2 := server.NewWith(cfg2)
+	if n, err := srv2.Restore(); err != nil || n != 1 {
+		t.Fatalf("restore from v1 = %d, %v", n, err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	base = ts2.URL + "/v1/sessions/" + s.ID
+	for i := 0; ; i++ {
+		if i > 4*refRel.Len() {
+			t.Fatal("no convergence after v1 restore")
+		}
+		if !step(base) {
+			break
+		}
+	}
+	if !ref.Done() {
+		t.Fatal("reference did not converge with the restored session")
+	}
+
+	// The next snapshot upgrades the directory one-way to v2.
+	if err := srv2.SnapshotAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(sess, "snap.bin")); err != nil {
+		t.Fatalf("snap.bin missing after upgrade snapshot: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sess, "snap.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("snap.json survived the upgrade: %v", err)
+	}
+}

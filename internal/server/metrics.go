@@ -190,10 +190,20 @@ type storeStats struct {
 	EventsLogged     int64  `json:"events_logged"`
 	Snapshots        int64  `json:"snapshots"`
 	PersistErrors    int64  `json:"persist_errors"`
+	// WALFormat is the on-disk format new writes use ("v2"); absent
+	// for backends without a durable format (mem).
+	WALFormat string `json:"wal_format,omitempty"`
+	// RestoreMS is how long the startup Restore took; 0 when this
+	// process did not restore anything.
+	RestoreMS float64 `json:"restore_ms"`
 	// LastSnapshotAgeSeconds is the age of the most recent snapshot
 	// write; -1 when no snapshot has been written this process.
 	LastSnapshotAgeSeconds float64 `json:"last_snapshot_age_seconds"`
 }
+
+// formatter is the optional store side-interface reporting its
+// on-disk format version (implemented by the disk backend).
+type formatter interface{ Format() string }
 
 // storeStats assembles the durability block.
 func (s *Server) storeStats() storeStats {
@@ -203,7 +213,11 @@ func (s *Server) storeStats() storeStats {
 		EventsLogged:           s.persist.events.Load(),
 		Snapshots:              s.persist.snapshots.Load(),
 		PersistErrors:          s.persist.errors.Load(),
+		RestoreMS:              float64(s.persist.restoreNS.Load()) / 1e6,
 		LastSnapshotAgeSeconds: -1,
+	}
+	if f, ok := s.cfg.Store.(formatter); ok {
+		st.WALFormat = f.Format()
 	}
 	if last := s.persist.lastSnapshot.Load(); last > 0 {
 		st.LastSnapshotAgeSeconds = time.Duration(s.now().UnixNano() - last).Seconds()

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	jim "repro"
 	"repro/internal/relation"
@@ -223,10 +226,17 @@ func (s *Server) SnapshotAll() error {
 // that fail to rebuild are reported in the joined error but do not
 // block the rest — one corrupt session must not hold the other
 // thousands hostage.
+//
+// Rebuilds fan out across a worker pool: restore is the startup
+// critical path (a fleet of sessions replays label-by-label through
+// the inference core), and sessions share no state until putRestored
+// publishes them — so the decode and replay of each is embarrassingly
+// parallel, with only the table insert and id-counter advance serial.
 func (s *Server) Restore() (int, error) {
 	if !s.durable {
 		return 0, nil
 	}
+	start := s.now()
 	// A partially readable store still restores: LoadAll reports
 	// per-session casualties in its error while returning everything
 	// readable (plus bare entries for the unreadable ids).
@@ -235,29 +245,58 @@ func (s *Server) Restore() (int, error) {
 	if loadErr != nil {
 		errs = append(errs, loadErr)
 	}
+	rebuilt := make([]*liveSession, len(saved))
+	rebuildErrs := make([]error, len(saved))
+	rebuildOne := func(i int) {
+		sv := saved[i]
+		if sv.Snapshot == nil && len(sv.Events) == 0 {
+			return // unreadable; already reported by LoadAll
+		}
+		rebuilt[i], rebuildErrs[i] = s.rebuild(sv)
+	}
+	if workers := min(len(saved), runtime.GOMAXPROCS(0)); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(saved) {
+						return
+					}
+					rebuildOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range saved {
+			rebuildOne(i)
+		}
+	}
 	restored := 0
 	maxID := int64(0)
-	for _, sv := range saved {
+	for i, sv := range saved {
 		// Every persisted id — restored, corrupt, or remnant — blocks
 		// id reuse: a fresh session must never share an id with stale
 		// on-disk state, or that state's WAL would replay into it.
 		if n, ok := numericID(sv.ID); ok && n > maxID {
 			maxID = n
 		}
-		if sv.Snapshot == nil && len(sv.Events) == 0 {
-			continue // unreadable; already reported by LoadAll
+		switch {
+		case rebuildErrs[i] != nil:
+			errs = append(errs, fmt.Errorf("session %s: %w", sv.ID, rebuildErrs[i]))
+		case rebuilt[i] != nil:
+			s.sessions.putRestored(sv.ID, rebuilt[i])
+			restored++
 		}
-		ls, err := s.rebuild(sv)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("session %s: %w", sv.ID, err))
-			continue
-		}
-		s.sessions.putRestored(sv.ID, ls)
-		restored++
 	}
 	if maxID > s.nextID.Load() {
 		s.nextID.Store(maxID)
 	}
+	s.persist.restoreNS.Store(s.now().Sub(start).Nanoseconds())
 	return restored, errors.Join(errs...)
 }
 

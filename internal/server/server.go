@@ -100,6 +100,9 @@ type persistStats struct {
 	// lastSnapshot is the unix-nano time of the most recent snapshot
 	// write, 0 when none happened yet.
 	lastSnapshot atomic.Int64
+	// restoreNS is how long the startup Restore took, 0 when the
+	// process did not restore (fresh directory or mem store).
+	restoreNS atomic.Int64
 }
 
 // liveSession is one inference session: a jim.Session plus the locks

@@ -1,0 +1,447 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+)
+
+func TestEventPayloadRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Op: OpLabel, Index: 0, Label: "+"},
+		{Seq: 2, Op: OpLabel, Index: 12345, Label: "-"},
+		{Seq: 3, Op: OpSkip, Index: 7},
+		{Seq: 4, Op: OpAppend, Rows: [][]string{{"1", "a"}, {"2", ""}}},
+		{Seq: 5, Op: OpAppend, Rows: [][]string{}},
+		{Seq: 1 << 40, Op: OpClear},
+	}
+	for _, want := range events {
+		payload, err := appendEventPayload(nil, want)
+		if err != nil {
+			t.Fatalf("%+v: encode: %v", want, err)
+		}
+		got, err := decodeEventPayload(payload)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		// An empty rows slice and nil decode the same; normalize.
+		if len(want.Rows) == 0 {
+			want.Rows = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestEventPayloadRejects(t *testing.T) {
+	if _, err := appendEventPayload(nil, Event{Op: OpLabel, Index: -1, Label: "+"}); err == nil {
+		t.Fatal("negative index encoded")
+	}
+	if _, err := appendEventPayload(nil, Event{Op: Op("bogus")}); err == nil {
+		t.Fatal("unknown op encoded")
+	}
+	if _, err := decodeEventPayload([]byte{}); !errors.Is(err, codec.ErrMalformed) {
+		t.Fatalf("empty payload err = %v", err)
+	}
+	payload, _ := appendEventPayload(nil, Event{Seq: 1, Op: OpClear})
+	if _, err := decodeEventPayload(append(payload, 0)); !errors.Is(err, codec.ErrMalformed) {
+		t.Fatalf("trailing byte err = %v", err)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	want := Snapshot{
+		Seq:       42,
+		Strategy:  "greedy",
+		Seed:      -99,
+		CreatedAt: time.Unix(0, 1700000000123456789),
+		Typing:    []string{"int", "str"},
+		Skips:     []int{1, 5, 9},
+		Session:   json.RawMessage(`{"v":2}`),
+	}
+	file, _ := appendSnapshotFile(nil, nil, want)
+	got, err := decodeSnapshotFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CreatedAt.Equal(want.CreatedAt) {
+		t.Fatalf("created_at = %v, want %v", got.CreatedAt, want.CreatedAt)
+	}
+	got.CreatedAt, want.CreatedAt = time.Time{}, time.Time{}
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("round trip: got %+v, want %+v", *got, want)
+	}
+
+	// The zero snapshot round-trips too (zero time stays zero).
+	file, _ = appendSnapshotFile(file, nil, Snapshot{})
+	zero, err := decodeSnapshotFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zero.CreatedAt.IsZero() {
+		t.Fatalf("zero created_at decoded as %v", zero.CreatedAt)
+	}
+
+	// Corruption is a hard error, never a silent partial snapshot.
+	file, _ = appendSnapshotFile(file, nil, want)
+	file[len(file)-1] ^= 0x01
+	if _, err := decodeSnapshotFile(file); !errors.Is(err, codec.ErrChecksum) {
+		t.Fatalf("bit flip err = %v, want ErrChecksum", err)
+	}
+	if _, err := decodeSnapshotFile([]byte("{}")); !errors.Is(err, codec.ErrMalformed) {
+		t.Fatalf("json file err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestDiskV2WALTornTail cuts a binary WAL at every byte offset: each
+// prefix must recover cleanly (no error) to exactly the events whose
+// frames fully survived — the crash-mid-append contract.
+func TestDiskV2WALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, false)
+	const id = "s0001"
+	if err := d.Snapshot(id, Snapshot{Session: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Op: OpLabel, Index: 3, Label: "+"},
+		{Op: OpSkip, Index: 8},
+		{Op: OpAppend, Rows: [][]string{{"10", "x"}}},
+	}
+	for _, ev := range events {
+		if err := d.AppendEvent(id, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, "sessions", id, walFile)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(full, []byte(walMagic)) {
+		t.Fatalf("wal does not open with the v2 magic: % x", full[:8])
+	}
+
+	// Frame boundaries, to know how many events each cut preserves.
+	var bounds []int // bounds[i] = offset after frame i
+	rest := full[len(walMagic):]
+	for len(rest) > 0 {
+		_, r, err := codec.ReadFrame(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, len(full)-len(r))
+		rest = r
+	}
+	if len(bounds) != len(events) {
+		t.Fatalf("%d frames, want %d", len(bounds), len(events))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(walPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d2 := openDisk(t, dir, false)
+		saved, err := d2.LoadAll()
+		d2.Close()
+		if err != nil {
+			t.Fatalf("cut at %d: LoadAll: %v", cut, err)
+		}
+		want := 0
+		for _, b := range bounds {
+			if cut >= b {
+				want++
+			}
+		}
+		if len(saved) != 1 || len(saved[0].Events) != want {
+			t.Fatalf("cut at %d: recovered %d events, want %d", cut, len(saved[0].Events), want)
+		}
+	}
+}
+
+// TestDiskV2WALCorruption pins the CRC semantics: a bit flip in the
+// FINAL frame reads as a torn tail (recover the prefix, no error); the
+// same flip mid-file is corruption of acknowledged events and must
+// surface as an error, not a silent truncation.
+func TestDiskV2WALCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, false)
+	const id = "s0001"
+	if err := d.Snapshot(id, Snapshot{Session: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.AppendEvent(id, Event{Op: OpLabel, Index: i, Label: "+"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, "sessions", id, walFile)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the last byte (inside the final frame's payload): torn tail.
+	torn := append([]byte(nil), full...)
+	torn[len(torn)-1] ^= 0x01
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDisk(t, dir, false)
+	saved, err := d2.LoadAll()
+	d2.Close()
+	if err != nil {
+		t.Fatalf("final-frame flip: LoadAll: %v", err)
+	}
+	if len(saved[0].Events) != 2 {
+		t.Fatalf("final-frame flip: %d events, want 2", len(saved[0].Events))
+	}
+
+	// Flip a byte inside the FIRST frame: mid-file corruption, error.
+	bad := append([]byte(nil), full...)
+	bad[len(walMagic)+6] ^= 0x01
+	if err := os.WriteFile(walPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d3 := openDisk(t, dir, false)
+	saved, err = d3.LoadAll()
+	d3.Close()
+	if err == nil || !errors.Is(err, codec.ErrChecksum) {
+		t.Fatalf("mid-file flip: err = %v, want ErrChecksum", err)
+	}
+	if len(saved) != 1 || saved[0].Snapshot != nil {
+		t.Fatalf("mid-file flip: corrupt session not reported bare: %+v", saved)
+	}
+}
+
+// TestDiskV1FixtureUpgrade pins the v1 JSON on-disk format with a
+// committed fixture: a directory written by a pre-v2 build must load
+// exactly, keep receiving JSON appends (one format per file), and
+// upgrade one-way to v2 at its next snapshot.
+func TestDiskV1FixtureUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	const id = "s0001"
+	sess := filepath.Join(dir, "sessions", id)
+	if err := os.MkdirAll(sess, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{snapFile, walFile} {
+		data, err := os.ReadFile(filepath.Join("testdata", "v1session", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sess, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := openDisk(t, dir, false)
+	saved, err := d.LoadAll()
+	if err != nil {
+		t.Fatalf("loading v1 fixture: %v", err)
+	}
+	if len(saved) != 1 {
+		t.Fatalf("LoadAll = %+v", saved)
+	}
+	sv := saved[0]
+	if sv.Snapshot == nil || sv.Snapshot.Seq != 2 || sv.Snapshot.Strategy != "greedy" ||
+		sv.Snapshot.Seed != 7 || len(sv.Snapshot.Typing) != 2 || len(sv.Snapshot.Skips) != 1 {
+		t.Fatalf("v1 snapshot decoded as %+v", sv.Snapshot)
+	}
+	if len(sv.Events) != 4 || sv.Events[0].Op != OpLabel || sv.Events[2].Op != OpAppend ||
+		len(sv.Events[2].Rows) != 2 || sv.Events[3].Op != OpClear {
+		t.Fatalf("v1 events decoded as %+v", sv.Events)
+	}
+
+	// An append lands as another JSON line: the file keeps one format.
+	if err := d.AppendEvent(id, Event{Op: OpLabel, Index: 2, Label: "-"}); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(sess, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wal, []byte(walMagic)) {
+		t.Fatal("v2 frame appended to a v1 wal")
+	}
+	if got := bytes.Count(wal, []byte{'\n'}); got != 5 {
+		t.Fatalf("v1 wal has %d lines, want 5", got)
+	}
+
+	// The next snapshot upgrades: snap.bin appears, snap.json goes, the
+	// truncated WAL restarts in v2.
+	if err := d.Snapshot(id, Snapshot{Strategy: "greedy", Session: json.RawMessage(`{"v":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(sess, snapFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("snap.json survived the upgrade: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sess, snapBinFile)); err != nil {
+		t.Fatalf("snap.bin missing after upgrade: %v", err)
+	}
+	if err := d.AppendEvent(id, Event{Op: OpSkip, Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wal, err = os.ReadFile(filepath.Join(sess, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(wal, []byte(walMagic)) {
+		t.Fatalf("post-upgrade wal is not v2: % x", wal[:min(len(wal), 8)])
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The upgraded directory recovers: snapshot seq 7 (the five v1
+	// events folded in), plus the one post-upgrade event.
+	d2 := openDisk(t, dir, false)
+	defer d2.Close()
+	saved, err = d2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv = saved[0]
+	if sv.Snapshot == nil || sv.Snapshot.Seq != 7 || string(sv.Snapshot.Session) != `{"v":2}` {
+		t.Fatalf("upgraded snapshot = %+v", sv.Snapshot)
+	}
+	if len(sv.Events) != 1 || sv.Events[0].Op != OpSkip || sv.Events[0].Seq != 8 {
+		t.Fatalf("post-upgrade events = %+v", sv.Events)
+	}
+}
+
+// TestDiskLoadAllPoisonsCasualty is the regression for the recovery
+// guard: a session LoadAll could not read must refuse appends — a
+// fabricated sequence number over an unreadable directory would bury
+// acknowledged events — until a snapshot rebuilds it.
+func TestDiskLoadAllPoisonsCasualty(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, false)
+	for _, id := range []string{"s0001", "s0002"} {
+		if err := d.Snapshot(id, Snapshot{Session: json.RawMessage(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sessions", "s0002", snapBinFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDisk(DiskOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.LoadAll(); err == nil {
+		t.Fatal("corrupt session reported no error")
+	}
+	// The casualty is sealed; its healthy neighbor is not.
+	if err := d2.AppendEvent("s0002", Event{Op: OpLabel, Index: 0, Label: "+"}); err == nil ||
+		!strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("append on casualty = %v, want poisoned refusal", err)
+	}
+	if err := d2.AppendEvent("s0001", Event{Op: OpLabel, Index: 0, Label: "+"}); err != nil {
+		t.Fatalf("append on healthy neighbor: %v", err)
+	}
+	// A snapshot rebuilds the casualty from scratch and reopens it.
+	if err := d2.Snapshot("s0002", Snapshot{Session: json.RawMessage(`{"v":9}`)}); err != nil {
+		t.Fatalf("repairing snapshot: %v", err)
+	}
+	if err := d2.AppendEvent("s0002", Event{Op: OpLabel, Index: 1, Label: "-"}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+// TestWALAppendEncodeZeroAlloc pins the hot append path's encode —
+// payload plus CRC frame out of a reused encState — at zero
+// allocations per event. CI runs this next to the other zero-alloc
+// guards.
+func TestWALAppendEncodeZeroAlloc(t *testing.T) {
+	events := []Event{
+		{Seq: 900001, Op: OpLabel, Index: 12345, Label: "+"},
+		{Seq: 900002, Op: OpSkip, Index: 7},
+		{Seq: 900003, Op: OpClear},
+	}
+	es := &encState{}
+	for _, ev := range events {
+		ev := ev
+		if n := testing.AllocsPerRun(200, func() {
+			var err error
+			es.payload, err = appendEventPayload(es.payload[:0], ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			es.frame = codec.AppendFrame(es.frame[:0], es.payload)
+		}); n != 0 {
+			t.Fatalf("op %s: append encode allocates %.1f/op, want 0", ev.Op, n)
+		}
+	}
+}
+
+func FuzzDecodeEvent(f *testing.F) {
+	for _, ev := range []Event{
+		{Seq: 1, Op: OpLabel, Index: 3, Label: "+"},
+		{Seq: 2, Op: OpSkip, Index: 0},
+		{Seq: 3, Op: OpAppend, Rows: [][]string{{"1", "a"}}},
+		{Seq: 4, Op: OpClear},
+	} {
+		payload, err := appendEventPayload(nil, ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// Must never panic; on success the event must re-encode.
+		ev, err := decodeEventPayload(payload)
+		if err != nil {
+			return
+		}
+		if _, err := appendEventPayload(nil, ev); err != nil {
+			t.Fatalf("decoded event does not re-encode: %+v: %v", ev, err)
+		}
+	})
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	good, _ := appendSnapshotFile(nil, nil, Snapshot{
+		Seq: 9, Strategy: "greedy", Seed: -1, Typing: []string{"int"},
+		Skips: []int{2}, Session: json.RawMessage(`{"v":1}`),
+	})
+	f.Add(append([]byte(nil), good...))
+	empty, _ := appendSnapshotFile(nil, nil, Snapshot{})
+	f.Add(append([]byte(nil), empty...))
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic, and a decodable snapshot must round-trip.
+		snap, err := decodeSnapshotFile(data)
+		if err != nil {
+			return
+		}
+		file, _ := appendSnapshotFile(nil, nil, *snap)
+		if _, err := decodeSnapshotFile(file); err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+	})
+}

@@ -8,15 +8,23 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
+
+	"repro/internal/codec"
 )
 
-// snapFile and walFile are the two files of one session directory.
+// The files of one session directory. snapBinFile is the format-v2
+// snapshot; snapFile is its v1 JSON predecessor, still readable and
+// superseded (removed) by the next snapshot write. The WAL keeps one
+// name across formats — its format is sniffed from the magic bytes.
 const (
-	snapFile = "snap.json"
-	walFile  = "wal.log"
+	snapFile    = "snap.json"
+	snapBinFile = "snap.bin"
+	walFile     = "wal.log"
 )
 
 // DiskOptions configures the disk backend.
@@ -33,10 +41,12 @@ type DiskOptions struct {
 }
 
 // Disk is the durable backend: one directory per session holding an
-// append-only WAL of events and the most recent snapshot. All file IO
-// funnels through a single committer goroutine, which gives strict
-// ordering, a natural group commit for fsync batching, and file-handle
-// state without locks.
+// append-only WAL of events and the most recent snapshot, both in the
+// CRC-framed binary format v2 (v1 JSON directories remain readable
+// and upgrade on their next snapshot). All file IO funnels through a
+// single committer goroutine, which gives strict ordering, a natural
+// group commit for fsync batching, and file-handle state without
+// locks.
 type Disk struct {
 	dir   string
 	fsync bool
@@ -116,6 +126,10 @@ func NewDisk(opts DiskOptions) (*Disk, error) {
 // Name reports "disk".
 func (*Disk) Name() string { return "disk" }
 
+// Format reports the on-disk format new writes use ("v2"); v1 JSON
+// directories stay readable until their next snapshot upgrades them.
+func (*Disk) Format() string { return FormatV2 }
+
 // Dir returns the data directory the store was opened on.
 func (d *Disk) Dir() string { return d.dir }
 
@@ -162,14 +176,16 @@ func (d *Disk) Compact(id string) error {
 
 // LoadAll scans the sessions directory and returns, per session, the
 // snapshot and the WAL events newer than it, sorted by session id. A
-// torn final WAL line (crash mid-write) is ignored; anything after it
-// is unreachable by construction (the log is append-only).
+// torn final WAL record (crash mid-write) is ignored; anything after
+// it is unreachable by construction (the log is append-only).
 //
 // An unreadable session does not abort the scan: it comes back as a
 // bare Saved{ID} (so callers can still account for its id) alongside
 // the readable sessions, with the per-session failures joined into the
 // returned error — one corrupt directory must not block the recovery
-// of every other session.
+// of every other session. Casualty sessions are additionally poisoned:
+// further appends against their id are refused until a snapshot
+// rebuilds the directory from scratch.
 func (d *Disk) LoadAll() ([]Saved, error) {
 	req := &diskReq{kind: reqLoadAll, saved: make(chan []Saved, 1)}
 	err := d.submit(req)
@@ -210,7 +226,7 @@ func (d *Disk) Close() error {
 // serialize the fleet.
 func (d *Disk) run() {
 	defer close(d.done)
-	c := &committer{d: d, wals: make(map[string]*os.File), lastSeq: make(map[string]uint64)}
+	c := &committer{d: d, wals: make(map[string]*walHandle), lastSeq: make(map[string]uint64)}
 	defer c.closeAll()
 	for req := range d.reqs {
 		batch := []*diskReq{req}
@@ -247,31 +263,90 @@ const maxOpenWALs = 512
 func (c *committer) trimHandles(limit int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for id, f := range c.wals {
+	for id, h := range c.wals {
 		if len(c.wals) <= limit {
 			break
 		}
-		f.Close()
+		h.f.Close()
 		delete(c.wals, id)
 	}
 }
 
+// walHandle is one cached open WAL plus its sniffed format. legacy
+// marks a v1 JSON-lines file: appends to it stay JSON (mixing formats
+// inside one file would defeat sniffing) until the next snapshot
+// truncates it, after which new appends open with the v2 magic — the
+// one-way upgrade. The handle is only touched by its session's commit
+// goroutine within a batch, with batches sequenced by the committer.
+type walHandle struct {
+	f      *os.File
+	legacy bool
+}
+
 type committer struct {
 	d *Disk
-	// mu guards the maps below; the files themselves are touched only
-	// by their session's goroutine within a batch.
+	// mu guards the maps and the encode-buffer free list below; the
+	// files themselves are touched only by their session's goroutine
+	// within a batch.
 	mu sync.Mutex
-	// wals caches open WAL handles (O_APPEND).
-	wals map[string]*os.File
+	// wals caches open WAL handles (O_APPEND) with their format.
+	wals map[string]*walHandle
 	// lastSeq is the last assigned sequence number per session,
 	// initialized lazily from disk (and by LoadAll).
 	lastSeq map[string]uint64
 	// broken marks WALs poisoned by a failed write that could not be
-	// truncated away: the log may hold a torn line mid-file, and
-	// readWAL would silently drop everything after it — so further
-	// appends are refused until a snapshot rebuilds the log from
-	// nothing. nil until first needed.
+	// truncated away (the log may hold a torn record mid-file) or by a
+	// LoadAll casualty (the directory's durable state is unreadable):
+	// further appends are refused until a snapshot rebuilds the log
+	// from nothing. nil until first needed.
 	broken map[string]bool
+	// enc is the free list of encode-buffer pairs the commit
+	// goroutines reuse, so the steady-state append encode allocates
+	// nothing. Deliberately not a sync.Pool — GC would drain it and
+	// reintroduce the allocations it exists to kill.
+	enc []*encState
+}
+
+// encState is one reusable encode workspace: the event payload and
+// the CRC frame assembled around it (written in a single syscall).
+type encState struct {
+	payload []byte
+	frame   []byte
+}
+
+func (c *committer) getEnc() *encState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.enc); n > 0 {
+		es := c.enc[n-1]
+		c.enc = c.enc[:n-1]
+		return es
+	}
+	return &encState{}
+}
+
+func (c *committer) putEnc(es *encState) {
+	c.mu.Lock()
+	c.enc = append(c.enc, es)
+	c.mu.Unlock()
+}
+
+// poison refuses further appends to id until a snapshot repairs it.
+func (c *committer) poison(id string) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = make(map[string]bool)
+	}
+	c.broken[id] = true
+	c.mu.Unlock()
+}
+
+// unassign rolls back the most recently assigned sequence number of
+// id — its event was never written.
+func (c *committer) unassign(id string) {
+	c.mu.Lock()
+	c.lastSeq[id]--
+	c.mu.Unlock()
 }
 
 // commit splits the batch at LoadAll barriers (a directory scan
@@ -364,12 +439,7 @@ func (c *committer) commitSession(id string, reqs []*diskReq) {
 			// pages, so the durable prefix of the log is unknown and a
 			// retried Sync could falsely succeed. Poison the WAL: appends
 			// are refused until a snapshot rebuilds it from scratch.
-			c.mu.Lock()
-			if c.broken == nil {
-				c.broken = make(map[string]bool)
-			}
-			c.broken[id] = true
-			c.mu.Unlock()
+			c.poison(id)
 		}
 	}
 	for i, req := range reqs {
@@ -389,20 +459,30 @@ func (c *committer) sessionDir(id string) string {
 }
 
 // wal returns the open WAL handle for id, creating the session
-// directory and file on first use.
-func (c *committer) wal(id string) (*os.File, error) {
+// directory and file on first use and sniffing the file's format (a
+// non-empty log without the v2 magic is a legacy v1 JSON file).
+func (c *committer) wal(id string) (*walHandle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if f, ok := c.wals[id]; ok {
-		return f, nil
+	if h, ok := c.wals[id]; ok {
+		return h, nil
 	}
 	dir := c.sessionDir(id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating session dir: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// O_RDWR rather than O_WRONLY: the format sniff reads the magic
+	// back; O_APPEND still forces every write to the tail.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening wal: %w", err)
+	}
+	h := &walHandle{f: f}
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		var magic [len(walMagic)]byte
+		if n, _ := f.ReadAt(magic[:], 0); n != len(magic) || string(magic[:]) != walMagic {
+			h.legacy = true
+		}
 	}
 	if c.d.fsync {
 		// Make the directory entries durable so the log cannot vanish
@@ -410,8 +490,8 @@ func (c *committer) wal(id string) (*os.File, error) {
 		_ = syncDir(dir)
 		_ = syncDir(filepath.Join(c.d.dir, "sessions"))
 	}
-	c.wals[id] = f
-	return f, nil
+	c.wals[id] = h
+	return h, nil
 }
 
 // seq returns the next sequence number for id, recovering the current
@@ -440,6 +520,13 @@ func (c *committer) seqLocked(id string) uint64 {
 	return last + 1
 }
 
+// appendEvent encodes one event and appends it to the session's WAL.
+// The hot path (a v2 log) is allocation-free in steady state: the
+// payload and its CRC frame are assembled in a reused encState and
+// land in a single write. A legacy v1 log keeps receiving JSON lines
+// (one format per file) until a snapshot truncates it; an empty file
+// always starts v2, magic prepended to the first frame's write so a
+// torn first append leaves a cleanly-empty log.
 func (c *committer) appendEvent(id string, ev Event) (*os.File, error) {
 	c.mu.Lock()
 	poisoned := c.broken[id]
@@ -447,44 +534,58 @@ func (c *committer) appendEvent(id string, ev Event) (*os.File, error) {
 	if poisoned {
 		return nil, fmt.Errorf("store: wal of session %s is poisoned by a failed write; a snapshot must repair it", id)
 	}
-	f, err := c.wal(id)
+	h, err := c.wal(id)
 	if err != nil {
 		return nil, err
 	}
 	// Remember the pre-write size: a failed write may leave a torn
-	// line MID-file, and recovery's "only the final line can be torn"
+	// record MID-file, and recovery's "only the tail can be torn"
 	// invariant would then silently drop every later (acked!) event.
-	end, err := f.Seek(0, io.SeekEnd)
+	end, err := h.f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return nil, fmt.Errorf("store: sizing wal: %w", err)
 	}
 	ev.Seq = c.seq(id)
-	unassign := func() {
-		c.mu.Lock()
-		c.lastSeq[id]--
-		c.mu.Unlock()
-	}
-	line, err := json.Marshal(ev)
-	if err != nil {
-		unassign() // the sequence was never written
-		return nil, fmt.Errorf("store: encoding event: %w", err)
-	}
-	line = append(line, '\n')
-	if _, err := f.Write(line); err != nil {
-		unassign()
-		// Undo any partial append; if even that fails, poison the log
-		// so no later event is acked into the shadow of a torn line.
-		if terr := f.Truncate(end); terr != nil {
-			c.mu.Lock()
-			if c.broken == nil {
-				c.broken = make(map[string]bool)
-			}
-			c.broken[id] = true
-			c.mu.Unlock()
+	es := c.getEnc()
+	var record []byte
+	if end > 0 && h.legacy {
+		line, jerr := json.Marshal(ev)
+		if jerr != nil {
+			c.putEnc(es)
+			c.unassign(id) // the sequence was never written
+			return nil, fmt.Errorf("store: encoding event: %w", jerr)
 		}
-		return nil, fmt.Errorf("store: writing wal: %w", err)
+		record = append(line, '\n')
+	} else {
+		es.payload, err = appendEventPayload(es.payload[:0], ev)
+		if err != nil {
+			c.putEnc(es)
+			c.unassign(id)
+			return nil, err
+		}
+		es.frame = es.frame[:0]
+		if end == 0 {
+			// First record of a fresh (or freshly truncated) log: the
+			// magic rides the same write, so the file can never hold
+			// frames without their format marker.
+			es.frame = append(es.frame, walMagic...)
+			h.legacy = false
+		}
+		es.frame = codec.AppendFrame(es.frame, es.payload)
+		record = es.frame
 	}
-	return f, nil
+	_, werr := h.f.Write(record)
+	c.putEnc(es)
+	if werr != nil {
+		c.unassign(id)
+		// Undo any partial append; if even that fails, poison the log
+		// so no later event is acked into the shadow of a torn record.
+		if terr := h.f.Truncate(end); terr != nil {
+			c.poison(id)
+		}
+		return nil, fmt.Errorf("store: writing wal: %w", werr)
+	}
+	return h.f, nil
 }
 
 func (c *committer) snapshot(id string, snap Snapshot) error {
@@ -503,16 +604,15 @@ func (c *committer) snapshot(id string, snap Snapshot) error {
 		c.lastSeq[id] = snap.Seq
 	}
 	c.mu.Unlock()
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("store: encoding snapshot: %w", err)
-	}
-	tmp := filepath.Join(dir, snapFile+".tmp")
+	es := c.getEnc()
+	defer c.putEnc(es)
+	es.frame, es.payload = appendSnapshotFile(es.frame, es.payload, snap)
+	tmp := filepath.Join(dir, snapBinFile+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
-	_, werr := f.Write(data)
+	_, werr := f.Write(es.frame)
 	if werr == nil && c.d.fsync {
 		werr = f.Sync()
 	}
@@ -523,7 +623,7 @@ func (c *committer) snapshot(id string, snap Snapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: writing snapshot: %w", werr)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapFile)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, snapBinFile)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
@@ -535,16 +635,22 @@ func (c *committer) snapshot(id string, snap Snapshot) error {
 			return fmt.Errorf("store: publishing snapshot: %w", err)
 		}
 	}
+	// One-way upgrade: the durable v2 snapshot supersedes any v1 file.
+	// Best-effort — if the remove fails, loadSession still prefers
+	// snap.bin, so a lingering snap.json is shadowed, not read.
+	_ = os.Remove(filepath.Join(dir, snapFile))
 	// Truncate the WAL: everything up to snap.Seq is folded in. This
-	// also repairs a log poisoned by an earlier failed append — the
-	// torn bytes are gone with everything else.
-	w, err := c.wal(id)
+	// also repairs a log poisoned by an earlier failed append or a
+	// LoadAll casualty — the unreadable bytes are gone with everything
+	// else, and (legacy reset) the next append starts a fresh v2 log.
+	h, err := c.wal(id)
 	if err != nil {
 		return err
 	}
-	if err := w.Truncate(0); err != nil {
+	if err := h.f.Truncate(0); err != nil {
 		return fmt.Errorf("store: truncating wal: %w", err)
 	}
+	h.legacy = false
 	c.mu.Lock()
 	delete(c.broken, id)
 	c.mu.Unlock()
@@ -553,8 +659,8 @@ func (c *committer) snapshot(id string, snap Snapshot) error {
 
 func (c *committer) compact(id string) error {
 	c.mu.Lock()
-	if f, ok := c.wals[id]; ok {
-		f.Close()
+	if h, ok := c.wals[id]; ok {
+		h.f.Close()
 		delete(c.wals, id)
 	}
 	delete(c.lastSeq, id)
@@ -566,26 +672,74 @@ func (c *committer) compact(id string) error {
 	return nil
 }
 
+// loadAllWorkersCap bounds the restore worker pool — directory decode
+// is a mix of IO and CPU (CRC + parse), so a few workers per core
+// saturate both without a thundering herd of open files.
+const loadAllWorkersCap = 16
+
+// loadAll scans every session directory, decoding sessions across a
+// worker pool (restore is the startup critical path; directories are
+// independent). The sequence map and poison set are updated serially
+// afterwards: a readable session seeds lastSeq, a casualty gets NO
+// lastSeq entry — a fabricated sequence would let the server append
+// fresh events against a directory whose durable state is unreadable
+// — and is poisoned instead, refusing appends until a snapshot
+// rebuilds it.
 func (c *committer) loadAll() ([]Saved, error) {
 	root := filepath.Join(c.d.dir, "sessions")
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading sessions dir: %w", err)
 	}
-	var out []Saved
-	var errs []error
+	var ids []string
 	for _, e := range entries {
 		if !e.IsDir() || validID(e.Name()) != nil {
 			continue
 		}
-		sv, err := c.loadSession(e.Name())
-		if err != nil {
+		ids = append(ids, e.Name())
+	}
+	type result struct {
+		sv  Saved
+		err error
+	}
+	results := make([]result, len(ids))
+	if workers := min(len(ids), runtime.GOMAXPROCS(0)*2, loadAllWorkersCap); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) {
+						return
+					}
+					results[i].sv, results[i].err = c.loadSession(ids[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, id := range ids {
+			results[i].sv, results[i].err = c.loadSession(id)
+		}
+	}
+	out := make([]Saved, 0, len(ids))
+	var errs []error
+	for i, id := range ids {
+		if err := results[i].err; err != nil {
 			// Report the casualty but keep scanning; its bare entry
 			// still carries the id so the caller can avoid reusing it.
-			errs = append(errs, fmt.Errorf("store: session %s: %w", e.Name(), err))
-			out = append(out, Saved{ID: e.Name()})
+			errs = append(errs, fmt.Errorf("store: session %s: %w", id, err))
+			out = append(out, Saved{ID: id})
+			c.mu.Lock()
+			delete(c.lastSeq, id)
+			c.mu.Unlock()
+			c.poison(id)
 			continue
 		}
+		sv := results[i].sv
 		last := uint64(0)
 		if sv.Snapshot != nil {
 			last = sv.Snapshot.Seq
@@ -594,7 +748,7 @@ func (c *committer) loadAll() ([]Saved, error) {
 			last = sv.Events[n-1].Seq
 		}
 		c.mu.Lock()
-		c.lastSeq[e.Name()] = last
+		c.lastSeq[id] = last
 		c.mu.Unlock()
 		out = append(out, sv)
 	}
@@ -603,22 +757,37 @@ func (c *committer) loadAll() ([]Saved, error) {
 }
 
 // loadSession reads one session directory: snapshot (if present) plus
-// the WAL events newer than it.
+// the WAL events newer than it. The v2 snapshot (snap.bin) shadows a
+// v1 snap.json; the WAL's format is sniffed from its magic. Safe for
+// concurrent use — it only reads the filesystem.
 func (c *committer) loadSession(id string) (Saved, error) {
 	dir := c.sessionDir(id)
 	sv := Saved{ID: id}
-	data, err := os.ReadFile(filepath.Join(dir, snapFile))
+	data, err := os.ReadFile(filepath.Join(dir, snapBinFile))
 	switch {
 	case err == nil:
-		var snap Snapshot
-		if err := json.Unmarshal(data, &snap); err != nil {
-			return sv, fmt.Errorf("decoding snapshot: %w", err)
+		snap, derr := decodeSnapshotFile(data)
+		if derr != nil {
+			return sv, fmt.Errorf("decoding snapshot: %w", derr)
 		}
-		sv.Snapshot = &snap
+		sv.Snapshot = snap
 	case errors.Is(err, os.ErrNotExist):
-		// WAL-only session: events replay onto nothing; the server
-		// reports it unrecoverable. Normal operation never produces
-		// this (the initial snapshot is written at create).
+		// No v2 snapshot: fall back to the v1 JSON file.
+		data, err = os.ReadFile(filepath.Join(dir, snapFile))
+		switch {
+		case err == nil:
+			var snap Snapshot
+			if err := json.Unmarshal(data, &snap); err != nil {
+				return sv, fmt.Errorf("decoding snapshot: %w", err)
+			}
+			sv.Snapshot = &snap
+		case errors.Is(err, os.ErrNotExist):
+			// WAL-only session: events replay onto nothing; the server
+			// reports it unrecoverable. Normal operation never produces
+			// this (the initial snapshot is written at create).
+		default:
+			return sv, fmt.Errorf("reading snapshot: %w", err)
+		}
 	default:
 		return sv, fmt.Errorf("reading snapshot: %w", err)
 	}
@@ -638,13 +807,12 @@ func (c *committer) loadSession(id string) (Saved, error) {
 	return sv, nil
 }
 
-// readWAL decodes the log as a stream of JSON events. A torn final
-// record (crash mid-write — a syntax error or unexpected EOF) ends the
-// log: only the tail can be torn (the log is append-only, with failed
-// writes truncated away), so everything before it is intact. A
-// streaming decoder rather than a line scanner, so a single large
-// append batch — one event can carry an entire ingestion body — has no
-// size ceiling to fall over at recovery.
+// readWAL decodes the log, sniffing its format from the magic bytes:
+// a file opening with the v2 magic is a CRC-framed binary stream
+// (decodeWALV2 and its torn-tail rules), anything else is a v1 JSON
+// event-per-line log. A torn final record ends either format cleanly:
+// only the tail can be torn (the log is append-only, with failed
+// writes truncated away), so everything before it is intact.
 func readWAL(path string) ([]Event, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -654,8 +822,36 @@ func readWAL(path string) ([]Event, error) {
 		return nil, fmt.Errorf("opening wal: %w", err)
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("sizing wal: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic, err := br.Peek(len(walMagic))
+	if err != nil {
+		// Fewer bytes than a magic: no complete record in either
+		// format — a torn first write. Nothing to recover.
+		return nil, nil
+	}
+	if string(magic) == walMagic {
+		br.Discard(len(walMagic))
+		events, _, err := decodeWALV2(br, st.Size()-int64(len(walMagic)), nil)
+		if err != nil {
+			return events, fmt.Errorf("reading wal: %w", err)
+		}
+		return events, nil
+	}
+	return readWALV1(br)
+}
+
+// readWALV1 decodes the legacy log as a stream of JSON events. A torn
+// final record (a syntax error or unexpected EOF) ends the log. A
+// streaming decoder rather than a line scanner, so a single large
+// append batch — one event can carry an entire ingestion body — has
+// no size ceiling to fall over at recovery.
+func readWALV1(br *bufio.Reader) ([]Event, error) {
 	var out []Event
-	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<20))
+	dec := json.NewDecoder(br)
 	for {
 		var ev Event
 		err := dec.Decode(&ev)
@@ -683,8 +879,8 @@ func isSyntaxError(err error) bool {
 func (c *committer) closeAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, f := range c.wals {
-		f.Close()
+	for _, h := range c.wals {
+		h.f.Close()
 	}
 }
 

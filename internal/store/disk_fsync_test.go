@@ -23,7 +23,7 @@ func TestDiskFsyncFailureFailsWholeBatch(t *testing.T) {
 		fsync:   true,
 		syncWAL: func(*os.File) error { return boom },
 	}
-	c := &committer{d: d, wals: make(map[string]*os.File), lastSeq: make(map[string]uint64)}
+	c := &committer{d: d, wals: make(map[string]*walHandle), lastSeq: make(map[string]uint64)}
 	defer c.closeAll()
 
 	const id = "s0001"

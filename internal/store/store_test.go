@@ -380,7 +380,7 @@ func TestDiskLoadAllPartialOnCorruption(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "sessions", "s0002", snapFile), []byte("not json"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "sessions", "s0002", snapBinFile), []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 

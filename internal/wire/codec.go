@@ -5,15 +5,17 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	jim "repro"
+	"repro/internal/codec"
 )
 
 // The codec: hand-rolled encode/decode over length-prefixed frames,
-// allocation-free in steady state. A Reader owns one reusable frame
-// buffer and decodes requests into a caller-held Request whose slices
-// are reused; a Writer assembles each payload in one reusable scratch
+// allocation-free in steady state, built on the shared varint cursor
+// primitives of internal/codec (the same primitives that frame the
+// store's on-disk format v2). A Reader owns one reusable frame buffer
+// and decodes requests into a caller-held Request whose slices are
+// reused; a Writer assembles each payload in one reusable scratch
 // slice. Strings that cross a call boundary (strategy, CSV, append
 // cells, error messages) are copied out of the frame buffer; hot-path
 // fields (session id, answers, proposals) never are. DESIGN.md §9
@@ -74,103 +76,6 @@ func (r *Reader) frame() ([]byte, error) {
 	return b, nil
 }
 
-// cursor walks one frame payload. Every inner length is validated
-// against the bytes actually present before it is trusted.
-type cursor struct{ b []byte }
-
-func (c *cursor) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(c.b)
-	if n <= 0 {
-		return 0, varintErr(n)
-	}
-	c.b = c.b[n:]
-	return v, nil
-}
-
-func (c *cursor) varint() (int64, error) {
-	v, n := binary.Varint(c.b)
-	if n <= 0 {
-		return 0, varintErr(n)
-	}
-	c.b = c.b[n:]
-	return v, nil
-}
-
-func varintErr(n int) error {
-	if n == 0 {
-		return fmt.Errorf("%w: varint cut short", ErrMalformed)
-	}
-	return fmt.Errorf("%w: varint overflows 64 bits", ErrMalformed)
-}
-
-// sint decodes a non-negative integer bounded to 32 bits — indices and
-// counts; anything larger is a corrupt frame, not a real instance.
-func (c *cursor) sint() (int, error) {
-	v, err := c.uvarint()
-	if err != nil {
-		return 0, err
-	}
-	if v > math.MaxInt32 {
-		return 0, fmt.Errorf("%w: integer %d out of range", ErrMalformed, v)
-	}
-	return int(v), nil
-}
-
-// count decodes a collection length and bounds it by the bytes left in
-// the frame (each element needs at least minBytes), so a hostile count
-// can never drive an allocation larger than the frame itself.
-func (c *cursor) count(minBytes int) (int, error) {
-	v, err := c.uvarint()
-	if err != nil {
-		return 0, err
-	}
-	if v > uint64(len(c.b)/minBytes) {
-		return 0, fmt.Errorf("%w: count %d exceeds frame size", ErrMalformed, v)
-	}
-	return int(v), nil
-}
-
-func (c *cursor) byte() (byte, error) {
-	if len(c.b) == 0 {
-		return 0, fmt.Errorf("%w: byte cut short", ErrMalformed)
-	}
-	v := c.b[0]
-	c.b = c.b[1:]
-	return v, nil
-}
-
-// bytes decodes a length-prefixed slice as a view into the frame
-// buffer — zero-copy; valid until the next frame.
-func (c *cursor) bytes() ([]byte, error) {
-	n, err := c.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if n > uint64(len(c.b)) {
-		return nil, fmt.Errorf("%w: %d string bytes declared, %d left in frame", ErrMalformed, n, len(c.b))
-	}
-	v := c.b[:n]
-	c.b = c.b[n:]
-	return v, nil
-}
-
-// str decodes a length-prefixed string, copying out of the frame.
-func (c *cursor) str() (string, error) {
-	b, err := c.bytes()
-	if err != nil {
-		return "", err
-	}
-	return string(b), nil
-}
-
-// done requires the payload to be fully consumed.
-func (c *cursor) done() error {
-	if len(c.b) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(c.b))
-	}
-	return nil
-}
-
 // Request is one decoded request frame. A single Request is reused
 // across ReadRequest calls: ID aliases the frame buffer and Answers
 // reuses its backing array, so both are valid only until the next
@@ -208,35 +113,35 @@ func (r *Reader) ReadRequest(req *Request) error {
 	req.K = 0
 	req.Answers = req.Answers[:0]
 	req.Rows = nil
-	c := cursor{b[1:]}
+	c := codec.Cursor{B: b[1:]}
 	switch req.Op {
 	case OpCreate:
-		if req.Strategy, err = c.str(); err != nil {
+		if req.Strategy, err = c.Str(); err != nil {
 			return err
 		}
-		if req.Seed, err = c.varint(); err != nil {
+		if req.Seed, err = c.Varint(); err != nil {
 			return err
 		}
-		if req.CSV, err = c.str(); err != nil {
+		if req.CSV, err = c.Str(); err != nil {
 			return err
 		}
 	case OpStep:
-		if req.ID, err = c.bytes(); err != nil {
+		if req.ID, err = c.Bytes(); err != nil {
 			return err
 		}
-		if req.K, err = c.sint(); err != nil {
+		if req.K, err = c.Sint(); err != nil {
 			return err
 		}
-		n, err := c.count(2) // an answer is at least index varint + label byte
+		n, err := c.Count(2) // an answer is at least index varint + label byte
 		if err != nil {
 			return err
 		}
 		for i := 0; i < n; i++ {
-			idx, err := c.sint()
+			idx, err := c.Sint()
 			if err != nil {
 				return err
 			}
-			lb, err := c.byte()
+			lb, err := c.Byte()
 			if err != nil {
 				return err
 			}
@@ -246,22 +151,22 @@ func (r *Reader) ReadRequest(req *Request) error {
 			req.Answers = append(req.Answers, Answer{Index: idx, Label: Label(lb)})
 		}
 	case OpAppend:
-		if req.ID, err = c.bytes(); err != nil {
+		if req.ID, err = c.Bytes(); err != nil {
 			return err
 		}
-		nrows, err := c.count(1)
+		nrows, err := c.Count(1)
 		if err != nil {
 			return err
 		}
 		rows := make([][]string, 0, nrows)
 		for i := 0; i < nrows; i++ {
-			ncells, err := c.count(1)
+			ncells, err := c.Count(1)
 			if err != nil {
 				return err
 			}
 			row := make([]string, 0, ncells)
 			for j := 0; j < ncells; j++ {
-				cell, err := c.str()
+				cell, err := c.Str()
 				if err != nil {
 					return err
 				}
@@ -271,13 +176,13 @@ func (r *Reader) ReadRequest(req *Request) error {
 		}
 		req.Rows = rows
 	case OpResult, OpDelete:
-		if req.ID, err = c.bytes(); err != nil {
+		if req.ID, err = c.Bytes(); err != nil {
 			return err
 		}
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrMalformed, byte(req.Op))
 	}
-	return c.done()
+	return c.Done()
 }
 
 // Writer encodes frames onto a byte stream. Not safe for concurrent
@@ -318,11 +223,6 @@ func (w *Writer) frame(payload []byte) error {
 	return err
 }
 
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
 func boolByte(v bool) byte {
 	if v {
 		return 1
@@ -333,9 +233,9 @@ func boolByte(v bool) byte {
 // WriteCreate encodes a create request.
 func (w *Writer) WriteCreate(csv, strategy string, seed int64) error {
 	b := append(w.scratch[:0], byte(OpCreate))
-	b = appendString(b, strategy)
+	b = codec.AppendString(b, strategy)
 	b = binary.AppendVarint(b, seed)
-	b = appendString(b, csv)
+	b = codec.AppendString(b, csv)
 	w.scratch = b
 	return w.frame(b)
 }
@@ -348,7 +248,7 @@ func (w *Writer) WriteStep(id string, answers []Answer, k int) error {
 		return fmt.Errorf("%w: negative k %d", ErrMalformed, k)
 	}
 	b := append(w.scratch[:0], byte(OpStep))
-	b = appendString(b, id)
+	b = codec.AppendString(b, id)
 	b = binary.AppendUvarint(b, uint64(k))
 	b = binary.AppendUvarint(b, uint64(len(answers)))
 	for _, a := range answers {
@@ -366,12 +266,12 @@ func (w *Writer) WriteStep(id string, answers []Answer, k int) error {
 // WriteAppend encodes an append request.
 func (w *Writer) WriteAppend(id string, rows [][]string) error {
 	b := append(w.scratch[:0], byte(OpAppend))
-	b = appendString(b, id)
+	b = codec.AppendString(b, id)
 	b = binary.AppendUvarint(b, uint64(len(rows)))
 	for _, row := range rows {
 		b = binary.AppendUvarint(b, uint64(len(row)))
 		for _, cell := range row {
-			b = appendString(b, cell)
+			b = codec.AppendString(b, cell)
 		}
 	}
 	w.scratch = b
@@ -381,7 +281,7 @@ func (w *Writer) WriteAppend(id string, rows [][]string) error {
 // WriteSimple encodes an id-only request (result, delete).
 func (w *Writer) WriteSimple(op Op, id string) error {
 	b := append(w.scratch[:0], byte(op))
-	b = appendString(b, id)
+	b = codec.AppendString(b, id)
 	w.scratch = b
 	return w.frame(b)
 }
@@ -389,8 +289,8 @@ func (w *Writer) WriteSimple(op Op, id string) error {
 // WriteError encodes an error response from the jim taxonomy.
 func (w *Writer) WriteError(code, msg string) error {
 	b := append(w.scratch[:0], statusErr)
-	b = appendString(b, code)
-	b = appendString(b, msg)
+	b = codec.AppendString(b, code)
+	b = codec.AppendString(b, msg)
 	w.scratch = b
 	return w.frame(b)
 }
@@ -398,7 +298,7 @@ func (w *Writer) WriteError(code, msg string) error {
 // WriteCreated encodes a create response.
 func (w *Writer) WriteCreated(id string) error {
 	b := append(w.scratch[:0], statusOK)
-	b = appendString(b, id)
+	b = codec.AppendString(b, id)
 	w.scratch = b
 	return w.frame(b)
 }
@@ -435,8 +335,8 @@ func (w *Writer) WriteAppendResult(res AppendResult) error {
 func (w *Writer) WriteResultData(res ResultData) error {
 	b := append(w.scratch[:0], statusOK)
 	b = append(b, boolByte(res.Done))
-	b = appendString(b, res.Predicate)
-	b = appendString(b, res.SQL)
+	b = codec.AppendString(b, res.Predicate)
+	b = codec.AppendString(b, res.SQL)
 	w.scratch = b
 	return w.frame(b)
 }
@@ -451,33 +351,33 @@ func (w *Writer) WriteOK() error {
 // response reads one response frame and splits the status byte: an
 // error frame is decoded into a *jim.Error; an ok frame returns its
 // body cursor.
-func (r *Reader) response() (cursor, error) {
+func (r *Reader) response() (codec.Cursor, error) {
 	b, err := r.frame()
 	if err != nil {
-		return cursor{}, err
+		return codec.Cursor{}, err
 	}
 	if len(b) == 0 {
-		return cursor{}, fmt.Errorf("%w: empty frame", ErrMalformed)
+		return codec.Cursor{}, fmt.Errorf("%w: empty frame", ErrMalformed)
 	}
-	c := cursor{b[1:]}
+	c := codec.Cursor{B: b[1:]}
 	switch b[0] {
 	case statusOK:
 		return c, nil
 	case statusErr:
-		code, err := c.str()
+		code, err := c.Str()
 		if err != nil {
-			return cursor{}, err
+			return codec.Cursor{}, err
 		}
-		msg, err := c.str()
+		msg, err := c.Str()
 		if err != nil {
-			return cursor{}, err
+			return codec.Cursor{}, err
 		}
-		if err := c.done(); err != nil {
-			return cursor{}, err
+		if err := c.Done(); err != nil {
+			return codec.Cursor{}, err
 		}
-		return cursor{}, &jim.Error{Code: jim.ErrorCode(code), Message: msg}
+		return codec.Cursor{}, &jim.Error{Code: jim.ErrorCode(code), Message: msg}
 	}
-	return cursor{}, fmt.Errorf("%w: unknown status %d", ErrMalformed, b[0])
+	return codec.Cursor{}, fmt.Errorf("%w: unknown status %d", ErrMalformed, b[0])
 }
 
 // ReadCreated decodes a create response.
@@ -486,11 +386,11 @@ func (r *Reader) ReadCreated() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	id, err := c.str()
+	id, err := c.Str()
 	if err != nil {
 		return "", err
 	}
-	return id, c.done()
+	return id, c.Done()
 }
 
 // ReadStepResult decodes a step response into res, reusing its slices.
@@ -499,38 +399,38 @@ func (r *Reader) ReadStepResult(res *StepResult) error {
 	if err != nil {
 		return err
 	}
-	done, err := c.byte()
+	done, err := c.Byte()
 	if err != nil {
 		return err
 	}
 	res.Done = done != 0
 	res.Applied = res.Applied[:0]
 	res.Proposals = res.Proposals[:0]
-	n, err := c.count(2)
+	n, err := c.Count(2)
 	if err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {
 		var a AnswerOutcome
-		if a.NewlyImplied, err = c.sint(); err != nil {
+		if a.NewlyImplied, err = c.Sint(); err != nil {
 			return err
 		}
-		if a.Informative, err = c.sint(); err != nil {
+		if a.Informative, err = c.Sint(); err != nil {
 			return err
 		}
 		res.Applied = append(res.Applied, a)
 	}
-	if n, err = c.count(1); err != nil {
+	if n, err = c.Count(1); err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {
-		p, err := c.sint()
+		p, err := c.Sint()
 		if err != nil {
 			return err
 		}
 		res.Proposals = append(res.Proposals, p)
 	}
-	return c.done()
+	return c.Done()
 }
 
 // ReadAppendResult decodes an append response.
@@ -540,21 +440,21 @@ func (r *Reader) ReadAppendResult() (AppendResult, error) {
 	if err != nil {
 		return res, err
 	}
-	if res.Appended, err = c.sint(); err != nil {
+	if res.Appended, err = c.Sint(); err != nil {
 		return res, err
 	}
-	if res.NewlyImplied, err = c.sint(); err != nil {
+	if res.NewlyImplied, err = c.Sint(); err != nil {
 		return res, err
 	}
-	if res.Informative, err = c.sint(); err != nil {
+	if res.Informative, err = c.Sint(); err != nil {
 		return res, err
 	}
-	done, err := c.byte()
+	done, err := c.Byte()
 	if err != nil {
 		return res, err
 	}
 	res.Done = done != 0
-	return res, c.done()
+	return res, c.Done()
 }
 
 // ReadResultData decodes a result response.
@@ -564,18 +464,18 @@ func (r *Reader) ReadResultData() (ResultData, error) {
 	if err != nil {
 		return res, err
 	}
-	done, err := c.byte()
+	done, err := c.Byte()
 	if err != nil {
 		return res, err
 	}
 	res.Done = done != 0
-	if res.Predicate, err = c.str(); err != nil {
+	if res.Predicate, err = c.Str(); err != nil {
 		return res, err
 	}
-	if res.SQL, err = c.str(); err != nil {
+	if res.SQL, err = c.Str(); err != nil {
 		return res, err
 	}
-	return res, c.done()
+	return res, c.Done()
 }
 
 // ReadOK decodes a bare success response.
@@ -584,5 +484,5 @@ func (r *Reader) ReadOK() error {
 	if err != nil {
 		return err
 	}
-	return c.done()
+	return c.Done()
 }

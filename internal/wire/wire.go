@@ -38,9 +38,10 @@
 package wire
 
 import (
-	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/codec"
 )
 
 // Op names one request kind. The byte value is the wire encoding.
@@ -216,17 +217,20 @@ type OpRecorder interface {
 const DefaultMaxFrame = 32 << 20
 
 // Typed protocol errors. Decoding failures wrap exactly one of these,
-// so callers can switch on errors.Is without parsing messages.
+// so callers can switch on errors.Is without parsing messages. The
+// sentinels are shared with internal/codec (the same primitives frame
+// the store's on-disk format), re-exported here so wire callers keep
+// a transport-local name for them.
 var (
 	// ErrFrameTooLarge reports a frame whose declared payload length
 	// exceeds the configured cap. The length is not trusted: nothing
 	// is allocated or read for such a frame.
-	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrFrameTooLarge = codec.ErrTooLarge
 	// ErrTruncated reports a stream that ended inside a frame — a
 	// partial length varint or fewer payload bytes than declared.
-	ErrTruncated = errors.New("wire: truncated frame")
+	ErrTruncated = codec.ErrTruncated
 	// ErrMalformed reports a structurally invalid payload: unknown op,
 	// bad label byte, an inner length pointing past the frame end, a
 	// varint overflow, or trailing garbage.
-	ErrMalformed = errors.New("wire: malformed frame")
+	ErrMalformed = codec.ErrMalformed
 )

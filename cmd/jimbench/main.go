@@ -10,6 +10,7 @@
 //	jimbench -all [-quick]
 //	jimbench -server [-users 64] [-sessions 1] [-workloads travel,synthetic,zipf] [-stream 6] [-out BENCH_server.json]
 //	jimbench -core [-tuples 10000] [-workloads zipf,synthetic,star] [-runs 4] [-stream 16] [-out BENCH_core.json]
+//	jimbench -cluster [-users 64] [-restart-sessions 1024] [-out BENCH_cluster.json]
 //
 // -server also runs streaming variants (users label while the
 // instance arrives in -stream append batches) for zipf and star,
@@ -22,6 +23,12 @@
 // State.Append against the rebuild-from-scratch alternative.
 // -stream -1 disables the streaming variants, -no-disk the
 // durability ones.
+//
+// -cluster runs the 3-node failover scenario: sessions spread across
+// an in-process cluster, one node killed mid-dialogue, its follower
+// promoted, and every lost session verified proposal-for-proposal
+// against an uninterrupted control. The run fails unless 100% of the
+// killed node's sessions recover with zero mismatches.
 package main
 
 import (
@@ -47,6 +54,7 @@ type options struct {
 	expOpts experiments.Options
 
 	server          bool
+	cluster         bool
 	users           int
 	sessions        int
 	restartSessions int
@@ -73,6 +81,7 @@ func main() {
 	trials := flag.Int("trials", 0, "trials per randomized measurement (0 = default)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	flag.BoolVar(&o.server, "server", false, "load-test the HTTP service instead of running experiments")
+	flag.BoolVar(&o.cluster, "cluster", false, "run the 3-node kill-one failover scenario instead of experiments")
 	flag.IntVar(&o.users, "users", 64, "concurrent simulated users (with -server)")
 	flag.IntVar(&o.sessions, "sessions", 1, "sessions each user completes (with -server)")
 	flag.IntVar(&o.restartSessions, "restart-sessions", 1024, "session fleet of the crash-recovery scenario and the restore microbench; -users bounds its concurrency (with -server)")
@@ -102,9 +111,12 @@ func main() {
 		}
 	}
 	if o.out == "" {
-		if o.core {
+		switch {
+		case o.core:
 			o.out = "BENCH_core.json"
-		} else {
+		case o.cluster:
+			o.out = "BENCH_cluster.json"
+		default:
 			o.out = "BENCH_server.json"
 		}
 	}
@@ -119,6 +131,8 @@ func run(w io.Writer, o options) error {
 	switch {
 	case o.core:
 		return runCoreBench(w, o)
+	case o.cluster:
+		return runClusterBench(w, o)
 	case o.server:
 		return runServerBench(w, o)
 	case o.list:
@@ -404,6 +418,55 @@ func runServerBench(w io.Writer, o options) error {
 	fmt.Fprintf(w, "wrote %s: %d sessions (%d completed), %d requests in %.2fs\n",
 		o.out, bench.Totals.Sessions, bench.Totals.Completed,
 		bench.Totals.Requests, bench.Totals.ElapsedSeconds)
+	return nil
+}
+
+// clusterBench is the BENCH_cluster.json payload: the failover
+// scenario's report plus run identity, for the perf trajectory.
+type clusterBench struct {
+	Benchmark string                  `json:"benchmark"`
+	GoVersion string                  `json:"go_version"`
+	MaxProcs  int                     `json:"gomaxprocs"`
+	Strategy  string                  `json:"strategy"`
+	Failover  *loadtest.ClusterReport `json:"failover"`
+}
+
+// runClusterBench runs the 3-node kill-one scenario and holds it to
+// the failover contract: every session the killed node owned recovers
+// on the follower, proposal-for-proposal.
+func runClusterBench(w io.Writer, o options) error {
+	rep, err := loadtest.RunCluster(loadtest.Config{
+		Users:           o.users,
+		RestartSessions: o.restartSessions,
+		Workload:        "travel",
+		Strategy:        o.strategy,
+		Seed:            o.expOpts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.RecoveredSessions != rep.SessionsOnKilled || rep.Mismatches != 0 {
+		return fmt.Errorf("cluster scenario: recovered %d/%d killed-node sessions, %d proposal mismatches (%s)",
+			rep.RecoveredSessions, rep.SessionsOnKilled, rep.Mismatches, rep.FirstError)
+	}
+	bench := &clusterBench{
+		Benchmark: "jim-cluster-failover",
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Strategy:  o.strategy,
+		Failover:  rep,
+	}
+	fmt.Fprintf(w, "%-14s %d nodes, %d sessions (%d on %s): adopted %d, recovered %d/%d, %d/%d proposals verified\n",
+		"cluster", rep.Nodes, rep.Sessions, rep.SessionsOnKilled, rep.KilledNode,
+		rep.AdoptedSessions, rep.RecoveredSessions, rep.SessionsOnKilled,
+		rep.VerifiedProposals-rep.Mismatches, rep.VerifiedProposals)
+	fmt.Fprintf(w, "%-14s lag %d events at kill, detect %.1fms, promote %.1fms, p99 %.2fms\n",
+		"failover", rep.ReplLagAtKill, rep.DetectMS, rep.PromotionMS, rep.Latency.P99)
+	if done, err := writeReport(w, o.out, bench); done || err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s: %d sessions failed over in %.2fs\n",
+		o.out, rep.SessionsOnKilled, rep.ElapsedSeconds)
 	return nil
 }
 

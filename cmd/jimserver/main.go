@@ -18,6 +18,17 @@
 // replays the store to resume every session exactly where it stood
 // (see OPERATIONS.md for the operator guide).
 //
+// With -cluster-peers, N jimserver processes form one logical service:
+// a consistent-hash ring pins each session to an owner node (requests
+// to the wrong node answer 307 with the owner in X-Jim-Owner, or are
+// proxied with -cluster-proxy), every committed event streams to a
+// designated follower's -repl-addr listener, and on owner death the
+// follower adopts its sessions via POST /v1/cluster/promote (see the
+// "Running a cluster" section of OPERATIONS.md):
+//
+//	jimserver -addr :8080 -repl-addr :7080 -node-id n1 \
+//	          -cluster-peers 'n1=host1:8080||host1:7080,n2=host2:8080||host2:7080'
+//
 // The API is versioned under /v1 with a structured error envelope
 // {"error":{"code","message"}}; the unversioned routes of earlier
 // releases still answer, marked with a Deprecation header. Endpoints
@@ -46,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/strategy"
@@ -72,6 +84,11 @@ type config struct {
 	fsync          bool
 	snapshotEvery  int
 	snapshotMaxAge time.Duration
+
+	nodeID       string
+	clusterPeers string
+	replAddr     string
+	clusterProxy bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -92,6 +109,10 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.fsync, "fsync", true, "fsync WAL appends and snapshots (group-committed); off trades machine-crash durability for latency")
 	fs.IntVar(&cfg.snapshotEvery, "snapshot-every", server.DefaultSnapshotEvery, "fold a session's WAL into a snapshot after this many events")
 	fs.DurationVar(&cfg.snapshotMaxAge, "snapshot-max-age", 5*time.Minute, "re-snapshot sessions whose WAL has grown for this long (0 = size policy only)")
+	fs.StringVar(&cfg.nodeID, "node-id", "", "this node's id in -cluster-peers (required for cluster mode)")
+	fs.StringVar(&cfg.clusterPeers, "cluster-peers", "", "static peer set 'id=http[|wire[|repl]],...' — turns on cluster mode (see OPERATIONS.md)")
+	fs.StringVar(&cfg.replAddr, "repl-addr", "", "accept replication streams from the peer that follows this node (cluster mode)")
+	fs.BoolVar(&cfg.clusterProxy, "cluster-proxy", false, "proxy non-owned requests to the owner instead of answering 307")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -124,6 +145,18 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.snapshotMaxAge < 0 {
 		return cfg, fmt.Errorf("-snapshot-max-age must be >= 0, got %v", cfg.snapshotMaxAge)
+	}
+	if cfg.clusterPeers != "" && cfg.nodeID == "" {
+		return cfg, fmt.Errorf("-cluster-peers requires -node-id")
+	}
+	if cfg.nodeID != "" && cfg.clusterPeers == "" {
+		return cfg, fmt.Errorf("-node-id requires -cluster-peers")
+	}
+	if cfg.replAddr != "" && cfg.clusterPeers == "" {
+		return cfg, fmt.Errorf("-repl-addr requires -cluster-peers")
+	}
+	if cfg.clusterProxy && cfg.clusterPeers == "" {
+		return cfg, fmt.Errorf("-cluster-proxy requires -cluster-peers")
 	}
 	return cfg, nil
 }
@@ -179,6 +212,49 @@ func main() {
 		fmt.Printf("jimserver restored %d sessions from %s (format %s, %.1fms)\n",
 			restored, cfg.dataDir, format, float64(time.Since(t0))/float64(time.Millisecond))
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "jimserver: "+format+"\n", args...)
+	}
+
+	// Cluster mode: join the static peer set after restore (so the
+	// shipper's first resync covers every restored session) and start
+	// the replication listener that our predecessor streams into.
+	var replSrv *cluster.ReplServer
+	if cfg.clusterPeers != "" {
+		peers, perr := cluster.ParsePeers(cfg.clusterPeers)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "jimserver:", perr)
+			os.Exit(2)
+		}
+		if cerr := svc.EnableCluster(server.ClusterOptions{
+			Self:  cfg.nodeID,
+			Peers: peers,
+			Proxy: cfg.clusterProxy,
+			Logf:  logf,
+		}); cerr != nil {
+			fmt.Fprintln(os.Stderr, "jimserver:", cerr)
+			os.Exit(2)
+		}
+		if cfg.replAddr != "" {
+			ln, lerr := net.Listen("tcp", cfg.replAddr)
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, "jimserver:", lerr)
+				os.Exit(1)
+			}
+			replSrv = &cluster.ReplServer{
+				Applier:  svc,
+				MaxFrame: int(cfg.maxBodyBytes),
+				Logf:     logf,
+			}
+			go func() {
+				if serr := replSrv.Serve(ln); serr != nil {
+					fmt.Fprintln(os.Stderr, "jimserver: repl listener:", serr)
+				}
+			}()
+			fmt.Printf("jimserver replication listener on %s (node %s)\n", ln.Addr(), cfg.nodeID)
+		}
+	}
+
 	// The janitor has work only when sessions expire or when a durable
 	// store's age-based snapshot policy is on; a mem-store server with
 	// no TTL would tick for nothing.
@@ -213,9 +289,7 @@ func main() {
 		ws = &wire.Server{
 			Backend:  svc,
 			MaxFrame: int(cfg.maxBodyBytes),
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "jimserver: "+format+"\n", args...)
-			},
+			Logf:     logf,
 		}
 		go func() { wireDone <- ws.Serve(ln) }()
 		fmt.Printf("jimserver wire protocol on %s\n", ln.Addr())
@@ -249,6 +323,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jimserver: wire listener:", werr)
 		}
 	}
+	// Stop accepting replication and flush our own outbound stream so
+	// the follower holds everything committed up to shutdown.
+	if replSrv != nil {
+		replSrv.Close()
+	}
+	svc.CloseCluster()
 	// Graceful shutdown: requests have drained; fold every dirty
 	// session into a final snapshot so the next start replays no WAL,
 	// then let the store flush.

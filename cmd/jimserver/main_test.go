@@ -46,6 +46,11 @@ func TestParseFlags(t *testing.T) {
 	disk.fsync = false
 	disk.snapshotEvery = 16
 	disk.snapshotMaxAge = time.Minute
+	clustered := base()
+	clustered.nodeID = "n1"
+	clustered.clusterPeers = "n1=h1:8080||h1:7080,n2=h2:8080||h2:7080"
+	clustered.replAddr = ":7080"
+	clustered.clusterProxy = true
 	cases := []struct {
 		name    string
 		args    []string
@@ -67,7 +72,16 @@ func TestParseFlags(t *testing.T) {
 			args: []string{"-store", "disk", "-data-dir", "/var/lib/jim", "-fsync=false", "-snapshot-every", "16", "-snapshot-max-age", "1m"},
 			want: disk,
 		},
+		{
+			name: "cluster",
+			args: []string{"-node-id", "n1", "-cluster-peers", "n1=h1:8080||h1:7080,n2=h2:8080||h2:7080", "-repl-addr", ":7080", "-cluster-proxy"},
+			want: clustered,
+		},
 		{name: "negative cap", args: []string{"-max-sessions", "-1"}, wantErr: true},
+		{name: "peers without node-id", args: []string{"-cluster-peers", "n1=h1:8080"}, wantErr: true},
+		{name: "node-id without peers", args: []string{"-node-id", "n1"}, wantErr: true},
+		{name: "repl-addr without peers", args: []string{"-repl-addr", ":7080"}, wantErr: true},
+		{name: "proxy without peers", args: []string{"-cluster-proxy"}, wantErr: true},
 		{name: "negative ttl", args: []string{"-session-ttl", "-5s"}, wantErr: true},
 		{name: "negative body cap", args: []string{"-max-body-bytes", "-1"}, wantErr: true},
 		{name: "negative read timeout", args: []string{"-read-timeout", "-1s"}, wantErr: true},

@@ -45,6 +45,11 @@ const (
 	CodeTooManySessions ErrorCode = "too_many_sessions"
 	// CodeBodyTooLarge: the request body exceeded the configured cap.
 	CodeBodyTooLarge ErrorCode = "body_too_large"
+	// CodeNotOwner: in cluster mode, this node does not own the
+	// session. Over HTTP it is served as a 307 redirect whose
+	// Location and X-Jim-Owner headers name the owner; over the wire
+	// protocol the error message carries "nodeID=address".
+	CodeNotOwner ErrorCode = "not_owner"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -65,6 +70,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusTooManyRequests // 429
 	case CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge // 413
+	case CodeNotOwner:
+		return http.StatusTemporaryRedirect // 307
 	}
 	return http.StatusInternalServerError
 }

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one jimserver process in the cluster. HTTP is required (it
+// is both the API address and the redirect target); Wire and Repl are
+// optional — a node without a Repl address cannot receive
+// replication, a node without a Wire address cannot be named in a
+// wire-protocol NOT_OWNER redirect.
+type Node struct {
+	ID   string `json:"id"`
+	HTTP string `json:"http"`
+	Wire string `json:"wire,omitempty"`
+	Repl string `json:"repl,omitempty"`
+}
+
+// ParsePeers parses the -cluster-peers flag grammar:
+//
+//	id=httpAddr[|wireAddr[|replAddr]],id=...
+//
+// e.g. "n1=127.0.0.1:8080|127.0.0.1:9090|127.0.0.1:7070,n2=...".
+// Empty segments leave the corresponding address unset.
+func ParsePeers(spec string) ([]Node, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty peer spec")
+	}
+	var nodes []Node
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addrs, ok := strings.Cut(entry, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=http[|wire[|repl]]", entry)
+		}
+		parts := strings.Split(addrs, "|")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("cluster: peer %q: too many address segments", entry)
+		}
+		n := Node{ID: strings.TrimSpace(id)}
+		n.HTTP = strings.TrimSpace(parts[0])
+		if n.HTTP == "" {
+			return nil, fmt.Errorf("cluster: peer %q: missing http address", entry)
+		}
+		if len(parts) > 1 {
+			n.Wire = strings.TrimSpace(parts[1])
+		}
+		if len(parts) > 2 {
+			n.Repl = strings.TrimSpace(parts[2])
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer spec")
+	}
+	return nodes, nil
+}
+
+// Membership is an immutable view of the cluster: the full peer set,
+// the hash ring over it, and the set of failed nodes. Failure does
+// NOT remove a node's vnodes from the ring — replication places a
+// dead node's sessions on exactly one designated follower, so routing
+// must send the dead node's entire range there, not redistribute it
+// the way vnode removal would. Instead each failed node records the
+// follower promoted in its place, and Owner chases that chain.
+type Membership struct {
+	nodes  map[string]Node
+	order  []string // all ids, sorted
+	ring   *Ring
+	failed map[string]string // dead id -> node promoted in its place
+}
+
+// NewMembership builds the initial (all-alive) membership. vnodes <= 0
+// selects DefaultVnodes.
+func NewMembership(nodes []Node, vnodes int) (*Membership, error) {
+	ids := make([]string, 0, len(nodes))
+	byID := make(map[string]Node, len(nodes))
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node with empty id")
+		}
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		byID[n.ID] = n
+		ids = append(ids, n.ID)
+	}
+	ring, err := NewRing(ids, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(ids)
+	return &Membership{nodes: byID, order: ids, ring: ring, failed: map[string]string{}}, nil
+}
+
+// Node returns the node with the given id.
+func (m *Membership) Node(id string) (Node, bool) {
+	n, ok := m.nodes[id]
+	return n, ok
+}
+
+// Members returns every node, dead or alive, in sorted id order.
+func (m *Membership) Members() []Node {
+	out := make([]Node, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.nodes[id])
+	}
+	return out
+}
+
+// Len is the total member count, dead or alive.
+func (m *Membership) Len() int { return len(m.order) }
+
+// Alive returns the ids of non-failed nodes, sorted.
+func (m *Membership) Alive() []string {
+	out := make([]string, 0, len(m.order))
+	for _, id := range m.order {
+		if _, dead := m.failed[id]; !dead {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Failed returns a copy of the failed-node chain (dead id -> the node
+// promoted in its place).
+func (m *Membership) Failed() map[string]string {
+	out := make(map[string]string, len(m.failed))
+	for k, v := range m.failed {
+		out[k] = v
+	}
+	return out
+}
+
+// OwnerID resolves the owning node id for a session key: the ring
+// owner, chased through the failed chain until it lands on a live
+// node. The chain is bounded by the member count; if every node is
+// failed the last id in the chain is returned.
+func (m *Membership) OwnerID(key string) string {
+	id := m.ring.Owner(key)
+	for i := 0; i <= len(m.order); i++ {
+		next, dead := m.failed[id]
+		if !dead {
+			return id
+		}
+		id = next
+	}
+	return id
+}
+
+// Owner resolves the owning Node for a session key.
+func (m *Membership) Owner(key string) Node {
+	return m.nodes[m.OwnerID(key)]
+}
+
+// FollowerOf returns the designated follower for a node: the next
+// ALIVE node in sorted id order, wrapping. This is deliberately not
+// the per-vnode ring successor — that would differ per session, and
+// v1 replication ships every session of a node to one follower.
+// ok is false when no other node is alive.
+func (m *Membership) FollowerOf(id string) (Node, bool) {
+	start := sort.SearchStrings(m.order, id)
+	for i := 1; i <= len(m.order); i++ {
+		cand := m.order[(start+i)%len(m.order)]
+		if cand == id {
+			continue
+		}
+		if _, dead := m.failed[cand]; dead {
+			continue
+		}
+		return m.nodes[cand], true
+	}
+	return Node{}, false
+}
+
+// Fail returns a new Membership with id marked failed, routing its
+// key range to its designated follower (computed against the current
+// view, so chained failures keep resolving to a live node). Failing
+// an already-failed node returns the receiver unchanged. Failing the
+// last live node is an error.
+func (m *Membership) Fail(id string) (*Membership, error) {
+	if _, ok := m.nodes[id]; !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if _, dead := m.failed[id]; dead {
+		return m, nil
+	}
+	follower, ok := m.FollowerOf(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: cannot fail %q: no live follower", id)
+	}
+	nm := &Membership{
+		nodes:  m.nodes,
+		order:  m.order,
+		ring:   m.ring,
+		failed: make(map[string]string, len(m.failed)+1),
+	}
+	for k, v := range m.failed {
+		nm.failed[k] = v
+	}
+	nm.failed[id] = follower.ID
+	return nm, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("n1=127.0.0.1:8080|127.0.0.1:9090|127.0.0.1:7070, n2=127.0.0.1:8081||127.0.0.1:7071,n3=127.0.0.1:8082")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{
+		{ID: "n1", HTTP: "127.0.0.1:8080", Wire: "127.0.0.1:9090", Repl: "127.0.0.1:7070"},
+		{ID: "n2", HTTP: "127.0.0.1:8081", Wire: "", Repl: "127.0.0.1:7071"},
+		{ID: "n3", HTTP: "127.0.0.1:8082"},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("got %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "n1", "=addr", "n1=", "n1=a|b|c|d"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func threeNodes(t *testing.T) *Membership {
+	t.Helper()
+	m, err := NewMembership([]Node{
+		{ID: "n1", HTTP: "h1", Wire: "w1", Repl: "r1"},
+		{ID: "n2", HTTP: "h2", Wire: "w2", Repl: "r2"},
+		{ID: "n3", HTTP: "h3", Wire: "w3", Repl: "r3"},
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFollowerOfIsNextAliveSorted(t *testing.T) {
+	m := threeNodes(t)
+	for _, tc := range []struct{ id, want string }{
+		{"n1", "n2"}, {"n2", "n3"}, {"n3", "n1"},
+	} {
+		f, ok := m.FollowerOf(tc.id)
+		if !ok || f.ID != tc.want {
+			t.Errorf("FollowerOf(%s) = %s/%v, want %s", tc.id, f.ID, ok, tc.want)
+		}
+	}
+	m2, err := m.Fail("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := m2.FollowerOf("n1"); !ok || f.ID != "n3" {
+		t.Errorf("after n2 fails, FollowerOf(n1) = %s/%v, want n3", f.ID, ok)
+	}
+}
+
+// A failed node's ENTIRE key range must resolve to its designated
+// follower — not redistribute across survivors — because that is
+// where the replicas are.
+func TestFailRoutesWholeRangeToFollower(t *testing.T) {
+	m := threeNodes(t)
+	m2, err := m.Fail("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("s%04d", i+1)
+		before := m.OwnerID(key)
+		after := m2.OwnerID(key)
+		if before == "n1" {
+			if after != "n2" {
+				t.Fatalf("key %s: owner n1 failed, routed to %s, want follower n2", key, after)
+			}
+		} else if after != before {
+			t.Fatalf("key %s: owner changed %s -> %s though its node did not fail", key, before, after)
+		}
+	}
+	// Chained failure: n2 dies next; n1's range must chase through to
+	// n2's follower.
+	m3, err := m2.Fail("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("s%04d", i+1)
+		if got := m3.OwnerID(key); got != "n3" {
+			t.Fatalf("key %s: with only n3 alive, OwnerID = %s", key, got)
+		}
+	}
+	if _, err := m3.Fail("n3"); err == nil {
+		t.Error("failing the last live node accepted")
+	}
+}
+
+func TestFailIsImmutableAndIdempotent(t *testing.T) {
+	m := threeNodes(t)
+	m2, err := m.Fail("n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Alive()) != 3 {
+		t.Error("Fail mutated the original membership")
+	}
+	if got := m2.Alive(); len(got) != 2 {
+		t.Errorf("Alive after fail = %v", got)
+	}
+	m3, err := m2.Fail("n3")
+	if err != nil || m3 != m2 {
+		t.Errorf("re-failing a failed node: %v, same=%v", err, m3 == m2)
+	}
+	if _, err := m.Fail("nope"); err == nil {
+		t.Error("failing unknown node accepted")
+	}
+}

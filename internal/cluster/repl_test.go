@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// memApplier records everything the stream delivers.
+type memApplier struct {
+	mu     sync.Mutex
+	snaps  map[string][]*store.Snapshot
+	events map[string][]store.Event
+	drops  []string
+}
+
+func newMemApplier() *memApplier {
+	return &memApplier{snaps: map[string][]*store.Snapshot{}, events: map[string][]store.Event{}}
+}
+
+func (a *memApplier) ApplySnapshot(id string, snap *store.Snapshot) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.snaps[id] = append(a.snaps[id], snap)
+	return nil
+}
+
+func (a *memApplier) ApplyEvent(id string, ev store.Event) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events[id] = append(a.events[id], ev)
+	return nil
+}
+
+func (a *memApplier) DropReplica(id string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drops = append(a.drops, id)
+	return nil
+}
+
+func startRepl(t *testing.T, a Applier) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &ReplServer{Applier: a, Logf: t.Logf}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		<-done
+	}
+}
+
+func TestReplicationRoundTrip(t *testing.T) {
+	a := newMemApplier()
+	addr, stop := startRepl(t, a)
+	defer stop()
+
+	sh := NewShipper(ShipperOptions{Self: "n1", Target: addr, Logf: t.Logf})
+	defer sh.Close()
+
+	snap := store.Snapshot{
+		Seq:      0,
+		Strategy: "entropy",
+		Seed:     42,
+		Typing:   []string{"int", "str"},
+		Skips:    []int{3, 7},
+		Session:  []byte(`{"hello":"world"}`),
+	}
+	sh.ShipSnapshot("s0001", snap)
+	sh.ShipEvent("s0001", store.Event{Seq: 1, Op: store.OpLabel, Index: 4, Label: "+"})
+	sh.ShipEvent("s0001", store.Event{Seq: 2, Op: store.OpSkip, Index: 9})
+	sh.ShipEvent("s0001", store.Event{Seq: 3, Op: store.OpAppend, Rows: [][]string{{"a", "b"}, {"c", "d"}}})
+	sh.ShipEvent("s0001", store.Event{Seq: 4, Op: store.OpClear})
+	sh.ShipDrop("s0002")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sh.Sync(ctx); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.snaps["s0001"]) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(a.snaps["s0001"]))
+	}
+	got := a.snaps["s0001"][0]
+	if got.Strategy != "entropy" || got.Seed != 42 || string(got.Session) != `{"hello":"world"}` ||
+		len(got.Typing) != 2 || len(got.Skips) != 2 {
+		t.Errorf("snapshot mangled in transit: %+v", got)
+	}
+	evs := a.events["s0001"]
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Op != store.OpLabel || evs[0].Index != 4 || evs[0].Label != "+" || evs[0].Seq != 1 {
+		t.Errorf("event 0 mangled: %+v", evs[0])
+	}
+	if evs[2].Op != store.OpAppend || len(evs[2].Rows) != 2 || evs[2].Rows[1][1] != "d" {
+		t.Errorf("append event mangled: %+v", evs[2])
+	}
+	if len(a.drops) != 1 || a.drops[0] != "s0002" {
+		t.Errorf("drops = %v", a.drops)
+	}
+	st := sh.Stats()
+	if !st.Connected || st.ShippedEvents != 4 || st.QueuedEvents != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// The shipper must survive the follower dying and resync to a new
+// target: snapshots are re-shipped on every (re)connect.
+func TestShipperRetargetResyncs(t *testing.T) {
+	a1 := newMemApplier()
+	addr1, stop1 := startRepl(t, a1)
+
+	var mu sync.Mutex
+	live := map[string]store.Snapshot{
+		"s0001": {Strategy: "greedy", Session: []byte(`{}`)},
+		"s0002": {Strategy: "greedy", Session: []byte(`{}`)},
+	}
+	resync := func(ship func(id string, snap store.Snapshot)) {
+		mu.Lock()
+		defer mu.Unlock()
+		for id, snap := range live {
+			ship(id, snap)
+		}
+	}
+	sh := NewShipper(ShipperOptions{Self: "n1", Target: addr1, Resync: resync, Logf: t.Logf})
+	defer sh.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sh.Sync(ctx); err != nil {
+		t.Fatalf("initial sync: %v", err)
+	}
+	a1.mu.Lock()
+	n1 := len(a1.snaps["s0001"]) + len(a1.snaps["s0002"])
+	a1.mu.Unlock()
+	if n1 != 2 {
+		t.Fatalf("first follower got %d resync snapshots, want 2", n1)
+	}
+
+	// Kill follower 1, retarget to follower 2: the resync must replay
+	// both sessions there with no explicit re-ship from the caller.
+	stop1()
+	a2 := newMemApplier()
+	addr2, stop2 := startRepl(t, a2)
+	defer stop2()
+	sh.SetTarget(addr2)
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := sh.Sync(ctx2); err != nil {
+		t.Fatalf("post-retarget sync: %v", err)
+	}
+	a2.mu.Lock()
+	n2 := len(a2.snaps["s0001"]) + len(a2.snaps["s0002"])
+	a2.mu.Unlock()
+	if n2 < 2 {
+		t.Fatalf("retargeted follower got %d resync snapshots, want >= 2", n2)
+	}
+	if sh.Stats().Reconnects < 2 {
+		t.Errorf("reconnects = %d, want >= 2", sh.Stats().Reconnects)
+	}
+}
+
+// Dialing a dead target must back off instead of spinning.
+func TestShipperBackoffOnDeadTarget(t *testing.T) {
+	// Reserve an address nobody is listening on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	sh := NewShipper(ShipperOptions{Self: "n1", Target: dead})
+	defer sh.Close()
+	time.Sleep(600 * time.Millisecond)
+	// With 25ms..2s exponential backoff the pump gets through at most
+	// ~6 dial attempts in 600ms; without backoff it would be hundreds.
+	if got := sh.Stats().Reconnects; got != 0 {
+		t.Errorf("reconnects to a dead address = %d, want 0", got)
+	}
+	sh.ShipEvent("s0001", store.Event{Seq: 1, Op: store.OpClear})
+	if sh.Lag() != 1 {
+		t.Errorf("lag = %d, want 1 while target is dead", sh.Lag())
+	}
+}
+
+// Queue overflow must not block the caller; it schedules a resync.
+func TestShipperOverflowSchedulesResync(t *testing.T) {
+	resynced := make(chan struct{}, 16)
+	var mu sync.Mutex
+	resync := func(ship func(id string, snap store.Snapshot)) {
+		mu.Lock()
+		defer mu.Unlock()
+		ship("s0001", store.Snapshot{Strategy: "greedy", Session: []byte(`{}`)})
+		select {
+		case resynced <- struct{}{}:
+		default:
+		}
+	}
+	// No listener yet: fill the tiny queue to force drops.
+	lnAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}()
+	sh := NewShipper(ShipperOptions{Self: "n1", Target: lnAddr, Resync: resync, Buffer: 4, Logf: t.Logf})
+	defer sh.Close()
+	for i := 0; i < 64; i++ {
+		sh.ShipEvent("s0001", store.Event{Seq: uint64(i + 1), Op: store.OpClear})
+	}
+	if sh.Stats().DroppedMessages == 0 {
+		t.Fatal("expected drops on an overflowing queue")
+	}
+	// Now bring the follower up at that address and wait for resync.
+	ln, err := net.Listen("tcp", lnAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", lnAddr, err)
+	}
+	a := newMemApplier()
+	srv := &ReplServer{Applier: a, Logf: t.Logf}
+	go srv.Serve(ln)
+	defer srv.Close()
+	select {
+	case <-resynced:
+	case <-time.After(10 * time.Second):
+		t.Fatal("resync never ran after overflow + reconnect")
+	}
+}
+
+func TestParsePeersRoundTripWithMembership(t *testing.T) {
+	spec := "n1=127.0.0.1:1|127.0.0.1:2|127.0.0.1:3,n2=127.0.0.1:4|127.0.0.1:5|127.0.0.1:6"
+	nodes, err := ParsePeers(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMembership(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		seen[m.OwnerID(fmt.Sprintf("s%04d", i))]++
+	}
+	if seen["n1"] == 0 || seen["n2"] == 0 {
+		t.Errorf("ownership split = %v, want both nodes represented", seen)
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s%04d", i+1)
+	}
+	return keys
+}
+
+// Key balance across nodes must stay within 15% of the even share at
+// >= 64 vnodes (the ISSUE acceptance band for the ring).
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(20000)
+	// Imbalance shrinks like 1/sqrt(vnodes), so larger clusters need
+	// more points to hold the band: 64 vnodes covers up to 5 nodes,
+	// the 256 default covers 8.
+	matrix := map[int][]int{
+		64:  {2, 3, 5},
+		128: {2, 3, 5},
+		256: {2, 3, 5, 8},
+	}
+	for vnodes, sizes := range matrix {
+		for _, nNodes := range sizes {
+			nodes := make([]string, nNodes)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("node-%d", i+1)
+			}
+			r, err := NewRing(nodes, vnodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[string]int{}
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			mean := float64(len(keys)) / float64(nNodes)
+			for _, n := range nodes {
+				dev := (float64(counts[n]) - mean) / mean
+				if dev < -0.15 || dev > 0.15 {
+					t.Errorf("vnodes=%d nodes=%d: %s owns %d keys, %.1f%% off the even share %.0f",
+						vnodes, nNodes, n, counts[n], dev*100, mean)
+				}
+			}
+		}
+	}
+}
+
+// Adding one node to N must move about 1/(N+1) of the keys, and every
+// moved key must move TO the new node — the minimal-reshuffle
+// property that distinguishes consistent hashing from mod-N.
+func TestRingJoinMovesOneNth(t *testing.T) {
+	keys := testKeys(20000)
+	before, err := NewRing([]string{"n1", "n2", "n3"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "n4" {
+			t.Fatalf("key %s moved %s -> %s, not to the joining node", k, ob, oa)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.12 || frac > 0.40 {
+		t.Errorf("join moved %.1f%% of keys; want ~25%% (1/N for N=4)", frac*100)
+	}
+}
+
+// Removing one node must move only that node's keys, spread across
+// the survivors.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	keys := testKeys(20000)
+	before, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n1", "n2", "n4"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if ob != "n3" {
+			t.Fatalf("key %s moved %s -> %s though only n3 left", k, ob, oa)
+		}
+		if oa == "n3" {
+			t.Fatalf("key %s still owned by departed n3", k)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.12 || frac > 0.40 {
+		t.Errorf("leave moved %.1f%% of keys; want ~25%% (1/N for N=4)", frac*100)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, _ := NewRing([]string{"n2", "n1", "n3"}, 64)
+	b, _ := NewRing([]string{"n3", "n1", "n2"}, 64)
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ownership depends on node declaration order for %s", k)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{""}, 64); err == nil {
+		t.Error("empty node id accepted")
+	}
+}

@@ -1,0 +1,365 @@
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// ClusterReport is the machine-readable outcome of the cluster
+// failover scenario: a 3-node in-process cluster, sessions spread
+// across every node and labeled halfway, one node killed without
+// warning, its designated follower promoted, and every session the
+// dead node owned verified proposal-for-proposal against an
+// uninterrupted control before all dialogues run to completion.
+type ClusterReport struct {
+	Workload string `json:"workload"`
+	Strategy string `json:"strategy"`
+	Store    string `json:"store"`
+	Fsync    bool   `json:"fsync,omitempty"`
+	Nodes    int    `json:"nodes"`
+	// KilledNode is the node SIGKILLed mid-dialogue; its sessions are
+	// the ones failover must save.
+	KilledNode       string `json:"killed_node"`
+	Sessions         int    `json:"sessions"`
+	Concurrency      int    `json:"concurrency"`
+	SessionsOnKilled int    `json:"sessions_on_killed"`
+	LabelsBeforeKill int    `json:"labels_before_kill"`
+	// ReplLagAtKill is the killed node's outbound queue depth (events
+	// not yet on the follower's socket) observed just before the sync
+	// barrier that precedes the kill.
+	ReplLagAtKill int `json:"repl_lag_at_kill"`
+	// DetectMS is kill-to-detection: how long until a health probe of
+	// the dead node first fails. PromotionMS covers both survivors'
+	// promote calls, including replica adoption on the follower.
+	DetectMS    float64 `json:"detect_ms"`
+	PromotionMS float64 `json:"promotion_ms"`
+	// AdoptedSessions is what the follower reported adopting;
+	// RecoveredSessions counts the killed node's sessions that then
+	// verified and finished on it. Healthy failover has both equal to
+	// SessionsOnKilled and zero Mismatches.
+	AdoptedSessions   int `json:"adopted_sessions"`
+	RecoveredSessions int `json:"recovered_sessions"`
+	// VerifiedProposals counts post-failover next-proposals compared
+	// against the uninterrupted control (every session, every node);
+	// Mismatches counts differences (0 = failover is exact).
+	VerifiedProposals int     `json:"verified_proposals"`
+	Mismatches        int     `json:"mismatches"`
+	Completed         int     `json:"completed"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	// Latency covers every HTTP request of both phases.
+	Latency    Quantiles `json:"latency"`
+	FirstError string    `json:"first_error,omitempty"`
+}
+
+// clusterNode is one in-process cluster member: a disk-backed server,
+// its HTTP test listener, and its replication listener.
+type clusterNode struct {
+	id     string
+	srv    *server.Server
+	st     store.Store
+	ts     *httptest.Server
+	repl   *cluster.ReplServer
+	replLn net.Listener
+	dead   bool
+}
+
+func (n *clusterNode) base() string { return n.ts.URL + "/v1" }
+
+// kill tears the node down with no graceful shutdown: listeners close,
+// in-flight replication stops, the store closes. The moral equivalent
+// of SIGKILL for an in-process node.
+func (n *clusterNode) kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+	n.repl.Close()
+	n.srv.CloseCluster()
+	n.st.Close()
+}
+
+// ctlJSON is a control-plane request (promote, healthz) — not part of
+// the measured user traffic, so it bypasses userResult.call.
+func ctlJSON(client *http.Client, method, url string, body, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var raw bytes.Buffer
+		raw.ReadFrom(resp.Body)
+		return fmt.Errorf("loadtest: %s %s: status %d: %s", method, url, resp.StatusCode, raw.String())
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// clusterHealth is the healthz subset the scenario reads.
+type clusterHealth struct {
+	Replication *struct {
+		Synced *bool `json:"synced"`
+		Ship   *struct {
+			QueuedEvents int `json:"queued_events"`
+		} `json:"ship"`
+	} `json:"replication"`
+}
+
+// RunCluster runs the failover scenario on a 3-node disk-backed
+// cluster: cfg.RestartSessions sessions spread round-robin across the
+// nodes (creates are owner-local), labeled halfway by cfg.Users
+// workers, then node 1 is killed and its designated follower (node 2,
+// next in id order) is promoted. Every session is verified against an
+// uninterrupted control and driven to convergence — the killed node's
+// sessions on their new owner. SessionsPerUser and StreamBatches are
+// ignored.
+func RunCluster(cfg Config) (*ClusterReport, error) {
+	cfg = cfg.withDefaults()
+	root, err := os.MkdirTemp("", "jim-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	const nNodes = 3
+	nodes := make([]*clusterNode, nNodes)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		ds, err := store.NewDisk(store.DiskOptions{Dir: filepath.Join(root, id), Fsync: cfg.Fsync})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ds.Close()
+			return nil, err
+		}
+		srv := server.NewWith(server.Config{Store: ds})
+		nodes[i] = &clusterNode{
+			id:     id,
+			srv:    srv,
+			st:     ds,
+			ts:     httptest.NewServer(srv.Handler()),
+			replLn: ln,
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.kill()
+		}
+	}()
+	peers := make([]cluster.Node, nNodes)
+	for i, n := range nodes {
+		peers[i] = cluster.Node{
+			ID:   n.id,
+			HTTP: strings.TrimPrefix(n.ts.URL, "http://"),
+			Repl: n.replLn.Addr().String(),
+		}
+	}
+	for _, n := range nodes {
+		if err := n.srv.EnableCluster(server.ClusterOptions{Self: n.id, Peers: peers}); err != nil {
+			return nil, err
+		}
+		n.repl = &cluster.ReplServer{Applier: n.srv}
+		go n.repl.Serve(n.replLn)
+	}
+
+	users := make([]*restartUser, cfg.RestartSessions)
+	owner := make([]int, cfg.RestartSessions) // node index each session lives on
+	for u := range users {
+		inst, err := makeInstance(cfg.Workload, cfg.Seed+int64(u), 0)
+		if err != nil {
+			return nil, err
+		}
+		users[u] = &restartUser{inst: inst}
+		owner[u] = u % nNodes
+	}
+
+	rep := &ClusterReport{
+		Workload:    cfg.Workload,
+		Strategy:    cfg.Strategy,
+		Store:       "disk",
+		Fsync:       cfg.Fsync,
+		Nodes:       nNodes,
+		KilledNode:  nodes[0].id,
+		Sessions:    cfg.RestartSessions,
+		Concurrency: cfg.Users,
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Users + 8}}
+	defer client.CloseIdleConnections()
+	start := time.Now()
+
+	// Phase 1: create on the assigned node (creates are always local)
+	// and label halfway, recording exactly what was applied.
+	pool(cfg.Users, users, func(u int, ru *restartUser) {
+		ru.err = ru.labelHalf(client, nodes[owner[u]].ts.URL, cfg.Strategy)
+	})
+	for u, ru := range users {
+		rep.LabelsBeforeKill += len(ru.applied)
+		if owner[u] == 0 {
+			rep.SessionsOnKilled++
+		}
+		if ru.err != nil && rep.FirstError == "" {
+			rep.FirstError = ru.err.Error()
+		}
+	}
+
+	// Replication barrier before the kill: record the outbound lag,
+	// then wait for the follower to hold everything — v1 failover
+	// promises exactly what reached the follower, and the differential
+	// below holds that promise to proposal-exactness.
+	var hz clusterHealth
+	if err := ctlJSON(client, "GET", nodes[0].ts.URL+"/healthz", nil, &hz); err != nil {
+		return nil, err
+	}
+	if hz.Replication != nil && hz.Replication.Ship != nil {
+		rep.ReplLagAtKill = hz.Replication.Ship.QueuedEvents
+	}
+	if err := ctlJSON(client, "GET", nodes[0].ts.URL+"/healthz?sync=1", nil, &hz); err != nil {
+		return nil, err
+	}
+	if hz.Replication == nil || hz.Replication.Synced == nil || !*hz.Replication.Synced {
+		return nil, fmt.Errorf("loadtest: node %s did not sync replication before kill", nodes[0].id)
+	}
+
+	killAt := time.Now()
+	nodes[0].kill()
+
+	// Detection: the scenario's "monitoring" is a health probe of the
+	// dead node; failover starts when it first fails.
+	for {
+		resp, err := client.Get(nodes[0].ts.URL + "/healthz")
+		if err != nil {
+			break
+		}
+		resp.Body.Close()
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.DetectMS = float64(time.Since(killAt)) / float64(time.Millisecond)
+
+	// Promotion: every survivor is told; the designated follower
+	// (next id in sorted order) adopts the dead node's sessions.
+	promoteAt := time.Now()
+	var promoted struct {
+		PromotedTo      string `json:"promoted_to"`
+		AdoptedSessions int    `json:"adopted_sessions"`
+	}
+	for _, n := range nodes[1:] {
+		if err := ctlJSON(client, "POST", n.base()+"/cluster/promote",
+			map[string]any{"node": nodes[0].id}, &promoted); err != nil {
+			return nil, err
+		}
+		if promoted.PromotedTo == n.id {
+			rep.AdoptedSessions = promoted.AdoptedSessions
+		}
+	}
+	rep.PromotionMS = float64(time.Since(promoteAt)) / float64(time.Millisecond)
+
+	// Phase 2: verify every session against its uninterrupted control
+	// and drive it to convergence — adopted sessions on the follower,
+	// the rest where they always lived.
+	pool(cfg.Users, users, func(u int, ru *restartUser) {
+		if ru.err != nil {
+			return
+		}
+		target := nodes[owner[u]]
+		if owner[u] == 0 {
+			target = nodes[1]
+		}
+		ru.err = ru.verifyAndFinish(client, target.ts.URL, cfg)
+	})
+
+	// Routing check: the non-follower survivor must point at the new
+	// owner for an adopted session (the default client follows the
+	// 307, so a healthy redirect reads the result through node 3).
+	for u, ru := range users {
+		if owner[u] != 0 || ru.err != nil || ru.id == "" {
+			continue
+		}
+		resp, err := client.Get(nodes[2].base() + "/sessions/" + ru.id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		// 404 is expected — verifyAndFinish deletes converged
+		// sessions — but it must be the NEW owner's 404, reached
+		// through the redirect, not a misroute.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+			return nil, fmt.Errorf("loadtest: redirect check via %s: status %d", nodes[2].id, resp.StatusCode)
+		}
+		break
+	}
+
+	var all []time.Duration
+	for u, ru := range users {
+		rep.VerifiedProposals += ru.r.verified
+		rep.Mismatches += ru.r.mismatches
+		rep.Completed += ru.r.completed
+		if owner[u] == 0 && ru.err == nil {
+			rep.RecoveredSessions++
+		}
+		all = append(all, ru.r.latencies...)
+		if ru.err != nil && rep.FirstError == "" {
+			rep.FirstError = ru.err.Error()
+		}
+	}
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+	rep.Latency = quantiles(all)
+	return rep, nil
+}
+
+// pool fans the session fleet across at most workers goroutines,
+// passing each user's index through to fn.
+func pool(workers int, users []*restartUser, fn func(u int, ru *restartUser)) {
+	if workers > len(users) {
+		workers = len(users)
+	}
+	work := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				fn(i, users[i])
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range users {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

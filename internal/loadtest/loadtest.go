@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -384,13 +385,45 @@ func driveUser(client *http.Client, baseURL string, inst *instance, cfg Config) 
 	return r
 }
 
+// wireDialAttempts bounds a user's redial loop; with the backoff cap
+// that is roughly two seconds of trying before the user gives up.
+const wireDialAttempts = 10
+
+// dialWire dials the wire listener with jittered exponential backoff:
+// 5ms doubling to a 250ms cap, each wait scaled by a random factor in
+// [0.5, 1.5). A server restart disconnects every user at once; without
+// jitter they would all redial in lockstep and trample the fresh
+// listener's accept queue in synchronized waves.
+func dialWire(addr string, rng *rand.Rand) (*wire.Client, error) {
+	var lastErr error
+	backoff := 5 * time.Millisecond
+	for attempt := 0; attempt < wireDialAttempts; attempt++ {
+		if attempt > 0 {
+			wait := time.Duration(float64(backoff) * (0.5 + rng.Float64()))
+			time.Sleep(wait)
+			if backoff *= 2; backoff > 250*time.Millisecond {
+				backoff = 250 * time.Millisecond
+			}
+		}
+		c, err := wire.Dial(addr, 0)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("loadtest: wire dial %s: gave up after %d attempts: %w",
+		addr, wireDialAttempts, lastErr)
+}
+
 // driveWireUser is driveUser over the binary protocol: one persistent
 // connection for the user's whole run, every frame exchange timed like
 // an HTTP request. A failed session redials — a wire protocol error
-// kills the connection by contract.
+// kills the connection by contract — with jittered backoff so a fleet
+// of users does not reconnect in lockstep.
 func driveWireUser(inst *instance, cfg Config) userResult {
 	var r userResult
-	c, err := wire.Dial(cfg.WireAddr, 0)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ time.Now().UnixNano()))
+	c, err := dialWire(cfg.WireAddr, rng)
 	if err != nil {
 		r.errors++
 		r.firstErr = err
@@ -409,7 +442,7 @@ func driveWireUser(inst *instance, cfg Config) userResult {
 			r.firstErr = err
 		}
 		c.Close()
-		if c, err = wire.Dial(cfg.WireAddr, 0); err != nil {
+		if c, err = dialWire(cfg.WireAddr, rng); err != nil {
 			if r.firstErr == nil {
 				r.firstErr = err
 			}

@@ -339,3 +339,42 @@ func TestRestartFleetLargerThanConcurrency(t *testing.T) {
 		t.Fatalf("mismatches=%d completed=%d: %s", rep.Mismatches, rep.Completed, rep.FirstError)
 	}
 }
+
+// TestClusterScenario: 3-node cluster, 6 sessions spread across the
+// nodes, kill node 1 mid-dialogue, promote its follower, and require
+// every one of the dead node's sessions to verify proposal-for-
+// proposal and finish on the survivor.
+func TestClusterScenario(t *testing.T) {
+	rep, err := loadtest.RunCluster(loadtest.Config{
+		Users: 3, RestartSessions: 6, Workload: "synthetic", Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 3 || rep.KilledNode != "n1" {
+		t.Fatalf("nodes=%d killed=%q, want 3/n1", rep.Nodes, rep.KilledNode)
+	}
+	if rep.SessionsOnKilled == 0 {
+		t.Fatal("no sessions landed on the killed node — the scenario tested nothing")
+	}
+	if rep.RecoveredSessions != rep.SessionsOnKilled {
+		t.Fatalf("recovered %d of %d killed-node sessions (%s)",
+			rep.RecoveredSessions, rep.SessionsOnKilled, rep.FirstError)
+	}
+	if rep.AdoptedSessions != rep.SessionsOnKilled {
+		t.Fatalf("follower adopted %d sessions, want %d", rep.AdoptedSessions, rep.SessionsOnKilled)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d proposal mismatches after failover: %s", rep.Mismatches, rep.FirstError)
+	}
+	if rep.VerifiedProposals != rep.Sessions || rep.Completed != rep.Sessions {
+		t.Fatalf("verified=%d completed=%d, want %d each: %s",
+			rep.VerifiedProposals, rep.Completed, rep.Sessions, rep.FirstError)
+	}
+	if rep.LabelsBeforeKill == 0 {
+		t.Error("no labeled work before the kill")
+	}
+	if rep.DetectMS < 0 || rep.PromotionMS < 0 {
+		t.Errorf("negative failover timings: detect=%v promote=%v", rep.DetectMS, rep.PromotionMS)
+	}
+}

@@ -36,7 +36,10 @@ func (s *Server) lookup(id string) (*liveSession, error) {
 // a concurrent writer could mutate it immediately.
 func (s *Server) register(ls *liveSession) (string, sessionSummary, error) {
 	ls.touch(s.now())
-	id := fmt.Sprintf("s%04d", s.nextID.Add(1))
+	// allocID skips ids the cluster ring assigns to other nodes, so
+	// every node draws from a disjoint id space and a create is always
+	// served locally (single-node: first id wins immediately).
+	id := s.allocID()
 	summary := summarize(id, ls)
 	err := s.sessions.put(id, ls, s.cfg.MaxSessions)
 	if errors.Is(err, errSessionCap) && s.sweepQuick() > 0 {
@@ -49,7 +52,7 @@ func (s *Server) register(ls *liveSession) (string, sessionSummary, error) {
 			Message: fmt.Sprintf("%v (%d active, max %d)", err, s.sessions.active.Load(), s.cfg.MaxSessions),
 		}
 	}
-	if s.durable {
+	if s.durable || s.shipperFor() != nil {
 		if err := s.snapshotSession(id, ls); err != nil {
 			// A session the store cannot hold must not exist: undo the
 			// insert (rollback, so a failed create never reads as
@@ -171,7 +174,7 @@ func (s *Server) deleteSession(id string) error {
 		// to purge. The result stays not_found — the session was
 		// already unreachable — and purge failures surface via
 		// persist_errors.
-		if s.durable {
+		if s.durable || s.shipperFor() != nil {
 			switch {
 			case ok:
 				// get saw it but a sweep raced the delete; we still

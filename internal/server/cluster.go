@@ -1,0 +1,569 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	jim "repro"
+	"repro/internal/cluster"
+	"repro/internal/store"
+)
+
+// This file is the server side of internal/cluster: session ownership
+// (consistent-hash routing with 307 redirects or transparent
+// proxying), the shipping hooks that stream committed WAL frames to
+// the designated follower, the replica set a follower keeps warm, and
+// the promotion/drain endpoints that move ownership on node death or
+// planned maintenance. A server without EnableCluster behaves exactly
+// as before — every hook is nil-guarded.
+
+// ClusterOptions configures EnableCluster.
+type ClusterOptions struct {
+	// Self is this node's id; it must appear in Peers.
+	Self string
+	// Peers is the full static peer set (this node included).
+	Peers []cluster.Node
+	// Vnodes is the ring's virtual-node count; <= 0 means
+	// cluster.DefaultVnodes.
+	Vnodes int
+	// Proxy transparently proxies non-owned requests to the owner
+	// instead of answering 307.
+	Proxy bool
+	// ReplBuffer is the shipper queue capacity; <= 0 means default.
+	ReplBuffer int
+	Logf       func(format string, args ...any)
+}
+
+// clusterState hangs off Server when cluster mode is on.
+type clusterState struct {
+	self       cluster.Node
+	proxy      bool
+	logf       func(format string, args ...any)
+	membership atomic.Pointer[cluster.Membership]
+	// shipper streams our sessions to the designated follower; nil
+	// when no peer can receive replication.
+	shipper *cluster.Shipper
+	// proxies caches one ReverseProxy per peer (proxy mode).
+	proxies sync.Map
+
+	// replicas holds the sessions we follow for other owners — a
+	// separate map, NOT the main table, so replicas never appear in
+	// listings, never count against the session cap, and never get
+	// swept. repMu guards the map and every replica's seq.
+	repMu    sync.Mutex
+	replicas map[string]*replica
+
+	promoted     atomic.Int64 // sessions adopted via promotion
+	applied      atomic.Int64 // replication events applied
+	appliedSnaps atomic.Int64 // replication snapshots applied
+	rejected     atomic.Int64 // replication messages refused
+}
+
+// replica is one followed session plus the last replication sequence
+// applied to it (the dedup watermark for resync replays).
+type replica struct {
+	ls  *liveSession
+	seq uint64
+}
+
+// EnableCluster switches the server into cluster mode. Call it after
+// NewWith/Restore and before serving traffic: it is not safe to
+// enable on a server already handling requests.
+func (s *Server) EnableCluster(opts ClusterOptions) error {
+	if s.cluster != nil {
+		return errors.New("server: cluster mode already enabled")
+	}
+	m, err := cluster.NewMembership(opts.Peers, opts.Vnodes)
+	if err != nil {
+		return err
+	}
+	self, ok := m.Node(opts.Self)
+	if !ok {
+		return fmt.Errorf("server: node %q is not in the peer set", opts.Self)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &clusterState{self: self, proxy: opts.Proxy, logf: logf, replicas: map[string]*replica{}}
+	c.membership.Store(m)
+	s.cluster = c
+	if f, ok := m.FollowerOf(self.ID); ok && f.Repl != "" {
+		c.shipper = cluster.NewShipper(cluster.ShipperOptions{
+			Self:   self.ID,
+			Target: f.Repl,
+			Resync: s.resyncShip,
+			Logf:   logf,
+			Buffer: opts.ReplBuffer,
+		})
+	}
+	return nil
+}
+
+// CloseCluster stops the replication shipper. Safe on any server.
+func (s *Server) CloseCluster() {
+	if s.cluster != nil && s.cluster.shipper != nil {
+		s.cluster.shipper.Close()
+	}
+}
+
+// shipperFor returns the replication shipper, nil when not shipping.
+func (s *Server) shipperFor() *cluster.Shipper {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.shipper
+}
+
+// ownsID reports whether this node owns the session id. Single-node
+// servers own everything.
+func (s *Server) ownsID(id string) bool {
+	if s.cluster == nil {
+		return true
+	}
+	return s.cluster.membership.Load().OwnerID(id) == s.cluster.self.ID
+}
+
+// allocID draws fresh session ids until one lands in this node's hash
+// range, so every node allocates from a disjoint id space and a create
+// never needs forwarding. Expected tries = node count.
+func (s *Server) allocID() string {
+	for {
+		id := fmt.Sprintf("s%04d", s.nextID.Add(1))
+		if s.ownsID(id) {
+			return id
+		}
+	}
+}
+
+// routeAway answers a request for a session this node does not own:
+// a transparent proxy to the owner in proxy mode, otherwise a 307
+// whose Location and X-Jim-Owner headers carry the owner, with the
+// structured not_owner envelope as the body.
+func (s *Server) routeAway(w http.ResponseWriter, r *http.Request, id string) {
+	c := s.cluster
+	owner := c.membership.Load().Owner(id)
+	if owner.ID == "" || owner.HTTP == "" {
+		writeError(w, jim.CodeInternal, "no reachable owner for session %q", id)
+		return
+	}
+	if c.proxy {
+		c.proxyTo(owner).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("X-Jim-Owner", owner.ID+"="+owner.HTTP)
+	w.Header().Set("Location", "http://"+owner.HTTP+r.URL.RequestURI())
+	writeError(w, jim.CodeNotOwner, "session %q is owned by %s at %s", id, owner.ID, owner.HTTP)
+}
+
+// checkWireOwner is routeAway for the wire protocol: the NOT_OWNER
+// error frame's message carries "nodeID=address" (wire address when
+// the owner has one, HTTP otherwise).
+func (s *Server) checkWireOwner(id string) error {
+	if s.ownsID(id) {
+		return nil
+	}
+	owner := s.cluster.membership.Load().Owner(id)
+	addr := owner.Wire
+	if addr == "" {
+		addr = owner.HTTP
+	}
+	return &jim.Error{Code: jim.CodeNotOwner, Message: owner.ID + "=" + addr}
+}
+
+func (c *clusterState) proxyTo(n cluster.Node) http.Handler {
+	if p, ok := c.proxies.Load(n.ID); ok {
+		return p.(http.Handler)
+	}
+	p := httputil.NewSingleHostReverseProxy(&url.URL{Scheme: "http", Host: n.HTTP})
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		writeError(w, jim.CodeInternal, "proxying to %s: %v", n.ID, err)
+	}
+	actual, _ := c.proxies.LoadOrStore(n.ID, p)
+	return actual.(http.Handler)
+}
+
+// resyncShip is the shipper's Resync callback: on every (re)connect —
+// and after a queue overflow — ship a current snapshot of every live
+// session. Runs on the shipper goroutine; buildSnapshot under
+// RLock+pickMu is exactly the snapshotLive capture discipline, and
+// Seq is read under the same locks, so the snapshot and its watermark
+// agree.
+func (s *Server) resyncShip(ship func(id string, snap store.Snapshot)) {
+	s.sessions.forEach(func(id string, ls *liveSession) {
+		ls.mu.RLock()
+		if ls.deleted {
+			ls.mu.RUnlock()
+			return
+		}
+		ls.pickMu.Lock()
+		snap, err := buildSnapshot(ls)
+		if err == nil {
+			snap.Seq = ls.replSeq.Load()
+		}
+		ls.pickMu.Unlock()
+		ls.mu.RUnlock()
+		if err != nil {
+			s.cluster.logf("cluster: resync snapshot %s: %v", id, err)
+			return
+		}
+		ship(id, snap)
+	})
+}
+
+// ApplySnapshot implements cluster.Applier: rebuild the shipped
+// session through the exact crash-recovery path and (re)place it in
+// the replica set. Snapshots always replace — within a stream they
+// are captured from current owner state and FIFO-ordered, and a fresh
+// stream (owner restart, new replication epoch) must reset the
+// watermark rather than be refused by a stale one.
+func (s *Server) ApplySnapshot(id string, snap *store.Snapshot) error {
+	c := s.cluster
+	if c == nil {
+		return errors.New("server: not in cluster mode")
+	}
+	if _, live := s.sessions.get(id); live && s.ownsID(id) {
+		// We already own this session (it was adopted); late frames
+		// from its dead ex-owner's stream must not shadow it.
+		c.rejected.Add(1)
+		return nil
+	}
+	ls, err := s.rebuild(store.Saved{ID: id, Snapshot: snap})
+	if err != nil {
+		c.rejected.Add(1)
+		return fmt.Errorf("rebuilding replica %q: %w", id, err)
+	}
+	ls.replSeq.Store(snap.Seq)
+	c.repMu.Lock()
+	c.replicas[id] = &replica{ls: ls, seq: snap.Seq}
+	c.repMu.Unlock()
+	c.appliedSnaps.Add(1)
+	return nil
+}
+
+// ApplyEvent implements cluster.Applier: replay one shipped WAL event
+// into the replica. Events at or below the watermark are resync
+// replays and drop silently; an event for an unknown session is
+// refused (its snapshot has not arrived — the shipper's next resync
+// heals it).
+func (s *Server) ApplyEvent(id string, ev store.Event) error {
+	c := s.cluster
+	if c == nil {
+		return errors.New("server: not in cluster mode")
+	}
+	c.repMu.Lock()
+	rep := c.replicas[id]
+	if rep == nil {
+		c.repMu.Unlock()
+		if _, live := s.sessions.get(id); live && s.ownsID(id) {
+			c.rejected.Add(1)
+			return nil
+		}
+		c.rejected.Add(1)
+		return fmt.Errorf("no replica %q (event before snapshot; awaiting resync)", id)
+	}
+	if ev.Seq <= rep.seq {
+		c.repMu.Unlock()
+		return nil
+	}
+	ls := rep.ls
+	c.repMu.Unlock()
+	ls.mu.Lock()
+	err := replayEvent(ls.sess, ev)
+	ls.mu.Unlock()
+	if err != nil {
+		c.rejected.Add(1)
+		return fmt.Errorf("applying event seq %d to replica %q: %w", ev.Seq, id, err)
+	}
+	c.repMu.Lock()
+	if cur := c.replicas[id]; cur == rep {
+		rep.seq = ev.Seq
+	}
+	c.repMu.Unlock()
+	ls.replSeq.Store(ev.Seq)
+	c.applied.Add(1)
+	return nil
+}
+
+// DropReplica implements cluster.Applier: the owner deleted the
+// session.
+func (s *Server) DropReplica(id string) error {
+	c := s.cluster
+	if c == nil {
+		return errors.New("server: not in cluster mode")
+	}
+	c.repMu.Lock()
+	delete(c.replicas, id)
+	c.repMu.Unlock()
+	return nil
+}
+
+type promoteRequest struct {
+	// Node is the dead node whose sessions should fail over.
+	Node string `json:"node"`
+}
+
+type promoteResponse struct {
+	Node            string   `json:"node"`
+	PromotedTo      string   `json:"promoted_to"`
+	AdoptedSessions int      `json:"adopted_sessions"`
+	Alive           []string `json:"alive"`
+}
+
+// handlePromote marks a peer failed in this node's membership view
+// and adopts every replica the new view assigns to us — the failover
+// step an operator (or the loadtest harness) drives on each survivor
+// after detecting a death. Idempotent: re-promoting an already-failed
+// node adopts nothing new.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeError(w, jim.CodeBadInput, "server is not running in cluster mode")
+		return
+	}
+	var req promoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, jim.CodeBadInput, "decoding request: %v", err)
+		return
+	}
+	if req.Node == "" {
+		writeError(w, jim.CodeBadInput, "missing node")
+		return
+	}
+	if req.Node == c.self.ID {
+		writeError(w, jim.CodeBadInput, "cannot mark self (%s) failed", c.self.ID)
+		return
+	}
+	var m *cluster.Membership
+	for {
+		old := c.membership.Load()
+		next, err := old.Fail(req.Node)
+		if err != nil {
+			writeError(w, jim.CodeBadInput, "%v", err)
+			return
+		}
+		if next == old || c.membership.CompareAndSwap(old, next) {
+			m = next
+			break
+		}
+	}
+	adopted := s.adoptReplicas(m)
+	// The failure may have changed who our follower is; retarget after
+	// adoption so the retarget resync covers the adopted sessions too.
+	if c.shipper != nil {
+		if f, ok := m.FollowerOf(c.self.ID); ok && f.Repl != "" {
+			c.shipper.SetTarget(f.Repl)
+		} else {
+			c.shipper.SetTarget("")
+		}
+	}
+	c.logf("cluster: %s marked failed, adopted %d sessions", req.Node, adopted)
+	writeJSON(w, http.StatusOK, promoteResponse{
+		Node:            req.Node,
+		PromotedTo:      m.Failed()[req.Node],
+		AdoptedSessions: adopted,
+		Alive:           m.Alive(),
+	})
+}
+
+// adoptReplicas moves every replica the membership view m assigns to
+// this node out of the replica set and into the live table, advances
+// the id counter past the adopted ids, and re-protects each adoptee
+// with a local snapshot (which also ships it to OUR follower).
+func (s *Server) adoptReplicas(m *cluster.Membership) int {
+	c := s.cluster
+	type adoptee struct {
+		id string
+		ls *liveSession
+	}
+	var adopt []adoptee
+	c.repMu.Lock()
+	for id, rep := range c.replicas {
+		if m.OwnerID(id) == c.self.ID {
+			adopt = append(adopt, adoptee{id, rep.ls})
+			delete(c.replicas, id)
+		}
+	}
+	c.repMu.Unlock()
+	var maxID int64
+	for _, a := range adopt {
+		a.ls.touch(s.now())
+		s.sessions.putRestored(a.id, a.ls)
+		if n, ok := numericID(a.id); ok && n > maxID {
+			maxID = n
+		}
+	}
+	for {
+		cur := s.nextID.Load()
+		if maxID <= cur || s.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+	c.promoted.Add(int64(len(adopt)))
+	if s.durable || c.shipper != nil {
+		for _, a := range adopt {
+			if err := s.snapshotSession(a.id, a.ls); err != nil {
+				s.persist.errors.Add(1)
+			}
+		}
+	}
+	return len(adopt)
+}
+
+type drainResponse struct {
+	Sessions    int  `json:"sessions"`
+	Snapshotted int  `json:"snapshotted"`
+	Synced      bool `json:"synced"`
+}
+
+// handleDrain prepares this node for planned removal: every live
+// session is folded into a fresh snapshot (shipped to the follower),
+// then the replication stream is synced so the follower has
+// acknowledged everything. After a drain returns synced=true, the
+// operator promotes this node's range on the survivors and stops the
+// process — the TTL-demotion flavored counterpart of kill -9.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeError(w, jim.CodeBadInput, "server is not running in cluster mode")
+		return
+	}
+	total, snapped := 0, 0
+	s.sessions.forEach(func(id string, ls *liveSession) {
+		total++
+		if err := s.snapshotSession(id, ls); err != nil {
+			s.persist.errors.Add(1)
+			return
+		}
+		snapped++
+	})
+	synced := false
+	if c.shipper != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		synced = c.shipper.Sync(ctx) == nil
+	}
+	writeJSON(w, http.StatusOK, drainResponse{Sessions: total, Snapshotted: snapped, Synced: synced})
+}
+
+type clusterResponse struct {
+	Self          string            `json:"self"`
+	Proxy         bool              `json:"proxy"`
+	Nodes         []cluster.Node    `json:"nodes"`
+	Alive         []string          `json:"alive"`
+	Failed        map[string]string `json:"failed"`
+	OwnedSessions int               `json:"owned_sessions"`
+	Replicas      int               `json:"replicas"`
+}
+
+// handleCluster serves the membership view: topology, who is alive,
+// and where failed ranges went.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeError(w, jim.CodeBadInput, "server is not running in cluster mode")
+		return
+	}
+	m := c.membership.Load()
+	owned := 0
+	s.sessions.forEach(func(string, *liveSession) { owned++ })
+	c.repMu.Lock()
+	nrep := len(c.replicas)
+	c.repMu.Unlock()
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Self:          c.self.ID,
+		Proxy:         c.proxy,
+		Nodes:         m.Members(),
+		Alive:         m.Alive(),
+		Failed:        m.Failed(),
+		OwnedSessions: owned,
+		Replicas:      nrep,
+	})
+}
+
+// healthResponse is GET /healthz: node identity, role counts,
+// replication lag, and restore status — everything a failover
+// detector or load balancer needs in one unauthenticated probe.
+type healthResponse struct {
+	Status      string      `json:"status"`
+	Cluster     bool        `json:"cluster"`
+	Node        string      `json:"node,omitempty"`
+	Role        *roleHealth `json:"role,omitempty"`
+	Replication *replHealth `json:"replication,omitempty"`
+	Store       storeStats  `json:"store"`
+	UptimeSecs  float64     `json:"uptime_seconds"`
+	Started     time.Time   `json:"started"`
+}
+
+type roleHealth struct {
+	// OwnedSessions counts live sessions this node answers for;
+	// Replicas counts sessions it follows for other owners.
+	OwnedSessions    int   `json:"owned_sessions"`
+	Replicas         int   `json:"replicas"`
+	PromotedSessions int64 `json:"promoted_sessions"`
+}
+
+type replHealth struct {
+	// Ship is the outbound stream to our follower (nil when this node
+	// has nobody to ship to). Ship.QueuedEvents is the replication lag
+	// in events.
+	Ship             *cluster.ShipStats `json:"ship,omitempty"`
+	AppliedEvents    int64              `json:"applied_events"`
+	AppliedSnapshots int64              `json:"applied_snapshots"`
+	RejectedMessages int64              `json:"rejected_messages"`
+	// Synced is present only on ?sync=1 probes: true when the follower
+	// acknowledged everything shipped before the probe.
+	Synced *bool `json:"synced,omitempty"`
+}
+
+// handleHealthz serves the liveness/role probe. ?sync=1 additionally
+// runs a replication barrier: the response reports whether the
+// follower acknowledged the whole stream (the loadtest uses this to
+// bound replication lag before killing a node).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:     "ok",
+		Store:      s.storeStats(),
+		Started:    s.metrics.startedAt,
+		UptimeSecs: s.now().Sub(s.metrics.startedAt).Seconds(),
+	}
+	if c := s.cluster; c != nil {
+		resp.Cluster = true
+		resp.Node = c.self.ID
+		owned := 0
+		s.sessions.forEach(func(string, *liveSession) { owned++ })
+		c.repMu.Lock()
+		nrep := len(c.replicas)
+		c.repMu.Unlock()
+		resp.Role = &roleHealth{
+			OwnedSessions:    owned,
+			Replicas:         nrep,
+			PromotedSessions: c.promoted.Load(),
+		}
+		rh := &replHealth{
+			AppliedEvents:    c.applied.Load(),
+			AppliedSnapshots: c.appliedSnaps.Load(),
+			RejectedMessages: c.rejected.Load(),
+		}
+		if c.shipper != nil {
+			st := c.shipper.Stats()
+			rh.Ship = &st
+			if r.URL.Query().Get("sync") != "" {
+				ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+				defer cancel()
+				ok := c.shipper.Sync(ctx) == nil
+				rh.Synced = &ok
+			}
+		}
+		resp.Replication = rh
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -42,7 +42,8 @@ import (
 // handlers map the error through writeTypedError, the wire handler
 // through its error frame.
 func (s *Server) persistEvent(id string, ls *liveSession, ev store.Event) error {
-	if !s.durable {
+	ship := s.shipperFor()
+	if !s.durable && ship == nil {
 		return nil
 	}
 	if ls.deleted {
@@ -52,29 +53,39 @@ func (s *Server) persistEvent(id string, ls *liveSession, ev store.Event) error 
 		// be garbage collected — nothing to persist.
 		return nil
 	}
-	if err := s.cfg.Store.AppendEvent(id, ev); err != nil {
-		s.persist.errors.Add(1)
-		return &jim.Error{Code: jim.CodeInternal, Message: fmt.Sprintf("persisting event: %v", err)}
-	}
-	s.persist.events.Add(1)
-	if n := ls.walEvents.Add(1); n >= int64(s.snapshotEvery) {
-		// Size half of the snapshot policy: fold the WAL into a fresh
-		// snapshot — asynchronously, off the request path. The caller
-		// holds the session's write lock; folding inline would make the
-		// unlucky SnapshotEvery-th request pay a full-state encode plus
-		// snapshot IO (and every subsequent request re-pay it when the
-		// store is failing). At most one fold per session in flight; it
-		// takes the read lock, so it starts after this request ends.
-		// Failure is not the client's problem — the event itself is
-		// durable; the log just stays long until the next trigger.
-		if ls.snapInFlight.CompareAndSwap(false, true) {
-			go func() {
-				defer ls.snapInFlight.Store(false)
-				if err := s.snapshotSession(id, ls); err != nil {
-					s.persist.errors.Add(1)
-				}
-			}()
+	if s.durable {
+		if err := s.cfg.Store.AppendEvent(id, ev); err != nil {
+			s.persist.errors.Add(1)
+			return &jim.Error{Code: jim.CodeInternal, Message: fmt.Sprintf("persisting event: %v", err)}
 		}
+		s.persist.events.Add(1)
+		if n := ls.walEvents.Add(1); n >= int64(s.snapshotEvery) {
+			// Size half of the snapshot policy: fold the WAL into a fresh
+			// snapshot — asynchronously, off the request path. The caller
+			// holds the session's write lock; folding inline would make the
+			// unlucky SnapshotEvery-th request pay a full-state encode plus
+			// snapshot IO (and every subsequent request re-pay it when the
+			// store is failing). At most one fold per session in flight; it
+			// takes the read lock, so it starts after this request ends.
+			// Failure is not the client's problem — the event itself is
+			// durable; the log just stays long until the next trigger.
+			if ls.snapInFlight.CompareAndSwap(false, true) {
+				go func() {
+					defer ls.snapInFlight.Store(false)
+					if err := s.snapshotSession(id, ls); err != nil {
+						s.persist.errors.Add(1)
+					}
+				}()
+			}
+		}
+	}
+	if ship != nil {
+		// Ship after the durable append so the follower can never hold
+		// an event its owner lost. The caller's locks (write lock, or
+		// read lock + pickMu on the clear path) serialize this per
+		// session, so enqueue order matches sequence order.
+		ev.Seq = ls.replSeq.Add(1)
+		ship.ShipEvent(id, ev)
 	}
 	return nil
 }
@@ -143,13 +154,20 @@ func buildSnapshot(ls *liveSession) (store.Snapshot, error) {
 // snapshot re-creating the directory. Failures are counted for
 // /stats. ls may be nil when only the on-disk copy exists.
 func (s *Server) purge(id string, ls *liveSession) error {
-	if !s.durable {
+	ship := s.shipperFor()
+	if !s.durable && ship == nil {
 		return nil
 	}
 	if ls != nil {
 		ls.mu.Lock()
 		ls.deleted = true
 		ls.mu.Unlock()
+	}
+	if ship != nil {
+		ship.ShipDrop(id)
+	}
+	if !s.durable {
+		return nil
 	}
 	if err := s.cfg.Store.Compact(id); err != nil {
 		s.persist.errors.Add(1)
@@ -185,14 +203,23 @@ func (s *Server) snapshotLive(id string, ls *liveSession) error {
 	if err != nil {
 		return err
 	}
-	if err := s.cfg.Store.Snapshot(id, snap); err != nil {
-		return err
+	if s.durable {
+		if err := s.cfg.Store.Snapshot(id, snap); err != nil {
+			return err
+		}
+		now := s.now().UnixNano()
+		ls.walEvents.Store(0)
+		ls.lastSnapshot.Store(now)
+		s.persist.snapshots.Add(1)
+		s.persist.lastSnapshot.Store(now)
 	}
-	now := s.now().UnixNano()
-	ls.walEvents.Store(0)
-	ls.lastSnapshot.Store(now)
-	s.persist.snapshots.Add(1)
-	s.persist.lastSnapshot.Store(now)
+	if ship := s.shipperFor(); ship != nil {
+		// Captured under pickMu, so the watermark read here covers
+		// exactly the events folded into the snapshot: clear events take
+		// pickMu and write-path events are excluded by ls.mu.
+		snap.Seq = ls.replSeq.Load()
+		ship.ShipSnapshot(id, snap)
+	}
 	return nil
 }
 

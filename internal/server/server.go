@@ -88,6 +88,10 @@ type Server struct {
 	// Sweep and the completion of their demotion snapshot, so a DELETE
 	// landing in that window can still fence them (id → *liveSession).
 	demoting sync.Map
+	// cluster is non-nil when EnableCluster made this node part of a
+	// multi-node deployment (see cluster.go); nil keeps every
+	// single-node path untouched.
+	cluster *clusterState
 	// now is the injectable clock (cfg.Now or time.Now).
 	now func() time.Time
 }
@@ -139,6 +143,12 @@ type liveSession struct {
 	// before DELETE removed it must not re-create on-disk state the
 	// delete just compacted away.
 	deleted bool
+	// replSeq numbers this session's replication stream (cluster mode):
+	// every shipped event carries replSeq+1, every shipped snapshot the
+	// current value, and the follower dedups resync replays against it.
+	// It is a separate numbering space from the durable store's own
+	// sequence, which the store assigns internally.
+	replSeq atomic.Uint64
 }
 
 // New returns an empty server with demo defaults (no cap, no TTL, no
@@ -184,6 +194,9 @@ func NewWith(cfg Config) *Server {
 //	GET    /v1/sessions/{id}/result  inferred predicate, SQL, certainty
 //	GET    /v1/sessions/{id}/export  persistable session file
 //	GET    /v1/stats                 service counters and latency quantiles
+//	GET    /v1/cluster               cluster membership view (cluster mode)
+//	POST   /v1/cluster/promote       mark a peer failed, adopt its replicas
+//	POST   /v1/cluster/drain         snapshot + sync everything to the follower
 //
 // Every pre-versioning route (the same paths without the /v1 prefix)
 // still answers, delegating to the same handler, with a
@@ -197,6 +210,10 @@ func (s *Server) Handler() http.Handler {
 			mux.HandleFunc(rt.method+" "+rt.path, deprecated(rt.handler))
 		}
 	}
+	// The liveness/role probe lives outside the versioned API on
+	// purpose: load balancers and failover detectors probe a fixed,
+	// unversioned path.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.instrument(mux)
 }
 
@@ -232,6 +249,9 @@ func (s *Server) routes() []route {
 		{"GET", "/sessions/{id}/result", s.readSession(s.handleResult), false},
 		{"GET", "/sessions/{id}/export", s.readSession(s.handleExport), false},
 		{"GET", "/strategies", s.handleStrategies, true},
+		{"GET", "/cluster", s.handleCluster, true},
+		{"POST", "/cluster/promote", s.handlePromote, true},
+		{"POST", "/cluster/drain", s.handleDrain, true},
 	}
 }
 
@@ -470,6 +490,10 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if id := r.PathValue("id"); !s.ownsID(id) {
+		s.routeAway(w, r, id)
+		return
+	}
 	if err := s.deleteSession(r.PathValue("id")); err != nil {
 		writeTypedError(w, err)
 		return
@@ -494,6 +518,10 @@ func (s *Server) writeSession(h sessionHandler) http.HandlerFunc {
 func (s *Server) withSession(h sessionHandler, write bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		if !s.ownsID(id) {
+			s.routeAway(w, r, id)
+			return
+		}
 		ls, err := s.lookup(id)
 		if err != nil {
 			writeTypedError(w, err)

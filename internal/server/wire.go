@@ -47,6 +47,9 @@ func (s *Server) WireCreate(csv, strategyName string, seed int64) (string, error
 // semantics), k = 1 takes the routed single-proposal path (GET /next),
 // k > 1 the ranked batch (GET /topk).
 func (s *Server) WireStep(id string, answers []wire.Answer, k int, out *wire.StepResult) error {
+	if err := s.checkWireOwner(id); err != nil {
+		return err
+	}
 	ls, err := s.lookup(id)
 	if err != nil {
 		return err
@@ -90,6 +93,9 @@ func (s *Server) WireStep(id string, answers []wire.Answer, k int, out *wire.Ste
 // WireAppend implements wire.Backend: POST /tuples semantics with the
 // rows encoding (cells parsed under the session's pinned typing).
 func (s *Server) WireAppend(id string, rows [][]string) (wire.AppendResult, error) {
+	if err := s.checkWireOwner(id); err != nil {
+		return wire.AppendResult{}, err
+	}
 	ls, err := s.lookup(id)
 	if err != nil {
 		return wire.AppendResult{}, err
@@ -122,6 +128,9 @@ func (s *Server) WireAppend(id string, rows [][]string) (wire.AppendResult, erro
 // WireResult implements wire.Backend: the hot-path subset of GET
 // /result (predicate + SQL; the demo certainty panel stays HTTP-only).
 func (s *Server) WireResult(id string) (wire.ResultData, error) {
+	if err := s.checkWireOwner(id); err != nil {
+		return wire.ResultData{}, err
+	}
 	ls, err := s.lookup(id)
 	if err != nil {
 		return wire.ResultData{}, err
@@ -142,6 +151,9 @@ func (s *Server) WireResult(id string) (wire.ResultData, error) {
 
 // WireDelete implements wire.Backend: DELETE /sessions/{id} semantics.
 func (s *Server) WireDelete(id string) error {
+	if err := s.checkWireOwner(id); err != nil {
+		return err
+	}
 	return s.deleteSession(id)
 }
 

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/codec"
 )
@@ -161,11 +160,11 @@ func decodeEventPayload(payload []byte) (Event, error) {
 	return ev, c.Done()
 }
 
-// appendSnapshotFile encodes a complete v2 snapshot file into dst:
-// magic, then one CRC frame around the envelope payload. payload is a
-// scratch slice reused across calls.
-func appendSnapshotFile(dst, payload []byte, snap Snapshot) (file, scratch []byte) {
-	payload = binary.AppendUvarint(payload[:0], snap.Seq)
+// appendSnapshotPayload encodes the snapshot envelope (without magic
+// or CRC framing) into payload and returns the extended slice. Shared
+// by the on-disk snapshot file and the replication stream (ship.go).
+func appendSnapshotPayload(payload []byte, snap Snapshot) []byte {
+	payload = binary.AppendUvarint(payload, snap.Seq)
 	payload = codec.AppendString(payload, snap.Strategy)
 	payload = binary.AppendVarint(payload, snap.Seed)
 	var nanos int64
@@ -183,7 +182,14 @@ func appendSnapshotFile(dst, payload []byte, snap Snapshot) (file, scratch []byt
 	}
 	payload = binary.AppendUvarint(payload, uint64(len(snap.Session)))
 	payload = append(payload, snap.Session...)
+	return payload
+}
 
+// appendSnapshotFile encodes a complete v2 snapshot file into dst:
+// magic, then one CRC frame around the envelope payload. payload is a
+// scratch slice reused across calls.
+func appendSnapshotFile(dst, payload []byte, snap Snapshot) (file, scratch []byte) {
+	payload = appendSnapshotPayload(payload[:0], snap)
 	dst = append(dst[:0], snapMagic...)
 	dst = codec.AppendFrame(dst, payload)
 	return dst, payload
@@ -204,60 +210,7 @@ func decodeSnapshotFile(data []byte) (*Snapshot, error) {
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot frame", codec.ErrMalformed, len(rest))
 	}
-	snap := &Snapshot{}
-	c := codec.Cursor{B: payload}
-	if snap.Seq, err = c.Uvarint(); err != nil {
-		return nil, err
-	}
-	if snap.Strategy, err = c.Str(); err != nil {
-		return nil, err
-	}
-	if snap.Seed, err = c.Varint(); err != nil {
-		return nil, err
-	}
-	nanos, err := c.Varint()
-	if err != nil {
-		return nil, err
-	}
-	if nanos != 0 {
-		snap.CreatedAt = time.Unix(0, nanos)
-	}
-	ntyping, err := c.Count(1)
-	if err != nil {
-		return nil, err
-	}
-	if ntyping > 0 {
-		snap.Typing = make([]string, 0, ntyping)
-		for i := 0; i < ntyping; i++ {
-			t, err := c.Str()
-			if err != nil {
-				return nil, err
-			}
-			snap.Typing = append(snap.Typing, t)
-		}
-	}
-	nskips, err := c.Count(1)
-	if err != nil {
-		return nil, err
-	}
-	if nskips > 0 {
-		snap.Skips = make([]int, 0, nskips)
-		for i := 0; i < nskips; i++ {
-			idx, err := c.Sint()
-			if err != nil {
-				return nil, err
-			}
-			snap.Skips = append(snap.Skips, idx)
-		}
-	}
-	session, err := c.Bytes()
-	if err != nil {
-		return nil, err
-	}
-	if len(session) > 0 {
-		snap.Session = append(snap.Session[:0], session...)
-	}
-	return snap, c.Done()
+	return DecodeSnapshotPayload(payload)
 }
 
 // readUvarintCounted reads one uvarint from br and reports how many

@@ -1,0 +1,97 @@
+package store
+
+// Replication ("shipping") codec exports. The cluster replication
+// stream reuses the exact v2 payload encodings the disk format uses,
+// minus file magic and CRC framing — the transport (internal/cluster)
+// adds its own length-prefixed frames, and TCP already checksums the
+// path. Sharing the encoders keeps a shipped event byte-identical to
+// the WAL record the owner committed, which is what makes the
+// follower proposal-exact after promotion.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// AppendEventPayload encodes one event in v2 WAL payload form into dst
+// and returns the extended slice. Allocation-free once dst has
+// capacity.
+func AppendEventPayload(dst []byte, ev Event) ([]byte, error) {
+	return appendEventPayload(dst, ev)
+}
+
+// DecodeEventPayload decodes a payload produced by AppendEventPayload.
+func DecodeEventPayload(payload []byte) (Event, error) {
+	return decodeEventPayload(payload)
+}
+
+// AppendSnapshotPayload encodes a snapshot envelope in v2 payload form
+// (no magic, no CRC frame) into dst and returns the extended slice.
+func AppendSnapshotPayload(dst []byte, snap Snapshot) []byte {
+	return appendSnapshotPayload(dst, snap)
+}
+
+// DecodeSnapshotPayload decodes a payload produced by
+// AppendSnapshotPayload.
+func DecodeSnapshotPayload(payload []byte) (*Snapshot, error) {
+	snap := &Snapshot{}
+	c := codec.Cursor{B: payload}
+	var err error
+	if snap.Seq, err = c.Uvarint(); err != nil {
+		return nil, err
+	}
+	if snap.Strategy, err = c.Str(); err != nil {
+		return nil, err
+	}
+	if snap.Seed, err = c.Varint(); err != nil {
+		return nil, err
+	}
+	nanos, err := c.Varint()
+	if err != nil {
+		return nil, err
+	}
+	if nanos != 0 {
+		snap.CreatedAt = time.Unix(0, nanos)
+	}
+	ntyping, err := c.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	if ntyping > 0 {
+		snap.Typing = make([]string, 0, ntyping)
+		for i := 0; i < ntyping; i++ {
+			t, err := c.Str()
+			if err != nil {
+				return nil, err
+			}
+			snap.Typing = append(snap.Typing, t)
+		}
+	}
+	nskips, err := c.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	if nskips > 0 {
+		snap.Skips = make([]int, 0, nskips)
+		for i := 0; i < nskips; i++ {
+			idx, err := c.Sint()
+			if err != nil {
+				return nil, err
+			}
+			snap.Skips = append(snap.Skips, idx)
+		}
+	}
+	session, err := c.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(session) > 0 {
+		snap.Session = append(snap.Session[:0], session...)
+	}
+	if err := c.Done(); err != nil {
+		return nil, fmt.Errorf("snapshot payload: %w", err)
+	}
+	return snap, nil
+}

@@ -429,44 +429,65 @@ type clusterBench struct {
 	MaxProcs  int                     `json:"gomaxprocs"`
 	Strategy  string                  `json:"strategy"`
 	Failover  *loadtest.ClusterReport `json:"failover"`
+	// AutoFailover is the same kill-one scenario with the lease
+	// failure detector promoting instead of an operator.
+	AutoFailover *loadtest.ClusterReport `json:"auto_failover"`
 }
 
 // runClusterBench runs the 3-node kill-one scenario and holds it to
 // the failover contract: every session the killed node owned recovers
 // on the follower, proposal-for-proposal.
 func runClusterBench(w io.Writer, o options) error {
-	rep, err := loadtest.RunCluster(loadtest.Config{
-		Users:           o.users,
-		RestartSessions: o.restartSessions,
-		Workload:        "travel",
-		Strategy:        o.strategy,
-		Seed:            o.expOpts.Seed,
-	})
+	run := func(auto bool) (*loadtest.ClusterReport, error) {
+		rep, err := loadtest.RunCluster(loadtest.Config{
+			Users:           o.users,
+			RestartSessions: o.restartSessions,
+			Workload:        "travel",
+			Strategy:        o.strategy,
+			Seed:            o.expOpts.Seed,
+			AutoFailover:    auto,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mode := "operator"
+		if auto {
+			mode = "auto"
+		}
+		if rep.RecoveredSessions != rep.SessionsOnKilled || rep.Mismatches != 0 {
+			return nil, fmt.Errorf("cluster scenario (%s): recovered %d/%d killed-node sessions, %d proposal mismatches (%s)",
+				mode, rep.RecoveredSessions, rep.SessionsOnKilled, rep.Mismatches, rep.FirstError)
+		}
+		fmt.Fprintf(w, "%-14s %d nodes, %d sessions (%d on %s): adopted %d, recovered %d/%d, %d/%d proposals verified\n",
+			"cluster/"+mode, rep.Nodes, rep.Sessions, rep.SessionsOnKilled, rep.KilledNode,
+			rep.AdoptedSessions, rep.RecoveredSessions, rep.SessionsOnKilled,
+			rep.VerifiedProposals-rep.Mismatches, rep.VerifiedProposals)
+		fmt.Fprintf(w, "%-14s lag %d events at kill, detect %.1fms, promote %.1fms, p99 %.2fms\n",
+			"failover", rep.ReplLagAtKill, rep.DetectMS, rep.PromotionMS, rep.Latency.P99)
+		return rep, nil
+	}
+	operator, err := run(false)
 	if err != nil {
 		return err
 	}
-	if rep.RecoveredSessions != rep.SessionsOnKilled || rep.Mismatches != 0 {
-		return fmt.Errorf("cluster scenario: recovered %d/%d killed-node sessions, %d proposal mismatches (%s)",
-			rep.RecoveredSessions, rep.SessionsOnKilled, rep.Mismatches, rep.FirstError)
+	auto, err := run(true)
+	if err != nil {
+		return err
 	}
 	bench := &clusterBench{
-		Benchmark: "jim-cluster-failover",
-		GoVersion: runtime.Version(),
-		MaxProcs:  runtime.GOMAXPROCS(0),
-		Strategy:  o.strategy,
-		Failover:  rep,
+		Benchmark:    "jim-cluster-failover",
+		GoVersion:    runtime.Version(),
+		MaxProcs:     runtime.GOMAXPROCS(0),
+		Strategy:     o.strategy,
+		Failover:     operator,
+		AutoFailover: auto,
 	}
-	fmt.Fprintf(w, "%-14s %d nodes, %d sessions (%d on %s): adopted %d, recovered %d/%d, %d/%d proposals verified\n",
-		"cluster", rep.Nodes, rep.Sessions, rep.SessionsOnKilled, rep.KilledNode,
-		rep.AdoptedSessions, rep.RecoveredSessions, rep.SessionsOnKilled,
-		rep.VerifiedProposals-rep.Mismatches, rep.VerifiedProposals)
-	fmt.Fprintf(w, "%-14s lag %d events at kill, detect %.1fms, promote %.1fms, p99 %.2fms\n",
-		"failover", rep.ReplLagAtKill, rep.DetectMS, rep.PromotionMS, rep.Latency.P99)
 	if done, err := writeReport(w, o.out, bench); done || err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "wrote %s: %d sessions failed over in %.2fs\n",
-		o.out, rep.SessionsOnKilled, rep.ElapsedSeconds)
+	fmt.Fprintf(w, "wrote %s: %d sessions failed over in %.2fs (operator), %d in %.2fs (auto)\n",
+		o.out, operator.SessionsOnKilled, operator.ElapsedSeconds,
+		auto.SessionsOnKilled, auto.ElapsedSeconds)
 	return nil
 }
 

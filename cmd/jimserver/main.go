@@ -85,10 +85,13 @@ type config struct {
 	snapshotEvery  int
 	snapshotMaxAge time.Duration
 
-	nodeID       string
-	clusterPeers string
-	replAddr     string
-	clusterProxy bool
+	nodeID         string
+	clusterPeers   string
+	replAddr       string
+	clusterProxy   bool
+	lease          time.Duration
+	heartbeatEvery time.Duration
+	rejoin         bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -113,6 +116,9 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.clusterPeers, "cluster-peers", "", "static peer set 'id=http[|wire[|repl]],...' — turns on cluster mode (see OPERATIONS.md)")
 	fs.StringVar(&cfg.replAddr, "repl-addr", "", "accept replication streams from the peer that follows this node (cluster mode)")
 	fs.BoolVar(&cfg.clusterProxy, "cluster-proxy", false, "proxy non-owned requests to the owner instead of answering 307")
+	fs.DurationVar(&cfg.lease, "lease", 0, "auto-failover: fail a peer unheard-from for this long, once a quorum of survivors confirms it unreachable (0 = operator-driven failover only)")
+	fs.DurationVar(&cfg.heartbeatEvery, "heartbeat-every", 0, "heartbeat + detection period for -lease (0 = lease/4)")
+	fs.BoolVar(&cfg.rejoin, "rejoin", true, "on startup, if the cluster marked this node failed, resync its former range from the holder and reclaim it")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -157,6 +163,21 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.clusterProxy && cfg.clusterPeers == "" {
 		return cfg, fmt.Errorf("-cluster-proxy requires -cluster-peers")
+	}
+	if cfg.lease < 0 {
+		return cfg, fmt.Errorf("-lease must be >= 0, got %v", cfg.lease)
+	}
+	if cfg.lease > 0 && cfg.clusterPeers == "" {
+		return cfg, fmt.Errorf("-lease requires -cluster-peers")
+	}
+	if cfg.heartbeatEvery < 0 {
+		return cfg, fmt.Errorf("-heartbeat-every must be >= 0, got %v", cfg.heartbeatEvery)
+	}
+	if cfg.heartbeatEvery > 0 && cfg.lease == 0 {
+		return cfg, fmt.Errorf("-heartbeat-every requires -lease")
+	}
+	if cfg.heartbeatEvery > 0 && cfg.heartbeatEvery >= cfg.lease {
+		return cfg, fmt.Errorf("-heartbeat-every (%v) must be shorter than -lease (%v)", cfg.heartbeatEvery, cfg.lease)
 	}
 	return cfg, nil
 }
@@ -226,11 +247,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jimserver:", perr)
 			os.Exit(2)
 		}
+		heartbeat := cfg.heartbeatEvery
+		if heartbeat == 0 && cfg.lease > 0 {
+			heartbeat = cfg.lease / 4
+		}
 		if cerr := svc.EnableCluster(server.ClusterOptions{
-			Self:  cfg.nodeID,
-			Peers: peers,
-			Proxy: cfg.clusterProxy,
-			Logf:  logf,
+			Self:           cfg.nodeID,
+			Peers:          peers,
+			Proxy:          cfg.clusterProxy,
+			Logf:           logf,
+			Lease:          cfg.lease,
+			HeartbeatEvery: heartbeat,
+			DetectEvery:    heartbeat,
 		}); cerr != nil {
 			fmt.Fprintln(os.Stderr, "jimserver:", cerr)
 			os.Exit(2)
@@ -242,9 +270,10 @@ func main() {
 				os.Exit(1)
 			}
 			replSrv = &cluster.ReplServer{
-				Applier:  svc,
-				MaxFrame: int(cfg.maxBodyBytes),
-				Logf:     logf,
+				Applier:   svc,
+				MaxFrame:  int(cfg.maxBodyBytes),
+				Logf:      logf,
+				Heartbeat: svc.ClusterHeartbeat,
 			}
 			go func() {
 				if serr := replSrv.Serve(ln); serr != nil {
@@ -252,6 +281,25 @@ func main() {
 				}
 			}()
 			fmt.Printf("jimserver replication listener on %s (node %s)\n", ln.Addr(), cfg.nodeID)
+		}
+		if cfg.rejoin {
+			// If a survivor marked this node failed while it was down,
+			// resync the former range from its holder and reclaim it.
+			// Runs in the background so the HTTP listener is up before
+			// the survivors start redirecting our range back at us.
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				defer cancel()
+				rep, rerr := svc.RejoinCluster(ctx)
+				if rerr != nil {
+					fmt.Fprintln(os.Stderr, "jimserver: rejoin:", rerr)
+					return
+				}
+				if rep.Rejoined {
+					fmt.Printf("jimserver rejoined cluster via %s (%d sessions reclaimed)\n",
+						rep.Holder, rep.Reclaimed)
+				}
+			}()
 		}
 	}
 

@@ -26,6 +26,7 @@ func base() config {
 		fsync:          true,
 		snapshotEvery:  server.DefaultSnapshotEvery,
 		snapshotMaxAge: 5 * time.Minute,
+		rejoin:         true,
 	}
 }
 

@@ -1,0 +1,460 @@
+// Package chaostest is a deterministic fault-injection harness for the
+// cluster subsystem. It runs N real in-process nodes — HTTP front ends,
+// JRP1 replication streams, disk-backed stores — under an injected
+// clock and a scriptable fault plane (kill, restart, repl-link
+// partition, repl-link delay), so lifecycle schedules like
+// kill → auto-promote → rejoin → rebalance replay deterministically
+// from a seed instead of racing wall-clock timeouts.
+//
+// Determinism comes from three choices: the failure detector never runs
+// in the background (DetectEvery=0 — the schedule calls TickAll when it
+// wants a detection pass), leases expire on a hand-cranked fake clock
+// (Clock.Advance, never time.Sleep), and every replication link runs
+// through a proxy the schedule can cut or slow without touching peer
+// configuration.
+package chaostest
+
+import (
+	"context"
+	"net"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Clock is the injected time source shared by every node's server and
+// failure detector. Leases expire only when the schedule advances it.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock starts at a fixed epoch so schedules are reproducible.
+func NewClock() *Clock { return &Clock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake clock forward; it is the only way time passes
+// for lease bookkeeping.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// replProxy fronts one node's replication listener. Peers are handed
+// the proxy address, so the harness can cut the link (partition), slow
+// it (delay), or retarget it across a restart without the peer set ever
+// changing.
+type replProxy struct {
+	ln net.Listener
+
+	mu          sync.Mutex
+	backend     string // "" while the node is down
+	partitioned bool
+	delay       time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+func newReplProxy(t *testing.T) *replProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &replProxy{ln: ln, conns: map[net.Conn]struct{}{}}
+	go p.serve()
+	return p
+}
+
+func (p *replProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *replProxy) serve() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.handle(conn)
+	}
+}
+
+func (p *replProxy) handle(conn net.Conn) {
+	p.mu.Lock()
+	if p.closed || p.partitioned || p.backend == "" {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	backend := p.backend
+	p.mu.Unlock()
+	up, err := net.Dial("tcp", backend)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	p.track(conn)
+	p.track(up)
+	go p.pipe(up, conn)
+	go p.pipe(conn, up)
+}
+
+func (p *replProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+// pipe copies src to dst, applying the current delay per chunk and
+// dying immediately when the link is partitioned mid-stream.
+func (p *replProxy) pipe(dst, src net.Conn) {
+	defer func() {
+		dst.Close()
+		src.Close()
+		p.mu.Lock()
+		delete(p.conns, dst)
+		delete(p.conns, src)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			cut, delay := p.partitioned, p.delay
+			p.mu.Unlock()
+			if cut {
+				return
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// partition cuts the link: live connections die, new ones are refused.
+func (p *replProxy) partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *replProxy) heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+func (p *replProxy) setDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// setBackend retargets the proxy, e.g. at a restarted node's fresh
+// replication listener. "" (node down) refuses new streams.
+func (p *replProxy) setBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	if addr == "" {
+		for c := range p.conns {
+			c.Close()
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *replProxy) close() {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+// Node is one cluster member under harness control.
+type Node struct {
+	ID  string
+	Srv *server.Server
+
+	ts       *httptest.Server
+	httpAddr string // stable across restarts
+	repl     *cluster.ReplServer
+	replLn   net.Listener
+	proxy    *replProxy
+	st       *store.Disk
+	dir      string
+	dead     bool
+}
+
+// Base is the node's versioned API root.
+func (n *Node) Base() string { return "http://" + n.httpAddr + "/v1" }
+
+// Harness owns the cluster: the shared fake clock, the static peer
+// table (HTTP addresses plus proxy-fronted repl addresses), and every
+// node's lifecycle.
+type Harness struct {
+	T     *testing.T
+	Clock *Clock
+	// Lease is the failure-detector lease in FAKE time; Advance past it
+	// and call TickAll to run detection.
+	Lease time.Duration
+
+	root  string
+	peers []cluster.Node
+	nodes map[string]*Node
+	ids   []string
+}
+
+// heartbeatEvery is the REAL-time heartbeat period on repl streams.
+// Heartbeats stamp the fake clock's current time on arrival, so live
+// peers hold their leases no matter how far the schedule advances it.
+const heartbeatEvery = 5 * time.Millisecond
+
+// Start brings up a cluster of disk-backed nodes with the lease
+// failure detector armed but never ticking on its own.
+func Start(t *testing.T, lease time.Duration, ids ...string) *Harness {
+	t.Helper()
+	h := &Harness{
+		T:     t,
+		Clock: NewClock(),
+		Lease: lease,
+		root:  t.TempDir(),
+		nodes: map[string]*Node{},
+		ids:   ids,
+	}
+	for _, id := range ids {
+		h.addPeer(id)
+	}
+	for _, id := range ids {
+		h.boot(h.nodes[id])
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+// addPeer allocates a node's stable addresses (HTTP listener, repl
+// proxy) and registers it in the peer table without booting it.
+func (h *Harness) addPeer(id string) {
+	h.T.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.T.Fatal(err)
+	}
+	n := &Node{
+		ID:       id,
+		httpAddr: ln.Addr().String(),
+		proxy:    newReplProxy(h.T),
+		dir:      filepath.Join(h.root, id),
+		dead:     true,
+	}
+	// Park the freshly bound listener in an unstarted httptest server;
+	// boot swaps the handler in.
+	n.ts = httptest.NewUnstartedServer(nil)
+	n.ts.Listener.Close()
+	n.ts.Listener = ln
+	h.nodes[id] = n
+	h.peers = append(h.peers, cluster.Node{ID: id, HTTP: n.httpAddr, Repl: n.proxy.addr()})
+}
+
+// Grow registers an additional peer AFTER a cluster ran: the next
+// boot/Restart of every node sees the enlarged peer set. The schedule
+// must stop the old nodes first — live nodes keep their old view.
+func (h *Harness) Grow(id string) {
+	h.T.Helper()
+	if _, ok := h.nodes[id]; ok {
+		h.T.Fatalf("chaostest: node %s already exists", id)
+	}
+	h.addPeer(id)
+	h.ids = append(h.ids, id)
+	h.boot(h.nodes[id])
+}
+
+// boot starts (or restarts) a node: reopen its disk store, restore,
+// enable cluster mode against the static peer table, serve replication
+// behind the node's proxy, and rebind HTTP on the node's stable
+// address.
+func (h *Harness) boot(n *Node) {
+	h.T.Helper()
+	st, err := store.NewDisk(store.DiskOptions{Dir: n.dir})
+	if err != nil {
+		h.T.Fatal(err)
+	}
+	srv := server.NewWith(server.Config{Store: st, Now: h.Clock.Now})
+	if _, err := srv.Restore(); err != nil {
+		h.T.Fatal(err)
+	}
+	if err := srv.EnableCluster(server.ClusterOptions{
+		Self:           n.ID,
+		Peers:          h.peers,
+		Logf:           h.T.Logf,
+		Lease:          h.Lease,
+		HeartbeatEvery: heartbeatEvery,
+		// DetectEvery stays 0: detection happens only on TickAll.
+	}); err != nil {
+		h.T.Fatal(err)
+	}
+	replLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.T.Fatal(err)
+	}
+	repl := &cluster.ReplServer{Applier: srv, Logf: h.T.Logf, Heartbeat: srv.ClusterHeartbeat}
+	go repl.Serve(replLn)
+	n.proxy.setBackend(replLn.Addr().String())
+
+	if n.ts == nil {
+		// Restart: rebind the stable HTTP address. The old listener was
+		// just closed, so retry briefly while the kernel releases it.
+		var ln net.Listener
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ln, err = net.Listen("tcp", n.httpAddr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				h.T.Fatalf("chaostest: rebinding %s for %s: %v", n.httpAddr, n.ID, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		n.ts = httptest.NewUnstartedServer(nil)
+		n.ts.Listener.Close()
+		n.ts.Listener = ln
+	}
+	n.ts.Config.Handler = srv.Handler()
+	n.ts.Start()
+	n.Srv = srv
+	n.st = st
+	n.repl = repl
+	n.replLn = replLn
+	n.dead = false
+}
+
+// Node returns a member by id.
+func (h *Harness) Node(id string) *Node {
+	h.T.Helper()
+	n, ok := h.nodes[id]
+	if !ok {
+		h.T.Fatalf("chaostest: unknown node %s", id)
+	}
+	return n
+}
+
+// Kill is a SIGKILL: HTTP and replication stop answering mid-stream,
+// nothing drains, nothing snapshots. The store directory survives for
+// Restart.
+func (h *Harness) Kill(id string) {
+	n := h.Node(id)
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+	n.ts = nil
+	n.repl.Close()
+	n.replLn.Close()
+	n.proxy.setBackend("")
+	n.Srv.CloseCluster()
+	n.st.Close()
+}
+
+// Restart boots a killed node from its surviving store directory on
+// its original addresses. The caller drives Rejoin separately, so
+// schedules can observe the pre-rejoin state.
+func (h *Harness) Restart(id string) *Node {
+	h.T.Helper()
+	n := h.Node(id)
+	if !n.dead {
+		h.T.Fatalf("chaostest: restarting live node %s", id)
+	}
+	h.boot(n)
+	return n
+}
+
+// Rejoin runs the restarted node's rejoin protocol: resync the former
+// range from whoever holds it, reclaim it, converge the survivors.
+func (h *Harness) Rejoin(id string) *server.RejoinReport {
+	h.T.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := h.Node(id).Srv.RejoinCluster(ctx)
+	if err != nil {
+		h.T.Fatalf("chaostest: rejoin %s: %v", id, err)
+	}
+	return rep
+}
+
+// PartitionRepl cuts a node's INBOUND replication links: its
+// predecessor's events and heartbeats stop arriving, but the node's
+// HTTP plane (and thus liveness probes against it) stays up.
+func (h *Harness) PartitionRepl(id string) { h.Node(id).proxy.partition() }
+
+// HealRepl restores a partitioned node's inbound replication; shippers
+// reconnect on their own backoff.
+func (h *Harness) HealRepl(id string) { h.Node(id).proxy.heal() }
+
+// DelayRepl adds a per-chunk real-time delay on a node's inbound
+// replication links; 0 removes it.
+func (h *Harness) DelayRepl(id string, d time.Duration) { h.Node(id).proxy.setDelay(d) }
+
+// TickAll runs one failure-detection pass on every live node and
+// returns the ids each node confirmed dead (and already failed over)
+// this pass.
+func (h *Harness) TickAll() map[string][]string {
+	confirmed := map[string][]string{}
+	for _, id := range h.ids {
+		n := h.nodes[id]
+		if n.dead {
+			continue
+		}
+		if dead := n.Srv.TickCluster(); len(dead) > 0 {
+			confirmed[id] = dead
+		}
+	}
+	return confirmed
+}
+
+// Alive lists the ids of nodes the harness has running.
+func (h *Harness) Alive() []string {
+	var out []string
+	for _, id := range h.ids {
+		if !h.nodes[id].dead {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Close tears the cluster down; registered automatically by Start.
+func (h *Harness) Close() {
+	for _, id := range h.ids {
+		h.Kill(id)
+	}
+	for _, id := range h.ids {
+		h.nodes[id].proxy.close()
+	}
+}

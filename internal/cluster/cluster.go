@@ -206,3 +206,61 @@ func (m *Membership) Fail(id string) (*Membership, error) {
 	nm.failed[id] = follower.ID
 	return nm, nil
 }
+
+// Rejoin returns a new Membership with id alive again. Fail never
+// removes a node's vnodes from the ring, so clearing its failed entry
+// returns exactly its own ~1/N key range — no other key moves, and
+// chains that route THROUGH id now terminate on it. Rejoining an
+// already-alive node returns the receiver unchanged, so the transition
+// is idempotent and cheap to broadcast.
+func (m *Membership) Rejoin(id string) (*Membership, error) {
+	if _, ok := m.nodes[id]; !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if _, dead := m.failed[id]; !dead {
+		return m, nil
+	}
+	nm := &Membership{
+		nodes:  m.nodes,
+		order:  m.order,
+		ring:   m.ring,
+		failed: make(map[string]string, len(m.failed)-1),
+	}
+	for k, v := range m.failed {
+		if k != id {
+			nm.failed[k] = v
+		}
+	}
+	return nm, nil
+}
+
+// ImportFailed returns a new Membership whose failed chain is replaced
+// wholesale by the given map — how a restarted node adopts a
+// survivor's view of the world (which may mark the importer itself
+// dead) before asking for its range back. Every id in the map must be
+// a known node, and at least one node must remain alive.
+func (m *Membership) ImportFailed(failed map[string]string) (*Membership, error) {
+	alive := len(m.order)
+	for dead, to := range failed {
+		if _, ok := m.nodes[dead]; !ok {
+			return nil, fmt.Errorf("cluster: imported failed map names unknown node %q", dead)
+		}
+		if _, ok := m.nodes[to]; !ok {
+			return nil, fmt.Errorf("cluster: imported failed map promotes to unknown node %q", to)
+		}
+		alive--
+	}
+	if alive < 1 {
+		return nil, fmt.Errorf("cluster: imported failed map leaves no node alive")
+	}
+	nm := &Membership{
+		nodes:  m.nodes,
+		order:  m.order,
+		ring:   m.ring,
+		failed: make(map[string]string, len(failed)),
+	}
+	for k, v := range failed {
+		nm.failed[k] = v
+	}
+	return nm, nil
+}

@@ -100,6 +100,126 @@ func TestFailRoutesWholeRangeToFollower(t *testing.T) {
 	}
 }
 
+// Rejoin must undo Fail exactly: the failed node's own ~1/N range —
+// and nothing else — moves back, and the resulting view routes every
+// key as if the failure never happened.
+func TestRejoinMovesExactlyTheFailedRangeBack(t *testing.T) {
+	m := threeNodes(t)
+	keys := testKeys(6000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = m.OwnerID(k)
+	}
+	failed, err := m.Fail("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoined, err := failed.Rejoin("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedBack := 0
+	for _, k := range keys {
+		if got := rejoined.OwnerID(k); got != before[k] {
+			t.Fatalf("key %s: owner after fail+rejoin = %s, want original %s", k, got, before[k])
+		}
+		if failed.OwnerID(k) != rejoined.OwnerID(k) {
+			movedBack++
+			if before[k] != "n1" {
+				t.Fatalf("key %s moved on rejoin but n1 never owned it (owner %s)", k, before[k])
+			}
+		}
+	}
+	frac := float64(movedBack) / float64(len(keys))
+	if frac < 0.15 || frac > 0.55 {
+		t.Errorf("rejoin moved %.0f%% of keys back, want ~1/3", 100*frac)
+	}
+	if got := rejoined.Alive(); len(got) != 3 {
+		t.Errorf("Alive after rejoin = %v", got)
+	}
+	if len(rejoined.Failed()) != 0 {
+		t.Errorf("Failed after rejoin = %v", rejoined.Failed())
+	}
+	if len(failed.Alive()) != 2 {
+		t.Error("Rejoin mutated the failed membership")
+	}
+	again, err := rejoined.Rejoin("n1")
+	if err != nil || again != rejoined {
+		t.Errorf("rejoining an alive node: %v, same=%v", err, again == rejoined)
+	}
+	if _, err := rejoined.Rejoin("nope"); err == nil {
+		t.Error("rejoining unknown node accepted")
+	}
+}
+
+// A chain that routes THROUGH a rejoined node must terminate on it:
+// with n1 -> n2 -> n3 failed chains, rejoining n2 leaves n1's entry
+// pointing at n2, which is now alive and keeps n1's range.
+func TestRejoinTerminatesChainsThroughIt(t *testing.T) {
+	m := threeNodes(t)
+	m2, err := m.Fail("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := m2.Fail("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := m3.Rejoin("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(2000) {
+		want := m.OwnerID(k)
+		got := m4.OwnerID(k)
+		switch want {
+		case "n1":
+			if got != "n2" {
+				t.Fatalf("key %s: n1's range should chase to rejoined n2, got %s", k, got)
+			}
+		case "n2":
+			if got != "n2" {
+				t.Fatalf("key %s: n2 rejoined but owner is %s", k, got)
+			}
+		default:
+			if got != want {
+				t.Fatalf("key %s: owner changed %s -> %s", k, want, got)
+			}
+		}
+	}
+}
+
+func TestImportFailed(t *testing.T) {
+	m := threeNodes(t)
+	im, err := m.ImportFailed(map[string]string{"n1": "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.Failed(); len(got) != 1 || got["n1"] != "n2" {
+		t.Errorf("imported failed map = %v", got)
+	}
+	if got := im.Alive(); len(got) != 2 {
+		t.Errorf("Alive after import = %v", got)
+	}
+	// Importing over an existing chain replaces it wholesale.
+	m2, err := im.ImportFailed(map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Failed()) != 0 || len(m2.Alive()) != 3 {
+		t.Errorf("empty import did not clear: failed=%v alive=%v", m2.Failed(), m2.Alive())
+	}
+	for _, bad := range []map[string]string{
+		{"nope": "n2"},
+		{"n1": "nope"},
+		{"n1": "n2", "n2": "n3", "n3": "n1"},
+	} {
+		if _, err := m.ImportFailed(bad); err == nil {
+			t.Errorf("ImportFailed(%v) accepted", bad)
+		}
+	}
+}
+
 func TestFailIsImmutableAndIdempotent(t *testing.T) {
 	m := threeNodes(t)
 	m2, err := m.Fail("n3")

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Detector is the lease-based failure detector. Each node runs one:
+// heartbeats arriving over inbound JRP1 streams renew a peer's lease,
+// and Tick checks every live peer whose lease has expired. An expired
+// lease alone never kills a node — the detector first probes the
+// peer's /healthz directly (a stalled repl link with a healthy peer
+// behind it clears the suspicion), and only a quorum of reachable
+// survivors agreeing the peer is gone confirms the death and fires
+// OnDead. That keeps an asymmetric partition (we can't see the peer,
+// everyone else can) from promoting over a live owner.
+//
+// Timing comes exclusively from Opts.Now and explicit Tick calls, so
+// a test harness with an injectable clock drives detection
+// deterministically; production wires Run for a background loop.
+type Detector struct {
+	opts DetectorOptions
+
+	mu        sync.Mutex
+	lastSeen  map[string]time.Time
+	suspected map[string]time.Time // suspect id -> first suspicion time
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// DetectorOptions configures a Detector. View, Probe, Confirm, OnDead
+// and Now are required; Lease must be > 0.
+type DetectorOptions struct {
+	// Self is this node's id — never probed, always a voter.
+	Self string
+	// Lease is how long a peer may go unheard-from before it is
+	// probed and, if unreachable, suspected.
+	Lease time.Duration
+	// View returns the current membership.
+	View func() *Membership
+	// Probe reports whether the node answers a direct liveness check
+	// (GET /healthz).
+	Probe func(n Node) bool
+	// Confirm asks another live peer whether IT can reach the
+	// suspect. An error means the peer could not be asked at all (it
+	// abstains from the vote).
+	Confirm func(peer Node, suspect string) (reachable bool, err error)
+	// OnDead fires once per confirmed death, after the suspect has
+	// been cleared from the suspicion set. The callback performs the
+	// promotion (membership CAS + replica adoption).
+	OnDead func(id string)
+	// Now is the clock — injectable so chaostest controls time.
+	Now  func() time.Time
+	Logf func(format string, args ...any)
+}
+
+// NewDetector builds a detector with every current member's lease
+// freshly granted (a just-started node must not instantly suspect the
+// whole cluster before the first heartbeats arrive).
+func NewDetector(opts DetectorOptions) *Detector {
+	d := &Detector{
+		opts:      opts,
+		lastSeen:  make(map[string]time.Time),
+		suspected: make(map[string]time.Time),
+		done:      make(chan struct{}),
+	}
+	now := opts.Now()
+	for _, id := range opts.View().Alive() {
+		d.lastSeen[id] = now
+	}
+	return d
+}
+
+func (d *Detector) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// Heartbeat renews a node's lease. Called from the repl stream's
+// heartbeat hook, and on rejoin to re-grant a returning node's lease.
+func (d *Detector) Heartbeat(from string) {
+	now := d.opts.Now()
+	d.mu.Lock()
+	d.lastSeen[from] = now
+	delete(d.suspected, from)
+	d.mu.Unlock()
+}
+
+// Suspicions returns a copy of the current suspicion set: suspect id
+// -> when the suspicion started.
+func (d *Detector) Suspicions() map[string]time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]time.Time, len(d.suspected))
+	for k, v := range d.suspected {
+		out[k] = v
+	}
+	return out
+}
+
+// Tick runs one detection pass and returns the ids confirmed dead
+// this pass (OnDead has already fired for each).
+func (d *Detector) Tick() []string {
+	m := d.opts.View()
+	now := d.opts.Now()
+	var dead []string
+	for _, id := range m.Alive() {
+		if id == d.opts.Self {
+			continue
+		}
+		d.mu.Lock()
+		seen, known := d.lastSeen[id]
+		if !known {
+			// First sight of this peer (e.g. it just rejoined into a
+			// view built before it existed): grant a full lease.
+			seen = now
+			d.lastSeen[id] = now
+		}
+		d.mu.Unlock()
+		if now.Sub(seen) < d.opts.Lease {
+			continue
+		}
+		n, ok := m.Node(id)
+		if !ok {
+			continue
+		}
+		if d.opts.Probe(n) {
+			// Lease expired but the node answers directly: the repl
+			// link is unhealthy, not the node. Renew and move on.
+			d.Heartbeat(id)
+			continue
+		}
+		d.mu.Lock()
+		if _, already := d.suspected[id]; !already {
+			d.suspected[id] = now
+			d.logf("cluster: detector: %s lease expired and probe failed, suspecting", id)
+		}
+		d.mu.Unlock()
+		if d.confirmDead(m, id) {
+			dead = append(dead, id)
+		}
+	}
+	for _, id := range dead {
+		d.mu.Lock()
+		delete(d.suspected, id)
+		d.mu.Unlock()
+		d.logf("cluster: detector: %s confirmed dead by quorum", id)
+		d.opts.OnDead(id)
+	}
+	return dead
+}
+
+// confirmDead polls every other live peer for a second opinion on the
+// suspect. Our own failed probe is one vote; a peer that cannot be
+// asked abstains entirely (it is not a voter — when several nodes die
+// at once the remaining ones must still reach quorum among
+// themselves). Death is confirmed by a strict majority of voters.
+func (d *Detector) confirmDead(m *Membership, suspect string) bool {
+	voters, votes := 1, 1
+	for _, pid := range m.Alive() {
+		if pid == d.opts.Self || pid == suspect {
+			continue
+		}
+		pn, ok := m.Node(pid)
+		if !ok {
+			continue
+		}
+		reachable, err := d.opts.Confirm(pn, suspect)
+		if err != nil {
+			continue
+		}
+		voters++
+		if !reachable {
+			votes++
+		}
+	}
+	return votes*2 > voters
+}
+
+// Run starts a background loop calling Tick on the given period.
+func (d *Detector) Run(every time.Duration) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.done:
+				return
+			case <-t.C:
+				d.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the background loop, if any.
+func (d *Detector) Close() {
+	d.closeOnce.Do(func() { close(d.done) })
+	d.wg.Wait()
+}

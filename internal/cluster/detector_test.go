@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// detectorRig is a three-node detector on n1 with a hand-cranked
+// clock and scriptable probe/confirm answers.
+type detectorRig struct {
+	mu      sync.Mutex
+	now     time.Time
+	view    *Membership
+	probeOK map[string]bool // node id -> direct probe answer
+	confirm map[string]bool // suspect id -> peers' "reachable" answer
+	dead    []string
+	det     *Detector
+}
+
+func newDetectorRig(t *testing.T, lease time.Duration) *detectorRig {
+	t.Helper()
+	r := &detectorRig{
+		now:     time.Unix(1000, 0),
+		view:    threeNodes(t),
+		probeOK: map[string]bool{"n1": true, "n2": true, "n3": true},
+		confirm: map[string]bool{},
+	}
+	r.det = NewDetector(DetectorOptions{
+		Self:  "n1",
+		Lease: lease,
+		View: func() *Membership {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.view
+		},
+		Probe: func(n Node) bool {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.probeOK[n.ID]
+		},
+		Confirm: func(peer Node, suspect string) (bool, error) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if !r.probeOK[peer.ID] {
+				return false, errTestPeerDown
+			}
+			return r.confirm[suspect], nil
+		},
+		OnDead: func(id string) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.dead = append(r.dead, id)
+			m, err := r.view.Fail(id)
+			if err == nil {
+				r.view = m
+			}
+		},
+		Now: func() time.Time {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.now
+		},
+		Logf: t.Logf,
+	})
+	return r
+}
+
+var errTestPeerDown = errors.New("peer down")
+
+func (r *detectorRig) advance(d time.Duration) {
+	r.mu.Lock()
+	r.now = r.now.Add(d)
+	r.mu.Unlock()
+}
+
+func (r *detectorRig) setDown(id string) {
+	r.mu.Lock()
+	r.probeOK[id] = false
+	r.confirm[id] = false
+	r.mu.Unlock()
+}
+
+func TestDetectorConfirmsDeathByQuorum(t *testing.T) {
+	r := newDetectorRig(t, time.Second)
+	// Within the lease: no suspicion, no probes needed.
+	if dead := r.det.Tick(); len(dead) != 0 {
+		t.Fatalf("tick inside lease confirmed %v", dead)
+	}
+	// n2 dies: lease expires, direct probe fails, n3 confirms.
+	r.setDown("n2")
+	r.advance(1100 * time.Millisecond)
+	dead := r.det.Tick()
+	if len(dead) != 1 || dead[0] != "n2" {
+		t.Fatalf("tick = %v, want [n2]", dead)
+	}
+	r.mu.Lock()
+	alive := r.view.Alive()
+	r.mu.Unlock()
+	if len(alive) != 2 {
+		t.Fatalf("OnDead did not fail n2: alive=%v", alive)
+	}
+	// Already failed: no re-detection.
+	r.advance(2 * time.Second)
+	if dead := r.det.Tick(); len(dead) != 0 {
+		t.Fatalf("failed node re-confirmed: %v", dead)
+	}
+}
+
+// A stalled repl link must not kill a healthy node: the lease expires
+// but the direct /healthz probe succeeds, which renews the lease and
+// clears any suspicion. This is the partition-tolerance property the
+// chaostest partition fault pins end to end.
+func TestDetectorProbeSuccessClearsSuspicion(t *testing.T) {
+	r := newDetectorRig(t, time.Second)
+	r.advance(1500 * time.Millisecond) // no heartbeats at all, nodes healthy
+	if dead := r.det.Tick(); len(dead) != 0 {
+		t.Fatalf("healthy nodes confirmed dead: %v", dead)
+	}
+	if sus := r.det.Suspicions(); len(sus) != 0 {
+		t.Fatalf("healthy nodes left suspected: %v", sus)
+	}
+	// The successful probe renewed the lease: an immediate next tick
+	// inside the lease does not even probe.
+	r.setDown("n2")
+	if dead := r.det.Tick(); len(dead) != 0 {
+		t.Fatalf("tick inside renewed lease confirmed %v", dead)
+	}
+}
+
+// When the quorum peer says the suspect is reachable, the death is
+// NOT confirmed — we are the partitioned one.
+func TestDetectorMinorityViewDoesNotPromote(t *testing.T) {
+	r := newDetectorRig(t, time.Second)
+	r.mu.Lock()
+	r.probeOK["n2"] = false // we cannot reach n2...
+	r.confirm["n2"] = true  // ...but n3 can
+	r.mu.Unlock()
+	r.advance(1100 * time.Millisecond)
+	if dead := r.det.Tick(); len(dead) != 0 {
+		t.Fatalf("minority suspicion confirmed: %v", dead)
+	}
+	if sus := r.det.Suspicions(); len(sus) != 1 {
+		t.Fatalf("suspicion not recorded: %v", sus)
+	}
+	// Heartbeat arrival clears the suspicion.
+	r.det.Heartbeat("n2")
+	if sus := r.det.Suspicions(); len(sus) != 0 {
+		t.Fatalf("heartbeat did not clear suspicion: %v", sus)
+	}
+}
+
+// With the confirming peer unreachable too (two nodes died at once),
+// it abstains rather than blocking the vote: the sole survivor's own
+// probe is a 1-of-1 quorum.
+func TestDetectorAbstentionsDoNotBlockQuorum(t *testing.T) {
+	r := newDetectorRig(t, time.Second)
+	r.setDown("n2")
+	r.setDown("n3")
+	r.advance(1100 * time.Millisecond)
+	dead := r.det.Tick()
+	if len(dead) != 2 {
+		t.Fatalf("double death detected %v, want both n2 and n3", dead)
+	}
+}
+
+func TestDetectorHeartbeatRenewsLease(t *testing.T) {
+	r := newDetectorRig(t, time.Second)
+	for i := 0; i < 5; i++ {
+		r.advance(600 * time.Millisecond)
+		r.det.Heartbeat("n2")
+		r.det.Heartbeat("n3")
+		if dead := r.det.Tick(); len(dead) != 0 {
+			t.Fatalf("heartbeating nodes confirmed dead: %v", dead)
+		}
+	}
+}

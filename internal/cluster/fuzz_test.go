@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/store"
+)
+
+// fuzzApplier accepts everything: the fuzz target probes the decode
+// layer, not apply semantics.
+type fuzzApplier struct{}
+
+func (fuzzApplier) ApplySnapshot(string, *store.Snapshot) error { return nil }
+func (fuzzApplier) ApplyEvent(string, store.Event) error        { return nil }
+func (fuzzApplier) DropReplica(string) error                    { return nil }
+
+// seedReplFrames returns one well-formed frame of every JRP1 kind
+// (plus the hello payload), encoded by the real shipper encoder, so
+// the fuzzer starts from valid shapes and mutates outward.
+func seedReplFrames(t interface{ Fatal(...any) }) [][]byte {
+	var frames [][]byte
+	add := func(m shipMsg) {
+		enc, err := appendReplMsg(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), enc...))
+	}
+	add(shipMsg{kind: msgEvent, id: "s0001", ev: store.Event{
+		Seq: 7, Op: store.OpLabel, Index: 3, Label: "+",
+	}})
+	add(shipMsg{kind: msgEvent, id: "s0002", ev: store.Event{
+		Seq: 8, Op: store.OpAppend, Rows: [][]string{{"a", "b"}, {"c", "d"}},
+	}})
+	add(shipMsg{kind: msgSnapshot, id: "s0003", snap: &store.Snapshot{
+		Seq: 42, Strategy: "lookahead-maxmin", Seed: 7,
+		Typing:  []string{"int", "str"},
+		Skips:   []int{1, 5},
+		Session: []byte("JIMS session bytes"),
+	}})
+	add(shipMsg{kind: msgDrop, id: "s0004"})
+	add(shipMsg{kind: msgSync, tok: 99})
+	add(shipMsg{kind: msgHeartbeat})
+	frames = append(frames, codec.AppendString(nil, "n1")) // hello payload
+	return frames
+}
+
+// FuzzDecodeReplFrame throws hostile bytes at the JRP1 frame handler
+// (and the hello parser): whatever arrives on the replication port
+// must map to a typed decode error or a clean apply, never a panic or
+// an oversized allocation. Decode failures must report fatal=true so
+// a desynced stream drops instead of misapplying.
+func FuzzDecodeReplFrame(f *testing.F) {
+	for _, frame := range seedReplFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		srv := &ReplServer{Applier: fuzzApplier{}}
+		var ackBuf []byte
+		bw := bufio.NewWriter(io.Discard)
+		fatal, err := srv.handleFrame("fuzz", payload, bw, &ackBuf)
+		if err != nil && !fatal {
+			// Non-fatal errors are Applier errors; fuzzApplier never
+			// returns one, so every error here must be fatal.
+			t.Fatalf("non-fatal decode error for %x: %v", payload, err)
+		}
+		if err != nil && !errors.Is(err, codec.ErrMalformed) &&
+			!errors.Is(err, codec.ErrTooLarge) && !errors.Is(err, codec.ErrTruncated) {
+			// Frame decoding reuses the store payload codecs; anything
+			// else leaking through is an untyped decode path.
+			t.Fatalf("untyped decode error for %x: %v", payload, err)
+		}
+		if _, herr := parseHello(payload); herr != nil && !errors.Is(herr, codec.ErrMalformed) {
+			t.Fatalf("untyped hello error for %x: %v", payload, herr)
+		}
+	})
+}

@@ -34,10 +34,11 @@ import (
 const (
 	replMagic = "JRP1"
 
-	msgSnapshot = 1
-	msgEvent    = 2
-	msgDrop     = 3
-	msgSync     = 4
+	msgSnapshot  = 1
+	msgEvent     = 2
+	msgDrop      = 3
+	msgSync      = 4
+	msgHeartbeat = 5
 
 	// defaultMaxReplFrame bounds a single replication frame; a
 	// snapshot carries a whole session, so the cap is generous.
@@ -60,6 +61,10 @@ func appendReplMsg(enc []byte, m shipMsg) ([]byte, error) {
 		return codec.AppendString(enc, m.id), nil
 	case msgSync:
 		return binary.AppendUvarint(enc, m.tok), nil
+	case msgHeartbeat:
+		// The kind byte is the whole message: the sender is known from
+		// the hello, and arrival itself is the payload.
+		return enc, nil
 	default:
 		return enc, fmt.Errorf("cluster: unknown repl message kind %d", m.kind)
 	}
@@ -110,9 +115,13 @@ type Applier interface {
 // ReplServer accepts replication streams on a -repl-addr listener and
 // feeds them to an Applier.
 type ReplServer struct {
-	Applier  Applier
-	Logf     func(format string, args ...any)
-	MaxFrame int // per-frame byte cap; 0 = default 64 MiB
+	Applier Applier
+	Logf    func(format string, args ...any)
+	// Heartbeat, if set, is invoked with the sending node's id when a
+	// stream opens and on every heartbeat frame — the failure
+	// detector's lease-renewal signal.
+	Heartbeat func(from string)
+	MaxFrame  int // per-frame byte cap; 0 = default 64 MiB
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -205,13 +214,15 @@ func (s *ReplServer) serveConn(conn net.Conn) {
 		s.logf("cluster: repl conn %s: hello: %v", conn.RemoteAddr(), err)
 		return
 	}
-	hc := codec.Cursor{B: payload}
-	from, err := hc.Str()
-	if err != nil || hc.Done() != nil {
-		s.logf("cluster: repl conn %s: malformed hello", conn.RemoteAddr())
+	from, err := parseHello(payload)
+	if err != nil {
+		s.logf("cluster: repl conn %s: %v", conn.RemoteAddr(), err)
 		return
 	}
 	s.logf("cluster: replication stream open from %s (%s)", from, conn.RemoteAddr())
+	if s.Heartbeat != nil {
+		s.Heartbeat(from)
+	}
 	var ackBuf []byte
 	for {
 		payload, buf, err = readReplFrame(br, max, buf)
@@ -221,7 +232,7 @@ func (s *ReplServer) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		fatal, err := s.handleFrame(payload, bw, &ackBuf)
+		fatal, err := s.handleFrame(from, payload, bw, &ackBuf)
 		if err != nil {
 			s.logf("cluster: repl stream from %s: %v", from, err)
 			if fatal {
@@ -231,10 +242,21 @@ func (s *ReplServer) serveConn(conn net.Conn) {
 	}
 }
 
+// parseHello decodes the stream-opening hello frame: one
+// codec-encoded string carrying the sender's node id.
+func parseHello(payload []byte) (from string, err error) {
+	hc := codec.Cursor{B: payload}
+	from, err = hc.Str()
+	if err != nil || hc.Done() != nil {
+		return "", fmt.Errorf("%w: malformed hello", codec.ErrMalformed)
+	}
+	return from, nil
+}
+
 // handleFrame applies one frame. A decode failure is fatal (the
 // stream is out of sync); an Applier error is not (the session heals
 // at its next snapshot).
-func (s *ReplServer) handleFrame(payload []byte, bw *bufio.Writer, ackBuf *[]byte) (fatal bool, err error) {
+func (s *ReplServer) handleFrame(from string, payload []byte, bw *bufio.Writer, ackBuf *[]byte) (fatal bool, err error) {
 	c := codec.Cursor{B: payload}
 	kind, err := c.Byte()
 	if err != nil {
@@ -280,6 +302,14 @@ func (s *ReplServer) handleFrame(payload []byte, bw *bufio.Writer, ackBuf *[]byt
 			return true, err
 		}
 		return false, nil
+	case msgHeartbeat:
+		if err := c.Done(); err != nil {
+			return true, fmt.Errorf("%w: malformed heartbeat frame", codec.ErrMalformed)
+		}
+		if s.Heartbeat != nil {
+			s.Heartbeat(from)
+		}
+		return false, nil
 	default:
 		return true, fmt.Errorf("%w: unknown repl message kind %d", codec.ErrMalformed, kind)
 	}
@@ -311,6 +341,12 @@ type ShipperOptions struct {
 	// and a resync is scheduled.
 	Buffer   int
 	MaxFrame int
+	// HeartbeatEvery, when > 0, enqueues a heartbeat frame on that
+	// period so the follower's failure detector sees lease renewals
+	// even when no sessions are mutating. Heartbeats are best-effort:
+	// one dropped on a full queue is not a loss (the stream itself
+	// carrying other frames proves liveness just as well).
+	HeartbeatEvery time.Duration
 }
 
 // Shipper streams committed WAL frames to the designated follower.
@@ -357,7 +393,30 @@ func NewShipper(opts ShipperOptions) *Shipper {
 	}
 	sh.wg.Add(1)
 	go sh.pump()
+	if opts.HeartbeatEvery > 0 {
+		sh.wg.Add(1)
+		go sh.heartbeatLoop(opts.HeartbeatEvery)
+	}
 	return sh
+}
+
+func (sh *Shipper) heartbeatLoop(every time.Duration) {
+	defer sh.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-sh.done:
+			return
+		case <-t.C:
+			// Best-effort enqueue: a heartbeat lost to a full queue
+			// must not schedule a resync the way a state frame would.
+			select {
+			case sh.queue <- shipMsg{kind: msgHeartbeat}:
+			default:
+			}
+		}
+	}
 }
 
 func (sh *Shipper) logf(format string, args ...any) {

@@ -113,6 +113,72 @@ func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
 	}
 }
 
+// Fail -> rejoin -> fail cycles must neither drift ownership nor
+// erode balance: after any number of cycles the rejoined view routes
+// identically to the original, and the per-node key share stays
+// inside the 15% balance band throughout (the failed node's share
+// rides on its follower while it is down).
+func TestBalanceSurvivesFailRejoinCycles(t *testing.T) {
+	keys := testKeys(20000)
+	nodes := make([]Node, 5)
+	ids := make([]string, 5)
+	for i := range nodes {
+		ids[i] = fmt.Sprintf("node-%d", i+1)
+		nodes[i] = Node{ID: ids[i], HTTP: fmt.Sprintf("h%d", i+1)}
+	}
+	m, err := NewMembership(nodes, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := make(map[string]string, len(keys))
+	for _, k := range keys {
+		original[k] = m.OwnerID(k)
+	}
+	checkBalance := func(view *Membership, phase string) {
+		t.Helper()
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[view.OwnerID(k)]++
+		}
+		alive := view.Alive()
+		mean := float64(len(keys)) / float64(len(alive))
+		for _, id := range alive {
+			dev := (float64(counts[id]) - mean) / mean
+			// A dead node's whole range rides on ONE follower (that is
+			// where the replicas are), so during the down phase the
+			// follower carries about two shares; only the rejoined view
+			// must hold the even band.
+			limit := 0.15
+			if len(alive) < view.Len() {
+				limit = 1.20
+			}
+			if dev < -limit || dev > limit {
+				t.Errorf("%s: %s owns %d keys, %.1f%% off the even share %.0f",
+					phase, id, counts[id], dev*100, mean)
+			}
+		}
+	}
+	cur := m
+	for cycle := 0; cycle < 3; cycle++ {
+		victim := ids[cycle%len(ids)]
+		down, err := cur.Fail(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBalance(down, fmt.Sprintf("cycle %d down", cycle))
+		cur, err = down.Rejoin(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBalance(cur, fmt.Sprintf("cycle %d rejoined", cycle))
+		for _, k := range keys {
+			if got := cur.OwnerID(k); got != original[k] {
+				t.Fatalf("cycle %d: key %s drifted to %s (original %s)", cycle, k, got, original[k])
+			}
+		}
+	}
+}
+
 func TestRingDeterministic(t *testing.T) {
 	a, _ := NewRing([]string{"n2", "n1", "n3"}, 64)
 	b, _ := NewRing([]string{"n3", "n1", "n2"}, 64)

@@ -40,9 +40,19 @@ type ClusterReport struct {
 	// not yet on the follower's socket) observed just before the sync
 	// barrier that precedes the kill.
 	ReplLagAtKill int `json:"repl_lag_at_kill"`
-	// DetectMS is kill-to-detection: how long until a health probe of
-	// the dead node first fails. PromotionMS covers both survivors'
-	// promote calls, including replica adoption on the follower.
+	// AutoFailover marks a detector-driven run: the lease failure
+	// detector confirmed the death and promoted with zero operator
+	// calls. LeaseMS is the configured lease.
+	AutoFailover bool    `json:"auto_failover,omitempty"`
+	LeaseMS      float64 `json:"lease_ms,omitempty"`
+	// DetectMS is kill-to-detection. Operator-driven runs time a
+	// single failing health probe of the dead node (the kill is
+	// synchronous, so no poll loop quantizes the number);
+	// auto-failover runs time how long until a survivor's view marks
+	// the node failed. PromotionMS then covers promotion: the promote
+	// calls on both survivors (operator runs) or the wait until the
+	// follower reports every adopted session and both survivors'
+	// views agree (auto runs).
 	DetectMS    float64 `json:"detect_ms"`
 	PromotionMS float64 `json:"promotion_ms"`
 	// AdoptedSessions is what the follower reported adopting;
@@ -188,10 +198,15 @@ func RunCluster(cfg Config) (*ClusterReport, error) {
 		}
 	}
 	for _, n := range nodes {
-		if err := n.srv.EnableCluster(server.ClusterOptions{Self: n.id, Peers: peers}); err != nil {
+		opts := server.ClusterOptions{Self: n.id, Peers: peers}
+		if cfg.AutoFailover {
+			opts.Lease = cfg.Lease
+			opts.DetectEvery = cfg.Lease / 4
+		}
+		if err := n.srv.EnableCluster(opts); err != nil {
 			return nil, err
 		}
-		n.repl = &cluster.ReplServer{Applier: n.srv}
+		n.repl = &cluster.ReplServer{Applier: n.srv, Heartbeat: n.srv.ClusterHeartbeat}
 		go n.repl.Serve(n.replLn)
 	}
 
@@ -207,14 +222,18 @@ func RunCluster(cfg Config) (*ClusterReport, error) {
 	}
 
 	rep := &ClusterReport{
-		Workload:    cfg.Workload,
-		Strategy:    cfg.Strategy,
-		Store:       "disk",
-		Fsync:       cfg.Fsync,
-		Nodes:       nNodes,
-		KilledNode:  nodes[0].id,
-		Sessions:    cfg.RestartSessions,
-		Concurrency: cfg.Users,
+		Workload:     cfg.Workload,
+		Strategy:     cfg.Strategy,
+		Store:        "disk",
+		Fsync:        cfg.Fsync,
+		Nodes:        nNodes,
+		KilledNode:   nodes[0].id,
+		Sessions:     cfg.RestartSessions,
+		Concurrency:  cfg.Users,
+		AutoFailover: cfg.AutoFailover,
+	}
+	if cfg.AutoFailover {
+		rep.LeaseMS = float64(cfg.Lease) / float64(time.Millisecond)
 	}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Users + 8}}
 	defer client.CloseIdleConnections()
@@ -256,35 +275,80 @@ func RunCluster(cfg Config) (*ClusterReport, error) {
 	killAt := time.Now()
 	nodes[0].kill()
 
-	// Detection: the scenario's "monitoring" is a health probe of the
-	// dead node; failover starts when it first fails.
-	for {
-		resp, err := client.Get(nodes[0].ts.URL + "/healthz")
-		if err != nil {
-			break
+	if cfg.AutoFailover {
+		// Nobody promotes: the survivors' detectors must notice the
+		// silence, confirm by quorum, and fail over on their own.
+		// Detection is visible when a survivor's view marks the node
+		// failed; promotion is complete when the follower reports every
+		// adopted session and the other survivor's view agrees.
+		deadline := time.Now().Add(10*time.Second + 4*cfg.Lease)
+		var cl struct {
+			Failed map[string]string `json:"failed"`
 		}
-		resp.Body.Close()
-		time.Sleep(2 * time.Millisecond)
-	}
-	rep.DetectMS = float64(time.Since(killAt)) / float64(time.Millisecond)
+		for cl.Failed[nodes[0].id] == "" {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("loadtest: %s not auto-failed within %v lease", nodes[0].id, cfg.Lease)
+			}
+			if err := ctlJSON(client, "GET", nodes[1].base()+"/cluster", nil, &cl); err != nil {
+				return nil, err
+			}
+		}
+		rep.DetectMS = float64(time.Since(killAt)) / float64(time.Millisecond)
+		promoteAt := time.Now()
+		var hzr struct {
+			Role *struct {
+				PromotedSessions int `json:"promoted_sessions"`
+			} `json:"role"`
+		}
+		for hzr.Role == nil || hzr.Role.PromotedSessions < rep.SessionsOnKilled {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("loadtest: follower adopted %d of %d sessions before deadline",
+					rep.AdoptedSessions, rep.SessionsOnKilled)
+			}
+			if err := ctlJSON(client, "GET", nodes[1].ts.URL+"/healthz", nil, &hzr); err != nil {
+				return nil, err
+			}
+		}
+		rep.AdoptedSessions = hzr.Role.PromotedSessions
+		cl.Failed = nil
+		for cl.Failed[nodes[0].id] == "" {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("loadtest: %s never confirmed the auto-failover", nodes[2].id)
+			}
+			if err := ctlJSON(client, "GET", nodes[2].base()+"/cluster", nil, &cl); err != nil {
+				return nil, err
+			}
+		}
+		rep.PromotionMS = float64(time.Since(promoteAt)) / float64(time.Millisecond)
+	} else {
+		// Detection: the scenario's "monitoring" is a health probe of
+		// the dead node. The kill is synchronous, so the very first
+		// probe must already fail — timing one probe, not a poll loop,
+		// keeps DetectMS free of sleep-interval quantization.
+		if resp, err := client.Get(nodes[0].ts.URL + "/healthz"); err == nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("loadtest: killed node %s still answers /healthz", nodes[0].id)
+		}
+		rep.DetectMS = float64(time.Since(killAt)) / float64(time.Millisecond)
 
-	// Promotion: every survivor is told; the designated follower
-	// (next id in sorted order) adopts the dead node's sessions.
-	promoteAt := time.Now()
-	var promoted struct {
-		PromotedTo      string `json:"promoted_to"`
-		AdoptedSessions int    `json:"adopted_sessions"`
-	}
-	for _, n := range nodes[1:] {
-		if err := ctlJSON(client, "POST", n.base()+"/cluster/promote",
-			map[string]any{"node": nodes[0].id}, &promoted); err != nil {
-			return nil, err
+		// Promotion: every survivor is told; the designated follower
+		// (next id in sorted order) adopts the dead node's sessions.
+		promoteAt := time.Now()
+		var promoted struct {
+			PromotedTo      string `json:"promoted_to"`
+			AdoptedSessions int    `json:"adopted_sessions"`
 		}
-		if promoted.PromotedTo == n.id {
-			rep.AdoptedSessions = promoted.AdoptedSessions
+		for _, n := range nodes[1:] {
+			if err := ctlJSON(client, "POST", n.base()+"/cluster/promote",
+				map[string]any{"node": nodes[0].id}, &promoted); err != nil {
+				return nil, err
+			}
+			if promoted.PromotedTo == n.id {
+				rep.AdoptedSessions = promoted.AdoptedSessions
+			}
 		}
+		rep.PromotionMS = float64(time.Since(promoteAt)) / float64(time.Millisecond)
 	}
-	rep.PromotionMS = float64(time.Since(promoteAt)) / float64(time.Millisecond)
 
 	// Phase 2: verify every session against its uninterrupted control
 	// and drive it to convergence — adopted sessions on the follower,

@@ -81,6 +81,14 @@ type Config struct {
 	// Fsync, with Store "disk", makes every logged event wait for
 	// stable storage (group-committed).
 	Fsync bool
+	// AutoFailover switches the cluster scenario to detector-driven
+	// failover: every node runs the lease failure detector and nobody
+	// calls POST /cluster/promote — the survivors must confirm the
+	// kill by quorum and fail over on their own.
+	AutoFailover bool
+	// Lease is the failure-detector lease for AutoFailover runs
+	// (default 150ms). Detection and heartbeats run at Lease/4.
+	Lease time.Duration
 	// Seed drives instance generation and goal choice.
 	Seed int64
 }
@@ -103,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Store == "mem" {
 		c.Store = "" // normalized: reports omit the default backend
+	}
+	if c.AutoFailover && c.Lease <= 0 {
+		c.Lease = 150 * time.Millisecond
 	}
 	return c
 }

@@ -378,3 +378,33 @@ func TestClusterScenario(t *testing.T) {
 		t.Errorf("negative failover timings: detect=%v promote=%v", rep.DetectMS, rep.PromotionMS)
 	}
 }
+
+// TestClusterScenarioAutoFailover runs the same kill-one scenario with
+// the lease failure detector in charge: zero promote calls, the
+// survivors confirm the death by quorum, and recovery must still be
+// session- and proposal-exact.
+func TestClusterScenarioAutoFailover(t *testing.T) {
+	rep, err := loadtest.RunCluster(loadtest.Config{
+		Users: 3, RestartSessions: 6, Workload: "synthetic", Seed: 11,
+		AutoFailover: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AutoFailover || rep.LeaseMS <= 0 {
+		t.Fatalf("report not marked auto-failover: auto=%v lease=%vms", rep.AutoFailover, rep.LeaseMS)
+	}
+	if rep.RecoveredSessions != rep.SessionsOnKilled || rep.SessionsOnKilled == 0 {
+		t.Fatalf("recovered %d of %d killed-node sessions (%s)",
+			rep.RecoveredSessions, rep.SessionsOnKilled, rep.FirstError)
+	}
+	if rep.AdoptedSessions != rep.SessionsOnKilled {
+		t.Fatalf("follower adopted %d sessions, want %d", rep.AdoptedSessions, rep.SessionsOnKilled)
+	}
+	if rep.Mismatches != 0 || rep.Completed != rep.Sessions {
+		t.Fatalf("mismatches=%d completed=%d: %s", rep.Mismatches, rep.Completed, rep.FirstError)
+	}
+	if rep.DetectMS <= 0 {
+		t.Errorf("auto-failover detect time not measured: %vms", rep.DetectMS)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	jim "repro"
@@ -70,7 +73,7 @@ func startCluster(t *testing.T, ids ...string) map[string]*clusterNode {
 		if err := n.srv.EnableCluster(server.ClusterOptions{Self: id, Peers: peers, Logf: t.Logf}); err != nil {
 			t.Fatal(err)
 		}
-		n.repl = &cluster.ReplServer{Applier: n.srv, Logf: t.Logf}
+		n.repl = &cluster.ReplServer{Applier: n.srv, Logf: t.Logf, Heartbeat: n.srv.ClusterHeartbeat}
 		go n.repl.Serve(n.replLn)
 	}
 	t.Cleanup(func() {
@@ -287,6 +290,112 @@ func TestClusterFailoverDifferential(t *testing.T) {
 				t.Errorf("final M_P on promoted node = %s, reference %s", res.Predicate, ref.Result().String())
 			}
 		})
+	}
+}
+
+// TestClusterDrainUnderConcurrentTraffic races POST /v1/cluster/drain
+// against mutating traffic: labelers and appenders hammer every
+// session while repeated drains run the snapshot-all + sync barrier.
+// Every drain must cover the whole fleet and clear the barrier, and
+// once the traffic stops the follower must hold a replica of every
+// session. CI runs this under -race.
+func TestClusterDrainUnderConcurrentTraffic(t *testing.T) {
+	nodes := startCluster(t, "nA", "nB")
+	owner := nodes["nA"]
+
+	const nSessions = 4
+	ids := make([]string, nSessions)
+	for i := range ids {
+		var s summary
+		doJSON(t, "POST", owner.base()+"/sessions",
+			map[string]any{"csv": travelCSV, "strategy": "local-most-specific", "seed": 7},
+			http.StatusCreated, &s)
+		ids[i] = s.ID
+	}
+
+	// post fires a mutating request and drains the response; statuses
+	// are deliberately not asserted — concurrent labels can lose races
+	// (already answered, implied meanwhile) and that is fine, the test
+	// is about drain's snapshot capture staying consistent under fire.
+	post := func(url string, body any) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		base := owner.base() + "/sessions/" + id
+		wg.Add(2)
+		// Labeler: the next/label write-lock path.
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + "/next")
+				if err != nil {
+					continue
+				}
+				var n next
+				json.NewDecoder(resp.Body).Decode(&n)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if n.Done || n.Tuple == nil {
+					continue // appends may revive the dialogue
+				}
+				label := "skip"
+				if i%3 != 2 {
+					label = [2]string{"+", "-"}[i%2]
+				}
+				post(base+"/label", map[string]any{"index": n.Tuple.Index, "label": label})
+			}
+		}()
+		// Appender: the tuple-ingestion write path.
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				post(base+"/tuples", map[string]any{"rows": [][]string{
+					{fmt.Sprintf("City%d", i), "Lille", "AF", "NYC", "AA"},
+				}})
+			}
+		}()
+	}
+
+	for round := 0; round < 5; round++ {
+		var dr struct {
+			Sessions    int  `json:"sessions"`
+			Snapshotted int  `json:"snapshotted"`
+			Synced      bool `json:"synced"`
+		}
+		doJSON(t, "POST", owner.base()+"/cluster/drain", nil, http.StatusOK, &dr)
+		if dr.Sessions != nSessions || dr.Snapshotted != dr.Sessions || !dr.Synced {
+			t.Fatalf("drain round %d = %+v, want %d/%d sessions snapshotted and synced",
+				round, dr, nSessions, nSessions)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	quiesce(t, owner)
+	var h healthz
+	doJSON(t, "GET", nodes["nB"].ts.URL+"/healthz", nil, http.StatusOK, &h)
+	if h.Role == nil || h.Role.Replicas != nSessions {
+		t.Fatalf("follower healthz role = %+v, want %d replicas", h.Role, nSessions)
 	}
 }
 

@@ -124,6 +124,21 @@ func (tb *table) delete(id string) bool {
 	return ok
 }
 
+// demote removes a session handed off to another node during a rejoin
+// or rebalance: the active count drops but nothing is counted
+// deleted — the session lives on, under a new owner.
+func (tb *table) demote(id string) bool {
+	sh := tb.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		tb.active.Add(-1)
+	}
+	return ok
+}
+
 // forEach visits a consistent snapshot of each shard in turn. The
 // callback runs outside the shard lock so it may lock the session.
 func (tb *table) forEach(f func(id string, ls *liveSession)) {

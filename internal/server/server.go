@@ -195,7 +195,10 @@ func NewWith(cfg Config) *Server {
 //	GET    /v1/sessions/{id}/export  persistable session file
 //	GET    /v1/stats                 service counters and latency quantiles
 //	GET    /v1/cluster               cluster membership view (cluster mode)
+//	GET    /v1/cluster/probe         second-opinion liveness probe of a peer
 //	POST   /v1/cluster/promote       mark a peer failed, adopt its replicas
+//	POST   /v1/cluster/rejoin        hand a restarted peer its range back
+//	POST   /v1/cluster/rebalance     ship misplaced ranges after a peer-set change
 //	POST   /v1/cluster/drain         snapshot + sync everything to the follower
 //
 // Every pre-versioning route (the same paths without the /v1 prefix)
@@ -250,7 +253,10 @@ func (s *Server) routes() []route {
 		{"GET", "/sessions/{id}/export", s.readSession(s.handleExport), false},
 		{"GET", "/strategies", s.handleStrategies, true},
 		{"GET", "/cluster", s.handleCluster, true},
+		{"GET", "/cluster/probe", s.handleClusterProbe, true},
 		{"POST", "/cluster/promote", s.handlePromote, true},
+		{"POST", "/cluster/rejoin", s.handleRejoin, true},
+		{"POST", "/cluster/rebalance", s.handleRebalance, true},
 		{"POST", "/cluster/drain", s.handleDrain, true},
 	}
 }
